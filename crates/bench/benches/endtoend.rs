@@ -1,0 +1,23 @@
+//! Criterion version of the Fig. 9(c) end-to-end benchmark: the Fig. 3
+//! pipeline on all three engines over real-like gap-bearing data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifestream_bench::{lifestream_e2e, numlib_e2e, trill_e2e, WINDOW_1MIN};
+use lifestream_signal::dataset::ecg_abp_pair;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let (ecg, abp) = ecg_abp_pair(5, 42);
+    let mut g = c.benchmark_group("fig9c_endtoend");
+    g.sample_size(10);
+    g.bench_function("lifestream", |b| {
+        b.iter(|| lifestream_e2e(&ecg, &abp, WINDOW_1MIN))
+    });
+    g.bench_function("trill", |b| {
+        b.iter(|| trill_e2e(&ecg, &abp, usize::MAX).expect("trill"))
+    });
+    g.bench_function("numlib", |b| b.iter(|| numlib_e2e(&ecg, &abp)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

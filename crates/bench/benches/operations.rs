@@ -1,0 +1,28 @@
+//! Criterion version of the Fig. 9(b) operation benchmarks: Trill vs.
+//! NumLib vs. LifeStream on the Table 3 operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifestream_bench::{
+    ecg_500hz, lifestream_operation, numlib_operation, trill_operation, Operation,
+};
+
+fn bench_operations(c: &mut Criterion) {
+    let data = ecg_500hz(2, 3);
+    let mut g = c.benchmark_group("fig9b_operations");
+    g.sample_size(10);
+    for op in Operation::all() {
+        g.bench_with_input(BenchmarkId::new("lifestream", op.name()), &op, |b, &op| {
+            b.iter(|| lifestream_operation(op, &data))
+        });
+        g.bench_with_input(BenchmarkId::new("trill", op.name()), &op, |b, &op| {
+            b.iter(|| trill_operation(op, &data))
+        });
+        g.bench_with_input(BenchmarkId::new("numlib", op.name()), &op, |b, &op| {
+            b.iter(|| numlib_operation(op, &data))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_operations);
+criterion_main!(benches);

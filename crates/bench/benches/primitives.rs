@@ -1,0 +1,27 @@
+//! Criterion version of the Fig. 9(a) primitive micro-benchmarks:
+//! Trill vs. LifeStream on each primitive temporal operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifestream_bench::{
+    lifestream_primitive, synthetic_1khz, synthetic_500hz, trill_primitive, Primitive,
+};
+
+fn bench_primitives(c: &mut Criterion) {
+    let data = synthetic_1khz(2, 1);
+    let side = synthetic_500hz(2, 2);
+    let mut g = c.benchmark_group("fig9a_primitives");
+    g.sample_size(10);
+    for p in Primitive::all() {
+        let side_opt = matches!(p, Primitive::ClipJoin | Primitive::Join).then_some(&side);
+        g.bench_with_input(BenchmarkId::new("lifestream", p.name()), &p, |b, &p| {
+            b.iter(|| lifestream_primitive(p, &data, side_opt))
+        });
+        g.bench_with_input(BenchmarkId::new("trill", p.name()), &p, |b, &p| {
+            b.iter(|| trill_primitive(p, &data, side_opt))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

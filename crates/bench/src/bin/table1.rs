@@ -1,0 +1,80 @@
+//! Table 1: single-core throughput (million events/s) of the distributed
+//! engines, the Trill baseline, NumLib (SciPy), and LifeStream on
+//! temporal join and upsampling.
+//!
+//! Paper row (M ev/s): Join — Spark 0.07, Storm 0.04, Flink 0.09,
+//! Trill 0.80; Upsampling — Trill 0.69, SciPy 15.06.
+
+use distrib_baseline::{run_join, run_upsample, Profile};
+use lifestream_bench::*;
+
+fn main() {
+    let minutes = scaled_minutes(30);
+    println!("Table 1 — temporal join & upsampling throughput ({minutes} min workloads)\n");
+
+    let (l, r) = table1_join_pair(minutes, 1);
+    let join_events = (l.present_events() + r.present_events()) as f64;
+
+    let mut t = Table::new(&["benchmark", "engine", "Mev/s", "out events"]);
+
+    for profile in [Profile::spark(), Profile::storm(), Profile::flink()] {
+        let (stats, s) = time(|| run_join(profile, &l, &r));
+        t.row(&[
+            "Temporal Join".into(),
+            profile.name.into(),
+            format!("{:.3}", join_events / s / 1e6),
+            stats.output_events.to_string(),
+        ]);
+    }
+    let (out, s) = time(|| trill_join(&l, &r));
+    t.row(&[
+        "Temporal Join".into(),
+        "trill".into(),
+        format!("{:.3}", join_events / s / 1e6),
+        out.to_string(),
+    ]);
+    let (out, s) = time(|| lifestream_join(&l, &r));
+    t.row(&[
+        "Temporal Join".into(),
+        "lifestream".into(),
+        format!("{:.3}", join_events / s / 1e6),
+        out.to_string(),
+    ]);
+
+    let abp = abp_125hz(minutes, 2);
+    let up_events = abp.present_events() as f64;
+    let (out, s) = time(|| trill_upsample(&abp));
+    t.row(&[
+        "Upsampling".into(),
+        "trill".into(),
+        format!("{:.3}", up_events / s / 1e6),
+        out.to_string(),
+    ]);
+    let (out, s) = time(|| numlib_upsample(&abp));
+    t.row(&[
+        "Upsampling".into(),
+        "scipy(numlib)".into(),
+        format!("{:.3}", up_events / s / 1e6),
+        out.to_string(),
+    ]);
+    let (out, s) = time(|| lifestream_upsample(&abp));
+    t.row(&[
+        "Upsampling".into(),
+        "lifestream".into(),
+        format!("{:.3}", up_events / s / 1e6),
+        out.to_string(),
+    ]);
+    for profile in [Profile::spark(), Profile::storm(), Profile::flink()] {
+        let (stats, s) = time(|| run_upsample(profile, &abp, 2));
+        t.row(&[
+            "Upsampling".into(),
+            profile.name.into(),
+            format!("{:.3}", up_events / s / 1e6),
+            stats.output_events.to_string(),
+        ]);
+    }
+
+    println!("{}", t.render());
+    println!("paper (Mev/s): join spark .07 / storm .04 / flink .09 / trill .80;");
+    println!("               upsample trill .69 / scipy 15.06");
+}

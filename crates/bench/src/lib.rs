@@ -1,0 +1,527 @@
+//! # lifestream-bench
+//!
+//! Shared machinery for the benchmark harness: dataset construction,
+//! timing, table rendering, and one runner per (engine × query) pair.
+//! Each paper table/figure has a binary in `src/bin/` that prints the
+//! same rows/series the paper reports; Criterion benches in `benches/`
+//! cover the micro-level comparisons.
+//!
+//! All workload sizes scale with the `LS_SCALE` environment variable
+//! (default 1.0) so CI can run quick passes while full runs regenerate
+//! paper-sized workloads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use lifestream_core::exec::ExecOptions;
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::ops::join::JoinKind;
+use lifestream_core::pipeline as lspipe;
+use lifestream_core::query::QueryBuilder;
+use lifestream_core::source::SignalData;
+use lifestream_core::time::Tick;
+use lifestream_signal::dataset::{DatasetBuilder, SignalKind};
+use trill_baseline::pipelines as tpipe;
+use trill_baseline::TrillPipeline;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Workload scale factor from `LS_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("LS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales a minute count by [`scale`], with a floor of 1.
+pub fn scaled_minutes(base: i64) -> i64 {
+    ((base as f64 * scale()).round() as i64).max(1)
+}
+
+/// A simple aligned text table for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i.min(widths.len() - 1)]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The paper's synthetic dataset: `minutes` of 1000 Hz random values.
+pub fn synthetic_1khz(minutes: i64, seed: u64) -> SignalData {
+    DatasetBuilder::new(SignalKind::Random, seed)
+        .minutes(minutes)
+        .build(1000.0)
+}
+
+/// A second synthetic stream at 500 Hz for join benchmarks.
+pub fn synthetic_500hz(minutes: i64, seed: u64) -> SignalData {
+    DatasetBuilder::new(SignalKind::Random, seed)
+        .minutes(minutes)
+        .build(500.0)
+}
+
+/// Real-like 500 Hz ECG (dense — operation benchmarks use the gap-free
+/// portion).
+pub fn ecg_500hz(minutes: i64, seed: u64) -> SignalData {
+    DatasetBuilder::new(SignalKind::Ecg, seed)
+        .minutes(minutes)
+        .build(500.0)
+}
+
+/// Real-like 125 Hz ABP (dense).
+pub fn abp_125hz(minutes: i64, seed: u64) -> SignalData {
+    DatasetBuilder::new(SignalKind::Abp, seed)
+        .minutes(minutes)
+        .build(125.0)
+}
+
+/// Default processing window (the paper's 1-minute benchmark default).
+pub const WINDOW_1MIN: Tick = 60_000;
+
+/// Which primitive micro-benchmark to run (Fig. 9a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Payload projection.
+    Select,
+    /// Predicate filter.
+    Where,
+    /// 100 ms tumbling mean.
+    Aggregate,
+    /// Interval chopping.
+    Chop,
+    /// As-of join with a 100 Hz stream.
+    ClipJoin,
+    /// Temporal inner join with a 500 Hz stream.
+    Join,
+}
+
+impl Primitive {
+    /// All primitives, in the paper's Fig. 9a order.
+    pub fn all() -> [Primitive; 6] {
+        [
+            Primitive::Select,
+            Primitive::Where,
+            Primitive::Aggregate,
+            Primitive::Chop,
+            Primitive::ClipJoin,
+            Primitive::Join,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Primitive::Select => "Select",
+            Primitive::Where => "Where",
+            Primitive::Aggregate => "Aggregate",
+            Primitive::Chop => "Chop",
+            Primitive::ClipJoin => "ClipJoin",
+            Primitive::Join => "Join",
+        }
+    }
+}
+
+/// Runs one primitive on LifeStream; returns output events.
+pub fn lifestream_primitive(p: Primitive, data: &SignalData, side: Option<&SignalData>) -> u64 {
+    let mut qb = QueryBuilder::new();
+    let src = qb.source("main", data.shape());
+    let out = match p {
+        Primitive::Select => qb.select_map(src, |v| v * 2.0 + 1.0),
+        Primitive::Where => qb.where_(src, |v| v[0] > 50.0).expect("where"),
+        Primitive::Aggregate => qb
+            .aggregate(src, AggKind::Mean, 100, 100)
+            .expect("aggregate"),
+        Primitive::Chop => {
+            let d = qb.alter_duration(src, 5).expect("alter_duration");
+            qb.chop(d, 5).expect("chop")
+        }
+        Primitive::ClipJoin | Primitive::Join => {
+            let other = qb.source("side", side.expect("side stream").shape());
+            match p {
+                Primitive::ClipJoin => qb.clip_join(src, other).expect("clip_join"),
+                _ => qb.join(src, other, JoinKind::Inner).expect("join"),
+            }
+        }
+    };
+    qb.sink(out);
+    let sources = match p {
+        Primitive::ClipJoin | Primitive::Join => {
+            vec![data.clone(), side.expect("side stream").clone()]
+        }
+        _ => vec![data.clone()],
+    };
+    let mut exec = qb
+        .compile()
+        .expect("compile")
+        .executor_with(sources, ExecOptions::default().with_round_ticks(WINDOW_1MIN))
+        .expect("executor");
+    exec.run().expect("run").output_events
+}
+
+/// Runs one primitive on the Trill baseline; returns output events.
+pub fn trill_primitive(p: Primitive, data: &SignalData, side: Option<&SignalData>) -> u64 {
+    let mut tp = TrillPipeline::new();
+    let src = tp.source(data.shape());
+    let out = match p {
+        Primitive::Select => tp.select(src, 1, |i, o| o[0] = i[0] * 2.0 + 1.0),
+        Primitive::Where => tp.where_(src, |v| v[0] > 50.0),
+        Primitive::Aggregate => tp.aggregate(src, AggKind::Mean, 100, 100),
+        Primitive::Chop => {
+            let d = tp.select(src, 1, |i, o| o[0] = i[0]); // payload pass
+            let c = tp.chop(d, 5);
+            c
+        }
+        Primitive::ClipJoin | Primitive::Join => {
+            let other = tp.source(side.expect("side stream").shape());
+            match p {
+                Primitive::ClipJoin => tp.clip_join(src, other),
+                _ => tp.join(src, other),
+            }
+        }
+    };
+    tp.sink(out);
+    let sources = match p {
+        Primitive::ClipJoin | Primitive::Join => {
+            vec![data.clone(), side.expect("side stream").clone()]
+        }
+        _ => vec![data.clone()],
+    };
+    tp.run(sources).expect("trill run").output_events
+}
+
+/// Which Table 3 operation to run (Fig. 9b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Standard-score normalization.
+    Normalize,
+    /// FIR frequency filter (31 taps).
+    PassFilter,
+    /// Constant gap fill.
+    FillConst,
+    /// Mean gap fill.
+    FillMean,
+    /// Linear-interpolation resample 500 Hz → 125 Hz grid and back up.
+    Resample,
+}
+
+impl Operation {
+    /// All operations, in the paper's Fig. 9b order.
+    pub fn all() -> [Operation; 5] {
+        [
+            Operation::Normalize,
+            Operation::PassFilter,
+            Operation::FillConst,
+            Operation::FillMean,
+            Operation::Resample,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operation::Normalize => "Normalize",
+            Operation::PassFilter => "PassFilter",
+            Operation::FillConst => "FillConst",
+            Operation::FillMean => "FillMean",
+            Operation::Resample => "Resample",
+        }
+    }
+}
+
+/// FIR taps used by every PassFilter benchmark.
+pub fn bench_taps() -> Vec<f32> {
+    lspipe::fir_lowpass(31, 0.1)
+}
+
+/// Runs one Table 3 operation on LifeStream; returns output events.
+pub fn lifestream_operation(op: Operation, data: &SignalData) -> u64 {
+    let mut qb = QueryBuilder::new();
+    let src = qb.source("sig", data.shape());
+    let out = match op {
+        Operation::Normalize => lspipe::normalize(&mut qb, src, 1000).expect("normalize"),
+        Operation::PassFilter => {
+            lspipe::pass_filter(&mut qb, src, 1000, bench_taps()).expect("pass_filter")
+        }
+        Operation::FillConst => lspipe::fill_const(&mut qb, src, 1000, 0.0).expect("fill_const"),
+        Operation::FillMean => lspipe::fill_mean(&mut qb, src, 1000).expect("fill_mean"),
+        Operation::Resample => {
+            lspipe::resample(&mut qb, src, data.shape().period() * 4, 1000).expect("resample")
+        }
+    };
+    qb.sink(out);
+    let mut exec = qb
+        .compile()
+        .expect("compile")
+        .executor_with(
+            vec![data.clone()],
+            ExecOptions::default().with_round_ticks(WINDOW_1MIN),
+        )
+        .expect("executor");
+    exec.run().expect("run").output_events
+}
+
+/// Runs one Table 3 operation on the Trill baseline; returns output
+/// events.
+pub fn trill_operation(op: Operation, data: &SignalData) -> u64 {
+    let mut tp = TrillPipeline::new();
+    let src = tp.source(data.shape());
+    let p = data.shape().period();
+    let out = match op {
+        Operation::Normalize => tpipe::normalize(&mut tp, src, 1000),
+        Operation::PassFilter => tpipe::pass_filter(&mut tp, src, 1000, bench_taps()),
+        Operation::FillConst => tpipe::fill_const(&mut tp, src, 1000, p, 0.0),
+        Operation::FillMean => tpipe::fill_mean(&mut tp, src, 1000, p),
+        Operation::Resample => tpipe::resample(&mut tp, src, 1000, p * 4),
+    };
+    tp.sink(out);
+    tp.run(vec![data.clone()]).expect("trill run").output_events
+}
+
+/// Runs one Table 3 operation on the NumLib baseline; returns output
+/// samples.
+pub fn numlib_operation(op: Operation, data: &SignalData) -> u64 {
+    use numlib_baseline::ops as nops;
+    let p = data.shape().period();
+    let w = (1000 / p).max(1) as usize;
+    let arr = nops::to_nan_array(data);
+    match op {
+        Operation::Normalize => nops::normalize_windows(&arr, w).len() as u64,
+        Operation::PassFilter => nops::fir_filter(&arr, &bench_taps()).len() as u64,
+        Operation::FillConst => nops::fill_const(&arr, 0.0).len() as u64,
+        Operation::FillMean => nops::fill_mean(&arr, w).len() as u64,
+        Operation::Resample => nops::resample_linear(&arr, p, p * 4).1.len() as u64,
+    }
+}
+
+/// Runs the Fig. 3 end-to-end pipeline on LifeStream.
+///
+/// Returns `(output_events, input_events)`.
+pub fn lifestream_e2e(ecg: &SignalData, abp: &SignalData, round: Tick) -> (u64, u64) {
+    let qb = lspipe::fig3_pipeline(ecg.shape(), abp.shape(), 1000).expect("pipeline");
+    let mut exec = qb
+        .compile()
+        .expect("compile")
+        .executor_with(
+            vec![ecg.clone(), abp.clone()],
+            ExecOptions::default().with_round_ticks(round),
+        )
+        .expect("executor");
+    let stats = exec.run().expect("run");
+    (stats.output_events, stats.input_events)
+}
+
+/// Runs the Fig. 3 end-to-end pipeline on the Trill baseline.
+///
+/// Returns `Ok(output_events)` or the OOM error.
+pub fn trill_e2e(
+    ecg: &SignalData,
+    abp: &SignalData,
+    cap_bytes: usize,
+) -> Result<u64, trill_baseline::TrillError> {
+    let mut tp = tpipe::fig3_pipeline(ecg.shape(), abp.shape(), 1000).with_memory_cap(cap_bytes);
+    tp.run(vec![ecg.clone(), abp.clone()]).map(|s| s.output_events)
+}
+
+/// Runs the Fig. 3 end-to-end pipeline on the NumLib baseline.
+pub fn numlib_e2e(ecg: &SignalData, abp: &SignalData) -> u64 {
+    numlib_baseline::fig3_numlib(ecg, abp, 1000)
+        .expect("numlib")
+        .output_events
+}
+
+/// Builds the Listing-1 style join pair used by Table 1: 500 Hz and
+/// 200 Hz synthetic streams.
+pub fn table1_join_pair(minutes: i64, seed: u64) -> (SignalData, SignalData) {
+    let a = DatasetBuilder::new(SignalKind::Random, seed)
+        .minutes(minutes)
+        .build(500.0);
+    let b = DatasetBuilder::new(SignalKind::Random, seed + 1)
+        .minutes(minutes)
+        .build(200.0);
+    (a, b)
+}
+
+/// LifeStream temporal join for Table 1; returns output events.
+pub fn lifestream_join(l: &SignalData, r: &SignalData) -> u64 {
+    let mut qb = QueryBuilder::new();
+    let a = qb.source("l", l.shape());
+    let b = qb.source("r", r.shape());
+    let j = qb.join(a, b, JoinKind::Inner).expect("join");
+    qb.sink(j);
+    let mut exec = qb
+        .compile()
+        .expect("compile")
+        .executor_with(
+            vec![l.clone(), r.clone()],
+            ExecOptions::default().with_round_ticks(WINDOW_1MIN),
+        )
+        .expect("executor");
+    exec.run().expect("run").output_events
+}
+
+/// LifeStream upsample (125 Hz → 500 Hz) for Table 1.
+pub fn lifestream_upsample(data: &SignalData) -> u64 {
+    let mut qb = QueryBuilder::new();
+    let src = qb.source("sig", data.shape());
+    let r = lspipe::resample(&mut qb, src, 2, 1000).expect("resample");
+    qb.sink(r);
+    let mut exec = qb
+        .compile()
+        .expect("compile")
+        .executor_with(
+            vec![data.clone()],
+            ExecOptions::default().with_round_ticks(WINDOW_1MIN),
+        )
+        .expect("executor");
+    exec.run().expect("run").output_events
+}
+
+/// Trill temporal join for Table 1.
+pub fn trill_join(l: &SignalData, r: &SignalData) -> u64 {
+    let mut tp = TrillPipeline::new();
+    let a = tp.source(l.shape());
+    let b = tp.source(r.shape());
+    let j = tp.join(a, b);
+    tp.sink(j);
+    tp.run(vec![l.clone(), r.clone()]).expect("trill join").output_events
+}
+
+/// Trill upsample for Table 1.
+pub fn trill_upsample(data: &SignalData) -> u64 {
+    let mut tp = TrillPipeline::new();
+    let src = tp.source(data.shape());
+    let r = tpipe::resample(&mut tp, src, 1000, 2);
+    tp.sink(r);
+    tp.run(vec![data.clone()]).expect("trill upsample").output_events
+}
+
+/// SciPy-style upsample for Table 1 (whole-array linear interpolation).
+pub fn numlib_upsample(data: &SignalData) -> u64 {
+    let arr = numlib_baseline::ops::to_nan_array(data);
+    numlib_baseline::ops::resample_linear(&arr, data.shape().period(), 2)
+        .1
+        .len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn primitives_run_on_both_engines() {
+        let data = synthetic_1khz(1, 1);
+        let side = synthetic_500hz(1, 2);
+        for p in Primitive::all() {
+            let ls = lifestream_primitive(p, &data, Some(&side));
+            let tr = trill_primitive(p, &data, Some(&side));
+            assert!(ls > 0, "{} lifestream empty", p.name());
+            assert!(tr > 0, "{} trill empty", p.name());
+        }
+    }
+
+    #[test]
+    fn join_primitive_agrees_across_engines() {
+        let data = synthetic_1khz(1, 1);
+        let side = synthetic_500hz(1, 2);
+        let ls = lifestream_primitive(Primitive::Join, &data, Some(&side));
+        let tr = trill_primitive(Primitive::Join, &data, Some(&side));
+        assert_eq!(ls, tr);
+    }
+
+    #[test]
+    fn operations_run_on_all_engines() {
+        let data = ecg_500hz(1, 3);
+        for op in Operation::all() {
+            assert!(lifestream_operation(op, &data) > 0, "{}", op.name());
+            assert!(trill_operation(op, &data) > 0, "{}", op.name());
+            assert!(numlib_operation(op, &data) > 0, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn e2e_runs_on_all_engines() {
+        let ecg = ecg_500hz(2, 5);
+        let abp = abp_125hz(2, 6);
+        let (ls, _) = lifestream_e2e(&ecg, &abp, WINDOW_1MIN);
+        let tr = trill_e2e(&ecg, &abp, 1 << 30).expect("trill e2e");
+        let nl = numlib_e2e(&ecg, &abp);
+        assert!(ls > 0 && tr > 0 && nl > 0);
+        // Engines implement the same pipeline; outputs agree within a few
+        // percent (boundary semantics differ slightly at window edges).
+        let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / a as f64;
+        assert!(rel(ls, tr) < 0.1, "ls {ls} tr {tr}");
+        assert!(rel(ls, nl) < 0.1, "ls {ls} nl {nl}");
+    }
+
+    #[test]
+    fn table1_runners_produce_output() {
+        let (l, r) = table1_join_pair(1, 7);
+        assert!(lifestream_join(&l, &r) > 0);
+        assert!(trill_join(&l, &r) > 0);
+        let abp = abp_125hz(1, 8);
+        assert!(lifestream_upsample(&abp) > 0);
+        assert!(trill_upsample(&abp) > 0);
+        assert!(numlib_upsample(&abp) > 0);
+    }
+}

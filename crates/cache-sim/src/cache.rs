@@ -1,0 +1,241 @@
+//! The set-associative cache model.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The evaluation machine's LLC: Xeon E5-2660, 20 MiB, 64 B lines,
+    /// 20-way.
+    pub fn xeon_e5_2660_llc() -> Self {
+        Self {
+            capacity: 20 << 20,
+            line: 64,
+            ways: 20,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (capacity not divisible by
+    /// `line * ways`).
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.line > 0 && self.ways > 0 && self.capacity % (self.line * self.ways) == 0,
+            "inconsistent cache geometry {self:?}"
+        );
+        self.capacity / (self.line * self.ways)
+    }
+}
+
+/// A set-associative cache with true-LRU replacement, accessed by byte
+/// address ranges.
+///
+/// # Examples
+/// ```
+/// use llc_sim::{CacheConfig, CacheSim};
+/// let mut c = CacheSim::new(CacheConfig { capacity: 4096, line: 64, ways: 4 });
+/// c.access(0, 4096);        // cold: 64 misses
+/// assert_eq!(c.misses(), 64);
+/// c.access(0, 4096);        // warm: all hits
+/// assert_eq!(c.misses(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// sets × ways line tags; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let slots = config.sets() * config.ways;
+        Self {
+            config,
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Total line hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total line misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `0.0..=1.0` (0 when nothing was accessed).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Resets counters but keeps cache contents (for steady-state
+    /// measurement after a warm-up pass).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Touches one cache line containing byte address `addr`.
+    #[inline]
+    pub fn touch(&mut self, addr: u64) {
+        let line_addr = addr / self.config.line as u64;
+        let sets = self.config.sets() as u64;
+        let set = (line_addr % sets) as usize;
+        let ways = self.config.ways;
+        let base = set * ways;
+        self.clock += 1;
+        // Probe the set.
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for i in base..base + ways {
+            if self.tags[i] == line_addr {
+                self.stamps[i] = self.clock;
+                self.hits += 1;
+                return;
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.misses += 1;
+        self.tags[victim] = line_addr;
+        self.stamps[victim] = self.clock;
+    }
+
+    /// Sequentially accesses every line of `[addr, addr + len)`.
+    pub fn access(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let line = self.config.line as u64;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        for l in first..=last {
+            self.touch(l * line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheSim {
+        CacheSim::new(CacheConfig {
+            capacity: 4096,
+            line: 64,
+            ways: 4,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig {
+            capacity: 4096,
+            line: 64,
+            ways: 4,
+        };
+        assert_eq!(c.sets(), 16);
+        assert_eq!(CacheConfig::xeon_e5_2660_llc().sets(), 16384);
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut c = small();
+        c.access(0, 4096);
+        assert_eq!(c.misses(), 64);
+        assert_eq!(c.hits(), 0);
+        c.access(0, 4096);
+        assert_eq!(c.misses(), 64);
+        assert_eq!(c.hits(), 64);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small();
+        // 8 KiB working set in a 4 KiB cache, swept repeatedly with LRU:
+        // every access misses (classic LRU sequential thrash).
+        for _ in 0..4 {
+            c.access(0, 8192);
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 4 * 128);
+    }
+
+    #[test]
+    fn small_working_set_stays_resident() {
+        let mut c = small();
+        for _ in 0..100 {
+            c.access(0, 2048); // half the cache
+        }
+        assert_eq!(c.misses(), 32); // cold only
+        assert_eq!(c.hits(), 99 * 32);
+    }
+
+    #[test]
+    fn distinct_buffers_map_to_distinct_lines() {
+        let mut c = small();
+        c.access(0, 64);
+        c.access(1 << 20, 64);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn partial_line_access_touches_whole_line() {
+        let mut c = small();
+        c.access(10, 4); // inside line 0
+        c.access(0, 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn reset_counters_keeps_contents() {
+        let mut c = small();
+        c.access(0, 2048);
+        c.reset_counters();
+        c.access(0, 2048);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hits(), 32);
+    }
+
+    #[test]
+    fn zero_length_access_is_noop() {
+        let mut c = small();
+        c.access(100, 0);
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+}

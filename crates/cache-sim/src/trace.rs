@@ -1,0 +1,248 @@
+//! Buffer-granularity access traces and the engine memory-behaviour
+//! builders used by the Table 5 experiment.
+
+use crate::cache::CacheSim;
+
+/// One contiguous access: sweep `len` bytes starting at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Start byte address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// An ordered access trace (sequence of buffer sweeps).
+#[derive(Debug, Clone, Default)]
+pub struct AccessTrace {
+    segments: Vec<Segment>,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sweep.
+    pub fn sweep(&mut self, addr: u64, len: u64) {
+        self.segments.push(Segment { addr, len });
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Replays the trace against a cache.
+    pub fn replay(&self, cache: &mut CacheSim) {
+        for s in &self.segments {
+            cache.access(s.addr, s.len);
+        }
+    }
+
+    /// Total bytes swept.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+}
+
+/// A bump allocator over a simulated address space — models a real
+/// allocator handing out *fresh* addresses for every dynamic allocation
+/// (so repeated per-batch allocations never reuse cache-resident lines,
+/// while a static plan does).
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next: u64,
+    /// Freed blocks awaiting reuse: `(addr, len)`.
+    free: Vec<(u64, u64)>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates a fresh address space (allocations start above the null
+    /// page).
+    pub fn new() -> Self {
+        Self {
+            next: 0x1000,
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates `len` bytes, 64-byte aligned; returns the base address.
+    /// Freed blocks of the same size are reused first, as a real
+    /// allocator's size-class free lists would.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        if let Some(pos) = self.free.iter().position(|&(_, l)| l == len) {
+            return self.free.swap_remove(pos).0;
+        }
+        let base = (self.next + 63) & !63;
+        self.next = base + len;
+        base
+    }
+
+    /// Returns a block to the free list.
+    pub fn free(&mut self, addr: u64, len: u64) {
+        self.free.push((addr, len));
+    }
+}
+
+/// Builds the access trace of a **Trill-style** run of the Normalize
+/// query: the input is processed batch-at-a-time; each operator in the
+/// chain allocates a fresh output buffer and sweeps its whole input batch
+/// before the next operator runs (operator-at-a-time over the batch).
+///
+/// `events` total events, `batch` events per batch, `ops` chained
+/// operators, `bytes_per_event` event footprint (sync + duration +
+/// payload columns).
+pub fn trill_normalize_trace(
+    events: u64,
+    batch: u64,
+    ops: u64,
+    bytes_per_event: u64,
+) -> AccessTrace {
+    let mut trace = AccessTrace::new();
+    let mut mem = AddressSpace::new();
+    let mut remaining = events;
+    while remaining > 0 {
+        let n = remaining.min(batch);
+        remaining -= n;
+        let bytes = n * bytes_per_event;
+        // Ingress allocates the batch...
+        let mut cur = mem.alloc(bytes);
+        trace.sweep(cur, bytes);
+        // ...then each operator reads it fully and writes a freshly
+        // allocated output, freeing its input afterwards (the allocator's
+        // free lists recycle the addresses, so whether the recycled lines
+        // are still cache-resident depends on the batch size — the Table 5
+        // effect).
+        for _ in 0..ops {
+            let out = mem.alloc(bytes);
+            trace.sweep(cur, bytes); // read input
+            trace.sweep(out, bytes); // write output
+            mem.free(cur, bytes);
+            cur = out;
+        }
+        mem.free(cur, bytes);
+    }
+    trace
+}
+
+/// Builds the access trace of a **LifeStream** run of the same query: all
+/// FWindows preallocated once; every round sweeps the same small windows
+/// through the whole operator chain (round-at-a-time over the plan).
+///
+/// `events` total events, `window_events` events per FWindow round, `ops`
+/// chained operators, `bytes_per_event` event footprint.
+pub fn lifestream_normalize_trace(
+    events: u64,
+    window_events: u64,
+    ops: u64,
+    bytes_per_event: u64,
+) -> AccessTrace {
+    let mut trace = AccessTrace::new();
+    let mut mem = AddressSpace::new();
+    // One FWindow per pipeline node, allocated once.
+    let windows: Vec<u64> = (0..=ops)
+        .map(|_| mem.alloc(window_events * bytes_per_event))
+        .collect();
+    let rounds = events.div_ceil(window_events.max(1));
+    for _ in 0..rounds {
+        // Round-at-a-time: source window filled, then each operator reads
+        // its input window and writes its (reused) output window.
+        trace.sweep(windows[0], window_events * bytes_per_event);
+        for o in 0..ops as usize {
+            trace.sweep(windows[o], window_events * bytes_per_event);
+            trace.sweep(windows[o + 1], window_events * bytes_per_event);
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, CacheSim};
+
+    fn llc() -> CacheSim {
+        CacheSim::new(CacheConfig::xeon_e5_2660_llc())
+    }
+
+    #[test]
+    fn address_space_is_monotone_and_aligned() {
+        let mut m = AddressSpace::new();
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert!(b >= a + 100);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+    }
+
+    #[test]
+    fn trace_replay_counts() {
+        let mut t = AccessTrace::new();
+        t.sweep(0, 6400);
+        t.sweep(0, 6400);
+        let mut c = llc();
+        t.replay(&mut c);
+        assert_eq!(c.misses(), 100);
+        assert_eq!(c.hits(), 100);
+        assert_eq!(t.total_bytes(), 12800);
+    }
+
+    #[test]
+    fn trill_misses_grow_with_batch_size_table5_shape() {
+        // Fixed workload, growing batch size — the Table 5 sweep.
+        let events = 2_000_000u64;
+        let mut prev = 0;
+        for batch in [100_000u64, 1_000_000, 2_000_000] {
+            let mut c = llc();
+            trill_normalize_trace(events, batch, 4, 16).replay(&mut c);
+            assert!(
+                c.misses() >= prev,
+                "misses should not shrink with batch size"
+            );
+            prev = c.misses();
+        }
+    }
+
+    #[test]
+    fn lifestream_misses_flat_and_small() {
+        let events = 2_000_000u64;
+        let mut c1 = llc();
+        lifestream_normalize_trace(events, 30_000, 4, 16).replay(&mut c1);
+        let mut c2 = llc();
+        trill_normalize_trace(events, 1_000_000, 4, 16).replay(&mut c2);
+        assert!(
+            c1.misses() * 2 < c2.misses(),
+            "lifestream {} vs trill {}",
+            c1.misses(),
+            c2.misses()
+        );
+    }
+
+    #[test]
+    fn lifestream_windows_stay_resident_when_plan_fits() {
+        // Plan of 5 windows x 30k events x 16 B = 2.4 MB << 20 MiB LLC.
+        let mut c = llc();
+        lifestream_normalize_trace(1_000_000, 30_000, 4, 16).replay(&mut c);
+        // Only cold misses on the plan: ~2.4 MB / 64 B lines.
+        let cold = (5 * 30_000 * 16) / 64;
+        assert!(
+            c.misses() <= cold as u64 * 2,
+            "misses {} should be near cold {}",
+            c.misses(),
+            cold
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # cluster-harness
+//!
+//! Scale-up and scale-out harness for Figs. 10(c) and 10(d).
+//!
+//! Physiological pipelines are data-parallel across patients (§8.6):
+//! every patient's signals are processed independently, so scaling is a
+//! matter of partitioning patients over workers.
+//!
+//! * [`multicore`] runs *real threads* on this machine, one engine
+//!   instance per worker, patients partitioned round-robin — the Fig. 10c
+//!   experiment, including each engine's failure modes (the Trill
+//!   baseline's join-state memory is per-process, so thread count
+//!   multiplies its footprint and it OOMs beyond a thread budget; the
+//!   NumLib baseline's whole-array materialization saturates the memory
+//!   bus).
+//! * [`machines`] extrapolates measured per-machine throughput to a
+//!   multi-machine cluster with a discrete coordination/straggler model —
+//!   the Fig. 10d experiment. The paper's 16 × EC2 m5a.8xlarge cluster is
+//!   not available here; the substitution is documented in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod machines;
+pub mod multicore;
+
+pub use machines::{ClusterModel, MachineRun};
+pub use multicore::{run_scaling, Engine, PatientWorkload, ScalePoint};

@@ -1,0 +1,293 @@
+//! Packed presence bitvector.
+//!
+//! FWindows mark absent events (discontinuities in the signal, events
+//! filtered by `Where`) with a bitvector rather than compacting the columnar
+//! buffers, preserving the index-position ↔ sync-time alignment that lets
+//! operators compute timestamps without memory reads (§6 of the paper).
+
+/// A fixed-capacity, heap-backed bitvector.
+///
+/// # Examples
+/// ```
+/// use lifestream_core::bitvec::BitVec;
+/// let mut b = BitVec::new(10);
+/// b.set(3, true);
+/// assert!(b.get(3));
+/// assert_eq!(b.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bitvector of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bitvector of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut v = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        v.trim_tail();
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitvector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        if v {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+
+    /// Clears all bits without changing the length.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets all bits.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.trim_tail();
+    }
+
+    /// Resizes in place, clearing all bits (used when an FWindow is reused
+    /// for a new interval).
+    pub fn reset(&mut self, len: usize) {
+        let needed = len.div_ceil(64);
+        if needed > self.words.len() {
+            self.words.resize(needed, 0);
+        }
+        self.len = len;
+        // Clear everything, including words beyond the new length, so
+        // count_ones over the backing store stays exact.
+        self.words.fill(0);
+    }
+
+    /// Sets bits `lo..hi` (half-open).
+    ///
+    /// # Panics
+    /// Panics if `hi > len`.
+    pub fn set_range(&mut self, lo: usize, hi: usize) {
+        assert!(hi <= self.len, "range end {hi} out of range {}", self.len);
+        for i in lo..hi {
+            let w = &mut self.words[i / 64];
+            *w |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// True if every bit is set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// In-place intersection with another bitvector of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with another bitvector of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Copies all bits from `other` (lengths must match).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bv: self,
+            word_idx: 0,
+            cur: if self.words.is_empty() { 0 } else { self.words[0] },
+        }
+    }
+
+    fn trim_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit indices, produced by [`BitVec::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bv: &'a BitVec,
+    word_idx: usize,
+    cur: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                let idx = self.word_idx * 64 + bit;
+                if idx < self.bv.len {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bv.words.len() {
+                return None;
+            }
+            self.cur = self.bv.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitVec::new(130);
+        for i in [0, 1, 63, 64, 65, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i, true);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 7);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 6);
+    }
+
+    #[test]
+    fn all_set_respects_tail() {
+        let b = BitVec::all_set(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.all());
+        let b2 = BitVec::all_set(64);
+        assert_eq!(b2.count_ones(), 64);
+    }
+
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut b = BitVec::all_set(100);
+        b.reset(50);
+        assert_eq!(b.len(), 50);
+        assert_eq!(b.count_ones(), 0);
+        b.reset(200);
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = BitVec::new(10);
+        let mut b = BitVec::new(10);
+        a.set(1, true);
+        a.set(2, true);
+        b.set(2, true);
+        b.set(3, true);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![2]);
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        a.set_all();
+        assert!(a.all());
+        a.clear();
+        assert!(!a.any());
+    }
+
+    #[test]
+    fn iter_ones_spans_words() {
+        let mut b = BitVec::new(200);
+        let idxs = [0usize, 5, 63, 64, 127, 128, 199];
+        for &i in &idxs {
+            b.set(i, true);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), idxs.to_vec());
+    }
+
+    #[test]
+    fn empty_bitvec() {
+        let b = BitVec::new(0);
+        assert!(b.is_empty());
+        assert!(!b.any());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let b = BitVec::new(4);
+        b.get(4);
+    }
+}

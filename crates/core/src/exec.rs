@@ -1,0 +1,756 @@
+//! The executor: lock-step rounds, targeted query processing, and the
+//! static-memory steady state.
+//!
+//! After locality tracing every FWindow in the plan shares one dimension
+//! `D`; execution proceeds in *rounds*, sliding every window to the same
+//! absolute interval `[r·D, (r+1)·D)` and invoking the kernels in
+//! topological order. Intermediate results are therefore consumed
+//! immediately, while still cache-resident — the end-to-end locality the
+//! paper's locality tracing is designed to produce.
+//!
+//! **Targeted query processing** (§5.3): before running a round, the
+//! executor maps the candidate output interval backward through the event
+//! lineage to the source streams and asks their presence maps whether this
+//! round can produce output at all (inner joins require *both* sides).
+//! Rounds that cannot are skipped wholesale — on gap-riddled physiological
+//! data this prunes the bulk of the compute-heavy transformations.
+
+use crate::error::{Error, Result};
+use crate::fwindow::FWindow;
+use crate::graph::{Graph, JoinKindTag, NodeId, OpKind};
+use crate::memory::MemoryPlan;
+use crate::ops::Kernel;
+use crate::source::SignalData;
+use crate::stats::RunStats;
+use crate::time::Tick;
+
+/// Executor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Enable targeted query processing (round skipping). Default true.
+    pub targeted: bool,
+    /// Preallocate all FWindows once (the static-memory-allocation
+    /// optimization). When false, every round allocates fresh buffers —
+    /// the dynamic-allocation behaviour of conventional engines, kept for
+    /// the ablation benchmark. Default true.
+    pub static_memory: bool,
+    /// Processing window (round) length in ticks; rounded up to a multiple
+    /// of the traced dimension. The paper's evaluation default is one
+    /// minute (60 000 ticks). `None` uses the minimal traced dimension.
+    pub round_ticks: Option<Tick>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            targeted: true,
+            static_memory: true,
+            round_ticks: None,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with targeted processing disabled (eager execution).
+    pub fn eager() -> Self {
+        Self {
+            targeted: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the processing window length in ticks.
+    pub fn with_round_ticks(mut self, t: Tick) -> Self {
+        self.round_ticks = Some(t);
+        self
+    }
+
+    /// Disables static memory (per-round allocation; ablation mode).
+    pub fn with_dynamic_memory(mut self) -> Self {
+        self.static_memory = false;
+        self
+    }
+
+    /// Disables targeted query processing.
+    pub fn without_targeting(mut self) -> Self {
+        self.targeted = false;
+        self
+    }
+}
+
+/// Collects sink output into dense arrays.
+#[derive(Debug, Clone, Default)]
+pub struct OutputCollector {
+    arity: usize,
+    times: Vec<Tick>,
+    durations: Vec<Tick>,
+    fields: Vec<Vec<f32>>,
+}
+
+impl OutputCollector {
+    /// Creates a collector for `arity`-wide events.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            times: Vec::new(),
+            durations: Vec::new(),
+            fields: vec![Vec::new(); arity],
+        }
+    }
+
+    /// Absorbs every present event of a window.
+    pub fn absorb(&mut self, w: &FWindow) {
+        debug_assert_eq!(w.arity(), self.arity);
+        for (i, t, d) in w.iter_present() {
+            self.times.push(t);
+            self.durations.push(d);
+            for f in 0..self.arity {
+                self.fields[f].push(w.field(f)[i]);
+            }
+        }
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sync times of the collected events.
+    pub fn times(&self) -> &[Tick] {
+        &self.times
+    }
+
+    /// Durations of the collected events.
+    pub fn durations(&self) -> &[Tick] {
+        &self.durations
+    }
+
+    /// Values of field `f` across all collected events.
+    pub fn values(&self, f: usize) -> &[f32] {
+        &self.fields[f]
+    }
+
+    /// Payload arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Order-sensitive checksum over times and values — used by tests to
+    /// compare targeted and untargeted runs bit-for-bit.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for (i, &t) in self.times.iter().enumerate() {
+            mix(t as u64);
+            for f in 0..self.arity {
+                mix(self.fields[f][i].to_bits() as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Executes a compiled query over a set of source datasets.
+pub struct Executor {
+    graph: Graph,
+    kernels: Vec<Option<Box<dyn Kernel>>>,
+    windows: Vec<Option<FWindow>>,
+    sources: Vec<SignalData>,
+    opts: ExecOptions,
+    round_dim: Tick,
+    start: Tick,
+    end: Tick,
+    plan_bytes: usize,
+}
+
+impl Executor {
+    pub(crate) fn new(
+        graph: Graph,
+        kernels: Vec<Option<Box<dyn Kernel>>>,
+        sources: Vec<SignalData>,
+        opts: ExecOptions,
+        round_dim: Tick,
+    ) -> Result<Self> {
+        let plan = MemoryPlan::allocate(&graph);
+        let plan_bytes = plan.total_bytes();
+        let start = sources
+            .iter()
+            .filter_map(|s| s.presence().start())
+            .min()
+            .unwrap_or(0);
+        let end = sources
+            .iter()
+            .filter_map(|s| s.presence().end())
+            .max()
+            .unwrap_or(0);
+        let start = start.div_euclid(round_dim) * round_dim;
+        if round_dim <= 0 {
+            return Err(Error::InvalidParameter {
+                message: "round dimension must be positive".into(),
+            });
+        }
+        Ok(Self {
+            graph,
+            kernels,
+            windows: plan.windows,
+            sources,
+            opts,
+            round_dim,
+            start,
+            end,
+            plan_bytes,
+        })
+    }
+
+    /// The round (processing window) length in ticks.
+    pub fn round_dim(&self) -> Tick {
+        self.round_dim
+    }
+
+    /// Total preallocated intermediate-buffer bytes (the static memory
+    /// plan's footprint).
+    pub fn planned_bytes(&self) -> usize {
+        self.plan_bytes
+    }
+
+    /// The traced computation graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Runs the query, discarding output payloads (events are counted in
+    /// the returned stats).
+    ///
+    /// # Errors
+    /// Propagates execution errors (none in the current kernel set, kept
+    /// for forward compatibility).
+    pub fn run(&mut self) -> Result<RunStats> {
+        self.run_with(|_| {})
+    }
+
+    /// Runs the query, collecting the single sink's output.
+    ///
+    /// # Errors
+    /// Returns an error when the query has more than one sink.
+    pub fn run_collect(&mut self) -> Result<OutputCollector> {
+        if self.graph.sinks.len() != 1 {
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "run_collect requires exactly one sink, query has {}",
+                    self.graph.sinks.len()
+                ),
+            });
+        }
+        let sink = self.graph.sinks[0];
+        let arity = self.graph.nodes[sink].arity;
+        let mut collector = OutputCollector::new(arity);
+        self.run_with(|w| collector.absorb(w))?;
+        Ok(collector)
+    }
+
+    /// Runs the query, invoking `on_output` with each sink's input window
+    /// after every executed round.
+    ///
+    /// # Errors
+    /// Propagates execution errors.
+    pub fn run_with<F: FnMut(&FWindow)>(&mut self, mut on_output: F) -> Result<RunStats> {
+        // Drain margin: lineage lookahead (aggregates) means a round can
+        // need source data slightly past `end`; shift spill means pending
+        // events can flush after the last data round.
+        let hard_end = self.end + self.round_dim;
+        let mut stats = self.run_span(self.start, hard_end, &mut on_output)?;
+        // Spill drain: keep running while stateful kernels hold pending
+        // events (bounded by a safety margin).
+        let mut a = hard_end.max(self.start);
+        let drain_bound = hard_end + 64 * self.round_dim;
+        while self.any_pending() && a < drain_bound {
+            let s = self.run_span(a, a + self.round_dim, &mut on_output)?;
+            stats.merge(&s);
+            a += self.round_dim;
+        }
+        Ok(stats)
+    }
+
+    /// Runs the rounds covering `[from, to)` (both aligned to the round
+    /// grid), invoking `on_output` per executed round. Used by both
+    /// retrospective runs and the live session's incremental polls;
+    /// kernel state carries across calls.
+    ///
+    /// # Errors
+    /// Propagates execution errors.
+    pub fn run_span<F: FnMut(&FWindow)>(
+        &mut self,
+        from: Tick,
+        to: Tick,
+        on_output: &mut F,
+    ) -> Result<RunStats> {
+        let mut stats = RunStats::new();
+        let mut a = from.div_euclid(self.round_dim) * self.round_dim;
+        while a < to {
+            let b = a + self.round_dim;
+            let pending = self.any_pending();
+            if self.opts.targeted && !pending && !self.round_active(a, b) {
+                stats.windows_skipped += 1;
+                for k in self.kernels.iter_mut().flatten() {
+                    k.on_skip();
+                }
+                a = b;
+                continue;
+            }
+            if !self.opts.static_memory {
+                // Ablation mode: conventional per-round allocation.
+                for n in &self.graph.nodes {
+                    if !matches!(n.kind, OpKind::Sink) {
+                        self.windows[n.id] = Some(FWindow::new(n.shape, n.dim, n.arity));
+                        stats.steady_state_allocs += 1;
+                    }
+                }
+            }
+            self.execute_round(a, b, &mut stats, on_output);
+            stats.windows_executed += 1;
+            a = b;
+        }
+        Ok(stats)
+    }
+
+    /// Swaps the source datasets (the live session grows them between
+    /// polls). Shapes must match the originals.
+    ///
+    /// # Errors
+    /// Returns an error on count or shape mismatch.
+    pub fn replace_sources(&mut self, sources: Vec<SignalData>) -> Result<()> {
+        if sources.len() != self.sources.len() {
+            return Err(Error::SourceCountMismatch {
+                expected: self.sources.len(),
+                actual: sources.len(),
+            });
+        }
+        for (old, new) in self.sources.iter().zip(&sources) {
+            if old.shape() != new.shape() {
+                return Err(Error::SourceShapeMismatch {
+                    name: String::from("live source"),
+                    declared: old.shape(),
+                    supplied: new.shape(),
+                });
+            }
+        }
+        self.end = sources
+            .iter()
+            .filter_map(|s| s.presence().end())
+            .max()
+            .unwrap_or(0);
+        self.sources = sources;
+        Ok(())
+    }
+
+    /// Payload arity of the single sink.
+    ///
+    /// # Errors
+    /// Returns an error when the query has more than one sink.
+    pub fn sink_arity(&self) -> Result<usize> {
+        if self.graph.sinks.len() != 1 {
+            return Err(Error::InvalidParameter {
+                message: format!("query has {} sinks", self.graph.sinks.len()),
+            });
+        }
+        Ok(self.graph.nodes[self.graph.sinks[0]].arity)
+    }
+
+    /// True while any stateful kernel holds events that must flush into a
+    /// future round (live sessions drain on this).
+    pub fn has_pending(&self) -> bool {
+        self.any_pending()
+    }
+
+    fn any_pending(&self) -> bool {
+        self.kernels
+            .iter()
+            .flatten()
+            .any(|k| k.has_pending())
+    }
+
+    fn execute_round<F: FnMut(&FWindow)>(
+        &mut self,
+        a: Tick,
+        b: Tick,
+        stats: &mut RunStats,
+        on_output: &mut F,
+    ) {
+        for id in 0..self.graph.nodes.len() {
+            match self.graph.nodes[id].kind {
+                OpKind::Source { index } => {
+                    let w = self.windows[id].as_mut().expect("source window");
+                    w.slide_to(a);
+                    stats.input_events += fill_source(w, &self.sources[index], b) as u64;
+                }
+                OpKind::Sink => {
+                    let input = self.graph.nodes[id].inputs[0];
+                    let w = self.windows[input].as_ref().expect("sink input window");
+                    stats.output_events += w.present_count() as u64;
+                    on_output(w);
+                }
+                _ => {
+                    let (before, after) = self.windows.split_at_mut(id);
+                    let out = after[0].as_mut().expect("operator window");
+                    out.slide_to(a);
+                    let node = &self.graph.nodes[id];
+                    let kernel = self.kernels[id].as_mut().expect("operator kernel");
+                    stats.kernel_invocations += 1;
+                    match node.inputs.len() {
+                        1 => {
+                            let i0 = before[node.inputs[0]].as_ref().expect("input window");
+                            kernel.process(&[i0], out);
+                        }
+                        2 => {
+                            let i0 = before[node.inputs[0]].as_ref().expect("input window");
+                            let i1 = before[node.inputs[1]].as_ref().expect("input window");
+                            kernel.process(&[i0, i1], out);
+                        }
+                        n => unreachable!("operators take 1 or 2 inputs, got {n}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Targeted query processing: can the round `[a, b)` produce output at
+    /// any sink? Walks the lineage backward to the source presence maps.
+    ///
+    /// A round is also kept alive when data arrives at a `Shift` operator's
+    /// input: the shifted events belong to a *future* round, so the current
+    /// one must run to absorb them into the spill queue even though no sink
+    /// output is due yet.
+    fn round_active(&self, a: Tick, b: Tick) -> bool {
+        if self.graph.sinks.iter().any(|&s| self.node_active(s, a, b)) {
+            return true;
+        }
+        self.graph.nodes.iter().any(|n| {
+            matches!(n.kind, OpKind::Shift { .. }) && self.node_active(n.inputs[0], a, b)
+        })
+    }
+
+    fn node_active(&self, id: NodeId, a: Tick, b: Tick) -> bool {
+        let node = &self.graph.nodes[id];
+        match node.kind {
+            OpKind::Source { index } => self.sources[index].presence().overlaps(a, b),
+            OpKind::Join { kind } => {
+                let (la, lb) = node.lineage[0].map_interval(a, b);
+                let (ra, rb) = node.lineage[1].map_interval(a, b);
+                let l = self.node_active(node.inputs[0], la, lb);
+                let r = self.node_active(node.inputs[1], ra, rb);
+                match kind {
+                    JoinKindTag::Inner => l && r,
+                    JoinKindTag::Left => l,
+                    JoinKindTag::Outer => l || r,
+                }
+            }
+            OpKind::ClipJoin => {
+                // Right-side data updates as-of state even without left
+                // events, so either side keeps the round live.
+                let (la, lb) = node.lineage[0].map_interval(a, b);
+                let (ra, rb) = node.lineage[1].map_interval(a, b);
+                self.node_active(node.inputs[0], la, lb)
+                    || self.node_active(node.inputs[1], ra, rb)
+            }
+            _ => node
+                .inputs
+                .iter()
+                .zip(&node.lineage)
+                .all(|(&inp, lin)| {
+                    let (ia, ib) = lin.map_interval(a, b);
+                    self.node_active(inp, ia, ib)
+                }),
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("nodes", &self.graph.nodes.len())
+            .field("round_dim", &self.round_dim)
+            .field("span", &(self.start, self.end))
+            .finish()
+    }
+}
+
+/// Fills a source window from the dataset; returns the number of events
+/// written. Uses bulk range copies over the presence map's kept intervals.
+fn fill_source(w: &mut FWindow, data: &SignalData, round_end: Tick) -> usize {
+    let sh = data.shape();
+    let p = sh.period();
+    let mut written = 0usize;
+    for &(rs, re) in data.presence().ranges() {
+        if rs >= round_end {
+            break;
+        }
+        let s = sh.align_up(rs.max(w.sync()).max(sh.offset()));
+        let e = re.min(round_end).min(data.end_time());
+        if s >= e {
+            continue;
+        }
+        let n = ((e - 1 - s) / p + 1) as usize;
+        let src_lo = ((s - sh.offset()) / p) as usize;
+        let dst_lo = match w.slot_of(s) {
+            Some(i) => i,
+            None => continue,
+        };
+        let n = n.min(w.len() - dst_lo).min(data.values().len() - src_lo);
+        w.fill_from_slice(dst_lo, &data.values()[src_lo..src_lo + n], p);
+        written += n;
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::aggregate::AggKind;
+    use crate::ops::join::JoinKind;
+    use crate::query::QueryBuilder;
+    use crate::source::SignalData;
+    use crate::time::StreamShape;
+
+    fn ramp(shape: StreamShape, n: usize) -> SignalData {
+        SignalData::dense(shape, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn identity_pipeline_roundtrips() {
+        let s = StreamShape::new(0, 2);
+        let data = ramp(s, 100);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        qb.sink(src);
+        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let out = exec.run_collect().unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.values(0)[99], 99.0);
+        assert_eq!(out.times()[1], 2);
+    }
+
+    #[test]
+    fn select_pipeline_end_to_end() {
+        let s = StreamShape::new(0, 1);
+        let data = ramp(s, 50);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        let sel = qb.select_map(src, |v| v + 1.0);
+        qb.sink(sel);
+        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let out = exec.run_collect().unwrap();
+        assert_eq!(out.values(0)[0], 1.0);
+        assert_eq!(out.values(0)[49], 50.0);
+    }
+
+    #[test]
+    fn listing1_end_to_end_produces_joined_stream() {
+        // Listing 1 over dense data: output at every joint grid point.
+        let s500 = StreamShape::new(0, 2);
+        let s200 = StreamShape::new(0, 5);
+        let d500 = ramp(s500, 500); // [0, 1000)
+        let d200 = ramp(s200, 200); // [0, 1000)
+        let mut qb = QueryBuilder::new();
+        let a = qb.source("sig500", s500);
+        let b = qb.source("sig200", s200);
+        let mean = qb.aggregate(a, AggKind::Mean, 100, 100).unwrap();
+        let adj = qb
+            .join_map(a, mean, JoinKind::Inner, 1, |v, m, o| o[0] = v[0] - m[0])
+            .unwrap();
+        let out = qb.join(adj, b, JoinKind::Inner).unwrap();
+        qb.sink(out);
+        let mut exec = qb.compile().unwrap().executor(vec![d500, d200]).unwrap();
+        let res = exec.run_collect().unwrap();
+        // Joint grid (0,1) but events exist where covering events overlap:
+        // every tick in [0, 1000) is covered by both streams.
+        assert_eq!(res.len(), 1000);
+        // At t=0: sig500 value 0, window mean of values 0..49 = 24.5.
+        assert_eq!(res.values(0)[0], -24.5);
+    }
+
+    #[test]
+    fn targeted_skips_gap_rounds() {
+        let s = StreamShape::new(0, 1);
+        let mut data = ramp(s, 10_000);
+        data.punch_gap(1000, 9000);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        let sel = qb.select_map(src, |v| v * 2.0);
+        qb.sink(sel);
+        let mut exec = qb
+            .compile()
+            .unwrap()
+            .executor_with(
+                vec![data],
+                ExecOptions::default().with_round_ticks(100),
+            )
+            .unwrap();
+        let stats = exec.run().unwrap();
+        assert!(stats.windows_skipped >= 75, "skipped {}", stats.windows_skipped);
+        assert_eq!(stats.output_events, 2000);
+    }
+
+    #[test]
+    fn targeted_and_eager_agree_bitwise() {
+        let s500 = StreamShape::new(0, 2);
+        let s125 = StreamShape::new(0, 8);
+        let mk = |gaps: bool| {
+            let mut a = ramp(s500, 5000);
+            let mut b = ramp(s125, 1250);
+            if gaps {
+                a.punch_gap(1000, 3000);
+                b.punch_gap(5000, 8000);
+            }
+            (a, b)
+        };
+        let build = || {
+            let mut qb = QueryBuilder::new();
+            let a = qb.source("ecg", s500);
+            let b = qb.source("abp", s125);
+            let mean = qb.aggregate(a, AggKind::Mean, 200, 200).unwrap();
+            let adj = qb
+                .join_map(a, mean, JoinKind::Inner, 1, |v, m, o| o[0] = v[0] - m[0])
+                .unwrap();
+            let j = qb.join(adj, b, JoinKind::Inner).unwrap();
+            qb.sink(j);
+            qb.compile().unwrap()
+        };
+        for gaps in [false, true] {
+            let (a1, b1) = mk(gaps);
+            let (a2, b2) = mk(gaps);
+            let mut e1 = build()
+                .executor_with(vec![a1, b1], ExecOptions::default().with_round_ticks(400))
+                .unwrap();
+            let mut e2 = build()
+                .executor_with(
+                    vec![a2, b2],
+                    ExecOptions::eager().with_round_ticks(400),
+                )
+                .unwrap();
+            let o1 = e1.run_collect().unwrap();
+            let o2 = e2.run_collect().unwrap();
+            assert_eq!(o1.len(), o2.len(), "gaps={gaps}");
+            assert_eq!(o1.checksum(), o2.checksum(), "gaps={gaps}");
+        }
+    }
+
+    #[test]
+    fn targeted_join_skips_non_overlapping_regions() {
+        let s = StreamShape::new(0, 1);
+        // Left has data in [0, 1000), right only in [5000, 6000): no
+        // overlap, so an inner join should skip everything.
+        let mut l = ramp(s, 10_000);
+        l.punch_gap(1000, 10_000);
+        let mut r = ramp(s, 10_000);
+        r.punch_gap(0, 5000);
+        r.punch_gap(6000, 10_000);
+        let mut qb = QueryBuilder::new();
+        let a = qb.source("l", s);
+        let b = qb.source("r", s);
+        let j = qb.join(a, b, JoinKind::Inner).unwrap();
+        qb.sink(j);
+        let mut exec = qb
+            .compile()
+            .unwrap()
+            .executor_with(vec![l, r], ExecOptions::default().with_round_ticks(100))
+            .unwrap();
+        let stats = exec.run().unwrap();
+        assert_eq!(stats.output_events, 0);
+        assert_eq!(stats.windows_executed, 0);
+        // Data spans [0, 6000) with round 100 -> ~61 rounds, all skipped.
+        assert!(stats.windows_skipped >= 60, "skipped {}", stats.windows_skipped);
+    }
+
+    #[test]
+    fn dynamic_memory_mode_counts_allocations() {
+        let s = StreamShape::new(0, 1);
+        let data = ramp(s, 1000);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        let sel = qb.select_map(src, |v| v);
+        qb.sink(sel);
+        let mut exec = qb
+            .compile()
+            .unwrap()
+            .executor_with(
+                vec![data],
+                ExecOptions::default()
+                    .with_round_ticks(100)
+                    .with_dynamic_memory(),
+            )
+            .unwrap();
+        let stats = exec.run().unwrap();
+        assert!(stats.steady_state_allocs > 0);
+    }
+
+    #[test]
+    fn static_memory_mode_has_zero_steady_state_allocs() {
+        let s = StreamShape::new(0, 1);
+        let data = ramp(s, 1000);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        let sel = qb.select_map(src, |v| v);
+        qb.sink(sel);
+        let mut exec = qb
+            .compile()
+            .unwrap()
+            .executor_with(vec![data], ExecOptions::default().with_round_ticks(100))
+            .unwrap();
+        let stats = exec.run().unwrap();
+        assert_eq!(stats.steady_state_allocs, 0);
+    }
+
+    #[test]
+    fn shift_pipeline_drains_spill() {
+        let s = StreamShape::new(0, 1);
+        let data = ramp(s, 100);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        let sh = qb.shift(src, 250).unwrap();
+        qb.sink(sh);
+        let mut exec = qb
+            .compile()
+            .unwrap()
+            .executor_with(vec![data], ExecOptions::default().with_round_ticks(50))
+            .unwrap();
+        let out = exec.run_collect().unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.times()[0], 250);
+        assert_eq!(out.times()[99], 349);
+    }
+
+    #[test]
+    fn empty_sources_produce_no_output() {
+        let s = StreamShape::new(0, 1);
+        let data = SignalData::dense(s, vec![]);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        qb.sink(src);
+        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let out = exec.run_collect().unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn window_size_option_round_up() {
+        let s = StreamShape::new(0, 2);
+        let data = ramp(s, 10);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        qb.sink(src);
+        let exec = qb
+            .compile()
+            .unwrap()
+            .executor_with(vec![data], ExecOptions::default().with_round_ticks(7))
+            .unwrap();
+        assert_eq!(exec.round_dim(), 8); // 7 rounded up to a multiple of 2
+    }
+}

@@ -1,0 +1,229 @@
+//! Event lineage tracking (§5.1, Fig. 5).
+//!
+//! The *linearity property*: the sync time of every event produced by a
+//! temporal operator is a linear transformation of its parent input events'
+//! sync times. A [`LineageMap`] captures that transformation for one
+//! operator input edge as an interval map: to produce output in `[a, b)`,
+//! the operator must read input in `[a*num/den + shift - lookback,
+//! b*num/den + shift + lookahead)`.
+//!
+//! All of the paper's operators have `num/den == 1` (temporal operators do
+//! not rescale the time axis); `Shift(k)` sets `shift = -k` (output at `t`
+//! came from input at `t - k`), and windowed aggregates set
+//! `lookahead = w - p` style margins. Maps compose, which extends the
+//! mapping from a query's final output all the way to its sources — the
+//! mechanism behind targeted query processing.
+
+use crate::time::{gcd, Tick};
+
+/// A linear interval map from an operator's output time axis to one of its
+/// input time axes.
+///
+/// # Examples
+/// ```
+/// use lifestream_core::lineage::LineageMap;
+/// // Shift(3): output event at t reads input at t - 3.
+/// let m = LineageMap::shift(3);
+/// assert_eq!(m.map_interval(10, 20), (7, 17));
+/// // Aggregate over w=100 windows: output at t reads input [t, t+100),
+/// // so output [0, 100) needs input up to (and including) tick 198.
+/// let agg = LineageMap::window(100);
+/// assert_eq!(agg.map_interval(0, 100), (0, 199));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineageMap {
+    num: i64,
+    den: i64,
+    shift: Tick,
+    lookback: Tick,
+    lookahead: Tick,
+}
+
+impl LineageMap {
+    /// The identity map: output `[a,b)` requires input `[a,b)`.
+    pub fn identity() -> Self {
+        Self {
+            num: 1,
+            den: 1,
+            shift: 0,
+            lookback: 0,
+            lookahead: 0,
+        }
+    }
+
+    /// Map for `Shift(k)`: an output event at `t` descends from the input
+    /// event at `t - k`.
+    pub fn shift(k: Tick) -> Self {
+        Self {
+            shift: -k,
+            ..Self::identity()
+        }
+    }
+
+    /// Map for an operator that reads a `w`-tick input window starting at
+    /// each output event's sync time (tumbling/sliding aggregates,
+    /// transforms): output `[a,b)` requires input `[a, b + w - 1)`, i.e. a
+    /// lookahead of `w` minus the final event's own tick.
+    pub fn window(w: Tick) -> Self {
+        Self {
+            lookahead: w.max(1) - 1,
+            ..Self::identity()
+        }
+    }
+
+    /// Map with explicit margins: output `[a,b)` requires input
+    /// `[a - lookback, b + lookahead)`.
+    pub fn with_margins(lookback: Tick, lookahead: Tick) -> Self {
+        Self {
+            lookback,
+            lookahead,
+            ..Self::identity()
+        }
+    }
+
+    /// General constructor (rational scale). Kept for completeness of the
+    /// linearity property; all built-in operators use scale 1.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or `num <= 0`.
+    pub fn scaled(num: i64, den: i64, shift: Tick) -> Self {
+        assert!(den > 0 && num > 0, "scale must be positive");
+        let g = gcd(num, den).max(1);
+        Self {
+            num: num / g,
+            den: den / g,
+            shift,
+            lookback: 0,
+            lookahead: 0,
+        }
+    }
+
+    /// Maps an output interval `[a, b)` to the required input interval.
+    pub fn map_interval(&self, a: Tick, b: Tick) -> (Tick, Tick) {
+        let lo = self.scale_floor(a) + self.shift - self.lookback;
+        let hi = self.scale_ceil(b) + self.shift + self.lookahead;
+        (lo, hi)
+    }
+
+    /// Maps a single output instant to the input instant it descends from
+    /// (ignoring margins).
+    pub fn map_instant(&self, t: Tick) -> Tick {
+        self.scale_floor(t) + self.shift
+    }
+
+    /// Composition: if `self` maps operator O's output to O's input, and
+    /// `inner` maps that input (as some upstream operator's output) to *its*
+    /// input, the composite maps O's output directly to the upstream input.
+    ///
+    /// Margins accumulate; scales multiply.
+    pub fn compose(&self, inner: &LineageMap) -> LineageMap {
+        // t -> t*n1/d1 + s1 (self), then u -> u*n2/d2 + s2 (inner)
+        let num = self.num * inner.num;
+        let den = self.den * inner.den;
+        let g = gcd(num, den).max(1);
+        LineageMap {
+            num: num / g,
+            den: den / g,
+            shift: inner.map_instant(self.shift),
+            // Margins from self are expressed on the intermediate axis; for
+            // unit scales they carry through directly, which covers every
+            // built-in operator.
+            lookback: inner.lookback + self.lookback * inner.num / inner.den,
+            lookahead: inner.lookahead + self.lookahead * inner.num / inner.den,
+        }
+    }
+
+    /// Lookback margin (ticks of input before the mapped start).
+    pub fn lookback(&self) -> Tick {
+        self.lookback
+    }
+
+    /// Lookahead margin (ticks of input past the mapped end).
+    pub fn lookahead(&self) -> Tick {
+        self.lookahead
+    }
+
+    fn scale_floor(&self, t: Tick) -> Tick {
+        (t * self.num).div_euclid(self.den)
+    }
+
+    fn scale_ceil(&self, t: Tick) -> Tick {
+        (t * self.num + self.den - 1).div_euclid(self.den)
+    }
+}
+
+impl Default for LineageMap {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_interval_to_itself() {
+        let m = LineageMap::identity();
+        assert_eq!(m.map_interval(0, 100), (0, 100));
+        assert_eq!(m.map_instant(42), 42);
+    }
+
+    #[test]
+    fn shift_follows_fig5b() {
+        // Fig. 5(b): Shift(k) moves events from t to t+k, so an output at
+        // t+k descends from input at t.
+        let m = LineageMap::shift(5);
+        assert_eq!(m.map_instant(5), 0);
+        assert_eq!(m.map_interval(5, 15), (0, 10));
+        let neg = LineageMap::shift(-3);
+        assert_eq!(neg.map_instant(0), 3);
+    }
+
+    #[test]
+    fn window_adds_lookahead() {
+        let m = LineageMap::window(100);
+        assert_eq!(m.map_interval(0, 100), (0, 199));
+        assert_eq!(m.lookahead(), 99);
+        // Degenerate 1-tick window is identity.
+        assert_eq!(LineageMap::window(1), LineageMap::identity());
+    }
+
+    #[test]
+    fn margins_constructor() {
+        let m = LineageMap::with_margins(10, 20);
+        assert_eq!(m.map_interval(100, 200), (90, 220));
+    }
+
+    #[test]
+    fn composition_chains_shifts_and_margins() {
+        let a = LineageMap::shift(5); // out -> mid: t-5
+        let b = LineageMap::shift(3); // mid -> in: t-3
+        let c = a.compose(&b);
+        assert_eq!(c.map_instant(10), 2); // 10-5-3
+        let w = LineageMap::window(50);
+        let cw = w.compose(&b);
+        assert_eq!(cw.map_interval(0, 100), (-3, 146));
+        // Lineage from sink to source through three ops, Fig. 5 style.
+        let chain = LineageMap::identity()
+            .compose(&LineageMap::shift(2))
+            .compose(&LineageMap::window(10));
+        assert_eq!(chain.map_interval(2, 12), (0, 19));
+    }
+
+    #[test]
+    fn scaled_maps_reduce() {
+        let m = LineageMap::scaled(2, 4, 0);
+        assert_eq!(m, LineageMap::scaled(1, 2, 0));
+        assert_eq!(m.map_interval(0, 10), (0, 5));
+        assert_eq!(m.map_interval(1, 3), (0, 2));
+    }
+
+    #[test]
+    fn compose_scales_multiply() {
+        let a = LineageMap::scaled(1, 2, 0);
+        let b = LineageMap::scaled(1, 3, 0);
+        let c = a.compose(&b);
+        assert_eq!(c.map_instant(12), 2); // 12/2 = 6, 6/3 = 2
+    }
+}

@@ -1,0 +1,331 @@
+//! Live (online) execution.
+//!
+//! §2 of the paper: analysts develop against retrospective data, then the
+//! deployment on live monitor feeds "must be seamless and error-free".
+//! [`LiveSession`] provides that path: the *same compiled query* runs over
+//! samples appended in arrival order, emitting output round by round as
+//! the processing windows fill. Retrospective and live execution share the
+//! kernels, the traced dimensions, and the static memory plan — a pipeline
+//! validated offline behaves identically online.
+//!
+//! ```
+//! use lifestream_core::live::LiveSession;
+//! use lifestream_core::prelude::*;
+//!
+//! let mut qb = QueryBuilder::new();
+//! let src = qb.source("ecg", StreamShape::new(0, 2));
+//! let doubled = qb.select_map(src, |v| v * 2.0);
+//! qb.sink(doubled);
+//!
+//! let mut session = LiveSession::new(qb.compile()?, 100)?;
+//! for k in 0..200 {
+//!     session.push(0, k * 2, k as f32)?;
+//! }
+//! let mut emitted = 0;
+//! session.poll(|w| emitted += w.present_count())?;
+//! assert!(emitted > 0); // completed rounds have been processed
+//! # Ok::<(), lifestream_core::Error>(())
+//! ```
+
+use crate::error::{Error, Result};
+use crate::exec::{ExecOptions, Executor, OutputCollector};
+use crate::fwindow::FWindow;
+use crate::presence::PresenceMap;
+use crate::query::CompiledQuery;
+use crate::source::SignalData;
+use crate::stats::RunStats;
+use crate::time::{StreamShape, Tick};
+
+/// Growable per-source ingest buffer.
+#[derive(Debug)]
+struct LiveSource {
+    shape: StreamShape,
+    values: Vec<f32>,
+    presence: PresenceMap,
+    /// Largest appended sync time + period (this source's watermark).
+    watermark: Tick,
+}
+
+impl LiveSource {
+    fn new(shape: StreamShape) -> Self {
+        Self {
+            shape,
+            values: Vec::new(),
+            presence: PresenceMap::new(),
+            watermark: shape.offset(),
+        }
+    }
+
+    fn push(&mut self, t: Tick, v: f32) -> Result<()> {
+        if !self.shape.on_grid(t) || t < self.shape.offset() {
+            return Err(Error::InvalidParameter {
+                message: format!("sample time {t} off the {} grid", self.shape),
+            });
+        }
+        if t < self.watermark && self.presence.contains(t) {
+            return Err(Error::InvalidParameter {
+                message: format!("sample time {t} arrived out of order"),
+            });
+        }
+        let slot = ((t - self.shape.offset()) / self.shape.period()) as usize;
+        if slot >= self.values.len() {
+            self.values.resize(slot + 1, 0.0);
+        }
+        self.values[slot] = v;
+        self.presence.add(t, t + self.shape.period());
+        self.watermark = self.watermark.max(t + self.shape.period());
+        Ok(())
+    }
+
+    fn snapshot(&self) -> SignalData {
+        SignalData::with_presence(self.shape, self.values.clone(), self.presence.clone())
+    }
+}
+
+/// An online execution session over a compiled query.
+///
+/// Samples are appended with [`push`](Self::push); [`poll`](Self::poll)
+/// processes every round whose interval is complete (i.e. below all
+/// sources' watermarks) and invokes the output callback, exactly as the
+/// retrospective executor would have. [`finish`](Self::finish) flushes the
+/// tail. One executor persists across polls, so stateful kernels (sliding
+/// aggregates, shifts, join carries) behave exactly as offline.
+pub struct LiveSession {
+    exec: Executor,
+    sources: Vec<LiveSource>,
+    round_dim: Tick,
+    /// Next round start to process.
+    next_round: Tick,
+    stats: RunStats,
+}
+
+impl LiveSession {
+    /// Creates a session with the given processing-window length in ticks.
+    ///
+    /// # Errors
+    /// Returns an error when the round length is incompatible with the
+    /// traced dimension.
+    pub fn new(compiled: CompiledQuery, round_ticks: Tick) -> Result<Self> {
+        if round_ticks <= 0 {
+            return Err(Error::InvalidParameter {
+                message: "live round length must be positive".into(),
+            });
+        }
+        let shapes = compiled.source_shapes();
+        let sources: Vec<LiveSource> = shapes.iter().map(|&s| LiveSource::new(s)).collect();
+        let empty: Vec<SignalData> = shapes
+            .iter()
+            .map(|&s| SignalData::dense(s, Vec::new()))
+            .collect();
+        let exec = compiled.executor_with(
+            empty,
+            ExecOptions::default().with_round_ticks(round_ticks),
+        )?;
+        let round_dim = exec.round_dim();
+        Ok(Self {
+            exec,
+            sources,
+            round_dim,
+            next_round: 0,
+            stats: RunStats::new(),
+        })
+    }
+
+    /// The processing-window length in effect.
+    pub fn round_dim(&self) -> Tick {
+        self.round_dim
+    }
+
+    /// Cumulative statistics across all polls.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Appends one sample to source `source` at grid time `t`.
+    ///
+    /// # Errors
+    /// Returns an error for an unknown source, an off-grid timestamp, or
+    /// an out-of-order duplicate.
+    pub fn push(&mut self, source: usize, t: Tick, v: f32) -> Result<()> {
+        self.sources
+            .get_mut(source)
+            .ok_or(Error::InvalidHandle { node: source })?
+            .push(t, v)
+    }
+
+    /// Processes every round fully below all sources' watermarks, calling
+    /// `on_output` with each sink window.
+    ///
+    /// # Errors
+    /// Propagates execution errors.
+    pub fn poll<F: FnMut(&FWindow)>(&mut self, on_output: F) -> Result<RunStats> {
+        let safe = self
+            .sources
+            .iter()
+            .map(|s| s.watermark)
+            .min()
+            .unwrap_or(0);
+        let end = safe.div_euclid(self.round_dim) * self.round_dim;
+        self.run_span(end, on_output)
+    }
+
+    /// Flushes all remaining data (end of stream), including the same
+    /// one-round drain margin the retrospective executor applies (trailing
+    /// windows, shift spill).
+    ///
+    /// # Errors
+    /// Propagates execution errors.
+    pub fn finish<F: FnMut(&FWindow)>(&mut self, mut on_output: F) -> Result<RunStats> {
+        let end = self
+            .sources
+            .iter()
+            .map(|s| s.watermark)
+            .max()
+            .unwrap_or(0);
+        let aligned = (end + self.round_dim - 1).div_euclid(self.round_dim) * self.round_dim
+            + self.round_dim;
+        let mut stats = self.run_span(aligned, &mut on_output)?;
+        let mut extra = 0;
+        while self.exec.has_pending() && extra < 64 {
+            let s = self.run_span(self.next_round + self.round_dim, &mut on_output)?;
+            stats.merge(&s);
+            extra += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Convenience: finish and collect all remaining output (single sink).
+    ///
+    /// # Errors
+    /// Returns an error when the query has more than one sink.
+    pub fn finish_collect(&mut self) -> Result<OutputCollector> {
+        let arity = self.exec.sink_arity()?;
+        let mut collector = OutputCollector::new(arity);
+        self.finish(|w| collector.absorb(w))?;
+        Ok(collector)
+    }
+
+    fn run_span<F: FnMut(&FWindow)>(&mut self, to: Tick, mut on_output: F) -> Result<RunStats> {
+        if to <= self.next_round {
+            return Ok(RunStats::new());
+        }
+        let datasets: Vec<SignalData> = self.sources.iter().map(LiveSource::snapshot).collect();
+        self.exec.replace_sources(datasets)?;
+        let stats = self.exec.run_span(self.next_round, to, &mut on_output)?;
+        self.next_round = to;
+        self.stats.merge(&stats);
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for LiveSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSession")
+            .field("sources", &self.sources.len())
+            .field("round_dim", &self.round_dim)
+            .field("next_round", &self.next_round)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::aggregate::AggKind;
+    use crate::query::QueryBuilder;
+
+    fn session(round: Tick) -> LiveSession {
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 2));
+        let sel = qb.select_map(src, |v| v + 1.0);
+        qb.sink(sel);
+        LiveSession::new(qb.compile().unwrap(), round).unwrap()
+    }
+
+    #[test]
+    fn poll_emits_only_complete_rounds() {
+        let mut s = session(100);
+        for k in 0..30 {
+            s.push(0, k * 2, k as f32).unwrap();
+        }
+        // Watermark = 60: no complete 100-tick round yet.
+        let mut n = 0;
+        s.poll(|w| n += w.present_count()).unwrap();
+        assert_eq!(n, 0);
+        for k in 30..60 {
+            s.push(0, k * 2, k as f32).unwrap();
+        }
+        // Watermark = 120: round [0, 100) complete -> 50 events.
+        s.poll(|w| n += w.present_count()).unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn finish_flushes_tail() {
+        let mut s = session(100);
+        for k in 0..60 {
+            s.push(0, k * 2, k as f32).unwrap();
+        }
+        let out = s.finish_collect().unwrap();
+        assert_eq!(out.len(), 60);
+        assert_eq!(out.values(0)[59], 60.0);
+    }
+
+    #[test]
+    fn live_matches_retrospective() {
+        // The deployment-seamlessness property: identical output online
+        // and offline, including a stateful sliding aggregate.
+        let build = || {
+            let mut qb = QueryBuilder::new();
+            let src = qb.source("s", StreamShape::new(0, 2));
+            let agg = qb.aggregate(src, AggKind::Mean, 20, 2).unwrap();
+            qb.sink(agg);
+            qb.compile().unwrap()
+        };
+        let vals: Vec<f32> = (0..500).map(|i| ((i * 37) % 97) as f32).collect();
+
+        // Retrospective.
+        let data = SignalData::dense(StreamShape::new(0, 2), vals.clone());
+        let mut exec = build()
+            .executor_with(vec![data], ExecOptions::default().with_round_ticks(100))
+            .unwrap();
+        let offline = exec.run_collect().unwrap();
+
+        // Live, pushed in dribbles.
+        let mut s = LiveSession::new(build(), 100).unwrap();
+        let mut online = OutputCollector::new(1);
+        for (k, &v) in vals.iter().enumerate() {
+            s.push(0, k as Tick * 2, v).unwrap();
+            if k % 37 == 0 {
+                s.poll(|w| online.absorb(w)).unwrap();
+            }
+        }
+        s.finish(|w| online.absorb(w)).unwrap();
+
+        assert_eq!(offline.len(), online.len());
+        assert_eq!(offline.checksum(), online.checksum());
+    }
+
+    #[test]
+    fn rejects_bad_pushes() {
+        let mut s = session(100);
+        assert!(s.push(0, 3, 1.0).is_err()); // off grid
+        assert!(s.push(1, 2, 1.0).is_err()); // unknown source
+        s.push(0, 10, 1.0).unwrap();
+        assert!(s.push(0, 10, 2.0).is_err()); // duplicate
+        s.push(0, 20, 2.0).unwrap(); // forward gap is fine
+    }
+
+    #[test]
+    fn gaps_in_live_feed_are_skipped() {
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 1));
+        qb.sink(src);
+        let mut s = LiveSession::new(qb.compile().unwrap(), 50).unwrap();
+        s.push(0, 0, 1.0).unwrap();
+        s.push(0, 500, 2.0).unwrap(); // long disconnection
+        let out = s.finish_collect().unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(s.stats().windows_skipped > 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Static memory allocation (§5.2).
+//!
+//! The *bounded memory footprint* property — a stream of period `p` can
+//! hold at most `d / p` events in any `d`-tick interval — lets LifeStream
+//! compute the exact buffer requirement of every FWindow in the plan at
+//! query-compile time. The [`MemoryPlan`] preallocates every intermediate
+//! FWindow once; steady-state execution then performs no heap allocation
+//! or deallocation at all (the dynamic-allocation overhead other streaming
+//! engines pay on every batch simply disappears).
+
+use crate::fwindow::FWindow;
+use crate::graph::{Graph, OpKind};
+
+/// Per-node footprint entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFootprint {
+    /// Node id.
+    pub node: usize,
+    /// Slot capacity (`dim / period`).
+    pub slots: usize,
+    /// Heap bytes of the preallocated FWindow.
+    pub bytes: usize,
+}
+
+/// The preallocated buffer set plus its accounting.
+#[derive(Debug)]
+pub struct MemoryPlan {
+    /// One FWindow per node; `None` for sinks (which read their input's
+    /// window directly).
+    pub windows: Vec<Option<FWindow>>,
+    /// Per-node accounting.
+    pub footprints: Vec<NodeFootprint>,
+}
+
+impl MemoryPlan {
+    /// Builds the plan for a traced graph: allocates every node's output
+    /// FWindow with capacity `dim / period`.
+    ///
+    /// # Panics
+    /// Panics if the graph has not been traced (`dim == 0` somewhere).
+    pub fn allocate(graph: &Graph) -> Self {
+        let mut windows = Vec::with_capacity(graph.nodes.len());
+        let mut footprints = Vec::new();
+        for n in &graph.nodes {
+            assert!(n.dim > 0, "graph must be traced before allocation");
+            if matches!(n.kind, OpKind::Sink) {
+                windows.push(None);
+                continue;
+            }
+            let w = FWindow::new(n.shape, n.dim, n.arity);
+            footprints.push(NodeFootprint {
+                node: n.id,
+                slots: w.capacity(),
+                bytes: w.footprint_bytes(),
+            });
+            windows.push(Some(w));
+        }
+        Self {
+            windows,
+            footprints,
+        }
+    }
+
+    /// Total preallocated heap bytes — the statically known upper bound of
+    /// the query's intermediate-result memory.
+    pub fn total_bytes(&self) -> usize {
+        self.footprints.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Total preallocated event slots.
+    pub fn total_slots(&self) -> usize {
+        self.footprints.iter().map(|f| f.slots).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Node, OpKind};
+    use crate::time::StreamShape;
+
+    fn traced_graph() -> Graph {
+        let s = StreamShape::new(0, 2);
+        let mut g = Graph::new();
+        for (id, kind, inputs) in [
+            (0usize, OpKind::Source { index: 0 }, vec![]),
+            (1, OpKind::Select, vec![0]),
+            (2, OpKind::Sink, vec![1]),
+        ] {
+            g.nodes.push(Node {
+                id,
+                name: kind.name().into(),
+                kind,
+                inputs,
+                shape: s,
+                arity: 1,
+                dim: 100,
+                lineage: vec![],
+            });
+        }
+        g.sinks.push(2);
+        g
+    }
+
+    #[test]
+    fn allocates_one_window_per_non_sink() {
+        let g = traced_graph();
+        let plan = MemoryPlan::allocate(&g);
+        assert!(plan.windows[0].is_some());
+        assert!(plan.windows[1].is_some());
+        assert!(plan.windows[2].is_none());
+        assert_eq!(plan.footprints.len(), 2);
+    }
+
+    #[test]
+    fn footprint_matches_bounded_memory_property() {
+        let g = traced_graph();
+        let plan = MemoryPlan::allocate(&g);
+        // dim 100 / period 2 = 50 slots each.
+        assert_eq!(plan.total_slots(), 100);
+        let w = plan.windows[0].as_ref().unwrap();
+        assert_eq!(plan.footprints[0].bytes, w.footprint_bytes());
+        assert_eq!(plan.total_bytes(), 2 * w.footprint_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "traced")]
+    fn untraced_graph_rejected() {
+        let mut g = traced_graph();
+        g.nodes[1].dim = 0;
+        let _ = MemoryPlan::allocate(&g);
+    }
+}

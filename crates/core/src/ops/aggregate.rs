@@ -1,0 +1,289 @@
+//! Windowed aggregation: `Aggregate(w, p)` applies an aggregate function to
+//! `w`-sized windows with stride `p`.
+//!
+//! *Tumbling* windows (`w == p`) are stateless: locality tracing guarantees
+//! the FWindow dimension is a multiple of `w`, so every aggregation window
+//! lies inside one round. Output events sit at each window's start and
+//! aggregate input events in `[t, t + w)` — exactly the
+//! `TumblingWindow(100).Mean()` of Listing 1.
+//!
+//! *Sliding* windows (`w > p`, `SlidingWindow` in the query language) are
+//! stateful: the kernel carries a constant-size ring of the last `w / p_in`
+//! input slots across rounds and emits, at every output grid point `t`, the
+//! aggregate of input events in `(t - w, t]` — trailing-window semantics.
+
+use crate::fwindow::FWindow;
+use crate::ops::Kernel;
+use crate::time::Tick;
+
+/// Built-in aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Sum of present values.
+    Sum,
+    /// Arithmetic mean of present values.
+    Mean,
+    /// Maximum present value.
+    Max,
+    /// Minimum present value.
+    Min,
+    /// Number of present events.
+    Count,
+    /// Population standard deviation of present values.
+    Std,
+}
+
+impl AggKind {
+    /// Folds a slice of `(value, present)` pairs into the aggregate, or
+    /// `None` when no event is present.
+    pub fn fold(self, items: impl Iterator<Item = f32> + Clone) -> Option<f32> {
+        let mut n = 0u32;
+        match self {
+            AggKind::Sum | AggKind::Mean | AggKind::Count | AggKind::Std => {
+                let mut sum = 0.0f64;
+                let mut sumsq = 0.0f64;
+                for v in items {
+                    sum += v as f64;
+                    sumsq += (v as f64) * (v as f64);
+                    n += 1;
+                }
+                if n == 0 {
+                    return None;
+                }
+                Some(match self {
+                    AggKind::Sum => sum as f32,
+                    AggKind::Count => n as f32,
+                    AggKind::Mean => (sum / n as f64) as f32,
+                    AggKind::Std => {
+                        let mean = sum / n as f64;
+                        ((sumsq / n as f64 - mean * mean).max(0.0)).sqrt() as f32
+                    }
+                    _ => unreachable!(),
+                })
+            }
+            AggKind::Max => {
+                let mut m = f32::NEG_INFINITY;
+                for v in items {
+                    m = m.max(v);
+                    n += 1;
+                }
+                (n > 0).then_some(m)
+            }
+            AggKind::Min => {
+                let mut m = f32::INFINITY;
+                for v in items {
+                    m = m.min(v);
+                    n += 1;
+                }
+                (n > 0).then_some(m)
+            }
+        }
+    }
+}
+
+/// Tumbling-window aggregate kernel (`w == p`): stateless.
+#[derive(Debug)]
+pub struct TumblingAggKernel {
+    kind: AggKind,
+    window: Tick,
+}
+
+impl TumblingAggKernel {
+    /// Creates a tumbling aggregate over `window`-tick windows.
+    pub fn new(kind: AggKind, window: Tick) -> Self {
+        Self { kind, window }
+    }
+}
+
+impl Kernel for TumblingAggKernel {
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
+        let input = inputs[0];
+        for o in 0..out.len() {
+            let t = out.slot_time(o);
+            // Aggregate input events in [t, t + window).
+            let lo = match input.slot_of(input.shape().align_up(t)) {
+                Some(i) => i,
+                None => continue,
+            };
+            let period = input.shape().period();
+            let count = ((self.window + period - 1) / period) as usize;
+            let hi = (lo + count).min(input.len());
+            let vals = (lo..hi)
+                .filter(|&i| input.is_present(i) && input.slot_time(i) < t + self.window)
+                .map(|i| input.field(0)[i]);
+            if let Some(v) = self.kind.fold(vals) {
+                out.write(o, &[v], self.window.min(out.dim()));
+            }
+        }
+    }
+}
+
+/// Sliding-window aggregate kernel (`w > p`): carries a constant-size ring
+/// of recent input slots across rounds (trailing `(t - w, t]` windows).
+#[derive(Debug)]
+pub struct SlidingAggKernel {
+    kind: AggKind,
+    window: Tick,
+    /// Ring of the most recent `ring_len` input slots: `(time, value,
+    /// present)`. Capacity fixed at construction — bounded memory.
+    ring: std::collections::VecDeque<(Tick, f32, bool)>,
+    ring_len: usize,
+}
+
+impl SlidingAggKernel {
+    /// Creates a sliding aggregate with trailing window `window` over an
+    /// input stream of period `in_period`.
+    pub fn new(kind: AggKind, window: Tick, in_period: Tick) -> Self {
+        let ring_len = (window / in_period).max(1) as usize;
+        Self {
+            kind,
+            window,
+            ring: std::collections::VecDeque::with_capacity(ring_len + 1),
+            ring_len,
+        }
+    }
+
+    fn push(&mut self, t: Tick, v: f32, present: bool) {
+        if self.ring.len() == self.ring_len {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((t, v, present));
+    }
+}
+
+impl Kernel for SlidingAggKernel {
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
+        let input = inputs[0];
+        let mut next_in = 0usize;
+        for o in 0..out.len() {
+            let t = out.slot_time(o);
+            // Feed the ring all input slots with time <= t.
+            while next_in < input.len() && input.slot_time(next_in) <= t {
+                self.push(
+                    input.slot_time(next_in),
+                    input.field(0)[next_in],
+                    input.is_present(next_in),
+                );
+                next_in += 1;
+            }
+            let lo = t - self.window;
+            let vals = self
+                .ring
+                .iter()
+                .filter(|&&(ti, _, p)| p && ti > lo && ti <= t)
+                .map(|&(_, v, _)| v);
+            if let Some(v) = self.kind.fold(vals) {
+                out.write(o, &[v], out.shape().period());
+            }
+        }
+        // Absorb the input tail past the last output slot.
+        while next_in < input.len() {
+            self.push(
+                input.slot_time(next_in),
+                input.field(0)[next_in],
+                input.is_present(next_in),
+            );
+            next_in += 1;
+        }
+    }
+
+    fn on_skip(&mut self) {
+        self.ring.clear();
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{empty, events, filled};
+    use crate::time::StreamShape;
+
+    #[test]
+    fn agg_kind_folds() {
+        let v = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(AggKind::Sum.fold(v.iter().copied()), Some(10.0));
+        assert_eq!(AggKind::Mean.fold(v.iter().copied()), Some(2.5));
+        assert_eq!(AggKind::Max.fold(v.iter().copied()), Some(4.0));
+        assert_eq!(AggKind::Min.fold(v.iter().copied()), Some(1.0));
+        assert_eq!(AggKind::Count.fold(v.iter().copied()), Some(4.0));
+        let std = AggKind::Std.fold(v.iter().copied()).unwrap();
+        assert!((std - 1.118034).abs() < 1e-5);
+        assert_eq!(AggKind::Sum.fold(std::iter::empty()), None);
+        assert_eq!(AggKind::Max.fold(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn tumbling_mean_matches_listing1_shape() {
+        // Input (0,2), window 10 -> output (0,10): one mean per 10 ticks.
+        let s_in = StreamShape::new(0, 2);
+        let s_out = StreamShape::new(0, 10);
+        let input = filled(s_in, 20, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let mut out = empty(s_out, 20, 0, 1);
+        let mut k = TumblingAggKernel::new(AggKind::Mean, 10);
+        k.process(&[&input], &mut out);
+        assert_eq!(events(&out), vec![(0, 3.0), (10, 8.0)]);
+    }
+
+    #[test]
+    fn tumbling_ignores_absent_and_goes_absent_when_empty() {
+        let s_in = StreamShape::new(0, 2);
+        let s_out = StreamShape::new(0, 10);
+        let mut input = filled(s_in, 20, 0, &[1.0; 10]);
+        for i in 0..5 {
+            input.clear_slot(i); // first window fully absent
+        }
+        input.clear_slot(5);
+        let mut out = empty(s_out, 20, 0, 1);
+        let mut k = TumblingAggKernel::new(AggKind::Sum, 10);
+        k.process(&[&input], &mut out);
+        assert_eq!(events(&out), vec![(10, 4.0)]); // 4 present events remain
+    }
+
+    #[test]
+    fn sliding_mean_trails_across_rounds() {
+        let s = StreamShape::new(0, 1);
+        let mut k = SlidingAggKernel::new(AggKind::Mean, 4, 1);
+        // Round 1: [0, 4) values 1..4
+        let in1 = filled(s, 4, 0, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out1 = empty(s, 4, 0, 1);
+        k.process(&[&in1], &mut out1);
+        // t=3 window (-1,3] -> values at 0..3 -> mean of 1,2,3,4 = 2.5
+        assert_eq!(events(&out1)[3], (3, 2.5));
+        // Round 2: [4, 8) values 5..8; t=4 window (0,4] -> 2,3,4,5 = 3.5
+        let in2 = filled(s, 4, 4, &[5.0, 6.0, 7.0, 8.0]);
+        let mut out2 = empty(s, 4, 4, 1);
+        k.process(&[&in2], &mut out2);
+        assert_eq!(events(&out2)[0], (4, 3.5));
+    }
+
+    #[test]
+    fn sliding_ring_is_bounded() {
+        let mut k = SlidingAggKernel::new(AggKind::Sum, 8, 1);
+        let s = StreamShape::new(0, 1);
+        for r in 0..10 {
+            let input = filled(s, 16, r * 16, &[1.0; 16]);
+            let mut out = empty(s, 16, r * 16, 1);
+            k.process(&[&input], &mut out);
+            assert!(k.ring.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn sliding_skip_clears_state() {
+        let s = StreamShape::new(0, 1);
+        let mut k = SlidingAggKernel::new(AggKind::Sum, 4, 1);
+        let in1 = filled(s, 4, 0, &[10.0; 4]);
+        let mut out1 = empty(s, 4, 0, 1);
+        k.process(&[&in1], &mut out1);
+        k.on_skip();
+        let in2 = filled(s, 4, 8, &[1.0; 4]);
+        let mut out2 = empty(s, 4, 8, 1);
+        k.process(&[&in2], &mut out2);
+        // First output only sees the new round's first value.
+        assert_eq!(events(&out2)[0], (8, 1.0));
+    }
+}

@@ -1,0 +1,489 @@
+//! Temporal joins.
+//!
+//! [`JoinKernel`] implements the temporal equijoin of Table 2: an output
+//! event exists at joint-grid point `t` when input events whose active
+//! intervals `[sync, sync + duration)` cover `t` exist on the required
+//! sides. Thanks to periodicity the kernel needs no hash tables — coverage
+//! is computed with one forward sweep per side, and the only state is the
+//! single event per side whose interval crosses the FWindow boundary
+//! (Fig. 8), which is constant-size.
+//!
+//! [`ClipJoinKernel`] is the as-of join: each left event pairs with the most
+//! recent right event at or before it.
+
+use crate::fwindow::{FWindow, MAX_ARITY};
+use crate::ops::Kernel;
+use crate::time::Tick;
+
+/// Join flavour. Mirrors [`JoinKindTag`](crate::graph::JoinKindTag) but
+/// lives with the kernel for use in public APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Emit only where both sides are covered.
+    Inner,
+    /// Emit wherever the left side is covered; absent right payloads are
+    /// NaN-padded.
+    Left,
+    /// Emit wherever either side is covered; absent payloads NaN-padded.
+    Outer,
+}
+
+/// Optional user projection combining the two payloads; `None` concatenates.
+pub type JoinMapFn = Box<dyn FnMut(&[f32], &[f32], &mut [f32]) + Send>;
+
+/// An event carried across the FWindow boundary (the Fig. 8 stateful case).
+#[derive(Debug, Clone, Copy)]
+struct Carry {
+    start: Tick,
+    end: Tick,
+    payload: [f32; MAX_ARITY],
+}
+
+/// Per-side coverage sweep state.
+#[derive(Debug)]
+struct Side {
+    arity: usize,
+    /// The event pending into future rounds (its interval outlives the
+    /// current round's end).
+    carry: Option<Carry>,
+    /// The carry applied to the current round, kept for payload reads even
+    /// after it stops being pending.
+    round_carry: Option<Carry>,
+    /// cover[j] = input slot covering output slot j; -1 none, -2 carry.
+    cover: Vec<i32>,
+}
+
+impl Side {
+    fn new(arity: usize, out_capacity: usize) -> Self {
+        Self {
+            arity,
+            carry: None,
+            round_carry: None,
+            cover: vec![-1; out_capacity],
+        }
+    }
+
+    /// Sweeps `input`, filling `self.cover` for the output grid described
+    /// by (`out_base`, `out_period`, `out_len`) over an interval ending at
+    /// `b`.
+    fn sweep(&mut self, input: &FWindow, out_base: Tick, out_period: Tick, out_len: usize, b: Tick) {
+        for c in self.cover[..out_len].iter_mut() {
+            *c = -1;
+        }
+        // Apply the carry from the previous round, keeping it pending only
+        // while its interval still outlives this round.
+        self.round_carry = self.carry.take();
+        if let Some(c) = self.round_carry {
+            if c.end > out_base {
+                mark(&mut self.cover, out_base, out_period, out_len, c.start, c.end, -2);
+            }
+            if c.end > b {
+                self.carry = Some(c);
+            }
+        }
+        for (i, t, d) in input.iter_present() {
+            let end = t + d;
+            mark(&mut self.cover, out_base, out_period, out_len, t, end, i as i32);
+            if end > b {
+                let mut payload = [0.0; MAX_ARITY];
+                input.read(i, &mut payload[..self.arity]);
+                self.carry = Some(Carry {
+                    start: t,
+                    end,
+                    payload,
+                });
+            }
+        }
+    }
+
+    /// Reads the payload covering output slot `j` into `buf`; returns
+    /// false (and NaN-fills) when uncovered.
+    fn read(&self, input: &FWindow, j: usize, buf: &mut [f32]) -> bool {
+        match self.cover[j] {
+            -1 => {
+                buf.fill(f32::NAN);
+                false
+            }
+            -2 => match &self.round_carry {
+                Some(c) => {
+                    buf.copy_from_slice(&c.payload[..self.arity]);
+                    true
+                }
+                None => {
+                    buf.fill(f32::NAN);
+                    false
+                }
+            },
+            i => {
+                input.read(i as usize, buf);
+                true
+            }
+        }
+    }
+}
+
+/// Marks output slots covered by `[t, end)` with `tag`.
+fn mark(cover: &mut [i32], out_base: Tick, out_period: Tick, out_len: usize, t: Tick, end: Tick, tag: i32) {
+    if end <= out_base {
+        return;
+    }
+    let lo_t = t.max(out_base);
+    let mut j = ((lo_t - out_base) + out_period - 1) / out_period;
+    loop {
+        let ju = j as usize;
+        if ju >= out_len {
+            break;
+        }
+        let slot_t = out_base + j * out_period;
+        if slot_t >= end {
+            break;
+        }
+        cover[ju] = tag;
+        j += 1;
+    }
+}
+
+/// The temporal equijoin kernel.
+pub struct JoinKernel {
+    kind: JoinKind,
+    map: Option<JoinMapFn>,
+    left: Side,
+    right: Side,
+    out_arity: usize,
+    lbuf: [f32; MAX_ARITY],
+    rbuf: [f32; MAX_ARITY],
+    obuf: [f32; MAX_ARITY],
+}
+
+impl JoinKernel {
+    /// Creates a join kernel. `out_capacity` is the output FWindow slot
+    /// capacity (from the memory plan); the cover buffers are sized once
+    /// here and never reallocated.
+    pub fn new(
+        kind: JoinKind,
+        left_arity: usize,
+        right_arity: usize,
+        out_arity: usize,
+        out_capacity: usize,
+        map: Option<JoinMapFn>,
+    ) -> Self {
+        Self {
+            kind,
+            map,
+            left: Side::new(left_arity, out_capacity),
+            right: Side::new(right_arity, out_capacity),
+            out_arity,
+            lbuf: [0.0; MAX_ARITY],
+            rbuf: [0.0; MAX_ARITY],
+            obuf: [0.0; MAX_ARITY],
+        }
+    }
+}
+
+impl Kernel for JoinKernel {
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
+        let (l, r) = (inputs[0], inputs[1]);
+        let base = if out.len() > 0 { out.slot_time(0) } else { out.sync() };
+        let p = out.shape().period();
+        let b = out.end();
+        self.left.sweep(l, base, p, out.len(), b);
+        self.right.sweep(r, base, p, out.len(), b);
+        let la = self.left.arity;
+        let ra = self.right.arity;
+        for j in 0..out.len() {
+            let lc = self.left.read(l, j, &mut self.lbuf[..la]);
+            let rc = self.right.read(r, j, &mut self.rbuf[..ra]);
+            let emit = match self.kind {
+                JoinKind::Inner => lc && rc,
+                JoinKind::Left => lc,
+                JoinKind::Outer => lc || rc,
+            };
+            if !emit {
+                continue;
+            }
+            match &mut self.map {
+                Some(f) => {
+                    f(&self.lbuf[..la], &self.rbuf[..ra], &mut self.obuf[..self.out_arity]);
+                    out.write(j, &self.obuf[..self.out_arity], p);
+                }
+                None => {
+                    self.obuf[..la].copy_from_slice(&self.lbuf[..la]);
+                    self.obuf[la..la + ra].copy_from_slice(&self.rbuf[..ra]);
+                    out.write(j, &self.obuf[..la + ra], p);
+                }
+            }
+        }
+    }
+
+    fn on_skip(&mut self) {
+        self.left.carry = None;
+        self.left.round_carry = None;
+        self.right.carry = None;
+        self.right.round_carry = None;
+    }
+
+    fn has_pending(&self) -> bool {
+        self.left.carry.is_some() || self.right.carry.is_some()
+    }
+
+    fn reset(&mut self) {
+        self.on_skip();
+    }
+}
+
+impl std::fmt::Debug for JoinKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinKernel")
+            .field("kind", &self.kind)
+            .field("out_arity", &self.out_arity)
+            .finish()
+    }
+}
+
+/// The as-of join kernel: pairs each left event with the most recent right
+/// event at or before it. Constant state: the last right event seen.
+pub struct ClipJoinKernel {
+    left_arity: usize,
+    right_arity: usize,
+    last_right: Option<(Tick, [f32; MAX_ARITY])>,
+    lbuf: [f32; MAX_ARITY],
+    obuf: [f32; MAX_ARITY],
+}
+
+impl ClipJoinKernel {
+    /// Creates an as-of join kernel.
+    pub fn new(left_arity: usize, right_arity: usize) -> Self {
+        Self {
+            left_arity,
+            right_arity,
+            last_right: None,
+            lbuf: [0.0; MAX_ARITY],
+            obuf: [0.0; MAX_ARITY],
+        }
+    }
+}
+
+impl Kernel for ClipJoinKernel {
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
+        let (l, r) = (inputs[0], inputs[1]);
+        let mut ri = 0usize;
+        for i in 0..l.len() {
+            let t = l.slot_time(i);
+            while ri < r.len() && r.slot_time(ri) <= t {
+                if r.is_present(ri) {
+                    let mut payload = [0.0; MAX_ARITY];
+                    r.read(ri, &mut payload[..self.right_arity]);
+                    self.last_right = Some((r.slot_time(ri), payload));
+                }
+                ri += 1;
+            }
+            if !l.is_present(i) {
+                continue;
+            }
+            if let Some((_, rp)) = &self.last_right {
+                l.read(i, &mut self.lbuf[..self.left_arity]);
+                self.obuf[..self.left_arity].copy_from_slice(&self.lbuf[..self.left_arity]);
+                self.obuf[self.left_arity..self.left_arity + self.right_arity]
+                    .copy_from_slice(&rp[..self.right_arity]);
+                out.write(
+                    i,
+                    &self.obuf[..self.left_arity + self.right_arity],
+                    l.duration(i),
+                );
+            }
+        }
+        // Absorb right-side tail beyond the last left slot.
+        while ri < r.len() {
+            if r.is_present(ri) {
+                let mut payload = [0.0; MAX_ARITY];
+                r.read(ri, &mut payload[..self.right_arity]);
+                self.last_right = Some((r.slot_time(ri), payload));
+            }
+            ri += 1;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.last_right = None;
+    }
+}
+
+impl std::fmt::Debug for ClipJoinKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClipJoinKernel")
+            .field("left_arity", &self.left_arity)
+            .field("right_arity", &self.right_arity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{empty, filled};
+    use crate::time::StreamShape;
+
+    #[test]
+    fn inner_join_follows_fig5c() {
+        // Left (0,1) x Right (0,2) -> output (0,1): L_k pairs R_{k/2}.
+        let sl = StreamShape::new(0, 1);
+        let sr = StreamShape::new(0, 2);
+        let l = filled(sl, 4, 0, &[10.0, 11.0, 12.0, 13.0]);
+        let r = filled(sr, 4, 0, &[100.0, 101.0]);
+        let mut out = empty(sl, 4, 0, 2);
+        let mut k = JoinKernel::new(JoinKind::Inner, 1, 1, 2, 4, None);
+        k.process(&[&l, &r], &mut out);
+        assert_eq!(out.present_count(), 4);
+        assert_eq!(out.field(0), &[10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(out.field(1), &[100.0, 100.0, 101.0, 101.0]);
+    }
+
+    #[test]
+    fn inner_join_requires_both_sides() {
+        let s = StreamShape::new(0, 1);
+        let mut l = filled(s, 4, 0, &[1.0; 4]);
+        let mut r = filled(s, 4, 0, &[2.0; 4]);
+        l.clear_slot(1);
+        r.clear_slot(2);
+        let mut out = empty(s, 4, 0, 2);
+        let mut k = JoinKernel::new(JoinKind::Inner, 1, 1, 2, 4, None);
+        k.process(&[&l, &r], &mut out);
+        assert!(out.is_present(0));
+        assert!(!out.is_present(1));
+        assert!(!out.is_present(2));
+        assert!(out.is_present(3));
+    }
+
+    #[test]
+    fn left_join_nan_pads_missing_right() {
+        let s = StreamShape::new(0, 1);
+        let l = filled(s, 2, 0, &[1.0, 2.0]);
+        let mut r = filled(s, 2, 0, &[9.0, 9.0]);
+        r.clear_slot(1);
+        let mut out = empty(s, 2, 0, 2);
+        let mut k = JoinKernel::new(JoinKind::Left, 1, 1, 2, 2, None);
+        k.process(&[&l, &r], &mut out);
+        assert!(out.is_present(1));
+        assert!(out.field(1)[1].is_nan());
+    }
+
+    #[test]
+    fn outer_join_emits_either_side() {
+        let s = StreamShape::new(0, 1);
+        let mut l = filled(s, 3, 0, &[1.0; 3]);
+        let mut r = filled(s, 3, 0, &[2.0; 3]);
+        l.clear_slot(0);
+        r.clear_slot(2);
+        let mut out = empty(s, 3, 0, 2);
+        let mut k = JoinKernel::new(JoinKind::Outer, 1, 1, 2, 3, None);
+        k.process(&[&l, &r], &mut out);
+        assert_eq!(out.present_count(), 3);
+        assert!(out.field(0)[0].is_nan());
+        assert!(out.field(1)[2].is_nan());
+    }
+
+    #[test]
+    fn join_map_projects() {
+        let s = StreamShape::new(0, 1);
+        let l = filled(s, 3, 0, &[1.0, 2.0, 3.0]);
+        let r = filled(s, 3, 0, &[10.0, 20.0, 30.0]);
+        let mut out = empty(s, 3, 0, 1);
+        let mut k = JoinKernel::new(
+            JoinKind::Inner,
+            1,
+            1,
+            1,
+            3,
+            Some(Box::new(|a, b, o| o[0] = a[0] + b[0])),
+        );
+        k.process(&[&l, &r], &mut out);
+        assert_eq!(out.field(0), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn stateful_join_carries_boundary_crossing_event_fig8() {
+        // Right event at t=3 with duration 4 ([3,7)) crosses the window
+        // boundary at 4; left events at 4,5,6 in the next round must pair
+        // with it.
+        let sl = StreamShape::new(0, 1);
+        let sr = StreamShape::new(0, 1);
+        let mut k = JoinKernel::new(JoinKind::Inner, 1, 1, 2, 4, None);
+
+        let l1 = filled(sl, 4, 0, &[0.0, 1.0, 2.0, 3.0]);
+        let mut r1 = empty(sr, 4, 0, 1);
+        r1.write(3, &[77.0], 4); // [3, 7)
+        let mut out1 = empty(sl, 4, 0, 2);
+        k.process(&[&l1, &r1], &mut out1);
+        assert!(out1.is_present(3));
+        assert!(!out1.is_present(2));
+        assert!(k.has_pending());
+
+        let l2 = filled(sl, 4, 4, &[4.0, 5.0, 6.0, 7.0]);
+        let r2 = empty(sr, 4, 4, 1);
+        let mut out2 = empty(sl, 4, 4, 2);
+        k.process(&[&l2, &r2], &mut out2);
+        assert_eq!(out2.present_count(), 3); // t=4,5,6 covered by carry
+        assert_eq!(out2.field(1)[0], 77.0);
+        assert!(!out2.is_present(3)); // [3,7) does not cover t=7
+        assert!(!k.has_pending());
+    }
+
+    #[test]
+    fn on_skip_drops_carry() {
+        let s = StreamShape::new(0, 1);
+        let mut k = JoinKernel::new(JoinKind::Inner, 1, 1, 2, 2, None);
+        let l1 = filled(s, 2, 0, &[0.0, 1.0]);
+        let mut r1 = empty(s, 2, 0, 1);
+        r1.write(1, &[9.0], 5);
+        let mut out1 = empty(s, 2, 0, 2);
+        k.process(&[&l1, &r1], &mut out1);
+        assert!(k.has_pending());
+        k.on_skip();
+        assert!(!k.has_pending());
+    }
+
+    #[test]
+    fn clip_join_pairs_with_most_recent_right() {
+        // Left (0,1), right (0,2): left at t pairs right at align_down(t,2).
+        let sl = StreamShape::new(0, 1);
+        let sr = StreamShape::new(0, 2);
+        let l = filled(sl, 4, 0, &[0.0, 1.0, 2.0, 3.0]);
+        let r = filled(sr, 4, 0, &[100.0, 102.0]);
+        let mut out = empty(sl, 4, 0, 2);
+        let mut k = ClipJoinKernel::new(1, 1);
+        k.process(&[&l, &r], &mut out);
+        assert_eq!(out.field(1), &[100.0, 100.0, 102.0, 102.0]);
+    }
+
+    #[test]
+    fn clip_join_state_survives_rounds_and_gaps() {
+        let sl = StreamShape::new(0, 1);
+        let sr = StreamShape::new(0, 4);
+        let mut k = ClipJoinKernel::new(1, 1);
+        let l1 = filled(sl, 4, 0, &[0.0; 4]);
+        let r1 = filled(sr, 4, 0, &[50.0]);
+        let mut out1 = empty(sl, 4, 0, 2);
+        k.process(&[&l1, &r1], &mut out1);
+        // Next round: right absent; left still pairs with t=0's right event.
+        let l2 = filled(sl, 4, 4, &[0.0; 4]);
+        let r2 = empty(sr, 4, 4, 1);
+        let mut out2 = empty(sl, 4, 4, 2);
+        k.process(&[&l2, &r2], &mut out2);
+        assert_eq!(out2.present_count(), 4);
+        assert_eq!(out2.field(1)[0], 50.0);
+    }
+
+    #[test]
+    fn clip_join_emits_nothing_before_first_right() {
+        let s = StreamShape::new(0, 1);
+        let l = filled(s, 3, 0, &[1.0; 3]);
+        let mut r = empty(s, 3, 0, 1);
+        r.write(2, &[5.0], 1);
+        let mut out = empty(s, 3, 0, 2);
+        let mut k = ClipJoinKernel::new(1, 1);
+        k.process(&[&l, &r], &mut out);
+        assert!(!out.is_present(0));
+        assert!(!out.is_present(1));
+        assert!(out.is_present(2));
+    }
+}

@@ -1,0 +1,79 @@
+//! Operator kernels.
+//!
+//! Every temporal operator compiles to a [`Kernel`]: a unit that reads one
+//! or two input [`FWindow`]s and fills one output FWindow, all covering the
+//! same absolute time interval (the executor slides every window in
+//! lock-step rounds after locality tracing has equalized the dimensions).
+//!
+//! Stateful kernels (`Shift`, `Chop`, `ClipJoin`, sliding `Aggregate`, the
+//! boundary-crossing case of `Join` shown in Fig. 8) carry *constant-size*
+//! state across rounds — the bounded-memory-footprint property guarantees
+//! the state never grows with the data.
+
+
+use crate::fwindow::FWindow;
+
+pub mod aggregate;
+pub mod join;
+pub mod reshape;
+pub mod select;
+pub mod transform;
+pub mod where_shape;
+
+/// A compiled operator.
+///
+/// `process` is invoked once per execution round with the input windows and
+/// the output window already slid to the round's interval. Implementations
+/// must not allocate in `process` (the static-memory-allocation guarantee);
+/// any buffers they need are created in their constructor.
+pub trait Kernel: Send {
+    /// Fills `out` from `inputs`. Windows cover the same absolute interval.
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow);
+
+    /// Called instead of `process` when targeted query processing skips a
+    /// round; stateful kernels drop carried state that the gap invalidated.
+    fn on_skip(&mut self) {}
+
+    /// True if the kernel holds carried state that must be flushed into a
+    /// future round (prevents the executor from skipping that round).
+    fn has_pending(&self) -> bool {
+        false
+    }
+
+    /// Clears all state, returning the kernel to its initial condition.
+    fn reset(&mut self) {}
+}
+
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by kernel unit tests.
+    use crate::fwindow::FWindow;
+    use crate::time::{StreamShape, Tick};
+
+    /// Builds a window over `[sync, sync+dim)` with the given values all
+    /// present (duration = period).
+    pub fn filled(shape: StreamShape, dim: Tick, sync: Tick, vals: &[f32]) -> FWindow {
+        let mut w = FWindow::new(shape, dim, 1);
+        w.slide_to(sync);
+        assert_eq!(w.len(), vals.len(), "test window slot mismatch");
+        for (i, &v) in vals.iter().enumerate() {
+            w.write(i, &[v], shape.period());
+        }
+        w
+    }
+
+    /// Builds an empty (all-absent) window over `[sync, sync+dim)`.
+    pub fn empty(shape: StreamShape, dim: Tick, sync: Tick, arity: usize) -> FWindow {
+        let mut w = FWindow::new(shape, dim, arity);
+        w.slide_to(sync);
+        w
+    }
+
+    /// Extracts `(time, value_of_field0)` pairs of present events.
+    pub fn events(w: &FWindow) -> Vec<(Tick, f32)> {
+        w.iter_present()
+            .map(|(i, t, _)| (t, w.field(0)[i]))
+            .collect()
+    }
+}

@@ -1,0 +1,175 @@
+//! Shape-based `Where` (§6.1): filter events by visual pattern using the
+//! streaming constrained-DTW matcher.
+
+use crate::dtw::StreamingMatcher;
+use crate::fwindow::FWindow;
+use crate::ops::Kernel;
+
+/// What to do with pattern matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeMode {
+    /// Remove matched regions from the stream (artifact scrubbing — the
+    /// paper's primary use).
+    Remove,
+    /// Keep *only* matched regions (artifact detection; used by the Fig. 7
+    /// accuracy experiment to extract detections).
+    Keep,
+}
+
+/// `Where(shape)` kernel: slides the streaming matcher along present
+/// events; on a match, the trailing `pattern_len` slots are flagged.
+///
+/// The matcher state is a constant-size ring — bounded memory. Suppression
+/// of slots already emitted in *previous* rounds is impossible (windows
+/// only move forward), so a matched region is flagged from the earliest
+/// slot still inside the current round; with FWindow dimensions from
+/// locality tracing (≥ the pattern length in all our pipelines) this covers
+/// the full artifact.
+pub struct WhereShapeKernel {
+    matcher: StreamingMatcher,
+    mode: ShapeMode,
+    /// Number of matches seen (exposed for diagnostics/tests).
+    matches: u64,
+}
+
+impl WhereShapeKernel {
+    /// Creates a shape-filter kernel.
+    pub fn new(matcher: StreamingMatcher, mode: ShapeMode) -> Self {
+        Self {
+            matcher,
+            mode,
+            matches: 0,
+        }
+    }
+
+    /// Total matches observed so far.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+}
+
+impl Kernel for WhereShapeKernel {
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
+        let input = inputs[0];
+        let m = self.matcher.pattern_len();
+        // First pass: copy according to mode's default, tracking matches.
+        let keep_default = matches!(self.mode, ShapeMode::Remove);
+        for i in 0..input.len() {
+            if !input.is_present(i) {
+                // A discontinuity breaks the trailing window.
+                self.matcher.reset();
+                continue;
+            }
+            let v = input.field(0)[i];
+            if keep_default {
+                out.write(i, &[v], input.duration(i));
+            }
+            if self.matcher.push(v) {
+                self.matches += 1;
+                // Flag the trailing window [i+1-m, i] (clamped to round).
+                let lo = i.saturating_sub(m - 1);
+                for j in lo..=i {
+                    match self.mode {
+                        ShapeMode::Remove => out.clear_slot(j),
+                        ShapeMode::Keep => {
+                            if input.is_present(j) {
+                                out.write(j, &[input.field(0)[j]], input.duration(j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_skip(&mut self) {
+        self.matcher.reset();
+    }
+
+    fn reset(&mut self) {
+        self.matcher.reset();
+        self.matches = 0;
+    }
+}
+
+impl std::fmt::Debug for WhereShapeKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WhereShapeKernel")
+            .field("mode", &self.mode)
+            .field("matches", &self.matches)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{empty, filled};
+    use crate::time::StreamShape;
+
+    fn signal_with_artifact() -> Vec<f32> {
+        let mut v = vec![50.0; 20];
+        v.extend_from_slice(&[0.0, 0.0, 0.0, 0.0]); // line-zero style drop
+        v.extend(vec![50.0; 20]);
+        v
+    }
+
+    #[test]
+    fn remove_mode_scrubs_matched_region() {
+        let s = StreamShape::new(0, 1);
+        let sig = signal_with_artifact();
+        let input = filled(s, sig.len() as i64, 0, &sig);
+        let mut out = empty(s, sig.len() as i64, 0, 1);
+        let matcher = StreamingMatcher::new(vec![0.0; 4], 1, 5.0, false);
+        let mut k = WhereShapeKernel::new(matcher, ShapeMode::Remove);
+        k.process(&[&input], &mut out);
+        assert!(k.matches() >= 1);
+        // The artifact slots (20..24) must be gone.
+        for i in 20..24 {
+            assert!(!out.is_present(i), "slot {i} should be scrubbed");
+        }
+        // Clean slots survive.
+        assert!(out.is_present(5));
+        assert!(out.is_present(30));
+    }
+
+    #[test]
+    fn keep_mode_extracts_only_matches() {
+        let s = StreamShape::new(0, 1);
+        let sig = signal_with_artifact();
+        let input = filled(s, sig.len() as i64, 0, &sig);
+        let mut out = empty(s, sig.len() as i64, 0, 1);
+        let matcher = StreamingMatcher::new(vec![0.0; 4], 1, 5.0, false);
+        let mut k = WhereShapeKernel::new(matcher, ShapeMode::Keep);
+        k.process(&[&input], &mut out);
+        assert!(out.present_count() >= 4);
+        assert!(!out.is_present(5));
+        assert!(out.is_present(22));
+    }
+
+    #[test]
+    fn gaps_reset_the_matcher() {
+        let s = StreamShape::new(0, 1);
+        let mut input = filled(s, 10, 0, &[0.0; 10]);
+        // Gap right before would-be match completion.
+        input.clear_slot(4);
+        let mut out = empty(s, 10, 0, 1);
+        let matcher = StreamingMatcher::new(vec![0.0; 5], 1, 0.5, false);
+        let mut k = WhereShapeKernel::new(matcher, ShapeMode::Keep);
+        k.process(&[&input], &mut out);
+        // Window refills after the gap: match possible only at slot 9.
+        assert!(out.is_present(9) || out.present_count() <= 5);
+    }
+
+    #[test]
+    fn no_match_means_identity_in_remove_mode() {
+        let s = StreamShape::new(0, 1);
+        let input = filled(s, 10, 0, &[50.0; 10]);
+        let mut out = empty(s, 10, 0, 1);
+        let matcher = StreamingMatcher::new(vec![0.0; 4], 1, 5.0, false);
+        let mut k = WhereShapeKernel::new(matcher, ShapeMode::Remove);
+        k.process(&[&input], &mut out);
+        assert_eq!(out.present_count(), 10);
+        assert_eq!(k.matches(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Source datasets: in-memory columnar signal data with presence maps.
+//!
+//! Retrospective (historical) data is the primary evaluation mode in the
+//! paper; a [`SignalData`] holds one signal's samples in a flat array
+//! indexed by grid position, plus a [`PresenceMap`] describing the
+//! discontinuities. Live ingestion can append to the same structure.
+
+use std::sync::Arc;
+
+use crate::presence::PresenceMap;
+use crate::time::{StreamShape, Tick};
+
+/// One signal's retrospective data: values on the periodic grid plus the
+/// presence map of data-bearing intervals.
+///
+/// Samples are stored densely by grid index: slot `k` holds the value of
+/// the event at `offset + k * period`, whether or not that event is present.
+/// Absent slots hold a filler value and are excluded by the presence map.
+///
+/// # Examples
+/// ```
+/// use lifestream_core::source::SignalData;
+/// use lifestream_core::time::StreamShape;
+///
+/// let mut d = SignalData::dense(StreamShape::new(0, 2), vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(d.len(), 4);
+/// assert_eq!(d.end_time(), 8);
+/// d.punch_gap(2, 6); // drop events at t=2 and t=4
+/// assert_eq!(d.present_events(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignalData {
+    shape: StreamShape,
+    values: Arc<Vec<f32>>,
+    presence: PresenceMap,
+}
+
+impl SignalData {
+    /// Creates a gap-free signal from dense samples. Event `k` is at
+    /// `shape.offset() + k * shape.period()`.
+    pub fn dense(shape: StreamShape, values: Vec<f32>) -> Self {
+        let end = shape.offset() + values.len() as Tick * shape.period();
+        let presence = if values.is_empty() {
+            PresenceMap::new()
+        } else {
+            PresenceMap::full(shape.offset(), end)
+        };
+        Self {
+            shape,
+            values: Arc::new(values),
+            presence,
+        }
+    }
+
+    /// Creates a signal with an explicit presence map. Values must still be
+    /// dense (one slot per grid point from the offset).
+    pub fn with_presence(shape: StreamShape, values: Vec<f32>, presence: PresenceMap) -> Self {
+        Self {
+            shape,
+            values: Arc::new(values),
+            presence,
+        }
+    }
+
+    /// The stream's symbolic shape.
+    pub fn shape(&self) -> StreamShape {
+        self.shape
+    }
+
+    /// Total grid slots (present or absent).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the signal holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// One past the last grid point.
+    pub fn end_time(&self) -> Tick {
+        self.shape.offset() + self.values.len() as Tick * self.shape.period()
+    }
+
+    /// The dense sample array.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The presence map.
+    pub fn presence(&self) -> &PresenceMap {
+        &self.presence
+    }
+
+    /// Number of events actually present (grid points inside kept ranges,
+    /// clipped to the sample array).
+    pub fn present_events(&self) -> usize {
+        let end = self.end_time();
+        self.presence
+            .ranges()
+            .iter()
+            .map(|&(s, e)| {
+                self.shape
+                    .events_in(s.max(self.shape.offset()), e.min(end))
+            })
+            .sum()
+    }
+
+    /// Removes `[start, end)` from the presence map (introduces a
+    /// discontinuity without touching the sample array).
+    pub fn punch_gap(&mut self, start: Tick, end: Tick) {
+        self.presence.remove(start, end);
+    }
+
+    /// Grid slot index of time `t`, if on-grid and in range.
+    pub fn slot_of(&self, t: Tick) -> Option<usize> {
+        if t < self.shape.offset() || t >= self.end_time() {
+            return None;
+        }
+        let d = t - self.shape.offset();
+        (d % self.shape.period() == 0).then(|| (d / self.shape.period()) as usize)
+    }
+
+    /// Value at grid time `t` if the event is present.
+    pub fn value_at(&self, t: Tick) -> Option<f32> {
+        let slot = self.slot_of(t)?;
+        self.presence.contains(t).then(|| self.values[slot])
+    }
+
+    /// Cheap clone of the underlying sample buffer (Arc-shared) restricted
+    /// to a new presence map — used to derive overlap-controlled variants of
+    /// one dataset without copying samples.
+    pub fn with_new_presence(&self, presence: PresenceMap) -> Self {
+        Self {
+            shape: self.shape,
+            values: Arc::clone(&self.values),
+            presence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_signal_full_presence() {
+        let d = SignalData::dense(StreamShape::new(0, 2), vec![1.0; 10]);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.end_time(), 20);
+        assert!(d.presence().covers(0, 20));
+        assert_eq!(d.present_events(), 10);
+    }
+
+    #[test]
+    fn empty_signal() {
+        let d = SignalData::dense(StreamShape::new(0, 2), vec![]);
+        assert!(d.is_empty());
+        assert!(d.presence().is_empty());
+        assert_eq!(d.present_events(), 0);
+    }
+
+    #[test]
+    fn punch_gap_reduces_presence() {
+        let mut d = SignalData::dense(StreamShape::new(0, 1), (0..100).map(|i| i as f32).collect());
+        d.punch_gap(10, 20);
+        assert_eq!(d.present_events(), 90);
+        assert_eq!(d.value_at(5), Some(5.0));
+        assert_eq!(d.value_at(15), None);
+        assert_eq!(d.value_at(20), Some(20.0));
+    }
+
+    #[test]
+    fn slot_and_value_queries() {
+        let d = SignalData::dense(StreamShape::new(4, 4), vec![10.0, 20.0, 30.0]);
+        assert_eq!(d.slot_of(4), Some(0));
+        assert_eq!(d.slot_of(8), Some(1));
+        assert_eq!(d.slot_of(6), None);
+        assert_eq!(d.slot_of(16), None);
+        assert_eq!(d.value_at(12), Some(30.0));
+    }
+
+    #[test]
+    fn with_new_presence_shares_samples() {
+        let d = SignalData::dense(StreamShape::new(0, 1), vec![1.0; 1000]);
+        let half = d.with_new_presence(PresenceMap::full(0, 500));
+        assert_eq!(half.present_events(), 500);
+        assert_eq!(half.values().len(), 1000);
+    }
+
+    #[test]
+    fn offset_stream_present_events() {
+        let mut d = SignalData::dense(StreamShape::new(3, 2), vec![0.0; 5]); // t=3,5,7,9,11
+        assert_eq!(d.present_events(), 5);
+        d.punch_gap(5, 8); // drops 5 and 7
+        assert_eq!(d.present_events(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Execution statistics: events processed, windows executed vs. skipped,
+//! steady-state allocation counting.
+
+use std::fmt;
+
+/// Counters collected by one [`Executor`](crate::exec::Executor) run.
+///
+/// `windows_skipped` is the direct measure of targeted query processing:
+/// rounds whose lineage-mapped source intervals could not produce output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events emitted by the sink(s).
+    pub output_events: u64,
+    /// Events read from the sources (present events only).
+    pub input_events: u64,
+    /// Execution rounds that ran at least one kernel.
+    pub windows_executed: u64,
+    /// Execution rounds skipped by targeted query processing.
+    pub windows_skipped: u64,
+    /// Heap allocations performed after the memory plan was installed.
+    /// Zero in steady state — the static-memory-allocation guarantee.
+    pub steady_state_allocs: u64,
+    /// Total kernel invocations.
+    pub kernel_invocations: u64,
+}
+
+impl RunStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of rounds skipped, in `0.0..=1.0`.
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.windows_executed + self.windows_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.windows_skipped as f64 / total as f64
+        }
+    }
+
+    /// Merges counters from another run (used by the multi-core harness).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.output_events += other.output_events;
+        self.input_events += other.input_events;
+        self.windows_executed += other.windows_executed;
+        self.windows_skipped += other.windows_skipped;
+        self.steady_state_allocs += other.steady_state_allocs;
+        self.kernel_invocations += other.kernel_invocations;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in={} out={} exec={} skip={} ({:.1}%) allocs={} kernels={}",
+            self.input_events,
+            self.output_events,
+            self.windows_executed,
+            self.windows_skipped,
+            self.skip_fraction() * 100.0,
+            self.steady_state_allocs,
+            self.kernel_invocations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_fraction_handles_zero() {
+        assert_eq!(RunStats::new().skip_fraction(), 0.0);
+        let s = RunStats {
+            windows_executed: 3,
+            windows_skipped: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.skip_fraction(), 0.25);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats {
+            output_events: 5,
+            input_events: 10,
+            windows_executed: 2,
+            windows_skipped: 1,
+            steady_state_allocs: 0,
+            kernel_invocations: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.output_events, 10);
+        assert_eq!(a.kernel_invocations, 12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!RunStats::new().to_string().is_empty());
+    }
+}

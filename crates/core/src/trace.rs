@@ -1,0 +1,275 @@
+//! Locality tracing (§5.2, Fig. 6).
+//!
+//! Static analysis over the computation graph that adjusts every FWindow's
+//! dimension until the input and output dimensions of every operator match.
+//! Because dimensions must stay multiples of each stream's period (and of
+//! operator-specific grids like aggregate windows — Table 2's *Dimension*
+//! column), mismatches are resolved by taking least common multiples, and
+//! corrections ripple through the graph until a fixpoint — exactly the
+//! procedure the paper walks through on the Listing 1 query, where
+//! `(0,2)[2]`, `(0,5)[5]` and `(0,100)[100]` all converge to dimension 100.
+//!
+//! The resulting uniform dimensions mean each operator's output is consumed
+//! immediately by its successor while still cache-resident, maximizing the
+//! end-to-end locality of the pipeline.
+
+use crate::error::{Error, Result};
+use crate::graph::Graph;
+use crate::time::{lcm, Tick};
+
+/// Upper bound on traced dimensions; exceeding it means the query mixes
+/// wildly incommensurate periods and tracing is diverging.
+const DIM_BOUND: Tick = 1 << 40;
+
+/// Outcome of the locality-tracing pass.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The uniform execution dimension (per weakly-connected component the
+    /// dims converge; this is their overall LCM, used as the round length).
+    pub global_dim: Tick,
+    /// Number of fixpoint iterations taken.
+    pub iterations: usize,
+    /// Human-readable adjustment log (one entry per dimension change), the
+    /// textual analogue of Fig. 6(b)–(e).
+    pub log: Vec<String>,
+}
+
+/// Runs locality tracing over `graph`, setting every node's `dim` in place.
+///
+/// # Errors
+/// Returns [`Error::TraceDiverged`] if a dimension exceeds the internal
+/// bound (incommensurate periods).
+pub fn trace(graph: &mut Graph) -> Result<TraceReport> {
+    // Initial dimensions: each operator's natural constraint (Fig. 6(a)'s
+    // starting graph sets each FWindow to its stream's period, and the
+    // aggregate to its window size).
+    for n in &mut graph.nodes {
+        n.dim = n.kind.dim_constraint(n.shape);
+    }
+
+    let mut log = Vec::new();
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        // Walk from the sinks backward (paper order), equalizing each
+        // operator's input and output dimensions via LCM.
+        for id in (0..graph.nodes.len()).rev() {
+            let node_dim = graph.nodes[id].dim;
+            let mut d = node_dim;
+            for &inp in &graph.nodes[id].inputs.clone() {
+                d = lcm(d, graph.nodes[inp].dim);
+            }
+            // Respect this node's own grid constraint after merging.
+            d = lcm(d, graph.nodes[id].kind.dim_constraint(graph.nodes[id].shape));
+            if d > DIM_BOUND {
+                return Err(Error::TraceDiverged { dim: d });
+            }
+            if d != node_dim {
+                log.push(format!(
+                    "adjust {} ({}): [{}] -> [{}]",
+                    graph.nodes[id].kind.name(),
+                    id,
+                    node_dim,
+                    d
+                ));
+                graph.nodes[id].dim = d;
+                changed = true;
+            }
+            for &inp in &graph.nodes[id].inputs.clone() {
+                if graph.nodes[inp].dim != d {
+                    log.push(format!(
+                        "adjust {} ({}): [{}] -> [{}] (to match consumer {})",
+                        graph.nodes[inp].kind.name(),
+                        inp,
+                        graph.nodes[inp].dim,
+                        d,
+                        id
+                    ));
+                    graph.nodes[inp].dim = d;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if iterations > graph.nodes.len() + 2 {
+            // The LCM lattice has height <= number of distinct constraints;
+            // more iterations than nodes means something is wrong.
+            return Err(Error::TraceDiverged {
+                dim: graph.nodes.iter().map(|n| n.dim).max().unwrap_or(0),
+            });
+        }
+    }
+
+    let global_dim = graph
+        .nodes
+        .iter()
+        .map(|n| n.dim)
+        .fold(1, lcm)
+        .min(DIM_BOUND);
+    Ok(TraceReport {
+        global_dim,
+        iterations,
+        log,
+    })
+}
+
+/// Scales every traced dimension to `round_dim` (a multiple of the traced
+/// global dimension) — used to apply the benchmark "window size" parameter
+/// (1 minute by default in the paper's evaluation).
+///
+/// # Errors
+/// Returns [`Error::InvalidParameter`] if `round_dim` is not a positive
+/// multiple of the traced global dimension.
+pub fn apply_round_dim(graph: &mut Graph, global_dim: Tick, round_dim: Tick) -> Result<()> {
+    if round_dim <= 0 || round_dim % global_dim != 0 {
+        return Err(Error::InvalidParameter {
+            message: format!(
+                "round dimension {round_dim} must be a positive multiple of the traced dimension {global_dim}"
+            ),
+        });
+    }
+    for n in &mut graph.nodes {
+        n.dim = round_dim;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{JoinKindTag, Node, OpKind};
+    use crate::time::StreamShape;
+
+    fn node(id: usize, kind: OpKind, inputs: Vec<usize>, shape: StreamShape) -> Node {
+        Node {
+            id,
+            name: kind.name().to_string(),
+            kind,
+            inputs,
+            shape,
+            arity: 1,
+            dim: 0,
+            lineage: vec![],
+        }
+    }
+
+    /// Builds the Listing 1 computation graph of Fig. 6:
+    /// sig500 (0,2) multicast -> Select and Mean(100); Join1; sig200 (0,5)
+    /// Select; Join2.
+    fn listing1_graph() -> Graph {
+        let s500 = StreamShape::new(0, 2);
+        let s200 = StreamShape::new(0, 5);
+        let mut g = Graph::new();
+        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], s500));
+        g.nodes.push(node(1, OpKind::Select, vec![0], s500));
+        g.nodes.push(node(
+            2,
+            OpKind::Aggregate {
+                window: 100,
+                stride: 100,
+            },
+            vec![0],
+            StreamShape::new(0, 100),
+        ));
+        g.nodes.push(node(
+            3,
+            OpKind::Join {
+                kind: JoinKindTag::Inner,
+            },
+            vec![1, 2],
+            s500, // gcd(2, 100) = 2
+        ));
+        g.nodes.push(node(4, OpKind::Source { index: 1 }, vec![], s200));
+        g.nodes.push(node(5, OpKind::Select, vec![4], s200));
+        g.nodes.push(node(
+            6,
+            OpKind::Join {
+                kind: JoinKindTag::Inner,
+            },
+            vec![3, 5],
+            StreamShape::new(0, 1), // gcd(2, 5) = 1
+        ));
+        g.nodes.push(node(7, OpKind::Sink, vec![6], StreamShape::new(0, 1)));
+        g.sinks.push(7);
+        g
+    }
+
+    #[test]
+    fn listing1_converges_to_dim_100_fig6() {
+        let mut g = listing1_graph();
+        let report = trace(&mut g).unwrap();
+        assert_eq!(report.global_dim, 100);
+        for n in &g.nodes {
+            assert_eq!(n.dim, 100, "node {} should trace to [100]", n);
+        }
+        assert!(!report.log.is_empty());
+    }
+
+    #[test]
+    fn single_chain_keeps_minimal_dim() {
+        let s = StreamShape::new(0, 2);
+        let mut g = Graph::new();
+        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], s));
+        g.nodes.push(node(1, OpKind::Select, vec![0], s));
+        g.nodes.push(node(2, OpKind::Sink, vec![1], s));
+        g.sinks.push(2);
+        let report = trace(&mut g).unwrap();
+        assert_eq!(report.global_dim, 2);
+    }
+
+    #[test]
+    fn join_forces_lcm_of_periods() {
+        let l = StreamShape::new(0, 2);
+        let r = StreamShape::new(0, 5);
+        let mut g = Graph::new();
+        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], l));
+        g.nodes.push(node(1, OpKind::Source { index: 1 }, vec![], r));
+        g.nodes.push(node(
+            2,
+            OpKind::Join {
+                kind: JoinKindTag::Inner,
+            },
+            vec![0, 1],
+            StreamShape::new(0, 1),
+        ));
+        g.nodes.push(node(3, OpKind::Sink, vec![2], StreamShape::new(0, 1)));
+        g.sinks.push(3);
+        let report = trace(&mut g).unwrap();
+        // lcm(2, 5, 1) = 10.
+        assert_eq!(report.global_dim, 10);
+        assert_eq!(g.nodes[0].dim, 10);
+        assert_eq!(g.nodes[1].dim, 10);
+    }
+
+    #[test]
+    fn dims_are_multiples_of_each_period() {
+        let mut g = listing1_graph();
+        trace(&mut g).unwrap();
+        for n in &g.nodes {
+            assert_eq!(n.dim % n.shape.period(), 0);
+        }
+    }
+
+    #[test]
+    fn apply_round_dim_validates() {
+        let mut g = listing1_graph();
+        let r = trace(&mut g).unwrap();
+        assert!(apply_round_dim(&mut g, r.global_dim, 250).is_err()); // not multiple
+        assert!(apply_round_dim(&mut g, r.global_dim, 0).is_err());
+        apply_round_dim(&mut g, r.global_dim, 60_000).unwrap();
+        assert!(g.nodes.iter().all(|n| n.dim == 60_000));
+    }
+
+    #[test]
+    fn tracing_is_idempotent() {
+        let mut g = listing1_graph();
+        let r1 = trace(&mut g).unwrap();
+        let mut g2 = g.clone();
+        let r2 = trace(&mut g2).unwrap();
+        assert_eq!(r1.global_dim, r2.global_dim);
+        assert!(r2.log.is_empty() || r2.iterations <= r1.iterations);
+    }
+}

@@ -1,0 +1,217 @@
+//! Whole-array kernels — the NumPy/SciPy/Scikit-learn stand-ins.
+//!
+//! Every function takes dense input arrays and returns freshly allocated
+//! output arrays, mirroring how a NumPy pipeline chains `ndarray`-in /
+//! `ndarray`-out calls with full intermediate materialization.
+
+/// Standard-score normalization applied independently to consecutive
+/// `window`-sample windows (`sklearn.preprocessing.scale` per window).
+/// Returns a new array.
+///
+/// # Panics
+/// Panics if `window == 0`.
+pub fn normalize_windows(values: &[f32], window: usize) -> Vec<f32> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(values.len());
+    for chunk in values.chunks(window) {
+        let n = chunk.len() as f64;
+        let mean = chunk.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = chunk
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let std = var.sqrt().max(1e-9);
+        out.extend(chunk.iter().map(|&v| ((v as f64 - mean) / std) as f32));
+    }
+    out
+}
+
+/// Direct-form FIR convolution (`scipy.signal.lfilter(taps, 1, x)`).
+/// Returns a new array of the same length (zero initial conditions).
+pub fn fir_filter(values: &[f32], taps: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; values.len()];
+    for i in 0..values.len() {
+        let mut acc = 0.0f32;
+        let kmax = taps.len().min(i + 1);
+        for k in 0..kmax {
+            acc += taps[k] * values[i - k];
+        }
+        out[i] = acc;
+    }
+    out
+}
+
+/// Fills NaN samples with a constant (`np.nan_to_num` / boolean-mask
+/// assignment). Gaps are conventionally encoded as NaN in array-world.
+pub fn fill_const(values: &[f32], fill: f32) -> Vec<f32> {
+    values
+        .iter()
+        .map(|&v| if v.is_nan() { fill } else { v })
+        .collect()
+}
+
+/// Fills NaN samples with the mean of the non-NaN samples in each
+/// `window`-sample window (`np.nanmean` + mask assignment).
+///
+/// # Panics
+/// Panics if `window == 0`.
+pub fn fill_mean(values: &[f32], window: usize) -> Vec<f32> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(values.len());
+    for chunk in values.chunks(window) {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for &v in chunk {
+            if !v.is_nan() {
+                sum += v as f64;
+                n += 1;
+            }
+        }
+        let mean = if n > 0 { (sum / n as f64) as f32 } else { f32::NAN };
+        out.extend(chunk.iter().map(|&v| if v.is_nan() { mean } else { v }));
+    }
+    out
+}
+
+/// Linear-interpolation resampling (`scipy.interpolate.interp1d` +
+/// evaluation on a new grid): samples at `src_period` re-evaluated every
+/// `dst_period` ticks. Returns `(timestamps, values)` — a new grid means a
+/// new timestamp array too, as in array-world.
+///
+/// # Panics
+/// Panics if either period is zero.
+pub fn resample_linear(
+    values: &[f32],
+    src_period: i64,
+    dst_period: i64,
+) -> (Vec<i64>, Vec<f32>) {
+    assert!(src_period > 0 && dst_period > 0, "periods must be positive");
+    if values.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let span = (values.len() as i64 - 1) * src_period;
+    let n_out = (span / dst_period) as usize + 1;
+    let mut ts = Vec::with_capacity(n_out);
+    let mut vs = Vec::with_capacity(n_out);
+    for i in 0..n_out {
+        let t = i as i64 * dst_period;
+        let seg = (t / src_period) as usize;
+        let t0 = seg as i64 * src_period;
+        if seg + 1 >= values.len() {
+            ts.push(t);
+            vs.push(values[values.len() - 1]);
+            continue;
+        }
+        let f = (t - t0) as f32 / src_period as f32;
+        ts.push(t);
+        vs.push(values[seg] + f * (values[seg + 1] - values[seg]));
+    }
+    (ts, vs)
+}
+
+/// Materializes a gap-bearing signal as a dense NaN-encoded array (the
+/// conventional NumPy representation loaded from retrospective storage).
+pub fn to_nan_array(data: &lifestream_core::source::SignalData) -> Vec<f32> {
+    let shape = data.shape();
+    let mut out = vec![f32::NAN; data.len()];
+    for &(s, e) in data.presence().ranges() {
+        let lo = shape.align_up(s.max(shape.offset()));
+        let hi = e.min(data.end_time());
+        let mut t = lo;
+        while t < hi {
+            let slot = ((t - shape.offset()) / shape.period()) as usize;
+            out[slot] = data.values()[slot];
+            t += shape.period();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_windows_center_and_scale() {
+        let v: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let out = normalize_windows(&v, 50);
+        let mean: f32 = out[..50].iter().sum::<f32>() / 50.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = out[..50].iter().map(|x| x * x).sum::<f32>() / 50.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normalize_handles_partial_tail() {
+        let out = normalize_windows(&[1.0, 2.0, 3.0], 2);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fir_filter_impulse_response() {
+        let mut x = vec![0.0f32; 10];
+        x[0] = 1.0;
+        let taps = [0.5, 0.3, 0.2];
+        let y = fir_filter(&x, &taps);
+        assert_eq!(&y[..3], &[0.5, 0.3, 0.2]);
+        assert_eq!(y[5], 0.0);
+    }
+
+    #[test]
+    fn fill_const_replaces_nans() {
+        let v = [1.0, f32::NAN, 3.0];
+        assert_eq!(fill_const(&v, 9.0), vec![1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn fill_mean_uses_window_mean() {
+        let v = [1.0, f32::NAN, 3.0, f32::NAN];
+        let out = fill_mean(&v, 4);
+        assert_eq!(out[1], 2.0);
+        assert_eq!(out[3], 2.0);
+        // All-NaN window stays NaN.
+        let out2 = fill_mean(&[f32::NAN, f32::NAN], 2);
+        assert!(out2[0].is_nan());
+    }
+
+    #[test]
+    fn resample_upsamples_linearly() {
+        let v = [0.0f32, 8.0, 16.0];
+        let (ts, vs) = resample_linear(&v, 8, 2);
+        assert_eq!(ts.len(), 9); // t = 0..16 step 2
+        assert_eq!(vs[1], 2.0);
+        assert_eq!(vs[4], 8.0);
+        assert_eq!(vs[8], 16.0);
+    }
+
+    #[test]
+    fn resample_downsamples() {
+        let v: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let (ts, vs) = resample_linear(&v, 2, 4);
+        assert_eq!(ts, vec![0, 4, 8, 12, 16]);
+        assert_eq!(vs, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn resample_empty() {
+        let (ts, vs) = resample_linear(&[], 2, 4);
+        assert!(ts.is_empty() && vs.is_empty());
+    }
+
+    #[test]
+    fn to_nan_array_encodes_gaps() {
+        use lifestream_core::source::SignalData;
+        use lifestream_core::time::StreamShape;
+        let mut d = SignalData::dense(StreamShape::new(0, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        d.punch_gap(2, 6);
+        let arr = to_nan_array(&d);
+        assert_eq!(arr[0], 1.0);
+        assert!(arr[1].is_nan());
+        assert!(arr[2].is_nan());
+        assert_eq!(arr[3], 4.0);
+    }
+}

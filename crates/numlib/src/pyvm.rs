@@ -1,0 +1,550 @@
+//! A miniature tree-walking interpreter over boxed dynamic values.
+//!
+//! The paper's NumLib baseline runs its temporal join and glue logic in
+//! pure Python ("operations like temporal Inner Join required pure Python
+//! implementation", §7). To reproduce that cost honestly — rather than
+//! hand-waving a slowdown factor — this module implements a small
+//! Python-like evaluator: dynamically typed [`Value`]s, per-operation
+//! dispatch, bounds-checked list indexing through reference-counted
+//! handles. Loops written against it pay the same category of overheads
+//! (type tests, heap indirection, interpreter dispatch) a CPython loop
+//! pays, in miniature.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A dynamically typed value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit float (Python `float`).
+    Float(f64),
+    /// 64-bit integer (Python `int`).
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Reference-counted mutable list.
+    List(Rc<RefCell<Vec<Value>>>),
+}
+
+impl Value {
+    /// Creates an empty list value.
+    pub fn list() -> Self {
+        Value::List(Rc::new(RefCell::new(Vec::new())))
+    }
+
+    /// Wraps a float slice as a list of `Float`s (a "Python list of
+    /// floats" as produced by `ndarray.tolist()`).
+    pub fn from_f32s(v: &[f32]) -> Self {
+        Value::List(Rc::new(RefCell::new(
+            v.iter().map(|&x| Value::Float(x as f64)).collect(),
+        )))
+    }
+
+    /// Wraps an i64 slice as a list of `Int`s.
+    pub fn from_i64s(v: &[i64]) -> Self {
+        Value::List(Rc::new(RefCell::new(
+            v.iter().map(|&x| Value::Int(x)).collect(),
+        )))
+    }
+
+    /// Truthiness (Python semantics for the types we carry).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::None => false,
+            Value::List(l) => !l.borrow().is_empty(),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, PyError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Bool(b) => Ok(f64::from(u8::from(*b))),
+            other => Err(PyError::Type(format!("expected number, got {other}"))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, PyError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Bool(b) => Ok(i64::from(*b)),
+            Value::Float(f) => Ok(*f as i64),
+            other => Err(PyError::Type(format!("expected int, got {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Bool(x) => write!(f, "{x}"),
+            Value::None => write!(f, "None"),
+            Value::List(l) => write!(f, "[list of {}]", l.borrow().len()),
+        }
+    }
+}
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyError {
+    /// Type mismatch.
+    Type(String),
+    /// Index out of range.
+    Index(i64, usize),
+    /// Unknown variable slot.
+    Slot(usize),
+}
+
+impl fmt::Display for PyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyError::Type(m) => write!(f, "type error: {m}"),
+            PyError::Index(i, len) => write!(f, "index {i} out of range for list of {len}"),
+            PyError::Slot(s) => write!(f, "unknown variable slot {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PyError {}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (float division)
+    Div,
+    /// `//` (floor division on ints)
+    FloorDiv,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Variable slot (pre-resolved name).
+pub type Slot = usize;
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Literal.
+    Const(f64),
+    /// Integer literal.
+    ConstInt(i64),
+    /// Variable load.
+    Load(Slot),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `list[index]`.
+    Index(Slot, Box<Expr>),
+    /// `len(list)`.
+    Len(Slot),
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `slot = expr`
+    Assign(Slot, Expr),
+    /// `while cond: body`
+    While(Expr, Vec<Stmt>),
+    /// `if cond: then else: otherwise`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `list.append(expr)`
+    Append(Slot, Expr),
+    /// `break`
+    Break,
+}
+
+enum Flow {
+    Normal,
+    Break,
+}
+
+/// The interpreter: a vector of variable slots plus an evaluator.
+#[derive(Debug)]
+pub struct Interp {
+    slots: Vec<Value>,
+    /// Interpreter operations executed (a proxy for bytecode count).
+    pub ops_executed: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter with `n` variable slots (all `None`).
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: vec![Value::None; n],
+            ops_executed: 0,
+        }
+    }
+
+    /// Sets a slot before execution (pass inputs in).
+    pub fn set(&mut self, slot: Slot, v: Value) {
+        self.slots[slot] = v;
+    }
+
+    /// Reads a slot after execution (pull outputs out).
+    pub fn get(&self, slot: Slot) -> &Value {
+        &self.slots[slot]
+    }
+
+    /// Executes a statement block.
+    ///
+    /// # Errors
+    /// Returns the first runtime error (type/index/slot).
+    pub fn exec(&mut self, body: &[Stmt]) -> Result<(), PyError> {
+        self.exec_block(body).map(|_| ())
+    }
+
+    fn exec_block(&mut self, body: &[Stmt]) -> Result<Flow, PyError> {
+        for stmt in body {
+            self.ops_executed += 1;
+            match stmt {
+                Stmt::Assign(slot, e) => {
+                    let v = self.eval(e)?;
+                    if *slot >= self.slots.len() {
+                        return Err(PyError::Slot(*slot));
+                    }
+                    self.slots[*slot] = v;
+                }
+                Stmt::While(cond, b) => loop {
+                    self.ops_executed += 1;
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec_block(b)? {
+                        Flow::Break => break,
+                        Flow::Normal => {}
+                    }
+                },
+                Stmt::If(cond, t, e) => {
+                    let branch = if self.eval(cond)?.truthy() { t } else { e };
+                    if let Flow::Break = self.exec_block(branch)? {
+                        return Ok(Flow::Break);
+                    }
+                }
+                Stmt::Append(slot, e) => {
+                    let v = self.eval(e)?;
+                    match &self.slots[*slot] {
+                        Value::List(l) => l.borrow_mut().push(v),
+                        other => {
+                            return Err(PyError::Type(format!("append to non-list {other}")))
+                        }
+                    }
+                }
+                Stmt::Break => return Ok(Flow::Break),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, PyError> {
+        self.ops_executed += 1;
+        match e {
+            Expr::Const(f) => Ok(Value::Float(*f)),
+            Expr::ConstInt(i) => Ok(Value::Int(*i)),
+            Expr::Load(s) => self
+                .slots
+                .get(*s)
+                .cloned()
+                .ok_or(PyError::Slot(*s)),
+            Expr::Len(s) => match &self.slots[*s] {
+                Value::List(l) => Ok(Value::Int(l.borrow().len() as i64)),
+                other => Err(PyError::Type(format!("len of non-list {other}"))),
+            },
+            Expr::Index(s, idx) => {
+                let i = self.eval(idx)?.as_i64()?;
+                match &self.slots[*s] {
+                    Value::List(l) => {
+                        let l = l.borrow();
+                        let n = l.len();
+                        let real = if i < 0 { i + n as i64 } else { i };
+                        if real < 0 || real as usize >= n {
+                            return Err(PyError::Index(i, n));
+                        }
+                        Ok(l[real as usize].clone())
+                    }
+                    other => Err(PyError::Type(format!("index into non-list {other}"))),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a)?;
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        return if va.truthy() { self.eval(b) } else { Ok(va) };
+                    }
+                    BinOp::Or => {
+                        return if va.truthy() { Ok(va) } else { self.eval(b) };
+                    }
+                    _ => {}
+                }
+                let vb = self.eval(b)?;
+                // Int/Int stays int for Add/Sub/Mul/FloorDiv, as in Python.
+                let both_int = matches!((&va, &vb), (Value::Int(_), Value::Int(_)));
+                Ok(match op {
+                    BinOp::Add if both_int => Value::Int(va.as_i64()? + vb.as_i64()?),
+                    BinOp::Sub if both_int => Value::Int(va.as_i64()? - vb.as_i64()?),
+                    BinOp::Mul if both_int => Value::Int(va.as_i64()? * vb.as_i64()?),
+                    BinOp::FloorDiv => Value::Int(va.as_i64()?.div_euclid(vb.as_i64()?)),
+                    BinOp::Add => Value::Float(va.as_f64()? + vb.as_f64()?),
+                    BinOp::Sub => Value::Float(va.as_f64()? - vb.as_f64()?),
+                    BinOp::Mul => Value::Float(va.as_f64()? * vb.as_f64()?),
+                    BinOp::Div => Value::Float(va.as_f64()? / vb.as_f64()?),
+                    BinOp::Lt => Value::Bool(va.as_f64()? < vb.as_f64()?),
+                    BinOp::Le => Value::Bool(va.as_f64()? <= vb.as_f64()?),
+                    BinOp::Gt => Value::Bool(va.as_f64()? > vb.as_f64()?),
+                    BinOp::Ge => Value::Bool(va.as_f64()? >= vb.as_f64()?),
+                    BinOp::Eq => Value::Bool((va.as_f64()? - vb.as_f64()?).abs() == 0.0),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+}
+
+/// The pure-Python temporal inner join the paper's NumLib pipeline uses:
+/// a merge walk over two sorted timestamp lists, emitting `(t, l, r)` for
+/// every left event whose covering right event exists (right events cover
+/// `[t_r, t_r + right_period)`).
+///
+/// Inputs and outputs cross the boundary as dynamic lists, and the loop
+/// body executes entirely on the interpreter.
+///
+/// # Errors
+/// Propagates interpreter errors (none for well-formed inputs).
+pub fn py_temporal_join(
+    left_ts: &[i64],
+    left_vs: &[f32],
+    right_ts: &[i64],
+    right_vs: &[f32],
+    right_period: i64,
+) -> Result<(Vec<i64>, Vec<f32>, Vec<f32>), PyError> {
+    // Slot layout.
+    const LT: Slot = 0; // left timestamps
+    const LV: Slot = 1; // left values
+    const RT: Slot = 2; // right timestamps
+    const RV: Slot = 3; // right values
+    const I: Slot = 4; // left index
+    const J: Slot = 5; // right index
+    const OT: Slot = 6; // out timestamps
+    const OL: Slot = 7; // out left values
+    const OR: Slot = 8; // out right values
+    const N: Slot = 9; // len(left)
+    const M: Slot = 10; // len(right)
+    const T: Slot = 11; // current left time
+    const P: Slot = 12; // right period
+
+    use BinOp::*;
+    use Expr::*;
+    use Stmt::*;
+
+    let load = |s: Slot| Box::new(Load(s));
+    let bin = |op: BinOp, a: Expr, b: Expr| Bin(op, Box::new(a), Box::new(b));
+
+    // while i < n:
+    //   t = lt[i]
+    //   while j + 1 < m and rt[j + 1] <= t: j = j + 1
+    //   if rt[j] <= t and t < rt[j] + p:
+    //     ot.append(t); ol.append(lv[i]); or.append(rv[j])
+    //   i = i + 1
+    let program = vec![
+        Assign(I, ConstInt(0)),
+        Assign(J, ConstInt(0)),
+        While(
+            bin(Lt, Load(I), Load(N)),
+            vec![
+                Assign(T, Index(LT, load(I))),
+                While(
+                    bin(
+                        And,
+                        bin(Lt, bin(Add, Load(J), ConstInt(1)), Load(M)),
+                        bin(Le, Index(RT, Box::new(bin(Add, Load(J), ConstInt(1)))), Load(T)),
+                    ),
+                    vec![Assign(J, bin(Add, Load(J), ConstInt(1)))],
+                ),
+                If(
+                    bin(
+                        And,
+                        bin(Le, Index(RT, load(J)), Load(T)),
+                        bin(Lt, Load(T), bin(Add, Index(RT, load(J)), Load(P))),
+                    ),
+                    vec![
+                        Append(OT, Load(T)),
+                        Append(OL, Index(LV, load(I))),
+                        Append(OR, Index(RV, load(J))),
+                    ],
+                    vec![],
+                ),
+                Assign(I, bin(Add, Load(I), ConstInt(1))),
+            ],
+        ),
+    ];
+
+    let mut vm = Interp::new(13);
+    vm.set(LT, Value::from_i64s(left_ts));
+    vm.set(LV, Value::from_f32s(left_vs));
+    vm.set(RT, Value::from_i64s(right_ts));
+    vm.set(RV, Value::from_f32s(right_vs));
+    vm.set(OT, Value::list());
+    vm.set(OL, Value::list());
+    vm.set(OR, Value::list());
+    vm.set(N, Value::Int(left_ts.len() as i64));
+    vm.set(M, Value::Int(right_ts.len() as i64));
+    vm.set(P, Value::Int(right_period));
+    if right_ts.is_empty() {
+        return Ok((Vec::new(), Vec::new(), Vec::new()));
+    }
+    vm.exec(&program)?;
+
+    let out = |slot: Slot| -> Vec<Value> {
+        match vm.get(slot) {
+            Value::List(l) => l.borrow().clone(),
+            _ => Vec::new(),
+        }
+    };
+    let ts = out(OT).iter().map(|v| v.as_i64().unwrap_or(0)).collect();
+    let ls = out(OL)
+        .iter()
+        .map(|v| v.as_f64().unwrap_or(f64::NAN) as f32)
+        .collect();
+    let rs = out(OR)
+        .iter()
+        .map(|v| v.as_f64().unwrap_or(f64::NAN) as f32)
+        .collect();
+    Ok((ts, ls, rs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_types() {
+        let mut vm = Interp::new(2);
+        vm.exec(&[
+            Stmt::Assign(0, Expr::Bin(BinOp::Add, Box::new(Expr::ConstInt(2)), Box::new(Expr::ConstInt(3)))),
+            Stmt::Assign(1, Expr::Bin(BinOp::Div, Box::new(Expr::Const(1.0)), Box::new(Expr::ConstInt(4)))),
+        ])
+        .unwrap();
+        assert!(matches!(vm.get(0), Value::Int(5)));
+        assert!(matches!(vm.get(1), Value::Float(f) if (*f - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        use BinOp::*;
+        use Expr::*;
+        use Stmt::*;
+        let mut vm = Interp::new(2);
+        vm.set(0, Value::Int(0)); // i
+        vm.set(1, Value::Int(0)); // acc
+        vm.exec(&[While(
+            Bin(Lt, Box::new(Load(0)), Box::new(ConstInt(10))),
+            vec![
+                Assign(1, Bin(Add, Box::new(Load(1)), Box::new(Load(0)))),
+                Assign(0, Bin(Add, Box::new(Load(0)), Box::new(ConstInt(1)))),
+            ],
+        )])
+        .unwrap();
+        assert!(matches!(vm.get(1), Value::Int(45)));
+        assert!(vm.ops_executed > 50, "dispatch counted: {}", vm.ops_executed);
+    }
+
+    #[test]
+    fn list_index_errors() {
+        let mut vm = Interp::new(1);
+        vm.set(0, Value::from_f32s(&[1.0, 2.0]));
+        let err = vm
+            .exec(&[Stmt::Assign(0, Expr::Index(0, Box::new(Expr::ConstInt(5))))])
+            .unwrap_err();
+        assert_eq!(err, PyError::Index(5, 2));
+    }
+
+    #[test]
+    fn negative_index_wraps() {
+        let mut vm = Interp::new(2);
+        vm.set(0, Value::from_f32s(&[1.0, 2.0, 3.0]));
+        vm.exec(&[Stmt::Assign(1, Expr::Index(0, Box::new(Expr::ConstInt(-1))))])
+            .unwrap();
+        assert!(matches!(vm.get(1), Value::Float(f) if *f == 3.0));
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        use Expr::*;
+        use Stmt::*;
+        let mut vm = Interp::new(1);
+        vm.set(0, Value::Int(0));
+        vm.exec(&[While(
+            Const(1.0),
+            vec![
+                Assign(0, Bin(BinOp::Add, Box::new(Load(0)), Box::new(ConstInt(1)))),
+                If(
+                    Bin(BinOp::Ge, Box::new(Load(0)), Box::new(ConstInt(3))),
+                    vec![Break],
+                    vec![],
+                ),
+            ],
+        )])
+        .unwrap();
+        assert!(matches!(vm.get(0), Value::Int(3)));
+    }
+
+    #[test]
+    fn py_join_matches_expected_pairs() {
+        // Left at 0..8 step 2, right at 0..8 step 4 (covering 4 ticks).
+        let lt: Vec<i64> = (0..4).map(|i| i * 2).collect();
+        let lv: Vec<f32> = vec![10.0, 11.0, 12.0, 13.0];
+        let rt: Vec<i64> = vec![0, 4];
+        let rv: Vec<f32> = vec![100.0, 101.0];
+        let (ts, ls, rs) = py_temporal_join(&lt, &lv, &rt, &rv, 4).unwrap();
+        assert_eq!(ts, vec![0, 2, 4, 6]);
+        assert_eq!(ls, lv);
+        assert_eq!(rs, vec![100.0, 100.0, 101.0, 101.0]);
+    }
+
+    #[test]
+    fn py_join_respects_gaps() {
+        let lt: Vec<i64> = vec![0, 1, 10, 11];
+        let lv: Vec<f32> = vec![1.0; 4];
+        let rt: Vec<i64> = vec![0, 10];
+        let rv: Vec<f32> = vec![5.0, 6.0];
+        let (ts, _, rs) = py_temporal_join(&lt, &lv, &rt, &rv, 2).unwrap();
+        assert_eq!(ts, vec![0, 1, 10, 11]);
+        assert_eq!(rs, vec![5.0, 5.0, 6.0, 6.0]);
+        // Left events in the right's gap produce nothing.
+        let lt2: Vec<i64> = vec![5, 6];
+        let (ts2, _, _) = py_temporal_join(&lt2, &[1.0, 1.0], &rt, &rv, 2).unwrap();
+        assert!(ts2.is_empty());
+    }
+
+    #[test]
+    fn py_join_empty_right() {
+        let (ts, ls, rs) = py_temporal_join(&[0, 1], &[1.0, 2.0], &[], &[], 2).unwrap();
+        assert!(ts.is_empty() && ls.is_empty() && rs.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the NumLib kernels and the pyvm interpreter.
+
+use numlib_baseline::ops::{fill_const, fill_mean, fir_filter, normalize_windows, resample_linear};
+use numlib_baseline::pyvm::py_temporal_join;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalize_windows_is_standard_score(
+        vals in prop::collection::vec(-1000.0f32..1000.0, 2..300),
+        w in 2usize..64,
+    ) {
+        let out = normalize_windows(&vals, w);
+        prop_assert_eq!(out.len(), vals.len());
+        for chunk in out.chunks(w) {
+            if chunk.len() < 2 { continue; }
+            let mean: f64 = chunk.iter().map(|&v| v as f64).sum::<f64>() / chunk.len() as f64;
+            prop_assert!(mean.abs() < 1e-2, "window mean {mean}");
+        }
+    }
+
+    #[test]
+    fn fir_filter_is_linear(
+        x in prop::collection::vec(-10.0f32..10.0, 1..100),
+        taps in prop::collection::vec(-1.0f32..1.0, 1..8),
+        a in -3.0f32..3.0,
+    ) {
+        // filter(a*x) == a*filter(x)
+        let scaled: Vec<f32> = x.iter().map(|&v| v * a).collect();
+        let y1 = fir_filter(&scaled, &taps);
+        let y2: Vec<f32> = fir_filter(&x, &taps).iter().map(|&v| v * a).collect();
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-2 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn fills_remove_all_nans_when_any_value_present(
+        vals in prop::collection::vec(prop::option::of(-100.0f32..100.0), 1..200),
+        w in 1usize..50,
+    ) {
+        let arr: Vec<f32> = vals.iter().map(|v| v.unwrap_or(f32::NAN)).collect();
+        let fc = fill_const(&arr, 7.0);
+        prop_assert!(fc.iter().all(|v| !v.is_nan()));
+        let fm = fill_mean(&arr, w);
+        for (chunk_in, chunk_out) in arr.chunks(w).zip(fm.chunks(w)) {
+            let any_present = chunk_in.iter().any(|v| !v.is_nan());
+            if any_present {
+                prop_assert!(chunk_out.iter().all(|v| !v.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn resample_identity_when_periods_equal(
+        vals in prop::collection::vec(-10.0f32..10.0, 1..100),
+        p in 1i64..16,
+    ) {
+        let (ts, vs) = resample_linear(&vals, p, p);
+        prop_assert_eq!(vs.len(), vals.len());
+        for (i, (&t, &v)) in ts.iter().zip(&vs).enumerate() {
+            prop_assert_eq!(t, i as i64 * p);
+            prop_assert!((v - vals[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn py_join_output_is_subset_of_left(
+        left_n in 1usize..60,
+        right_n in 0usize..30,
+        rp in 1i64..8,
+    ) {
+        let lt: Vec<i64> = (0..left_n as i64).collect();
+        let lv = vec![1.0f32; left_n];
+        let rt: Vec<i64> = (0..right_n as i64).map(|i| i * rp).collect();
+        let rv = vec![2.0f32; right_n];
+        let (ts, ls, rs) = py_temporal_join(&lt, &lv, &rt, &rv, rp).unwrap();
+        prop_assert!(ts.len() <= left_n);
+        prop_assert_eq!(ls.len(), ts.len());
+        prop_assert_eq!(rs.len(), ts.len());
+        // Every output time is a left time covered by some right event.
+        for &t in &ts {
+            prop_assert!(lt.contains(&t));
+            prop_assert!(rt.iter().any(|&r| r <= t && t < r + rp));
+        }
+    }
+}

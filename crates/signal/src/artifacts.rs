@@ -1,0 +1,210 @@
+//! Artifact injection: the line-zero calibration artifact of Fig. 7.
+//!
+//! When an arterial-line pressure sensor is recalibrated against
+//! atmospheric pressure, the ABP reading collapses to ~0 mmHg for a few
+//! seconds, producing the characteristic flat-bottom shape in Fig. 7.
+//! The Fig. 7 accuracy experiment injects a known number of these into a
+//! synthetic ABP trace and measures the shape-`Where` detector's false
+//! positives/negatives against the injected ground truth.
+
+use lifestream_core::time::Tick;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of an injected line-zero artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct LineZeroSpec {
+    /// Number of artifacts to inject.
+    pub count: usize,
+    /// Artifact duration in samples (flat-at-zero portion).
+    pub flat_samples: usize,
+    /// Transition ramp length in samples on each side.
+    pub ramp_samples: usize,
+    /// Residual noise amplitude on the flat portion (mmHg).
+    pub noise: f32,
+}
+
+impl Default for LineZeroSpec {
+    fn default() -> Self {
+        Self {
+            count: 49, // the paper's month of data contained 49
+            flat_samples: 250, // 2 s at 125 Hz
+            ramp_samples: 12,
+            noise: 1.0,
+        }
+    }
+}
+
+/// Injects line-zero artifacts into `values` at non-overlapping random
+/// positions; returns the ground-truth sample ranges `[start, end)` of the
+/// injected artifacts, sorted.
+///
+/// # Panics
+/// Panics if the signal is too short to place the requested artifacts.
+pub fn inject_line_zero(values: &mut [f32], spec: &LineZeroSpec, seed: u64) -> Vec<(usize, usize)> {
+    let total = spec.flat_samples + 2 * spec.ramp_samples;
+    assert!(
+        values.len() > total * (spec.count + 1) * 2,
+        "signal too short: {} samples for {} artifacts of {}",
+        values.len(),
+        spec.count,
+        total
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11e0);
+    let mut starts: Vec<usize> = Vec::with_capacity(spec.count);
+    let min_sep = total * 2;
+    let mut attempts = 0;
+    while starts.len() < spec.count {
+        attempts += 1;
+        assert!(attempts < 100_000, "failed to place artifacts");
+        let s = rng.gen_range(total..values.len() - total);
+        if starts.iter().any(|&e| s.abs_diff(e) < min_sep) {
+            continue;
+        }
+        starts.push(s);
+    }
+    starts.sort_unstable();
+    let mut truth = Vec::with_capacity(spec.count);
+    for &s in &starts {
+        let base_in = values[s];
+        let base_out = values[s + total - 1];
+        for i in 0..spec.ramp_samples {
+            let f = 1.0 - (i + 1) as f32 / spec.ramp_samples as f32;
+            values[s + i] = base_in * f;
+        }
+        for i in 0..spec.flat_samples {
+            values[s + spec.ramp_samples + i] = rng.gen_range(-spec.noise..spec.noise);
+        }
+        for i in 0..spec.ramp_samples {
+            let f = (i + 1) as f32 / spec.ramp_samples as f32;
+            values[s + spec.ramp_samples + spec.flat_samples + i] = base_out * f;
+        }
+        truth.push((s, s + total));
+    }
+    truth
+}
+
+/// The canonical line-zero query pattern: a flat run of zeros, `len`
+/// samples long — what a user would sketch from Fig. 7 for matching an
+/// already-normalized flat region.
+pub fn line_zero_pattern(len: usize) -> Vec<f32> {
+    vec![0.0; len]
+}
+
+/// The line-zero *onset* pattern: normal pressure level, a downward ramp,
+/// then the flat-at-zero run — the characteristic shape of Fig. 7's left
+/// edge. Matching the onset (rather than a constant) keeps the pattern
+/// non-degenerate under z-normalization, so amplitude-invariant matching
+/// works on raw signals.
+pub fn line_zero_onset_pattern(pre: usize, ramp: usize, post: usize) -> Vec<f32> {
+    let mut v = Vec::with_capacity(pre + ramp + post);
+    v.extend(std::iter::repeat(1.0).take(pre));
+    for i in 0..ramp {
+        v.push(1.0 - (i + 1) as f32 / (ramp + 1) as f32);
+    }
+    v.extend(std::iter::repeat(0.0).take(post));
+    v
+}
+
+/// Scores detections against ground truth. A truth interval counts as
+/// *detected* if any detection time (in samples) falls within it, expanded
+/// by `slack` samples on both sides; a detection is a *false positive* if
+/// it lands in no expanded truth interval.
+///
+/// Returns `(false_negatives, false_positives, detected)`.
+pub fn score_detections(
+    truth: &[(usize, usize)],
+    detections: &[usize],
+    slack: usize,
+) -> (usize, usize, usize) {
+    let hit = |d: usize| {
+        truth
+            .iter()
+            .any(|&(s, e)| d + slack >= s && d < e + slack)
+    };
+    let fp = detections.iter().filter(|&&d| !hit(d)).count();
+    let detected = truth
+        .iter()
+        .filter(|&&(s, e)| {
+            detections
+                .iter()
+                .any(|&d| d + slack >= s && d < e + slack)
+        })
+        .count();
+    (truth.len() - detected, fp, detected)
+}
+
+/// Converts detection *times* (ticks) into sample indices given the
+/// signal's period.
+pub fn times_to_samples(times: &[Tick], period: Tick) -> Vec<usize> {
+    times.iter().map(|&t| (t / period) as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::abp_wave;
+
+    #[test]
+    fn injection_zeroes_flat_region() {
+        let mut v = abp_wave(100_000, 125.0, 72.0, 1);
+        let spec = LineZeroSpec {
+            count: 5,
+            ..Default::default()
+        };
+        let truth = inject_line_zero(&mut v, &spec, 3);
+        assert_eq!(truth.len(), 5);
+        for &(s, e) in &truth {
+            let mid = (s + e) / 2;
+            assert!(v[mid].abs() <= spec.noise, "flat value {}", v[mid]);
+            assert!(e - s == spec.flat_samples + 2 * spec.ramp_samples);
+        }
+        // Outside artifacts the signal stays pulsatile.
+        let clean = v[..truth[0].0 - 10].iter().fold(f32::MIN, |a, &x| a.max(x));
+        assert!(clean > 100.0);
+    }
+
+    #[test]
+    fn artifacts_do_not_overlap() {
+        let mut v = abp_wave(200_000, 125.0, 72.0, 2);
+        let truth = inject_line_zero(
+            &mut v,
+            &LineZeroSpec {
+                count: 20,
+                ..Default::default()
+            },
+            9,
+        );
+        for w in truth.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap {:?}", w);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let mut a = abp_wave(100_000, 125.0, 72.0, 1);
+        let mut b = a.clone();
+        let s = LineZeroSpec::default();
+        assert_eq!(inject_line_zero(&mut a, &s, 7), inject_line_zero(&mut b, &s, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scoring_counts_fn_fp() {
+        let truth = [(100, 200), (500, 600)];
+        // One detection inside first, one stray.
+        let (fneg, fpos, det) = score_detections(&truth, &[150, 900], 10);
+        assert_eq!(fneg, 1);
+        assert_eq!(fpos, 1);
+        assert_eq!(det, 1);
+        // Slack rescues near misses.
+        let (fneg2, fpos2, _) = score_detections(&truth, &[95, 605], 10);
+        assert_eq!(fneg2, 0);
+        assert_eq!(fpos2, 0);
+    }
+
+    #[test]
+    fn times_to_samples_divides_by_period() {
+        assert_eq!(times_to_samples(&[0, 8, 16], 8), vec![0, 1, 2]);
+    }
+}

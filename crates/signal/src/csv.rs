@@ -1,0 +1,153 @@
+//! CSV ingest/egress for retrospective signal data.
+//!
+//! The paper's end-to-end benchmark reads two weeks of ECG+ABP from CSV
+//! files; each row is `timestamp,value`. Absent grid slots simply have no
+//! row — gaps are reconstructed into the presence map on load.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use lifestream_core::presence::PresenceMap;
+use lifestream_core::source::SignalData;
+use lifestream_core::time::{StreamShape, Tick};
+
+/// Writes a signal as `timestamp,value` CSV rows (present events only).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(data: &SignalData, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let shape = data.shape();
+    for &(s, e) in data.presence().ranges() {
+        let mut t = shape.align_up(s.max(shape.offset()));
+        let end = e.min(data.end_time());
+        while t < end {
+            let slot = ((t - shape.offset()) / shape.period()) as usize;
+            writeln!(w, "{t},{}", data.values()[slot])?;
+            t += shape.period();
+        }
+    }
+    w.flush()
+}
+
+/// Reads `timestamp,value` CSV rows into a [`SignalData`] of the given
+/// shape. Rows must be sorted by timestamp and lie on the stream grid;
+/// missing grid points become gaps.
+///
+/// # Errors
+/// Returns `InvalidData` for malformed rows, off-grid timestamps, or
+/// unsorted input.
+pub fn read_csv<R: Read>(shape: StreamShape, reader: R) -> io::Result<SignalData> {
+    let r = BufReader::new(reader);
+    let mut values: Vec<f32> = Vec::new();
+    let mut presence = PresenceMap::new();
+    let mut last_t: Option<Tick> = None;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (ts, vs) = line.split_once(',').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected 'timestamp,value'", lineno + 1),
+            )
+        })?;
+        let t: Tick = ts.trim().parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        let v: f32 = vs.trim().parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        if !shape.on_grid(t) || t < shape.offset() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: timestamp {t} off the {shape} grid", lineno + 1),
+            ));
+        }
+        if let Some(prev) = last_t {
+            if t <= prev {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: timestamps must be strictly increasing", lineno + 1),
+                ));
+            }
+        }
+        let slot = ((t - shape.offset()) / shape.period()) as usize;
+        if slot >= values.len() {
+            values.resize(slot + 1, 0.0);
+        }
+        values[slot] = v;
+        presence.add(t, t + shape.period());
+        last_t = Some(t);
+    }
+    Ok(SignalData::with_presence(shape, values, presence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dense_signal() {
+        let shape = StreamShape::new(0, 2);
+        let data = SignalData::dense(shape, vec![1.5, 2.5, 3.5]);
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "0,1.5\n2,2.5\n4,3.5\n");
+        let back = read_csv(shape, &buf[..]).unwrap();
+        assert_eq!(back.values(), data.values());
+        assert_eq!(back.present_events(), 3);
+    }
+
+    #[test]
+    fn roundtrip_preserves_gaps() {
+        let shape = StreamShape::new(0, 4);
+        let mut data = SignalData::dense(shape, (0..10).map(|i| i as f32).collect());
+        data.punch_gap(8, 20); // drops slots 2,3,4
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let back = read_csv(shape, &buf[..]).unwrap();
+        assert_eq!(back.present_events(), 7);
+        assert_eq!(back.value_at(4), Some(1.0));
+        assert_eq!(back.value_at(12), None);
+        assert_eq!(back.value_at(20), Some(5.0));
+    }
+
+    #[test]
+    fn read_rejects_off_grid_rows() {
+        let shape = StreamShape::new(0, 2);
+        let err = read_csv(shape, "3,1.0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn read_rejects_unsorted_rows() {
+        let shape = StreamShape::new(0, 2);
+        let err = read_csv(shape, "4,1.0\n2,2.0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn read_rejects_malformed_rows() {
+        let shape = StreamShape::new(0, 2);
+        assert!(read_csv(shape, "nonsense\n".as_bytes()).is_err());
+        assert!(read_csv(shape, "2;1.0\n".as_bytes()).is_err());
+        assert!(read_csv(shape, "2,abc\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_skips_comments_and_blank_lines() {
+        let shape = StreamShape::new(0, 2);
+        let data = read_csv(shape, "# header\n\n0,1.0\n2,2.0\n".as_bytes()).unwrap();
+        assert_eq!(data.present_events(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_signal() {
+        let shape = StreamShape::new(0, 2);
+        let data = read_csv(shape, "".as_bytes()).unwrap();
+        assert!(data.is_empty());
+    }
+}

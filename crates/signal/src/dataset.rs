@@ -1,0 +1,225 @@
+//! Dataset builders combining waveforms, gap models, and artifacts into
+//! ready-to-run [`SignalData`] — the stand-ins for the paper's two dataset
+//! types (synthetic 1000 Hz and the SickKids ECG/ABP traces).
+
+use lifestream_core::presence::PresenceMap;
+use lifestream_core::source::SignalData;
+use lifestream_core::time::{StreamShape, Tick};
+
+use crate::gaps::GapModel;
+use crate::waveform::{abp_wave, ecg_wave, random_wave};
+
+/// Which waveform morphology to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// PQRST-like electrocardiogram (paper default: 500 Hz).
+    Ecg,
+    /// Pulsatile arterial blood pressure (paper default: 125 Hz).
+    Abp,
+    /// Uniform random values (the paper's synthetic dataset).
+    Random,
+}
+
+/// Builder for synthetic datasets.
+///
+/// # Examples
+/// ```
+/// use lifestream_signal::{DatasetBuilder, SignalKind};
+///
+/// // The paper's synthetic dataset shape: 1000 Hz, no gaps (the real
+/// // benchmarks use 1000 minutes; one minute keeps the example fast).
+/// let data = DatasetBuilder::new(SignalKind::Random, 1)
+///     .minutes(1)
+///     .build(1000.0);
+/// assert_eq!(data.shape().period(), 1);
+/// assert_eq!(data.len(), 60_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    kind: SignalKind,
+    seed: u64,
+    span: Tick,
+    offset: Tick,
+    bpm: f64,
+    gaps: Option<GapModel>,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder for the given morphology and RNG seed.
+    pub fn new(kind: SignalKind, seed: u64) -> Self {
+        Self {
+            kind,
+            seed,
+            span: 60_000,
+            offset: 0,
+            bpm: 72.0,
+            gaps: None,
+        }
+    }
+
+    /// Sets the time span in minutes (ticks are milliseconds).
+    pub fn minutes(mut self, m: i64) -> Self {
+        self.span = m * 60_000;
+        self
+    }
+
+    /// Sets the time span in ticks.
+    pub fn span_ticks(mut self, t: Tick) -> Self {
+        self.span = t;
+        self
+    }
+
+    /// Sets the stream offset (first event time).
+    pub fn offset(mut self, o: Tick) -> Self {
+        self.offset = o;
+        self
+    }
+
+    /// Sets the synthetic heart rate.
+    pub fn bpm(mut self, bpm: f64) -> Self {
+        self.bpm = bpm;
+        self
+    }
+
+    /// Applies a discontinuity model.
+    pub fn with_gaps(mut self, model: GapModel) -> Self {
+        self.gaps = Some(model);
+        self
+    }
+
+    /// Synthesizes the dataset at `hz` (must divide 1000 evenly into a
+    /// tick period).
+    ///
+    /// # Panics
+    /// Panics if `hz` does not correspond to an integral tick period.
+    pub fn build(&self, hz: f64) -> SignalData {
+        let period = (1000.0 / hz) as Tick;
+        assert!(
+            (1000.0 / hz).fract() == 0.0 && period >= 1,
+            "rate {hz} Hz has no integral ms period"
+        );
+        let shape = StreamShape::new(self.offset, period);
+        let n = (self.span / period) as usize;
+        let values = match self.kind {
+            SignalKind::Ecg => ecg_wave(n, hz, self.bpm, self.seed),
+            SignalKind::Abp => abp_wave(n, hz, self.bpm, self.seed),
+            SignalKind::Random => random_wave(n, 0.0, 100.0, self.seed),
+        };
+        match &self.gaps {
+            None => SignalData::dense(shape, values),
+            Some(model) => {
+                let mut presence = model.generate(self.span, self.seed);
+                // Shift presence into the stream's absolute range and clip.
+                if self.offset != 0 {
+                    let shifted: PresenceMap = presence
+                        .ranges()
+                        .iter()
+                        .map(|&(s, e)| (s + self.offset, e + self.offset))
+                        .collect();
+                    presence = shifted;
+                }
+                SignalData::with_presence(shape, values, presence)
+            }
+        }
+    }
+}
+
+/// Builds the paper's default "real-like" pair: ECG at 500 Hz and ABP at
+/// 125 Hz over `minutes`, both with ICU-style discontinuities drawn from
+/// distinct seeds (so their overlap is partial, like Fig. 2).
+pub fn ecg_abp_pair(minutes: i64, seed: u64) -> (SignalData, SignalData) {
+    let ecg = DatasetBuilder::new(SignalKind::Ecg, seed)
+        .minutes(minutes)
+        .with_gaps(GapModel::icu_default())
+        .build(500.0);
+    let abp = DatasetBuilder::new(SignalKind::Abp, seed.wrapping_add(1))
+        .minutes(minutes)
+        .with_gaps(GapModel::icu_default())
+        .build(125.0);
+    (ecg, abp)
+}
+
+/// Builds an ECG/ABP pair whose ABP presence overlaps the ECG presence by
+/// exactly `overlap_fraction` — the Fig. 10a workload.
+///
+/// The ECG uses a ~45%-coverage gap model so the complement always has
+/// room for the non-overlapping share of the ABP data, keeping the ABP
+/// event count constant across the sweep.
+pub fn ecg_abp_with_overlap(minutes: i64, overlap_fraction: f64, seed: u64) -> (SignalData, SignalData) {
+    let span = minutes * 60_000;
+    let sparse = GapModel {
+        run_min: 20 * 60_000,
+        run_max: 2 * 3_600_000,
+        gap_min: 30 * 60_000,
+        gap_max: 3 * 3_600_000,
+        outage_prob: 0.95,
+    };
+    let ecg = DatasetBuilder::new(SignalKind::Ecg, seed)
+        .minutes(minutes)
+        .with_gaps(sparse)
+        .build(500.0);
+    let abp_dense = DatasetBuilder::new(SignalKind::Abp, seed.wrapping_add(1))
+        .minutes(minutes)
+        .build(125.0);
+    let presence = crate::gaps::with_overlap(ecg.presence(), span, overlap_fraction, seed);
+    (ecg, abp_dense.with_new_presence(presence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_rates() {
+        let d = DatasetBuilder::new(SignalKind::Ecg, 1).minutes(1).build(500.0);
+        assert_eq!(d.shape().period(), 2);
+        assert_eq!(d.len(), 30_000);
+        let d125 = DatasetBuilder::new(SignalKind::Abp, 1).minutes(1).build(125.0);
+        assert_eq!(d125.shape().period(), 8);
+        assert_eq!(d125.len(), 7_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "integral ms period")]
+    fn non_integral_rate_rejected() {
+        let _ = DatasetBuilder::new(SignalKind::Random, 1).build(300.0);
+    }
+
+    #[test]
+    fn gaps_reduce_presence() {
+        let d = DatasetBuilder::new(SignalKind::Random, 4)
+            .minutes(4 * 60)
+            .with_gaps(GapModel::icu_default())
+            .build(125.0);
+        assert!(d.present_events() < d.len());
+        assert!(d.present_events() > 0);
+    }
+
+    #[test]
+    fn offset_moves_first_event() {
+        let d = DatasetBuilder::new(SignalKind::Random, 1)
+            .span_ticks(1000)
+            .offset(500)
+            .build(125.0);
+        assert_eq!(d.shape().offset(), 500);
+        assert_eq!(d.presence().start(), Some(500));
+    }
+
+    #[test]
+    fn ecg_abp_pair_has_partial_overlap() {
+        let (ecg, abp) = ecg_abp_pair(6 * 60, 42);
+        let inter = ecg.presence().intersect(abp.presence()).covered_ticks();
+        assert!(inter > 0);
+        assert!(inter < ecg.presence().covered_ticks());
+    }
+
+    #[test]
+    fn overlap_pair_honors_fraction() {
+        for f in [0.2, 0.8] {
+            let (ecg, abp) = ecg_abp_with_overlap(6 * 60, f, 5);
+            let inter = ecg.presence().intersect(abp.presence()).covered_ticks();
+            let frac = inter as f64 / ecg.presence().covered_ticks() as f64;
+            assert!((frac - f).abs() < 0.05, "want {f} got {frac}");
+        }
+    }
+}

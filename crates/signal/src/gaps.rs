@@ -1,0 +1,213 @@
+//! Discontinuity models reproducing Fig. 2's gap structure.
+//!
+//! Raw physiological data is riddled with disconnection episodes — sensor
+//! recalibration, patient transport, lead changes. Fig. 2 shows they are
+//! *bursty and calendar-clustered*, not uniformly scattered: long
+//! contiguous data runs separated by multi-hour outages, with some whole
+//! days missing. §6.2 relies on this (FWindow fragmentation stays ≈ 0.3%).
+
+use lifestream_core::presence::PresenceMap;
+use lifestream_core::time::Tick;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generative model of disconnection episodes over `[0, span)`.
+///
+/// Alternates data runs and outages with log-uniform-ish durations:
+/// run lengths in `[run_min, run_max]`, outage lengths in
+/// `[gap_min, gap_max]`, both in ticks. `uptime_target` tunes the expected
+/// fraction of time covered by data.
+#[derive(Debug, Clone)]
+pub struct GapModel {
+    /// Minimum data-run length in ticks.
+    pub run_min: Tick,
+    /// Maximum data-run length in ticks.
+    pub run_max: Tick,
+    /// Minimum outage length in ticks.
+    pub gap_min: Tick,
+    /// Maximum outage length in ticks.
+    pub gap_max: Tick,
+    /// Probability that an outage occurs at each run boundary (vs. a brief
+    /// blip); controls burstiness.
+    pub outage_prob: f64,
+}
+
+impl GapModel {
+    /// A model shaped like the paper's ICU traces: hours-long runs,
+    /// minutes-to-hours outages (assuming millisecond ticks).
+    pub fn icu_default() -> Self {
+        Self {
+            run_min: 30 * 60_000,        // 30 min
+            run_max: 8 * 3_600_000,      // 8 h
+            gap_min: 60_000,             // 1 min
+            gap_max: 4 * 3_600_000,      // 4 h
+            outage_prob: 0.7,
+        }
+    }
+
+    /// Generates a presence map over `[0, span)`.
+    pub fn generate(&self, span: Tick, seed: u64) -> PresenceMap {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9a9);
+        let mut map = PresenceMap::new();
+        let mut t: Tick = 0;
+        // Possibly start inside an outage.
+        if rng.gen_bool(0.3) {
+            t += rng.gen_range(self.gap_min..=self.gap_max).min(span / 4 + 1);
+        }
+        while t < span {
+            let run = rng.gen_range(self.run_min..=self.run_max);
+            let end = (t + run).min(span);
+            map.add(t, end);
+            t = end;
+            if t >= span {
+                break;
+            }
+            let gap = if rng.gen_bool(self.outage_prob) {
+                rng.gen_range(self.gap_min..=self.gap_max)
+            } else {
+                rng.gen_range(1_000..=10_000) // brief blip
+            };
+            t += gap;
+        }
+        map
+    }
+}
+
+/// Builds a presence map over `[0, span)` whose overlap with `other` is
+/// approximately `overlap_fraction` of `other`'s covered time — the direct
+/// knob behind Fig. 10a's sweep.
+///
+/// The result covers roughly the same total time as `other`, placing
+/// `overlap_fraction` of its mass inside `other`'s ranges and the rest in
+/// `other`'s gaps (or past them).
+pub fn with_overlap(
+    other: &PresenceMap,
+    span: Tick,
+    overlap_fraction: f64,
+    seed: u64,
+) -> PresenceMap {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0f1);
+    let overlap_fraction = overlap_fraction.clamp(0.0, 1.0);
+    let mut out = PresenceMap::new();
+    let target = other.covered_ticks();
+    let want_in = (target as f64 * overlap_fraction) as Tick;
+    let want_out = target - want_in;
+
+    // Cover a prefix of each of other's ranges until want_in is placed.
+    let mut placed_in = 0;
+    for &(s, e) in other.ranges() {
+        if placed_in >= want_in {
+            break;
+        }
+        let take = (e - s).min(want_in - placed_in);
+        out.add(s, s + take);
+        placed_in += take;
+    }
+    // Place the remainder in the complement of other's coverage.
+    let mut placed_out = 0;
+    let mut cursor = 0;
+    let mut complement: Vec<(Tick, Tick)> = Vec::new();
+    for &(s, e) in other.ranges() {
+        if s > cursor {
+            complement.push((cursor, s));
+        }
+        cursor = e;
+    }
+    if cursor < span {
+        complement.push((cursor, span));
+    }
+    // Shuffle-ish: rotate the complement so placement varies by seed.
+    if !complement.is_empty() {
+        let rot = rng.gen_range(0..complement.len());
+        complement.rotate_left(rot);
+    }
+    for (s, e) in complement {
+        if placed_out >= want_out {
+            break;
+        }
+        let take = (e - s).min(want_out - placed_out);
+        out.add(s, s + take);
+        placed_out += take;
+    }
+    out
+}
+
+/// Day-by-day coverage fractions (for rendering Fig. 2-style maps);
+/// `day_ticks` is the day length in ticks (86 400 000 for ms ticks).
+pub fn daily_coverage(map: &PresenceMap, span: Tick, day_ticks: Tick) -> Vec<f64> {
+    let days = (span + day_ticks - 1) / day_ticks;
+    (0..days)
+        .map(|d| map.coverage_fraction(d * day_ticks, ((d + 1) * day_ticks).min(span)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: Tick = 86_400_000;
+
+    #[test]
+    fn icu_model_is_bursty_not_scattered() {
+        let span = 30 * DAY;
+        let map = GapModel::icu_default().generate(span, 11);
+        // Bursty: far fewer ranges than a per-second scatter would give.
+        assert!(map.ranges().len() < 1000, "ranges {}", map.ranges().len());
+        assert!(!map.is_empty());
+        // Runs are long: median range over 10 minutes.
+        let mut lens: Vec<Tick> = map.ranges().iter().map(|&(s, e)| e - s).collect();
+        lens.sort_unstable();
+        assert!(lens[lens.len() / 2] >= 10 * 60_000);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let m = GapModel::icu_default();
+        assert_eq!(m.generate(DAY, 5), m.generate(DAY, 5));
+    }
+
+    #[test]
+    fn coverage_is_partial() {
+        let span = 60 * DAY;
+        let map = GapModel::icu_default().generate(span, 3);
+        let f = map.coverage_fraction(0, span);
+        assert!(f > 0.2 && f < 0.99, "coverage {f}");
+    }
+
+    #[test]
+    fn with_overlap_hits_target_fraction() {
+        let span = 10 * DAY;
+        let base = GapModel::icu_default().generate(span, 7);
+        for target in [0.1, 0.5, 0.9] {
+            let derived = with_overlap(&base, span, target, 21);
+            let inter = base.intersect(&derived).covered_ticks();
+            let frac = inter as f64 / base.covered_ticks() as f64;
+            assert!(
+                (frac - target).abs() < 0.05,
+                "target {target} got {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_overlap_extremes() {
+        let span = DAY;
+        let base = PresenceMap::full(0, span / 2);
+        let zero = with_overlap(&base, span, 0.0, 1);
+        assert_eq!(base.intersect(&zero).covered_ticks(), 0);
+        let one = with_overlap(&base, span, 1.0, 1);
+        assert_eq!(base.intersect(&one).covered_ticks(), base.covered_ticks());
+    }
+
+    #[test]
+    fn daily_coverage_resolves_days() {
+        let mut map = PresenceMap::new();
+        map.add(0, DAY / 2); // day 0: 50%
+        map.add(DAY, 2 * DAY); // day 1: 100%
+        let cov = daily_coverage(&map, 3 * DAY, DAY);
+        assert_eq!(cov.len(), 3);
+        assert!((cov[0] - 0.5).abs() < 1e-9);
+        assert!((cov[1] - 1.0).abs() < 1e-9);
+        assert_eq!(cov[2], 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Waveform synthesis: ECG-like, ABP-like, sinusoidal, and random signals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` samples of a PQRST-like ECG waveform at `hz` with heart
+/// rate `bpm`. Morphology is a sum of Gaussian bumps per beat (P, Q, R, S,
+/// T) plus small baseline wander and measurement noise.
+///
+/// # Examples
+/// ```
+/// let ecg = lifestream_signal::ecg_wave(5000, 500.0, 72.0, 1);
+/// assert_eq!(ecg.len(), 5000);
+/// let max = ecg.iter().fold(f32::MIN, |a, &v| a.max(v));
+/// assert!(max > 0.5, "R peaks should dominate, max {max}");
+/// ```
+pub fn ecg_wave(n: usize, hz: f64, bpm: f64, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xec6);
+    let beat_period = 60.0 / bpm; // seconds per beat
+    // (phase center, width, amplitude) of each deflection, phase in beats.
+    let bumps: [(f64, f64, f64); 5] = [
+        (0.15, 0.045, 0.12),  // P
+        (0.28, 0.012, -0.18), // Q
+        (0.31, 0.016, 1.00),  // R
+        (0.34, 0.012, -0.25), // S
+        (0.55, 0.070, 0.30),  // T
+    ];
+    let mut out = Vec::with_capacity(n);
+    let mut wander_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    for i in 0..n {
+        let t = i as f64 / hz;
+        let phase = (t / beat_period).fract();
+        let mut v = 0.0;
+        for &(c, w, a) in &bumps {
+            let d = phase - c;
+            v += a * (-d * d / (2.0 * w * w)).exp();
+        }
+        // Baseline wander (~0.3 Hz respiration) + white noise.
+        v += 0.05 * (std::f64::consts::TAU * 0.3 * t + wander_phase).sin();
+        v += rng.gen_range(-0.01..0.01);
+        wander_phase += 0.0;
+        out.push(v as f32);
+    }
+    out
+}
+
+/// Generates `n` samples of a pulsatile ABP-like waveform (mmHg) at `hz`
+/// with heart rate `bpm`: systolic upstroke, dicrotic notch, diastolic
+/// decay, around a 80/120 mmHg envelope.
+///
+/// # Examples
+/// ```
+/// let abp = lifestream_signal::abp_wave(1250, 125.0, 72.0, 1);
+/// assert_eq!(abp.len(), 1250);
+/// let mean = abp.iter().sum::<f32>() / 1250.0;
+/// assert!(mean > 70.0 && mean < 110.0, "mean pressure {mean}");
+/// ```
+pub fn abp_wave(n: usize, hz: f64, bpm: f64, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabb);
+    let beat_period = 60.0 / bpm;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / hz;
+        let phase = (t / beat_period).fract();
+        // Systolic rise then exponential diastolic decay.
+        let pulse = if phase < 0.15 {
+            (phase / 0.15) * 1.0
+        } else {
+            let d = (phase - 0.15) / 0.85;
+            // Dicrotic notch around 40% of the decay.
+            let notch = 0.08 * (-((d - 0.35) * (d - 0.35)) / 0.002).exp();
+            (1.0 - d).powf(1.3) + notch
+        };
+        let v = 80.0 + 40.0 * pulse + rng.gen_range(-0.5..0.5);
+        out.push(v as f32);
+    }
+    out
+}
+
+/// Generates `n` uniform random samples in `[lo, hi)` — the paper's
+/// synthetic dataset uses randomly selected signal values.
+///
+/// # Examples
+/// ```
+/// let v = lifestream_signal::random_wave(100, 0.0, 1.0, 7);
+/// assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+/// ```
+pub fn random_wave(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Generates `n` samples of `amp * sin(2π f t) + offset` sampled at `hz`.
+pub fn sine_wave(n: usize, hz: f64, freq: f64, amp: f32, offset: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / hz;
+            amp * (std::f64::consts::TAU * freq * t).sin() as f32 + offset
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecg_is_periodic_at_heart_rate() {
+        let hz = 500.0;
+        let bpm = 60.0; // one beat per second = 500 samples
+        let ecg = ecg_wave(2000, hz, bpm, 3);
+        // R peaks should repeat every ~500 samples; find argmax in each
+        // 500-sample beat and check spacing.
+        let peaks: Vec<usize> = (0..4)
+            .map(|b| {
+                let seg = &ecg[b * 500..(b + 1) * 500];
+                b * 500
+                    + seg
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, c| a.1.partial_cmp(c.1).unwrap())
+                        .unwrap()
+                        .0
+            })
+            .collect();
+        for w in peaks.windows(2) {
+            let d = w[1] - w[0];
+            assert!((480..=520).contains(&d), "beat spacing {d}");
+        }
+    }
+
+    #[test]
+    fn ecg_deterministic_per_seed() {
+        assert_eq!(ecg_wave(100, 500.0, 72.0, 9), ecg_wave(100, 500.0, 72.0, 9));
+        assert_ne!(ecg_wave(100, 500.0, 72.0, 9), ecg_wave(100, 500.0, 72.0, 10));
+    }
+
+    #[test]
+    fn abp_stays_in_physiological_range() {
+        let abp = abp_wave(5000, 125.0, 80.0, 2);
+        for &v in &abp {
+            assert!((60.0..140.0).contains(&v), "pressure {v}");
+        }
+        let max = abp.iter().fold(f32::MIN, |a, &v| a.max(v));
+        let min = abp.iter().fold(f32::MAX, |a, &v| a.min(v));
+        assert!(max > 110.0, "systolic {max}");
+        assert!(min < 90.0, "diastolic {min}");
+    }
+
+    #[test]
+    fn random_wave_bounds_and_determinism() {
+        let a = random_wave(1000, -5.0, 5.0, 42);
+        assert_eq!(a, random_wave(1000, -5.0, 5.0, 42));
+        assert!(a.iter().all(|&v| (-5.0..5.0).contains(&v)));
+    }
+
+    #[test]
+    fn sine_wave_hits_expected_values() {
+        let s = sine_wave(4, 4.0, 1.0, 2.0, 10.0);
+        assert!((s[0] - 10.0).abs() < 1e-5);
+        assert!((s[1] - 12.0).abs() < 1e-4); // sin(π/2) = 1
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the CSV substrate: round-trip fidelity under
+//! arbitrary gap layouts and shapes.
+
+use lifestream_core::source::SignalData;
+use lifestream_core::time::StreamShape;
+use lifestream_signal::csv::{read_csv, write_csv};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_round_trip_preserves_events(
+        period in prop::sample::select(vec![1i64, 2, 4, 5, 8]),
+        offset in 0i64..16,
+        n in 1usize..400,
+        gaps in prop::collection::vec((0i64..3000, 1i64..500), 0..5),
+    ) {
+        let shape = StreamShape::new(offset, period);
+        let mut data = SignalData::dense(
+            shape,
+            (0..n).map(|i| (i as f32 * 0.37).sin() * 50.0).collect(),
+        );
+        for &(s, l) in &gaps {
+            data.punch_gap(s, s + l);
+        }
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let back = read_csv(shape, &buf[..]).unwrap();
+        prop_assert_eq!(back.present_events(), data.present_events());
+        // Every present event's value survives exactly.
+        for &(s, e) in data.presence().ranges() {
+            let mut t = shape.align_up(s.max(shape.offset()));
+            while t < e.min(data.end_time()) {
+                prop_assert_eq!(back.value_at(t), data.value_at(t));
+                t += period;
+            }
+        }
+    }
+
+    #[test]
+    fn gap_model_coverage_is_within_bounds(
+        seed in 0u64..500,
+        days in 1i64..20,
+    ) {
+        use lifestream_signal::gaps::GapModel;
+        let span = days * 86_400_000;
+        let map = GapModel::icu_default().generate(span, seed);
+        let f = map.coverage_fraction(0, span);
+        prop_assert!((0.0..=1.0).contains(&f));
+        if let (Some(s), Some(e)) = (map.start(), map.end()) {
+            prop_assert!(s >= 0);
+            prop_assert!(e <= span);
+        }
+    }
+
+    #[test]
+    fn overlap_construction_is_tight(
+        target in 0.0f64..=1.0,
+        seed in 0u64..100,
+    ) {
+        use lifestream_core::presence::PresenceMap;
+        use lifestream_signal::gaps::with_overlap;
+        let span = 2_000_000i64;
+        // Base covering 40% in two runs, leaving ample complement.
+        let base: PresenceMap =
+            [(0, 500_000), (1_200_000, 1_500_000)].into_iter().collect();
+        let derived = with_overlap(&base, span, target, seed);
+        let frac = base.intersect(&derived).covered_ticks() as f64
+            / base.covered_ticks() as f64;
+        prop_assert!((frac - target).abs() < 0.02, "target {target} got {frac}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Columnar stream batches — Trill's `StreamMessage` analogue.
+
+use lifestream_core::time::Tick;
+
+/// Default batch size (events per batch); Trill ships with ~80 000.
+pub const DEFAULT_BATCH_SIZE: usize = 80_000;
+
+/// A columnar batch of events: parallel sync/duration/payload arrays.
+/// Only *present* events are materialized (Trill compacts batches), so
+/// unlike an FWindow, timestamps cannot be derived from slot indices and
+/// must be read from memory.
+#[derive(Debug, Clone, Default)]
+pub struct StreamBatch {
+    /// Event sync times, ascending.
+    pub sync: Vec<Tick>,
+    /// Event durations.
+    pub duration: Vec<Tick>,
+    /// Payload columns (`arity` of them, each `len()` long).
+    pub fields: Vec<Vec<f32>>,
+}
+
+impl StreamBatch {
+    /// Creates an empty batch with `arity` payload columns and reserved
+    /// capacity (Trill allocates batch memory per batch — this is the
+    /// dynamic allocation the paper contrasts with LifeStream's plan).
+    pub fn with_capacity(arity: usize, cap: usize) -> Self {
+        Self {
+            sync: Vec::with_capacity(cap),
+            duration: Vec::with_capacity(cap),
+            fields: (0..arity).map(|_| Vec::with_capacity(cap)).collect(),
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.sync.len()
+    }
+
+    /// True when the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.sync.is_empty()
+    }
+
+    /// Payload arity.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    /// Panics if `payload.len() != arity`.
+    #[inline]
+    pub fn push(&mut self, sync: Tick, duration: Tick, payload: &[f32]) {
+        assert_eq!(payload.len(), self.fields.len(), "payload arity mismatch");
+        self.sync.push(sync);
+        self.duration.push(duration);
+        for (col, &v) in self.fields.iter_mut().zip(payload) {
+            col.push(v);
+        }
+    }
+
+    /// The largest sync time in the batch (its watermark contribution).
+    pub fn watermark(&self) -> Option<Tick> {
+        self.sync.last().copied()
+    }
+
+    /// Approximate heap bytes held by the batch.
+    pub fn heap_bytes(&self) -> usize {
+        self.sync.capacity() * 8
+            + self.duration.capacity() * 8
+            + self
+                .fields
+                .iter()
+                .map(|f| f.capacity() * 4)
+                .sum::<usize>()
+    }
+
+    /// Reads event `i`'s payload into `buf`.
+    #[inline]
+    pub fn read_payload(&self, i: usize, buf: &mut [f32]) {
+        for (f, o) in buf.iter_mut().enumerate() {
+            *o = self.fields[f][i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut b = StreamBatch::with_capacity(2, 4);
+        b.push(0, 2, &[1.0, -1.0]);
+        b.push(2, 2, &[2.0, -2.0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.watermark(), Some(2));
+        let mut buf = [0.0; 2];
+        b.read_payload(1, &mut buf);
+        assert_eq!(buf, [2.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = StreamBatch::with_capacity(1, 0);
+        assert!(b.is_empty());
+        assert_eq!(b.watermark(), None);
+    }
+
+    #[test]
+    fn heap_bytes_counts_columns() {
+        let b = StreamBatch::with_capacity(2, 100);
+        assert!(b.heap_bytes() >= 100 * (8 + 8 + 4 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut b = StreamBatch::with_capacity(1, 1);
+        b.push(0, 1, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,956 @@
+//! The eager push-dataflow engine: operator nodes, batch scheduler, and
+//! run statistics.
+
+use lifestream_core::source::SignalData;
+use lifestream_core::time::{StreamShape, Tick};
+
+use crate::batch::{StreamBatch, DEFAULT_BATCH_SIZE};
+use crate::join::HashJoin;
+
+/// Aggregate kinds (mirrors the core engine's set so pipelines translate
+/// one-to-one).
+pub use lifestream_core::ops::aggregate::AggKind;
+
+/// Errors surfaced by a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrillError {
+    /// Join state exceeded the configured memory cap — the engine's
+    /// analogue of the paper's observed OOM crash at 200 M events.
+    OutOfMemory {
+        /// Bytes buffered in join state when the cap was hit.
+        buffered_bytes: usize,
+        /// The configured cap.
+        cap_bytes: usize,
+    },
+    /// Graph construction error (bad handle, arity overflow, ...).
+    Construction(String),
+}
+
+impl std::fmt::Display for TrillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrillError::OutOfMemory {
+                buffered_bytes,
+                cap_bytes,
+            } => write!(
+                f,
+                "join state out of memory: {buffered_bytes} bytes buffered, cap {cap_bytes}"
+            ),
+            TrillError::Construction(m) => write!(f, "pipeline construction failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrillError {}
+
+/// Run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrillStats {
+    /// Events ingested from all sources.
+    pub input_events: u64,
+    /// Events emitted at the sink.
+    pub output_events: u64,
+    /// Batches allocated during the run (every operator output is a fresh
+    /// allocation — the overhead static memory allocation removes).
+    pub batches_allocated: u64,
+    /// Peak bytes buffered across all joins.
+    pub peak_join_bytes: usize,
+}
+
+/// A retrospective event source feeding the scheduler batch by batch.
+#[derive(Debug)]
+pub struct EventSource {
+    data: SignalData,
+    /// Next presence-range index and intra-range position.
+    range_idx: usize,
+    pos_in_range: Tick,
+    exhausted: bool,
+}
+
+impl EventSource {
+    /// Wraps a dataset.
+    pub fn new(data: SignalData) -> Self {
+        Self {
+            data,
+            range_idx: 0,
+            pos_in_range: 0,
+            exhausted: false,
+        }
+    }
+
+    /// The stream's shape.
+    pub fn shape(&self) -> StreamShape {
+        self.data.shape()
+    }
+
+    /// True when all events have been emitted.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Produces the next batch of up to `n` present events.
+    pub fn next_batch(&mut self, n: usize) -> StreamBatch {
+        let shape = self.data.shape();
+        let p = shape.period();
+        let mut out = StreamBatch::with_capacity(1, n);
+        while out.len() < n {
+            let ranges = self.data.presence().ranges();
+            if self.range_idx >= ranges.len() {
+                self.exhausted = true;
+                break;
+            }
+            let (rs, re) = ranges[self.range_idx];
+            let start = shape.align_up(rs.max(shape.offset())) + self.pos_in_range;
+            let end = re.min(self.data.end_time());
+            if start >= end {
+                self.range_idx += 1;
+                self.pos_in_range = 0;
+                continue;
+            }
+            let mut t = start;
+            while t < end && out.len() < n {
+                let slot = ((t - shape.offset()) / p) as usize;
+                out.push(t, p, &[self.data.values()[slot]]);
+                t += p;
+            }
+            self.pos_in_range = t - shape.align_up(rs.max(shape.offset()));
+            if t >= end {
+                self.range_idx += 1;
+                self.pos_in_range = 0;
+            }
+        }
+        out
+    }
+}
+
+/// A user window function for `WindowOp`: receives the window's event
+/// times and values, emits transformed events via `push(t, v)`.
+pub type WindowFn =
+    Box<dyn FnMut(&[Tick], &[f32], &mut dyn FnMut(Tick, f32)) + Send>;
+
+enum Op {
+    Source { index: usize },
+    Select {
+        f: Box<dyn FnMut(&[f32], &mut [f32]) + Send>,
+        in_arity: usize,
+        out_arity: usize,
+    },
+    Where {
+        pred: Box<dyn FnMut(&[f32]) -> bool + Send>,
+        arity: usize,
+    },
+    /// Tumbling/sliding aggregate over event-time windows.
+    Aggregate {
+        kind: AggKind,
+        window: Tick,
+        stride: Tick,
+        /// Buffered events awaiting window completion.
+        pending: Vec<(Tick, f32)>,
+        next_window: Option<Tick>,
+    },
+    Join {
+        state: HashJoin,
+    },
+    ClipJoin {
+        last_right: Option<Vec<f32>>,
+        pending_left: Vec<(Tick, Tick, Vec<f32>)>,
+        left_arity: usize,
+        right_arity: usize,
+    },
+    Chop {
+        boundary: Tick,
+        arity: usize,
+    },
+    /// Time-aware projection (Trill's `Select((vsync, payload) => ...)`).
+    SelectTime {
+        f: Box<dyn FnMut(Tick, &[f32], &mut [f32]) + Send>,
+        in_arity: usize,
+        out_arity: usize,
+    },
+    /// Sync-time shift by a constant.
+    Shift {
+        delta: Tick,
+    },
+    /// Windowed user operation (normalize / fill / FIR / resample run as
+    /// "user-defined operators" in Trill terms).
+    WindowOp {
+        window: Tick,
+        f: WindowFn,
+        pending: Vec<(Tick, f32)>,
+        next_window: Option<Tick>,
+    },
+    Sink,
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Op::Source { .. } => "Source",
+            Op::Select { .. } => "Select",
+            Op::SelectTime { .. } => "SelectTime",
+            Op::Shift { .. } => "Shift",
+            Op::Where { .. } => "Where",
+            Op::Aggregate { .. } => "Aggregate",
+            Op::Join { .. } => "Join",
+            Op::ClipJoin { .. } => "ClipJoin",
+            Op::Chop { .. } => "Chop",
+            Op::WindowOp { .. } => "WindowOp",
+            Op::Sink => "Sink",
+        };
+        f.write_str(name)
+    }
+}
+
+struct Node {
+    op: Op,
+    inputs: Vec<usize>,
+    arity: usize,
+    period: Tick,
+}
+
+/// Handle to a node in a [`TrillPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrillHandle(usize);
+
+/// An eager, batch-at-a-time pipeline.
+pub struct TrillPipeline {
+    nodes: Vec<Node>,
+    n_sources: usize,
+    batch_size: usize,
+    mem_cap: usize,
+    sink_collect: bool,
+    collected: Vec<(Tick, f32)>,
+}
+
+impl Default for TrillPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrillPipeline {
+    /// Creates an empty pipeline with default batch size and a 2 GiB join
+    /// memory cap.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            n_sources: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+            mem_cap: 2 << 30,
+            sink_collect: false,
+            collected: Vec::new(),
+        }
+    }
+
+    /// Overrides the batch size (Table 5 sweeps it).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Overrides the join-state memory cap.
+    pub fn with_memory_cap(mut self, bytes: usize) -> Self {
+        self.mem_cap = bytes;
+        self
+    }
+
+    /// Collects sink events (first payload field) for verification runs.
+    pub fn with_collection(mut self) -> Self {
+        self.sink_collect = true;
+        self
+    }
+
+    fn push_node(&mut self, op: Op, inputs: Vec<usize>, arity: usize, period: Tick) -> TrillHandle {
+        self.nodes.push(Node {
+            op,
+            inputs,
+            arity,
+            period,
+        });
+        TrillHandle(self.nodes.len() - 1)
+    }
+
+    /// Declares a source.
+    pub fn source(&mut self, shape: StreamShape) -> TrillHandle {
+        let index = self.n_sources;
+        self.n_sources += 1;
+        self.push_node(Op::Source { index }, vec![], 1, shape.period())
+    }
+
+    /// Payload projection.
+    pub fn select<F>(&mut self, input: TrillHandle, out_arity: usize, f: F) -> TrillHandle
+    where
+        F: FnMut(&[f32], &mut [f32]) + Send + 'static,
+    {
+        let (ia, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
+        self.push_node(
+            Op::Select {
+                f: Box::new(f),
+                in_arity: ia,
+                out_arity,
+            },
+            vec![input.0],
+            out_arity,
+            p,
+        )
+    }
+
+    /// Time-aware payload projection.
+    pub fn select_with_time<F>(&mut self, input: TrillHandle, out_arity: usize, f: F) -> TrillHandle
+    where
+        F: FnMut(Tick, &[f32], &mut [f32]) + Send + 'static,
+    {
+        let (ia, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
+        self.push_node(
+            Op::SelectTime {
+                f: Box::new(f),
+                in_arity: ia,
+                out_arity,
+            },
+            vec![input.0],
+            out_arity,
+            p,
+        )
+    }
+
+    /// Shifts every sync time forward by `delta`.
+    pub fn shift(&mut self, input: TrillHandle, delta: Tick) -> TrillHandle {
+        let (a, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
+        self.push_node(Op::Shift { delta }, vec![input.0], a, p)
+    }
+
+    /// Predicate filter.
+    pub fn where_<F>(&mut self, input: TrillHandle, pred: F) -> TrillHandle
+    where
+        F: FnMut(&[f32]) -> bool + Send + 'static,
+    {
+        let (a, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
+        self.push_node(
+            Op::Where {
+                pred: Box::new(pred),
+                arity: a,
+            },
+            vec![input.0],
+            a,
+            p,
+        )
+    }
+
+    /// Windowed aggregate (tumbling when `window == stride`).
+    pub fn aggregate(
+        &mut self,
+        input: TrillHandle,
+        kind: AggKind,
+        window: Tick,
+        stride: Tick,
+    ) -> TrillHandle {
+        self.push_node(
+            Op::Aggregate {
+                kind,
+                window,
+                stride,
+                pending: Vec::new(),
+                next_window: None,
+            },
+            vec![input.0],
+            1,
+            stride,
+        )
+    }
+
+    /// Temporal inner equijoin.
+    pub fn join(&mut self, left: TrillHandle, right: TrillHandle) -> TrillHandle {
+        let (la, lp) = (self.nodes[left.0].arity, self.nodes[left.0].period);
+        let (ra, rp) = (self.nodes[right.0].arity, self.nodes[right.0].period);
+        let grid = lifestream_core::time::gcd(lp, rp).max(1);
+        self.push_node(
+            Op::Join {
+                state: HashJoin::new(lp, rp, la, ra),
+            },
+            vec![left.0, right.0],
+            la + ra,
+            grid,
+        )
+    }
+
+    /// As-of join (pairs each left event with the most recent right one).
+    pub fn clip_join(&mut self, left: TrillHandle, right: TrillHandle) -> TrillHandle {
+        let (la, lp) = (self.nodes[left.0].arity, self.nodes[left.0].period);
+        let ra = self.nodes[right.0].arity;
+        self.push_node(
+            Op::ClipJoin {
+                last_right: None,
+                pending_left: Vec::new(),
+                left_arity: la,
+                right_arity: ra,
+            },
+            vec![left.0, right.0],
+            la + ra,
+            lp,
+        )
+    }
+
+    /// Splits event intervals on boundary multiples.
+    pub fn chop(&mut self, input: TrillHandle, boundary: Tick) -> TrillHandle {
+        let (a, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
+        let g = lifestream_core::time::gcd(p, boundary).max(1);
+        self.push_node(
+            Op::Chop {
+                boundary,
+                arity: a,
+            },
+            vec![input.0],
+            a,
+            g,
+        )
+    }
+
+    /// Windowed user-defined operation (single-field streams).
+    pub fn window_op<F>(&mut self, input: TrillHandle, window: Tick, f: F) -> TrillHandle
+    where
+        F: FnMut(&[Tick], &[f32], &mut dyn FnMut(Tick, f32)) + Send + 'static,
+    {
+        let p = self.nodes[input.0].period;
+        self.push_node(
+            Op::WindowOp {
+                window,
+                f: Box::new(f),
+                pending: Vec::new(),
+                next_window: None,
+            },
+            vec![input.0],
+            1,
+            p,
+        )
+    }
+
+    /// Period of a node's output stream.
+    pub fn period_of(&self, h: TrillHandle) -> Tick {
+        self.nodes[h.0].period
+    }
+
+    /// Marks the query output.
+    pub fn sink(&mut self, input: TrillHandle) {
+        let (a, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
+        self.push_node(Op::Sink, vec![input.0], a, p);
+    }
+
+    /// Collected sink events (when collection was enabled).
+    pub fn collected(&self) -> &[(Tick, f32)] {
+        &self.collected
+    }
+
+    /// Runs the pipeline over the sources (declaration order), round-robin
+    /// one batch per source per turn — modelling Trill's independent
+    /// per-stream ingress.
+    ///
+    /// # Errors
+    /// Returns [`TrillError::OutOfMemory`] when join state exceeds the cap.
+    pub fn run(&mut self, sources: Vec<SignalData>) -> Result<TrillStats, TrillError> {
+        if sources.len() != self.n_sources {
+            return Err(TrillError::Construction(format!(
+                "expected {} sources, got {}",
+                self.n_sources,
+                sources.len()
+            )));
+        }
+        let mut stats = TrillStats::default();
+        let mut feeds: Vec<EventSource> = sources.into_iter().map(EventSource::new).collect();
+        // Map source index -> node id.
+        let mut src_nodes = vec![0usize; self.n_sources];
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let Op::Source { index } = n.op {
+                src_nodes[index] = id;
+            }
+        }
+        let consumers = self.consumers();
+        loop {
+            let mut all_done = true;
+            for s in 0..feeds.len() {
+                if feeds[s].exhausted() {
+                    continue;
+                }
+                let batch = feeds[s].next_batch(self.batch_size);
+                if batch.is_empty() {
+                    continue;
+                }
+                all_done = false;
+                stats.input_events += batch.len() as u64;
+                stats.batches_allocated += 1;
+                self.push_batch(src_nodes[s], batch, &consumers, &mut stats)?;
+            }
+            if all_done {
+                break;
+            }
+        }
+        // Flush stateful operators.
+        self.flush_all(&consumers, &mut stats)?;
+        Ok(stats)
+    }
+
+    fn consumers(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (id, n) in self.nodes.iter().enumerate() {
+            for &i in &n.inputs {
+                out[i].push(id);
+            }
+        }
+        out
+    }
+
+    /// Pushes `batch` (output of node `from`) into all consumers,
+    /// recursively.
+    fn push_batch(
+        &mut self,
+        from: usize,
+        batch: StreamBatch,
+        consumers: &[Vec<usize>],
+        stats: &mut TrillStats,
+    ) -> Result<(), TrillError> {
+        for &c in &consumers[from] {
+            let port = self.nodes[c].inputs.iter().position(|&i| i == from).unwrap();
+            let out = self.apply(c, port, &batch, stats)?;
+            if let Some(out) = out {
+                if !out.is_empty() {
+                    stats.batches_allocated += 1;
+                    self.push_batch(c, out, consumers, stats)?;
+                } else {
+                    drop(out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply(
+        &mut self,
+        id: usize,
+        port: usize,
+        batch: &StreamBatch,
+        stats: &mut TrillStats,
+    ) -> Result<Option<StreamBatch>, TrillError> {
+        let mem_cap = self.mem_cap;
+        let node = &mut self.nodes[id];
+        let out = match &mut node.op {
+            Op::Source { .. } => None,
+            Op::Select {
+                f,
+                in_arity,
+                out_arity,
+            } => {
+                let mut out = StreamBatch::with_capacity(*out_arity, batch.len());
+                let mut ibuf = vec![0.0f32; *in_arity];
+                let mut obuf = vec![0.0f32; *out_arity];
+                for i in 0..batch.len() {
+                    batch.read_payload(i, &mut ibuf);
+                    f(&ibuf, &mut obuf);
+                    out.push(batch.sync[i], batch.duration[i], &obuf);
+                }
+                Some(out)
+            }
+            Op::SelectTime {
+                f,
+                in_arity,
+                out_arity,
+            } => {
+                let mut out = StreamBatch::with_capacity(*out_arity, batch.len());
+                let mut ibuf = vec![0.0f32; *in_arity];
+                let mut obuf = vec![0.0f32; *out_arity];
+                for i in 0..batch.len() {
+                    batch.read_payload(i, &mut ibuf);
+                    f(batch.sync[i], &ibuf, &mut obuf);
+                    out.push(batch.sync[i], batch.duration[i], &obuf);
+                }
+                Some(out)
+            }
+            Op::Shift { delta } => {
+                let arity = batch.arity();
+                let mut out = StreamBatch::with_capacity(arity, batch.len());
+                let mut buf = vec![0.0f32; arity];
+                for i in 0..batch.len() {
+                    batch.read_payload(i, &mut buf);
+                    out.push(batch.sync[i] + *delta, batch.duration[i], &buf);
+                }
+                Some(out)
+            }
+            Op::Where { pred, arity } => {
+                let mut out = StreamBatch::with_capacity(*arity, batch.len());
+                let mut buf = vec![0.0f32; *arity];
+                for i in 0..batch.len() {
+                    batch.read_payload(i, &mut buf);
+                    if pred(&buf) {
+                        out.push(batch.sync[i], batch.duration[i], &buf);
+                    }
+                }
+                Some(out)
+            }
+            Op::Aggregate {
+                kind,
+                window,
+                stride,
+                pending,
+                next_window,
+            } => {
+                let mut out = StreamBatch::with_capacity(1, batch.len() / 16 + 1);
+                for i in 0..batch.len() {
+                    let t = batch.sync[i];
+                    let v = batch.fields[0][i];
+                    let wstart = next_window.get_or_insert(t.div_euclid(*stride) * *stride);
+                    // Emit all windows that are complete before t.
+                    while t >= *wstart + *window {
+                        emit_agg(pending, *kind, *wstart, *window, *stride, &mut out);
+                        *wstart += *stride;
+                        if pending.is_empty() && t >= *wstart + *window {
+                            // Jump across gaps instead of stepping stride
+                            // by stride through empty windows.
+                            *wstart = (t - *window).div_euclid(*stride) * *stride + *stride;
+                        }
+                    }
+                    pending.push((t, v));
+                }
+                Some(out)
+            }
+            Op::Join { state } => {
+                let out = state.on_batch(port == 0, batch);
+                stats.peak_join_bytes = stats.peak_join_bytes.max(state.buffered_bytes());
+                if state.buffered_bytes() > mem_cap {
+                    return Err(TrillError::OutOfMemory {
+                        buffered_bytes: state.buffered_bytes(),
+                        cap_bytes: mem_cap,
+                    });
+                }
+                Some(out)
+            }
+            Op::ClipJoin {
+                last_right,
+                pending_left,
+                left_arity,
+                right_arity,
+            } => {
+                let mut out = StreamBatch::with_capacity(*left_arity + *right_arity, batch.len());
+                if port == 1 {
+                    // Right side: remember the latest payload.
+                    if batch.len() > 0 {
+                        let mut buf = vec![0.0f32; *right_arity];
+                        batch.read_payload(batch.len() - 1, &mut buf);
+                        *last_right = Some(buf);
+                    }
+                    // Drain lefts now pair-able.
+                    if let Some(r) = last_right {
+                        let mut obuf = vec![0.0f32; *left_arity + *right_arity];
+                        for (t, d, lp) in pending_left.drain(..) {
+                            obuf[..*left_arity].copy_from_slice(&lp);
+                            obuf[*left_arity..].copy_from_slice(r);
+                            out.push(t, d, &obuf);
+                        }
+                    }
+                } else {
+                    let mut lbuf = vec![0.0f32; *left_arity];
+                    let mut obuf = vec![0.0f32; *left_arity + *right_arity];
+                    for i in 0..batch.len() {
+                        batch.read_payload(i, &mut lbuf);
+                        match last_right {
+                            Some(r) => {
+                                obuf[..*left_arity].copy_from_slice(&lbuf);
+                                obuf[*left_arity..].copy_from_slice(r);
+                                out.push(batch.sync[i], batch.duration[i], &obuf);
+                            }
+                            None => pending_left.push((
+                                batch.sync[i],
+                                batch.duration[i],
+                                lbuf.clone(),
+                            )),
+                        }
+                    }
+                }
+                Some(out)
+            }
+            Op::Chop { boundary, arity } => {
+                let b = *boundary;
+                let mut out = StreamBatch::with_capacity(*arity, batch.len());
+                let mut buf = vec![0.0f32; *arity];
+                for i in 0..batch.len() {
+                    batch.read_payload(i, &mut buf);
+                    let mut start = batch.sync[i];
+                    let end = start + batch.duration[i];
+                    while start < end {
+                        let seg_end = ((start.div_euclid(b) + 1) * b).min(end);
+                        out.push(start, seg_end - start, &buf);
+                        start = seg_end;
+                    }
+                }
+                Some(out)
+            }
+            Op::WindowOp {
+                window,
+                f,
+                pending,
+                next_window,
+            } => {
+                let mut out = StreamBatch::with_capacity(1, batch.len());
+                for i in 0..batch.len() {
+                    let t = batch.sync[i];
+                    let v = batch.fields[0][i];
+                    let wstart = next_window.get_or_insert(t.div_euclid(*window) * *window);
+                    while t >= *wstart + *window {
+                        if !pending.is_empty() {
+                            flush_window_op(pending, f, &mut out);
+                        }
+                        *wstart = if pending.is_empty() && t >= *wstart + 2 * *window {
+                            t.div_euclid(*window) * *window
+                        } else {
+                            *wstart + *window
+                        };
+                    }
+                    pending.push((t, v));
+                }
+                Some(out)
+            }
+            Op::Sink => {
+                stats.output_events += batch.len() as u64;
+                if self.sink_collect {
+                    for i in 0..batch.len() {
+                        self.collected.push((batch.sync[i], batch.fields[0][i]));
+                    }
+                }
+                None
+            }
+        };
+        Ok(out)
+    }
+
+    fn flush_all(
+        &mut self,
+        consumers: &[Vec<usize>],
+        stats: &mut TrillStats,
+    ) -> Result<(), TrillError> {
+        // Repeatedly flush until no operator emits (chains of stateful ops).
+        loop {
+            let mut emitted = false;
+            for id in 0..self.nodes.len() {
+                let out = match &mut self.nodes[id].op {
+                    Op::Aggregate {
+                        kind,
+                        window,
+                        stride,
+                        pending,
+                        next_window,
+                    } => {
+                        let mut out = StreamBatch::with_capacity(1, 4);
+                        if let Some(mut w) = next_window.take() {
+                            while !pending.is_empty() {
+                                emit_agg(pending, *kind, w, *window, *stride, &mut out);
+                                w += *stride;
+                            }
+                        }
+                        out
+                    }
+                    Op::WindowOp { f, pending, .. } => {
+                        let mut out = StreamBatch::with_capacity(1, 4);
+                        if !pending.is_empty() {
+                            flush_window_op(pending, f, &mut out);
+                        }
+                        out
+                    }
+                    Op::Join { state } => state.flush(),
+                    _ => StreamBatch::with_capacity(1, 0),
+                };
+                if !out.is_empty() {
+                    emitted = true;
+                    stats.batches_allocated += 1;
+                    self.push_batch(id, out, consumers, stats)?;
+                }
+            }
+            if !emitted {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for TrillPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrillPipeline")
+            .field("nodes", &self.nodes.len())
+            .field("batch_size", &self.batch_size)
+            .finish()
+    }
+}
+
+fn emit_agg(
+    pending: &mut Vec<(Tick, f32)>,
+    kind: AggKind,
+    wstart: Tick,
+    window: Tick,
+    stride: Tick,
+    out: &mut StreamBatch,
+) {
+    let wend = wstart + window;
+    // Materialize the window snapshot before folding, as Trill's windowed
+    // aggregation pipeline does (per-window state objects).
+    let snapshot: Vec<f32> = pending
+        .iter()
+        .filter(|&&(t, _)| t >= wstart && t < wend)
+        .map(|&(_, v)| v)
+        .collect();
+    if let Some(v) = kind.fold(snapshot.into_iter()) {
+        out.push(wstart, stride, &[v]);
+    }
+    // Drop events no longer needed by any future window (stride advance).
+    pending.retain(|&(t, _)| t >= wstart + stride);
+}
+
+fn flush_window_op(pending: &mut Vec<(Tick, f32)>, f: &mut WindowFn, out: &mut StreamBatch) {
+    // Copy out times/values (fresh allocations, as a user-defined operator
+    // in an eager engine would).
+    let times: Vec<Tick> = pending.iter().map(|&(t, _)| t).collect();
+    let vals: Vec<f32> = pending.iter().map(|&(_, v)| v).collect();
+    let mut push = |t: Tick, v: f32| out.push(t, 1, &[v]);
+    f(&times, &vals, &mut push);
+    pending.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(shape: StreamShape, n: usize) -> SignalData {
+        SignalData::dense(shape, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn source_batches_respect_gaps() {
+        let mut d = ramp(StreamShape::new(0, 2), 100);
+        d.punch_gap(20, 40); // drops slots 10..20
+        let mut src = EventSource::new(d);
+        let b = src.next_batch(1000);
+        assert_eq!(b.len(), 90);
+        assert_eq!(b.sync[9], 18);
+        assert_eq!(b.sync[10], 40);
+        assert!(src.next_batch(10).is_empty());
+        assert!(src.exhausted());
+    }
+
+    #[test]
+    fn source_batches_split_at_size() {
+        let d = ramp(StreamShape::new(0, 1), 100);
+        let mut src = EventSource::new(d);
+        assert_eq!(src.next_batch(30).len(), 30);
+        let b2 = src.next_batch(30);
+        assert_eq!(b2.sync[0], 30);
+        assert_eq!(src.next_batch(100).len(), 40);
+    }
+
+    #[test]
+    fn select_where_pipeline() {
+        let mut p = TrillPipeline::new().with_collection();
+        let s = p.source(StreamShape::new(0, 1));
+        let sel = p.select(s, 1, |i, o| o[0] = i[0] * 2.0);
+        let w = p.where_(sel, |v| v[0] >= 10.0);
+        p.sink(w);
+        let stats = p.run(vec![ramp(StreamShape::new(0, 1), 10)]).unwrap();
+        assert_eq!(stats.input_events, 10);
+        assert_eq!(stats.output_events, 5);
+        assert_eq!(p.collected()[0], (5, 10.0));
+    }
+
+    #[test]
+    fn tumbling_aggregate_matches_core_semantics() {
+        let mut p = TrillPipeline::new().with_collection();
+        let s = p.source(StreamShape::new(0, 2));
+        let a = p.aggregate(s, AggKind::Mean, 10, 10);
+        p.sink(a);
+        p.run(vec![ramp(StreamShape::new(0, 2), 10)]).unwrap();
+        assert_eq!(p.collected(), &[(0, 2.0), (10, 7.0)]);
+    }
+
+    #[test]
+    fn join_of_two_rates() {
+        let mut p = TrillPipeline::new().with_collection();
+        let a = p.source(StreamShape::new(0, 1));
+        let b = p.source(StreamShape::new(0, 2));
+        let j = p.join(a, b);
+        p.sink(j);
+        let stats = p
+            .run(vec![
+                ramp(StreamShape::new(0, 1), 10),
+                ramp(StreamShape::new(0, 2), 5),
+            ])
+            .unwrap();
+        assert_eq!(stats.output_events, 10);
+    }
+
+    #[test]
+    fn join_oom_on_divergent_streams() {
+        // Left stream is far ahead in time of the right one; tiny cap.
+        let mut p = TrillPipeline::new().with_memory_cap(64 * 1024);
+        let a = p.source(StreamShape::new(0, 1));
+        let b = p.source(StreamShape::new(0, 1));
+        let j = p.join(a, b);
+        p.sink(j);
+        let mut left = ramp(StreamShape::new(0, 1), 100_000);
+        left.punch_gap(0, 0); // no-op; left dense
+        let mut right = ramp(StreamShape::new(0, 1), 100_000);
+        right.punch_gap(0, 90_000); // right only has the tail
+        let err = p.run(vec![left, right]).unwrap_err();
+        assert!(matches!(err, TrillError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn window_op_normalizes() {
+        let mut p = TrillPipeline::new().with_collection();
+        let s = p.source(StreamShape::new(0, 1));
+        let n = p.window_op(s, 4, |_ts, vs, push| {
+            let mean = vs.iter().sum::<f32>() / vs.len() as f32;
+            for (i, &v) in vs.iter().enumerate() {
+                push(_ts[i], v - mean);
+            }
+        });
+        p.sink(n);
+        p.run(vec![ramp(StreamShape::new(0, 1), 8)]).unwrap();
+        let sum: f32 = p.collected().iter().map(|&(_, v)| v).sum();
+        assert!(sum.abs() < 1e-5);
+        assert_eq!(p.collected().len(), 8);
+    }
+
+    #[test]
+    fn chop_splits_durations() {
+        let mut p = TrillPipeline::new().with_collection();
+        let s = p.source(StreamShape::new(0, 4));
+        let c = p.chop(s, 2);
+        p.sink(c);
+        p.run(vec![ramp(StreamShape::new(0, 4), 3)]).unwrap();
+        // Each 4-tick event splits into two 2-tick segments.
+        assert_eq!(p.collected().len(), 6);
+    }
+
+    #[test]
+    fn clip_join_pairs_as_of() {
+        let mut p = TrillPipeline::new().with_collection();
+        let l = p.source(StreamShape::new(0, 1));
+        let r = p.source(StreamShape::new(0, 4));
+        let j = p.clip_join(l, r);
+        p.sink(j);
+        let stats = p
+            .run(vec![
+                ramp(StreamShape::new(0, 1), 8),
+                ramp(StreamShape::new(0, 4), 2),
+            ])
+            .unwrap();
+        assert_eq!(stats.output_events, 8);
+    }
+
+    #[test]
+    fn batches_are_allocated_per_operator() {
+        let mut p = TrillPipeline::new();
+        let s = p.source(StreamShape::new(0, 1));
+        let a = p.select(s, 1, |i, o| o[0] = i[0]);
+        let b = p.select(a, 1, |i, o| o[0] = i[0]);
+        p.sink(b);
+        let stats = p.run(vec![ramp(StreamShape::new(0, 1), 100)]).unwrap();
+        // 1 source batch + 2 operator outputs, at minimum.
+        assert!(stats.batches_allocated >= 3);
+    }
+}

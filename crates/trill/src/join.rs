@@ -1,0 +1,294 @@
+//! Hash-based temporal symmetric join with divergence buffering — the
+//! Trill join design whose memory behaviour the paper analyzes in §8.3.
+//!
+//! Each side buffers incoming events. Output for a grid instant can only
+//! be emitted once *both* sides' watermarks have passed it, so when the
+//! two inputs progress at different paces the leading side's buffer grows
+//! without bound. Probing is by hash on covered grid instants — the
+//! "complex data structures such as hashmaps" LifeStream's FWindow design
+//! eliminates.
+
+use std::collections::{HashMap, VecDeque};
+
+use lifestream_core::time::{gcd, Tick};
+
+use crate::batch::StreamBatch;
+
+/// A buffered event.
+#[derive(Debug, Clone)]
+struct Buffered {
+    sync: Tick,
+    end: Tick,
+    payload: Vec<f32>,
+}
+
+/// Per-side state.
+#[derive(Debug, Default)]
+struct Side {
+    buf: VecDeque<Buffered>,
+    watermark: Tick,
+    bytes: usize,
+}
+
+impl Side {
+    fn push(&mut self, sync: Tick, end: Tick, payload: Vec<f32>) {
+        self.bytes += 16 + 24 + payload.capacity() * 4;
+        self.buf.push_back(Buffered { sync, end, payload });
+    }
+
+    fn evict_until(&mut self, t: Tick) {
+        while let Some(front) = self.buf.front() {
+            if front.end <= t {
+                self.bytes -= 16 + 24 + front.payload.capacity() * 4;
+                self.buf.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The symmetric hash join operator.
+#[derive(Debug)]
+pub struct HashJoin {
+    left: Side,
+    right: Side,
+    grid: Tick,
+    /// Instant up to which output has already been emitted.
+    emitted_to: Tick,
+    left_arity: usize,
+    right_arity: usize,
+}
+
+impl HashJoin {
+    /// Creates a join over inputs with the given periods and payload
+    /// arities; output events sit on the joint grid.
+    pub fn new(left_period: Tick, right_period: Tick, left_arity: usize, right_arity: usize) -> Self {
+        Self {
+            left: Side::default(),
+            right: Side::default(),
+            grid: gcd(left_period, right_period).max(1),
+            emitted_to: Tick::MIN,
+            left_arity,
+            right_arity,
+        }
+    }
+
+    /// Total bytes buffered across both sides — the quantity that blows up
+    /// under divergence.
+    pub fn buffered_bytes(&self) -> usize {
+        self.left.bytes + self.right.bytes
+    }
+
+    /// Total buffered events.
+    pub fn buffered_events(&self) -> usize {
+        self.left.buf.len() + self.right.buf.len()
+    }
+
+    /// Ingests a batch on one side and emits all now-safe join output.
+    pub fn on_batch(&mut self, from_left: bool, batch: &StreamBatch) -> StreamBatch {
+        let (side, arity) = if from_left {
+            (&mut self.left, self.left_arity)
+        } else {
+            (&mut self.right, self.right_arity)
+        };
+        let mut payload = vec![0.0f32; arity];
+        for i in 0..batch.len() {
+            batch.read_payload(i, &mut payload);
+            side.push(batch.sync[i], batch.sync[i] + batch.duration[i], payload.clone());
+        }
+        if let Some(w) = batch.watermark() {
+            side.watermark = side.watermark.max(w + 1);
+        }
+        self.emit_safe()
+    }
+
+    /// Flushes remaining matches at end of stream.
+    pub fn flush(&mut self) -> StreamBatch {
+        self.left.watermark = Tick::MAX;
+        self.right.watermark = Tick::MAX;
+        self.emit_safe()
+    }
+
+    /// Emits output for grid instants in `[emitted_to, min(watermarks))`
+    /// using a hash of the right side keyed by covered grid instants.
+    fn emit_safe(&mut self) -> StreamBatch {
+        let safe = self.left.watermark.min(self.right.watermark);
+        let mut out = StreamBatch::with_capacity(self.left_arity + self.right_arity, 0);
+        if safe <= self.emitted_to {
+            return out;
+        }
+        let from = if self.emitted_to == Tick::MIN {
+            let first = self
+                .left
+                .buf
+                .front()
+                .map(|b| b.sync)
+                .unwrap_or(safe)
+                .min(self.right.buf.front().map(|b| b.sync).unwrap_or(safe));
+            align_down(first, self.grid)
+        } else {
+            self.emitted_to
+        };
+        if from >= safe {
+            self.emitted_to = safe.max(self.emitted_to);
+            return out;
+        }
+        // Probe structure over the right side: buffered events are sorted
+        // by sync time (periodic streams arrive in order), so the covering
+        // event for an instant is found by binary search; short events are
+        // additionally point-hashed. Both structures are rebuilt per call —
+        // the per-batch allocation churn of an eager engine.
+        let rbuf = self.right.buf.make_contiguous();
+        let mut point_hash: HashMap<Tick, usize> = HashMap::new();
+        for (idx, ev) in rbuf.iter().enumerate() {
+            if ev.end - ev.sync == self.grid && ev.sync >= from && ev.sync < safe {
+                point_hash.insert(ev.sync, idx);
+            }
+        }
+        let probe = |t: Tick| -> Option<usize> {
+            if let Some(&i) = point_hash.get(&t) {
+                return Some(i);
+            }
+            let i = rbuf.partition_point(|e| e.sync <= t);
+            if i == 0 {
+                return None;
+            }
+            (rbuf[i - 1].end > t).then_some(i - 1)
+        };
+        let mut obuf = vec![0.0f32; self.left_arity + self.right_arity];
+        for ev in self.left.buf.iter() {
+            if ev.end <= from || ev.sync >= safe {
+                continue;
+            }
+            let mut t = align_up(ev.sync.max(from), self.grid);
+            while t < ev.end.min(safe) {
+                if let Some(ridx) = probe(t) {
+                    let r = &rbuf[ridx];
+                    obuf[..self.left_arity].copy_from_slice(&ev.payload);
+                    obuf[self.left_arity..].copy_from_slice(&r.payload);
+                    out.push(t, self.grid, &obuf);
+                }
+                t += self.grid;
+            }
+        }
+        // Output must be time-ordered; the scan above is per-left-event.
+        sort_batch(&mut out);
+        self.emitted_to = safe;
+        // Evict events fully below the joint watermark.
+        self.left.evict_until(safe);
+        self.right.evict_until(safe);
+        out
+    }
+}
+
+fn align_down(t: Tick, g: Tick) -> Tick {
+    t.div_euclid(g) * g
+}
+
+fn align_up(t: Tick, g: Tick) -> Tick {
+    let d = align_down(t, g);
+    if d == t {
+        t
+    } else {
+        d + g
+    }
+}
+
+fn sort_batch(b: &mut StreamBatch) {
+    let mut idx: Vec<usize> = (0..b.len()).collect();
+    idx.sort_by_key(|&i| b.sync[i]);
+    let apply = |v: &Vec<Tick>| idx.iter().map(|&i| v[i]).collect::<Vec<_>>();
+    b.sync = apply(&b.sync);
+    b.duration = apply(&b.duration);
+    b.fields = b
+        .fields
+        .iter()
+        .map(|col| idx.iter().map(|&i| col[i]).collect())
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(arity: usize, events: &[(Tick, Tick, f32)]) -> StreamBatch {
+        let mut b = StreamBatch::with_capacity(arity, events.len());
+        for &(t, d, v) in events {
+            b.push(t, d, &[v]);
+        }
+        b
+    }
+
+    #[test]
+    fn joins_aligned_streams() {
+        let mut j = HashJoin::new(1, 1, 1, 1);
+        let out1 = j.on_batch(true, &batch(1, &[(0, 1, 10.0), (1, 1, 11.0)]));
+        assert!(out1.is_empty()); // right watermark still behind
+        let out2 = j.on_batch(false, &batch(1, &[(0, 1, 20.0), (1, 1, 21.0)]));
+        assert_eq!(out2.len(), 2);
+        assert_eq!(out2.sync, vec![0, 1]);
+        assert_eq!(out2.fields[0], vec![10.0, 11.0]);
+        assert_eq!(out2.fields[1], vec![20.0, 21.0]);
+    }
+
+    #[test]
+    fn joins_different_rates_on_gcd_grid() {
+        // Left period 1, right period 2 with duration 2: L_k matches
+        // R_{k/2} (Fig. 5(c) semantics).
+        let mut j = HashJoin::new(1, 2, 1, 1);
+        let mut all: Vec<(Tick, f32)> = Vec::new();
+        let absorb = |b: StreamBatch, all: &mut Vec<(Tick, f32)>| {
+            for i in 0..b.len() {
+                all.push((b.sync[i], b.fields[1][i]));
+            }
+        };
+        let o1 = j.on_batch(true, &batch(1, &[(0, 1, 0.0), (1, 1, 1.0), (2, 1, 2.0), (3, 1, 3.0)]));
+        absorb(o1, &mut all);
+        let o2 = j.on_batch(false, &batch(1, &[(0, 2, 100.0), (2, 2, 101.0)]));
+        absorb(o2, &mut all);
+        absorb(j.flush(), &mut all);
+        assert_eq!(
+            all,
+            vec![(0, 100.0), (1, 100.0), (2, 101.0), (3, 101.0)]
+        );
+    }
+
+    #[test]
+    fn divergence_accumulates_memory() {
+        let mut j = HashJoin::new(1, 1, 1, 1);
+        // Left side races ahead; right side never arrives.
+        for k in 0..100 {
+            let evs: Vec<(Tick, Tick, f32)> =
+                (0..100).map(|i| (k * 100 + i, 1, 0.0)).collect();
+            j.on_batch(true, &batch(1, &evs));
+        }
+        assert_eq!(j.buffered_events(), 10_000);
+        assert!(j.buffered_bytes() > 10_000 * 40);
+        // Once the right side catches up, the buffer drains.
+        let evs: Vec<(Tick, Tick, f32)> = (0..10_000).map(|t| (t as Tick, 1, 1.0)).collect();
+        let out = j.on_batch(false, &batch(1, &evs));
+        assert_eq!(out.len(), 10_000);
+        assert!(j.buffered_events() < 10);
+    }
+
+    #[test]
+    fn output_emitted_as_watermarks_advance() {
+        let mut j = HashJoin::new(1, 1, 1, 1);
+        let o1 = j.on_batch(true, &batch(1, &[(0, 1, 1.0)]));
+        assert!(o1.is_empty()); // right watermark still at 0
+        let o2 = j.on_batch(false, &batch(1, &[(0, 1, 2.0)]));
+        assert_eq!(o2.len(), 1);
+        assert_eq!(o2.sync, vec![0]);
+        assert!(j.flush().is_empty());
+    }
+
+    #[test]
+    fn no_matches_when_disjoint() {
+        let mut j = HashJoin::new(1, 1, 1, 1);
+        j.on_batch(true, &batch(1, &[(0, 1, 1.0), (1, 1, 1.0)]));
+        j.on_batch(false, &batch(1, &[(100, 1, 2.0)]));
+        let out = j.flush();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Edge-case tests for the Trill-style engine: the operators added for
+//! query-composed pipelines (time-aware select, shift) and batch-boundary
+//! behaviour.
+
+use lifestream_core::source::SignalData;
+use lifestream_core::time::StreamShape;
+use trill_baseline::engine::AggKind;
+use trill_baseline::TrillPipeline;
+
+fn ramp(shape: StreamShape, n: usize) -> SignalData {
+    SignalData::dense(shape, (0..n).map(|i| i as f32).collect())
+}
+
+#[test]
+fn select_with_time_sees_sync_times() {
+    let s = StreamShape::new(0, 4);
+    let mut p = TrillPipeline::new().with_collection();
+    let src = p.source(s);
+    let st = p.select_with_time(src, 1, |t, v, o| o[0] = v[0] + t as f32);
+    p.sink(st);
+    p.run(vec![ramp(s, 5)]).unwrap();
+    assert_eq!(
+        p.collected(),
+        &[(0, 0.0), (4, 5.0), (8, 10.0), (12, 15.0), (16, 20.0)]
+    );
+}
+
+#[test]
+fn shift_relabels_sync_times() {
+    let s = StreamShape::new(0, 2);
+    let mut p = TrillPipeline::new().with_collection();
+    let src = p.source(s);
+    let sh = p.shift(src, 10);
+    p.sink(sh);
+    p.run(vec![ramp(s, 3)]).unwrap();
+    assert_eq!(p.collected(), &[(10, 0.0), (12, 1.0), (14, 2.0)]);
+}
+
+#[test]
+fn tiny_batches_preserve_results() {
+    // Batch size 3 forces many batch boundaries through an aggregate.
+    let s = StreamShape::new(0, 1);
+    let run = |batch: usize| {
+        let mut p = TrillPipeline::new().with_batch_size(batch).with_collection();
+        let src = p.source(s);
+        let a = p.aggregate(src, AggKind::Sum, 10, 10);
+        p.sink(a);
+        p.run(vec![ramp(s, 100)]).unwrap();
+        p.collected().to_vec()
+    };
+    assert_eq!(run(3), run(100_000));
+}
+
+#[test]
+fn composed_resample_has_explosion_factor() {
+    let s = StreamShape::new(0, 8);
+    let mut p = TrillPipeline::new();
+    let src = p.source(s);
+    let r = trill_baseline::pipelines::resample(&mut p, src, 400, 2);
+    p.sink(r);
+    let stats = p.run(vec![ramp(s, 500)]).unwrap();
+    // 4x output events (8 ms grid -> 2 ms grid), modulo edges.
+    assert!(stats.output_events >= 1_980, "out {}", stats.output_events);
+    // The join inside the composition buffered state.
+    assert!(stats.peak_join_bytes > 0);
+}
+
+#[test]
+fn normalize_composition_emits_every_event() {
+    let s = StreamShape::new(0, 2);
+    let mut p = TrillPipeline::new().with_collection();
+    let src = p.source(s);
+    let n = trill_baseline::pipelines::normalize(&mut p, src, 100);
+    p.sink(n);
+    let stats = p.run(vec![ramp(s, 500)]).unwrap();
+    assert_eq!(stats.output_events, 500);
+    // Standard scores: bounded for a ramp.
+    for &(_, v) in p.collected() {
+        assert!(v.abs() < 4.0, "z-score {v}");
+    }
+}
+
+#[test]
+fn join_state_grows_with_data_under_rate_divergence() {
+    // The §8.3 failure mode: with equal batch sizes, a 125 Hz stream
+    // advances 4x further in event time per batch than a 500 Hz stream,
+    // so the fast-in-time side's events pile up in the join buffer until
+    // the slow side's watermark catches up. Same-rate joins keep constant
+    // state regardless of data size.
+    let run = |left_period: i64, n: usize| {
+        let sl = StreamShape::new(0, left_period);
+        let sr = StreamShape::new(0, 8);
+        let mut p = TrillPipeline::new().with_batch_size(2_000);
+        let a = p.source(sl);
+        let b = p.source(sr);
+        let j = p.join(a, b);
+        p.sink(j);
+        p.run(vec![ramp(sl, n), ramp(sr, n)]).unwrap().peak_join_bytes
+    };
+    // Same rate: peak state flat as data quadruples.
+    let b1 = run(8, 20_000);
+    let b4 = run(8, 80_000);
+    assert!(b4 < b1 * 2, "balanced join state flat: {b1} -> {b4}");
+    // Rate-divergent: peak state grows with data size.
+    let d1 = run(2, 20_000);
+    let d4 = run(2, 80_000);
+    assert!(
+        d4 > d1 * 2,
+        "divergent join state must grow: {d1} -> {d4}"
+    );
+}

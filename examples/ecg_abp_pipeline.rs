@@ -1,0 +1,40 @@
+//! The Fig. 3 end-to-end pipeline on realistic data: gap-bearing ECG
+//! (500 Hz) and ABP (125 Hz) are imputed, rate-matched, normalized, and
+//! joined — with targeted query processing skipping the disconnected
+//! regions.
+//!
+//! Run with: `cargo run --release --example ecg_abp_pipeline`
+
+use lifestream::core::exec::ExecOptions;
+use lifestream::core::pipeline::fig3_pipeline;
+use lifestream::signal::dataset::ecg_abp_pair;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six hours of synthetic ICU data with bursty disconnections.
+    let (ecg, abp) = ecg_abp_pair(6 * 60, 2024);
+    println!(
+        "ECG: {:.1}M events over {} ranges ({:.0}% coverage)",
+        ecg.present_events() as f64 / 1e6,
+        ecg.presence().ranges().len(),
+        ecg.presence().coverage_fraction(0, ecg.end_time()) * 100.0
+    );
+    println!(
+        "ABP: {:.1}M events over {} ranges ({:.0}% coverage)",
+        abp.present_events() as f64 / 1e6,
+        abp.presence().ranges().len(),
+        abp.presence().coverage_fraction(0, abp.end_time()) * 100.0
+    );
+
+    let qb = fig3_pipeline(ecg.shape(), abp.shape(), 1000)?;
+    let mut exec = qb.compile()?.executor_with(
+        vec![ecg, abp],
+        ExecOptions::default().with_round_ticks(60_000), // 1-minute windows
+    )?;
+    let stats = exec.run()?;
+    println!("\npipeline stats: {stats}");
+    println!(
+        "targeted query processing skipped {:.0}% of the processing windows",
+        stats.skip_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # LifeStream (reproduction) — facade crate
+//!
+//! Re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — the LifeStream engine (FWindows, temporal operators,
+//!   locality tracing, static memory allocation, targeted query
+//!   processing, shape-based `Where`).
+//! * [`signal`] — synthetic physiological waveforms, gap models,
+//!   artifacts, CSV I/O.
+//! * [`trill`] — the Trill-architecture baseline engine.
+//! * [`numlib`] — the NumPy/SciPy-style baseline (array kernels + the
+//!   `pyvm` interpreter for pure-Python stages).
+//! * [`distrib`] — Spark/Storm/Flink-like micro-batch engine profiles.
+//! * [`cache_sim`] — the set-associative LLC model behind Table 5.
+//! * [`cluster`] — scale-up/scale-out harness behind Fig. 10(c,d).
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
+//! for one binary per paper table/figure.
+
+pub use distrib_baseline as distrib;
+pub use lifestream_core as core;
+pub use lifestream_signal as signal;
+pub use llc_sim as cache_sim;
+pub use numlib_baseline as numlib;
+pub use trill_baseline as trill;
+
+/// Scale-up (threads) and scale-out (modeled machines) harness.
+pub mod cluster {
+    pub use cluster_harness::*;
+}

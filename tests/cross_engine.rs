@@ -1,0 +1,171 @@
+//! Cross-engine integration tests: the three engines implement the same
+//! logical pipelines, so their outputs must agree on shared workloads.
+
+use lifestream::core::exec::ExecOptions;
+use lifestream::core::ops::aggregate::AggKind;
+use lifestream::core::ops::join::JoinKind;
+use lifestream::core::prelude::*;
+use lifestream::signal::dataset::{DatasetBuilder, SignalKind};
+use lifestream::trill::TrillPipeline;
+
+fn ramp(shape: StreamShape, n: usize) -> SignalData {
+    SignalData::dense(shape, (0..n).map(|i| (i % 977) as f32).collect())
+}
+
+#[test]
+fn select_agrees_between_engines() {
+    let shape = StreamShape::new(0, 2);
+    let data = ramp(shape, 10_000);
+
+    let mut qb = QueryBuilder::new();
+    let src = qb.source("s", shape);
+    let sel = qb.select_map(src, |v| v * 3.0 - 1.0);
+    qb.sink(sel);
+    let ls = qb
+        .compile()
+        .unwrap()
+        .executor(vec![data.clone()])
+        .unwrap()
+        .run_collect()
+        .unwrap();
+
+    let mut tp = TrillPipeline::new().with_collection();
+    let tsrc = tp.source(shape);
+    let tsel = tp.select(tsrc, 1, |i, o| o[0] = i[0] * 3.0 - 1.0);
+    tp.sink(tsel);
+    tp.run(vec![data]).unwrap();
+
+    assert_eq!(ls.len(), tp.collected().len());
+    for (i, &(t, v)) in tp.collected().iter().enumerate() {
+        assert_eq!(ls.times()[i], t);
+        assert_eq!(ls.values(0)[i], v);
+    }
+}
+
+#[test]
+fn tumbling_mean_agrees_between_engines() {
+    let shape = StreamShape::new(0, 2);
+    let data = ramp(shape, 5_000);
+
+    let mut qb = QueryBuilder::new();
+    let src = qb.source("s", shape);
+    let agg = qb.aggregate(src, AggKind::Mean, 100, 100).unwrap();
+    qb.sink(agg);
+    let ls = qb
+        .compile()
+        .unwrap()
+        .executor(vec![data.clone()])
+        .unwrap()
+        .run_collect()
+        .unwrap();
+
+    let mut tp = TrillPipeline::new().with_collection();
+    let tsrc = tp.source(shape);
+    let tagg = tp.aggregate(tsrc, AggKind::Mean, 100, 100);
+    tp.sink(tagg);
+    tp.run(vec![data]).unwrap();
+
+    assert_eq!(ls.len(), tp.collected().len());
+    for (i, &(t, v)) in tp.collected().iter().enumerate() {
+        assert_eq!(ls.times()[i], t);
+        assert!((ls.values(0)[i] - v).abs() < 1e-3, "slot {i}: {} vs {v}", ls.values(0)[i]);
+    }
+}
+
+#[test]
+fn join_counts_agree_with_gaps() {
+    let s1 = StreamShape::new(0, 1);
+    let s2 = StreamShape::new(0, 2);
+    let mut a = ramp(s1, 20_000);
+    let mut b = ramp(s2, 10_000);
+    a.punch_gap(3_000, 7_000);
+    b.punch_gap(12_000, 15_000);
+
+    let mut qb = QueryBuilder::new();
+    let ha = qb.source("a", s1);
+    let hb = qb.source("b", s2);
+    let j = qb.join(ha, hb, JoinKind::Inner).unwrap();
+    qb.sink(j);
+    let ls = qb
+        .compile()
+        .unwrap()
+        .executor_with(
+            vec![a.clone(), b.clone()],
+            ExecOptions::default().with_round_ticks(1000),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let mut tp = TrillPipeline::new();
+    let ta = tp.source(s1);
+    let tb = tp.source(s2);
+    let tj = tp.join(ta, tb);
+    tp.sink(tj);
+    let tr = tp.run(vec![a.clone(), b.clone()]).unwrap();
+
+    assert_eq!(ls.output_events, tr.output_events);
+
+    // NumLib's interpreted join agrees too.
+    let (lt, lv) = events_of(&a);
+    let (rt, rv) = events_of(&b);
+    let (ts, _, _) =
+        lifestream::numlib::pyvm::py_temporal_join(&lt, &lv, &rt, &rv, 2).unwrap();
+    assert_eq!(ts.len() as u64, ls.output_events);
+}
+
+fn events_of(d: &SignalData) -> (Vec<i64>, Vec<f32>) {
+    let shape = d.shape();
+    let mut ts = Vec::new();
+    let mut vs = Vec::new();
+    for &(s, e) in d.presence().ranges() {
+        let mut t = shape.align_up(s.max(shape.offset()));
+        while t < e.min(d.end_time()) {
+            ts.push(t);
+            vs.push(d.values()[((t - shape.offset()) / shape.period()) as usize]);
+            t += shape.period();
+        }
+    }
+    (ts, vs)
+}
+
+#[test]
+fn fig3_outputs_close_across_engines() {
+    let ecg = DatasetBuilder::new(SignalKind::Ecg, 11).minutes(3).build(500.0);
+    let abp = DatasetBuilder::new(SignalKind::Abp, 12).minutes(3).build(125.0);
+
+    let qb = lifestream::core::pipeline::fig3_pipeline(ecg.shape(), abp.shape(), 1000).unwrap();
+    let ls = qb
+        .compile()
+        .unwrap()
+        .executor(vec![ecg.clone(), abp.clone()])
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let mut tp = lifestream::trill::pipelines::fig3_pipeline(ecg.shape(), abp.shape(), 1000);
+    let tr = tp.run(vec![ecg.clone(), abp.clone()]).unwrap();
+
+    let nl = lifestream::numlib::fig3_numlib(&ecg, &abp, 1000).unwrap();
+
+    let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / a.max(1) as f64;
+    assert!(rel(ls.output_events, tr.output_events) < 0.1);
+    assert!(rel(ls.output_events, nl.output_events) < 0.1);
+}
+
+#[test]
+fn trill_oom_is_contained_and_reported() {
+    let s = StreamShape::new(0, 1);
+    let mut left = ramp(s, 200_000);
+    let mut right = ramp(s, 200_000);
+    left.punch_gap(100_000, 200_000);
+    right.punch_gap(0, 100_000);
+    let mut tp = TrillPipeline::new().with_memory_cap(128 * 1024);
+    let a = tp.source(s);
+    let b = tp.source(s);
+    let j = tp.join(a, b);
+    tp.sink(j);
+    let err = tp.run(vec![left, right]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "{msg}");
+}
