@@ -38,7 +38,12 @@ fn main() {
         &abp,
         ExecOptions::default().with_round_ticks(WINDOW_1MIN),
     );
-    t.row(&["all optimizations".into(), format!("{s:.2}"), skip.to_string(), alloc.to_string()]);
+    t.row(&[
+        "all optimizations".into(),
+        format!("{s:.2}"),
+        skip.to_string(),
+        alloc.to_string(),
+    ]);
     let base = s;
 
     let (s, skip, alloc) = run_with(
@@ -69,11 +74,7 @@ fn main() {
     ]);
     let no_target = s;
 
-    let (s, skip, alloc) = run_with(
-        &ecg,
-        &abp,
-        ExecOptions::eager().with_round_ticks(span),
-    );
+    let (s, skip, alloc) = run_with(&ecg, &abp, ExecOptions::eager().with_round_ticks(span));
     t.row(&[
         "- locality (one giant round)".into(),
         format!("{s:.2}"),
@@ -83,7 +84,16 @@ fn main() {
     let no_local = s;
 
     println!("{}", t.render());
-    println!("costs: dynamic memory +{:.0}%", (no_mem / base - 1.0) * 100.0);
-    println!("       eager execution +{:.0}%", (no_target / base - 1.0) * 100.0);
-    println!("       no locality     +{:.0}%", (no_local / base - 1.0) * 100.0);
+    println!(
+        "costs: dynamic memory +{:.0}%",
+        (no_mem / base - 1.0) * 100.0
+    );
+    println!(
+        "       eager execution +{:.0}%",
+        (no_target / base - 1.0) * 100.0
+    );
+    println!(
+        "       no locality     +{:.0}%",
+        (no_local / base - 1.0) * 100.0
+    );
 }

@@ -9,14 +9,19 @@ use cluster_harness::multicore::{run_scaling, Engine, PatientWorkload};
 use lifestream_bench::{scaled_minutes, Table};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let minutes = scaled_minutes(10);
     let patients = (cores * 4).max(16);
     println!(
         "Fig. 10(c) — multi-core scaling ({patients} patients x {minutes} min, {cores} cores)\n"
     );
     let workload = PatientWorkload::synthesize(patients, minutes, 77);
-    println!("total events: {:.1}M\n", workload.total_events() as f64 / 1e6);
+    println!(
+        "total events: {:.1}M\n",
+        workload.total_events() as f64 / 1e6
+    );
 
     // Machine memory budget, shared by the workers (paper machine: 128 GB;
     // we scale to the workload so Trill's failure point is visible).

@@ -10,7 +10,9 @@ use cluster_harness::multicore::{run_scaling, Engine, PatientWorkload};
 use lifestream_bench::{scaled_minutes, Table};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let minutes = scaled_minutes(5);
     let patients = (cores * 4).max(16);
     println!("Fig. 10(d) — multi-machine scaling (modelled from measured single-machine peaks)\n");
@@ -37,7 +39,12 @@ fn main() {
     );
 
     let model = ClusterModel::default();
-    let mut t = Table::new(&["machines", "LifeStream Mev/s", "Trill Mev/s", "NumLib Mev/s"]);
+    let mut t = Table::new(&[
+        "machines",
+        "LifeStream Mev/s",
+        "Trill Mev/s",
+        "NumLib Mev/s",
+    ]);
     for n in [1usize, 2, 4, 8, 12, 16] {
         t.row(&[
             n.to_string(),

@@ -28,9 +28,7 @@ fn main() {
         println!("{name}");
         let cov = daily_coverage(map, span, DAY);
         for m in 0..months {
-            let row: String = (0..30)
-                .map(|d| shade(cov[m * 30 + d]))
-                .collect();
+            let row: String = (0..30).map(|d| shade(cov[m * 30 + d])).collect();
             println!("  month {} |{}|", m + 1, row);
         }
         let total = map.coverage_fraction(0, span);

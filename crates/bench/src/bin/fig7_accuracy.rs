@@ -46,10 +46,7 @@ fn main() {
     let mut exec = qb
         .compile()
         .expect("compile")
-        .executor_with(
-            vec![data],
-            ExecOptions::default().with_round_ticks(60_000),
-        )
+        .executor_with(vec![data], ExecOptions::default().with_round_ticks(60_000))
         .expect("executor");
     let out = exec.run_collect().expect("run");
 
@@ -58,7 +55,7 @@ fn main() {
     // (separated by more than one artifact length).
     let mut distinct: Vec<usize> = Vec::new();
     for &d in &detections {
-        if distinct.last().map_or(true, |&p| d > p + 300) {
+        if distinct.last().is_none_or(|&p| d > p + 300) {
             distinct.push(d);
         }
     }

@@ -21,7 +21,12 @@ fn main() {
     let window_events = 30_000u64;
 
     println!("Table 5 — LLC misses on Normalize (modelled Xeon E5-2660 LLC, {events} events)\n");
-    let mut t = Table::new(&["batch size", "Trill misses (M)", "LifeStream misses (M)", "ratio"]);
+    let mut t = Table::new(&[
+        "batch size",
+        "Trill misses (M)",
+        "LifeStream misses (M)",
+        "ratio",
+    ]);
     for batch in [100_000u64, 1_000_000, 10_000_000] {
         let mut trill_cache = CacheSim::new(CacheConfig::xeon_e5_2660_llc());
         trill_normalize_trace(events, batch, ops, bytes_per_event).replay(&mut trill_cache);
@@ -32,7 +37,10 @@ fn main() {
             format!("1e{}", (batch as f64).log10() as u32),
             format!("{:.2}", trill_cache.misses() as f64 / 1e6),
             format!("{:.2}", ls_cache.misses() as f64 / 1e6),
-            format!("{:.1}x", trill_cache.misses() as f64 / ls_cache.misses() as f64),
+            format!(
+                "{:.1}x",
+                trill_cache.misses() as f64 / ls_cache.misses() as f64
+            ),
         ]);
     }
     println!("{}", t.render());

@@ -1,7 +1,11 @@
 //! # lifestream-bench
 //!
 //! Shared machinery for the benchmark harness: dataset construction,
-//! timing, table rendering, and one runner per (engine × query) pair.
+//! timing, table rendering, and workload runners. Every benchmarked
+//! query is defined exactly once as a
+//! [`Workload`](lifestream::engine::Workload) — the per-engine runner
+//! functions are thin wrappers that dispatch the shared definition
+//! through the [`Engine`](lifestream::engine::Engine) trait.
 //! Each paper table/figure has a binary in `src/bin/` that prints the
 //! same rows/series the paper reports; Criterion benches in `benches/`
 //! cover the micro-level comparisons.
@@ -15,16 +19,15 @@
 
 use std::time::Instant;
 
-use lifestream_core::exec::ExecOptions;
+use lifestream::engine::{
+    Engine, EngineError, EngineOptions, LifeStreamEngine, NumLibEngine, TableOp, TrillEngine,
+    Workload,
+};
 use lifestream_core::ops::aggregate::AggKind;
-use lifestream_core::ops::join::JoinKind;
 use lifestream_core::pipeline as lspipe;
-use lifestream_core::query::QueryBuilder;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
 use lifestream_signal::dataset::{DatasetBuilder, SignalKind};
-use trill_baseline::pipelines as tpipe;
-use trill_baseline::TrillPipeline;
 
 /// Times a closure, returning `(result, seconds)`.
 pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
@@ -159,85 +162,69 @@ impl Primitive {
         ]
     }
 
-    /// Display name.
+    /// Display name — delegated to the shared workload definition so
+    /// bench labels and engine names cannot drift apart.
     pub fn name(&self) -> &'static str {
+        self.workload().name()
+    }
+
+    /// The shared [`Workload`] this primitive benchmarks — the single
+    /// definition point every engine runs (Fig. 9a).
+    pub fn workload(&self) -> Workload {
         match self {
-            Primitive::Select => "Select",
-            Primitive::Where => "Where",
-            Primitive::Aggregate => "Aggregate",
-            Primitive::Chop => "Chop",
-            Primitive::ClipJoin => "ClipJoin",
-            Primitive::Join => "Join",
+            Primitive::Select => Workload::Select { mul: 2.0, add: 1.0 },
+            Primitive::Where => Workload::WhereGt { threshold: 50.0 },
+            Primitive::Aggregate => Workload::Aggregate {
+                kind: AggKind::Mean,
+                window: 100,
+                stride: 100,
+            },
+            Primitive::Chop => Workload::Chop {
+                duration: 5,
+                boundary: 5,
+            },
+            Primitive::ClipJoin => Workload::ClipJoin,
+            Primitive::Join => Workload::Join,
         }
+    }
+}
+
+/// Runs a shared workload on one engine with the benchmark defaults
+/// (1-minute processing rounds); returns output events. Takes the
+/// inputs by value so timed benchmark loops pay exactly one dataset
+/// copy.
+pub fn run_workload(engine: &dyn Engine, workload: &Workload, inputs: Vec<SignalData>) -> u64 {
+    engine
+        .run(
+            workload,
+            inputs,
+            &EngineOptions::default().with_round_ticks(WINDOW_1MIN),
+        )
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", engine.name(), workload.name()))
+        .output_events
+}
+
+fn primitive_inputs(p: Primitive, data: &SignalData, side: Option<&SignalData>) -> Vec<SignalData> {
+    match p {
+        Primitive::ClipJoin | Primitive::Join => {
+            vec![data.clone(), side.expect("side stream").clone()]
+        }
+        _ => vec![data.clone()],
     }
 }
 
 /// Runs one primitive on LifeStream; returns output events.
 pub fn lifestream_primitive(p: Primitive, data: &SignalData, side: Option<&SignalData>) -> u64 {
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("main", data.shape());
-    let out = match p {
-        Primitive::Select => qb.select_map(src, |v| v * 2.0 + 1.0),
-        Primitive::Where => qb.where_(src, |v| v[0] > 50.0).expect("where"),
-        Primitive::Aggregate => qb
-            .aggregate(src, AggKind::Mean, 100, 100)
-            .expect("aggregate"),
-        Primitive::Chop => {
-            let d = qb.alter_duration(src, 5).expect("alter_duration");
-            qb.chop(d, 5).expect("chop")
-        }
-        Primitive::ClipJoin | Primitive::Join => {
-            let other = qb.source("side", side.expect("side stream").shape());
-            match p {
-                Primitive::ClipJoin => qb.clip_join(src, other).expect("clip_join"),
-                _ => qb.join(src, other, JoinKind::Inner).expect("join"),
-            }
-        }
-    };
-    qb.sink(out);
-    let sources = match p {
-        Primitive::ClipJoin | Primitive::Join => {
-            vec![data.clone(), side.expect("side stream").clone()]
-        }
-        _ => vec![data.clone()],
-    };
-    let mut exec = qb
-        .compile()
-        .expect("compile")
-        .executor_with(sources, ExecOptions::default().with_round_ticks(WINDOW_1MIN))
-        .expect("executor");
-    exec.run().expect("run").output_events
+    run_workload(
+        &LifeStreamEngine,
+        &p.workload(),
+        primitive_inputs(p, data, side),
+    )
 }
 
 /// Runs one primitive on the Trill baseline; returns output events.
 pub fn trill_primitive(p: Primitive, data: &SignalData, side: Option<&SignalData>) -> u64 {
-    let mut tp = TrillPipeline::new();
-    let src = tp.source(data.shape());
-    let out = match p {
-        Primitive::Select => tp.select(src, 1, |i, o| o[0] = i[0] * 2.0 + 1.0),
-        Primitive::Where => tp.where_(src, |v| v[0] > 50.0),
-        Primitive::Aggregate => tp.aggregate(src, AggKind::Mean, 100, 100),
-        Primitive::Chop => {
-            let d = tp.select(src, 1, |i, o| o[0] = i[0]); // payload pass
-            let c = tp.chop(d, 5);
-            c
-        }
-        Primitive::ClipJoin | Primitive::Join => {
-            let other = tp.source(side.expect("side stream").shape());
-            match p {
-                Primitive::ClipJoin => tp.clip_join(src, other),
-                _ => tp.join(src, other),
-            }
-        }
-    };
-    tp.sink(out);
-    let sources = match p {
-        Primitive::ClipJoin | Primitive::Join => {
-            vec![data.clone(), side.expect("side stream").clone()]
-        }
-        _ => vec![data.clone()],
-    };
-    tp.run(sources).expect("trill run").output_events
+    run_workload(&TrillEngine, &p.workload(), primitive_inputs(p, data, side))
 }
 
 /// Which Table 3 operation to run (Fig. 9b).
@@ -277,6 +264,22 @@ impl Operation {
             Operation::Resample => "Resample",
         }
     }
+
+    /// The shared [`Workload`] this operation benchmarks over a stream
+    /// of the given `period` — the single definition point every engine
+    /// runs (Fig. 9b).
+    pub fn workload(&self, period: Tick) -> Workload {
+        let op = match self {
+            Operation::Normalize => TableOp::Normalize,
+            Operation::PassFilter => TableOp::PassFilter { taps: bench_taps() },
+            Operation::FillConst => TableOp::FillConst { value: 0.0 },
+            Operation::FillMean => TableOp::FillMean,
+            Operation::Resample => TableOp::Resample {
+                new_period: period * 4,
+            },
+        };
+        Workload::Operation { op, window: 1000 }
+    }
 }
 
 /// FIR taps used by every PassFilter benchmark.
@@ -286,97 +289,74 @@ pub fn bench_taps() -> Vec<f32> {
 
 /// Runs one Table 3 operation on LifeStream; returns output events.
 pub fn lifestream_operation(op: Operation, data: &SignalData) -> u64 {
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("sig", data.shape());
-    let out = match op {
-        Operation::Normalize => lspipe::normalize(&mut qb, src, 1000).expect("normalize"),
-        Operation::PassFilter => {
-            lspipe::pass_filter(&mut qb, src, 1000, bench_taps()).expect("pass_filter")
-        }
-        Operation::FillConst => lspipe::fill_const(&mut qb, src, 1000, 0.0).expect("fill_const"),
-        Operation::FillMean => lspipe::fill_mean(&mut qb, src, 1000).expect("fill_mean"),
-        Operation::Resample => {
-            lspipe::resample(&mut qb, src, data.shape().period() * 4, 1000).expect("resample")
-        }
-    };
-    qb.sink(out);
-    let mut exec = qb
-        .compile()
-        .expect("compile")
-        .executor_with(
-            vec![data.clone()],
-            ExecOptions::default().with_round_ticks(WINDOW_1MIN),
-        )
-        .expect("executor");
-    exec.run().expect("run").output_events
+    run_workload(
+        &LifeStreamEngine,
+        &op.workload(data.shape().period()),
+        vec![data.clone()],
+    )
 }
 
 /// Runs one Table 3 operation on the Trill baseline; returns output
 /// events.
 pub fn trill_operation(op: Operation, data: &SignalData) -> u64 {
-    let mut tp = TrillPipeline::new();
-    let src = tp.source(data.shape());
-    let p = data.shape().period();
-    let out = match op {
-        Operation::Normalize => tpipe::normalize(&mut tp, src, 1000),
-        Operation::PassFilter => tpipe::pass_filter(&mut tp, src, 1000, bench_taps()),
-        Operation::FillConst => tpipe::fill_const(&mut tp, src, 1000, p, 0.0),
-        Operation::FillMean => tpipe::fill_mean(&mut tp, src, 1000, p),
-        Operation::Resample => tpipe::resample(&mut tp, src, 1000, p * 4),
-    };
-    tp.sink(out);
-    tp.run(vec![data.clone()]).expect("trill run").output_events
+    run_workload(
+        &TrillEngine,
+        &op.workload(data.shape().period()),
+        vec![data.clone()],
+    )
 }
 
 /// Runs one Table 3 operation on the NumLib baseline; returns output
-/// samples.
+/// samples (whole-array accounting, NaN slots included).
 pub fn numlib_operation(op: Operation, data: &SignalData) -> u64 {
-    use numlib_baseline::ops as nops;
-    let p = data.shape().period();
-    let w = (1000 / p).max(1) as usize;
-    let arr = nops::to_nan_array(data);
-    match op {
-        Operation::Normalize => nops::normalize_windows(&arr, w).len() as u64,
-        Operation::PassFilter => nops::fir_filter(&arr, &bench_taps()).len() as u64,
-        Operation::FillConst => nops::fill_const(&arr, 0.0).len() as u64,
-        Operation::FillMean => nops::fill_mean(&arr, w).len() as u64,
-        Operation::Resample => nops::resample_linear(&arr, p, p * 4).1.len() as u64,
-    }
+    run_workload(
+        &NumLibEngine,
+        &op.workload(data.shape().period()),
+        vec![data.clone()],
+    )
+}
+
+/// The Fig. 3 end-to-end workload (1-second processing windows).
+pub fn e2e_workload() -> Workload {
+    Workload::Fig3 { window: 1000 }
 }
 
 /// Runs the Fig. 3 end-to-end pipeline on LifeStream.
 ///
 /// Returns `(output_events, input_events)`.
 pub fn lifestream_e2e(ecg: &SignalData, abp: &SignalData, round: Tick) -> (u64, u64) {
-    let qb = lspipe::fig3_pipeline(ecg.shape(), abp.shape(), 1000).expect("pipeline");
-    let mut exec = qb
-        .compile()
-        .expect("compile")
-        .executor_with(
+    let out = LifeStreamEngine
+        .run(
+            &e2e_workload(),
             vec![ecg.clone(), abp.clone()],
-            ExecOptions::default().with_round_ticks(round),
+            &EngineOptions::default().with_round_ticks(round),
         )
-        .expect("executor");
-    let stats = exec.run().expect("run");
-    (stats.output_events, stats.input_events)
+        .expect("lifestream e2e");
+    (out.output_events, out.input_events)
 }
 
 /// Runs the Fig. 3 end-to-end pipeline on the Trill baseline.
 ///
 /// Returns `Ok(output_events)` or the OOM error.
-pub fn trill_e2e(
-    ecg: &SignalData,
-    abp: &SignalData,
-    cap_bytes: usize,
-) -> Result<u64, trill_baseline::TrillError> {
-    let mut tp = tpipe::fig3_pipeline(ecg.shape(), abp.shape(), 1000).with_memory_cap(cap_bytes);
-    tp.run(vec![ecg.clone(), abp.clone()]).map(|s| s.output_events)
+pub fn trill_e2e(ecg: &SignalData, abp: &SignalData, cap_bytes: usize) -> Result<u64, EngineError> {
+    TrillEngine
+        .run(
+            &e2e_workload(),
+            vec![ecg.clone(), abp.clone()],
+            &EngineOptions::default().with_memory_cap(cap_bytes),
+        )
+        .map(|o| o.output_events)
 }
 
 /// Runs the Fig. 3 end-to-end pipeline on the NumLib baseline.
 pub fn numlib_e2e(ecg: &SignalData, abp: &SignalData) -> u64 {
-    numlib_baseline::fig3_numlib(ecg, abp, 1000)
-        .expect("numlib")
+    NumLibEngine
+        .run(
+            &e2e_workload(),
+            vec![ecg.clone(), abp.clone()],
+            &EngineOptions::default(),
+        )
+        .expect("numlib e2e")
         .output_events
 }
 
@@ -392,66 +372,42 @@ pub fn table1_join_pair(minutes: i64, seed: u64) -> (SignalData, SignalData) {
     (a, b)
 }
 
+/// The Table 1 upsample workload: linear-interpolation resample onto a
+/// 500 Hz (period-2) grid.
+pub fn upsample_workload() -> Workload {
+    Workload::Operation {
+        op: TableOp::Resample { new_period: 2 },
+        window: 1000,
+    }
+}
+
 /// LifeStream temporal join for Table 1; returns output events.
 pub fn lifestream_join(l: &SignalData, r: &SignalData) -> u64 {
-    let mut qb = QueryBuilder::new();
-    let a = qb.source("l", l.shape());
-    let b = qb.source("r", r.shape());
-    let j = qb.join(a, b, JoinKind::Inner).expect("join");
-    qb.sink(j);
-    let mut exec = qb
-        .compile()
-        .expect("compile")
-        .executor_with(
-            vec![l.clone(), r.clone()],
-            ExecOptions::default().with_round_ticks(WINDOW_1MIN),
-        )
-        .expect("executor");
-    exec.run().expect("run").output_events
+    run_workload(
+        &LifeStreamEngine,
+        &Workload::Join,
+        vec![l.clone(), r.clone()],
+    )
 }
 
 /// LifeStream upsample (125 Hz → 500 Hz) for Table 1.
 pub fn lifestream_upsample(data: &SignalData) -> u64 {
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("sig", data.shape());
-    let r = lspipe::resample(&mut qb, src, 2, 1000).expect("resample");
-    qb.sink(r);
-    let mut exec = qb
-        .compile()
-        .expect("compile")
-        .executor_with(
-            vec![data.clone()],
-            ExecOptions::default().with_round_ticks(WINDOW_1MIN),
-        )
-        .expect("executor");
-    exec.run().expect("run").output_events
+    run_workload(&LifeStreamEngine, &upsample_workload(), vec![data.clone()])
 }
 
 /// Trill temporal join for Table 1.
 pub fn trill_join(l: &SignalData, r: &SignalData) -> u64 {
-    let mut tp = TrillPipeline::new();
-    let a = tp.source(l.shape());
-    let b = tp.source(r.shape());
-    let j = tp.join(a, b);
-    tp.sink(j);
-    tp.run(vec![l.clone(), r.clone()]).expect("trill join").output_events
+    run_workload(&TrillEngine, &Workload::Join, vec![l.clone(), r.clone()])
 }
 
 /// Trill upsample for Table 1.
 pub fn trill_upsample(data: &SignalData) -> u64 {
-    let mut tp = TrillPipeline::new();
-    let src = tp.source(data.shape());
-    let r = tpipe::resample(&mut tp, src, 1000, 2);
-    tp.sink(r);
-    tp.run(vec![data.clone()]).expect("trill upsample").output_events
+    run_workload(&TrillEngine, &upsample_workload(), vec![data.clone()])
 }
 
 /// SciPy-style upsample for Table 1 (whole-array linear interpolation).
 pub fn numlib_upsample(data: &SignalData) -> u64 {
-    let arr = numlib_baseline::ops::to_nan_array(data);
-    numlib_baseline::ops::resample_linear(&arr, data.shape().period(), 2)
-        .1
-        .len() as u64
+    run_workload(&NumLibEngine, &upsample_workload(), vec![data.clone()])
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ impl CacheConfig {
     /// `line * ways`).
     pub fn sets(&self) -> usize {
         assert!(
-            self.line > 0 && self.ways > 0 && self.capacity % (self.line * self.ways) == 0,
+            self.line > 0 && self.ways > 0 && self.capacity.is_multiple_of(self.line * self.ways),
             "inconsistent cache geometry {self:?}"
         );
         self.capacity / (self.line * self.ways)

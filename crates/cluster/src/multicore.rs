@@ -96,7 +96,7 @@ pub fn run_scaling(
                     if oom.load(Ordering::Relaxed) {
                         return;
                     }
-                    let events = (ecg.present_events() + abp.present_events()) as usize;
+                    let events = ecg.present_events() + abp.present_events();
                     match engine {
                         Engine::LifeStream => {
                             let qb = fig3_pipeline(ecg.shape(), abp.shape(), 1000)

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the distributed-baseline codec uses: a growable
+//! [`BytesMut`] write buffer with little-endian `put_*` methods, frozen
+//! into an immutable cursor-style [`Bytes`] with matching `get_*` reads.
+
+#![warn(missing_docs)]
+
+/// Read-side buffer interface (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads a little-endian `i64`, advancing the cursor.
+    fn get_i64_le(&mut self) -> i64;
+    /// Reads a little-endian `f32`, advancing the cursor.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+/// Write-side buffer interface (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+}
+
+/// An immutable byte buffer with an internal read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Total length of the underlying buffer (independent of the cursor).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let b: [u8; 8] = self.data[self.pos..self.pos + 8].try_into().unwrap();
+        self.pos += 8;
+        i64::from_le_bytes(b)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let b: [u8; 4] = self.data[self.pos..self.pos + 4].try_into().unwrap();
+        self.pos += 4;
+        f32::from_le_bytes(b)
+    }
+}
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates a buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = BytesMut::with_capacity(24);
+        w.put_i64_le(-42);
+        w.put_f32_le(1.5);
+        w.put_i64_le(7);
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 20);
+        assert_eq!(r.remaining(), 20);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_i64_le(), 7);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Sample counts are intentionally small so `cargo bench` finishes
+//! quickly; set `CRITERION_SAMPLES` to raise them.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-benchmark timing driver.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples_ns.push(t.elapsed().as_nanos());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        self.samples_ns.sort_unstable();
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = env_samples(n.min(5));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let ns = b.median_ns();
+        println!("{}/{id}: median {:.3} ms", self.name, ns as f64 / 1e6);
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure receiving `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: env_samples(3),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset the distributed-baseline engine uses: bounded
+//! MPSC channels (wrapping `std::sync::mpsc::sync_channel`) and a
+//! two-receiver `select!` macro. The select implementation polls both
+//! receivers with a short sleep between rounds and alternates which arm
+//! wins ties across invocations, so two disconnected channels are both
+//! observed (matching crossbeam's randomized readiness selection closely
+//! enough for the operator loops here).
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by a receive from a disconnected, drained channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Non-blocking receive outcome (mirrors `std::sync::mpsc`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// Channel drained and all senders dropped.
+        Disconnected,
+    }
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued; errors when the receiver
+        /// is gone.
+        pub fn send(&self, v: T) -> Result<(), mpsc::SendError<T>> {
+            self.0.send(v)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// Outcome of a two-receiver [`select!`](crate::channel::select);
+    /// public for the macro expansion only.
+    #[doc(hidden)]
+    pub enum SelectWhich<A, B> {
+        /// First receiver fired.
+        R1(Result<A, RecvError>),
+        /// Second receiver fired.
+        R2(Result<B, RecvError>),
+    }
+
+    #[doc(hidden)]
+    pub fn select_two<A, B>(
+        r1: &Receiver<A>,
+        r2: &Receiver<B>,
+        r1_first: bool,
+    ) -> SelectWhich<A, B> {
+        loop {
+            let (d1, d2);
+            if r1_first {
+                match r1.try_recv() {
+                    Ok(v) => return SelectWhich::R1(Ok(v)),
+                    Err(e) => d1 = e == TryRecvError::Disconnected,
+                }
+                match r2.try_recv() {
+                    Ok(v) => return SelectWhich::R2(Ok(v)),
+                    Err(e) => d2 = e == TryRecvError::Disconnected,
+                }
+            } else {
+                match r2.try_recv() {
+                    Ok(v) => return SelectWhich::R2(Ok(v)),
+                    Err(e) => d2 = e == TryRecvError::Disconnected,
+                }
+                match r1.try_recv() {
+                    Ok(v) => return SelectWhich::R1(Ok(v)),
+                    Err(e) => d1 = e == TryRecvError::Disconnected,
+                }
+            }
+            // A disconnected receiver is "ready with an error", as in
+            // crossbeam; alternate which one wins when both are. Sleep a
+            // beat first so callers that keep selecting on a dead channel
+            // spin at a bounded rate.
+            if d1 || d2 {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+                if d1 && (r1_first || !d2) {
+                    return SelectWhich::R1(Err(RecvError));
+                }
+                return SelectWhich::R2(Err(RecvError));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        }
+    }
+
+    /// Two-receiver blocking select (subset of `crossbeam::channel::select!`).
+    #[macro_export]
+    macro_rules! __crossbeam_select {
+        (
+            recv($r1:expr) -> $m1:ident => $a1:expr,
+            recv($r2:expr) -> $m2:ident => $a2:expr $(,)?
+        ) => {{
+            use ::std::sync::atomic::{AtomicBool, Ordering};
+            static __R1_FIRST: AtomicBool = AtomicBool::new(true);
+            let __first = __R1_FIRST.fetch_xor(true, Ordering::Relaxed);
+            match $crate::channel::select_two(&$r1, &$r2, __first) {
+                $crate::channel::SelectWhich::R1($m1) => $a1,
+                $crate::channel::SelectWhich::R2($m2) => $a2,
+            }
+        }};
+    }
+
+    pub use crate::__crossbeam_select as select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_send_recv() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn select_drains_both_sides_and_observes_both_disconnects() {
+        let (tx_a, rx_a) = channel::bounded::<u64>(4);
+        let (tx_b, rx_b) = channel::bounded::<u64>(4);
+        let ha = std::thread::spawn(move || {
+            for i in 0..50 {
+                tx_a.send(i).unwrap();
+            }
+        });
+        let hb = std::thread::spawn(move || {
+            for i in 0..30 {
+                tx_b.send(1000 + i).unwrap();
+            }
+        });
+        let (mut a_open, mut b_open) = (true, true);
+        let (mut a_got, mut b_got) = (0u32, 0u32);
+        while a_open || b_open {
+            channel::select! {
+                recv(rx_a) -> msg => match msg {
+                    Ok(_) => a_got += 1,
+                    Err(_) => a_open = false,
+                },
+                recv(rx_b) -> msg => match msg {
+                    Ok(_) => b_got += 1,
+                    Err(_) => b_open = false,
+                },
+            }
+        }
+        ha.join().unwrap();
+        hb.join().unwrap();
+        assert_eq!(a_got, 50);
+        assert_eq!(b_got, 30);
+    }
+}

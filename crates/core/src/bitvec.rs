@@ -163,7 +163,11 @@ impl BitVec {
         IterOnes {
             bv: self,
             word_idx: 0,
-            cur: if self.words.is_empty() { 0 } else { self.words[0] },
+            cur: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 

@@ -26,7 +26,11 @@
 /// ```
 pub fn dtw_distance(a: &[f32], b: &[f32], band: usize) -> f32 {
     if a.is_empty() || b.is_empty() {
-        return if a.len() == b.len() { 0.0 } else { f32::INFINITY };
+        return if a.len() == b.len() {
+            0.0
+        } else {
+            f32::INFINITY
+        };
     }
     let (n, m) = (a.len(), b.len());
     // Effective band must at least cover the length difference.
@@ -291,6 +295,6 @@ mod tests {
             }
         }
         // Evaluations happen every 3rd sample after the window fills.
-        assert!(hits >= 3 && hits <= 4, "hits = {hits}");
+        assert!((3..=4).contains(&hits), "hits = {hits}");
     }
 }

@@ -57,6 +57,10 @@ pub enum Error {
         /// The dimension that overflowed the configured bound.
         dim: Tick,
     },
+    /// Two fluent [`Stream`](crate::stream::Stream)s from different
+    /// [`Query`](crate::stream::Query) scopes were combined in one
+    /// operator.
+    CrossQuery,
     /// An operation that requires single-field payloads received a wider
     /// stream.
     ArityMismatch {
@@ -95,7 +99,13 @@ impl fmt::Display for Error {
                 "source '{name}' declared {declared} but dataset has {supplied}"
             ),
             Error::TraceDiverged { dim } => {
-                write!(f, "locality tracing diverged: dimension {dim} exceeds bound")
+                write!(
+                    f,
+                    "locality tracing diverged: dimension {dim} exceeds bound"
+                )
+            }
+            Error::CrossQuery => {
+                write!(f, "streams from different query scopes cannot be combined")
             }
             Error::ArityMismatch { expected, actual } => write!(
                 f,
@@ -134,6 +144,7 @@ mod tests {
                 supplied: StreamShape::new(0, 8),
             },
             Error::TraceDiverged { dim: i64::MAX },
+            Error::CrossQuery,
             Error::ArityMismatch {
                 expected: 1,
                 actual: 2,

@@ -371,10 +371,7 @@ impl Executor {
     }
 
     fn any_pending(&self) -> bool {
-        self.kernels
-            .iter()
-            .flatten()
-            .any(|k| k.has_pending())
+        self.kernels.iter().flatten().any(|k| k.has_pending())
     }
 
     fn execute_round<F: FnMut(&FWindow)>(
@@ -432,9 +429,10 @@ impl Executor {
         if self.graph.sinks.iter().any(|&s| self.node_active(s, a, b)) {
             return true;
         }
-        self.graph.nodes.iter().any(|n| {
-            matches!(n.kind, OpKind::Shift { .. }) && self.node_active(n.inputs[0], a, b)
-        })
+        self.graph
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::Shift { .. }) && self.node_active(n.inputs[0], a, b))
     }
 
     fn node_active(&self, id: NodeId, a: Tick, b: Tick) -> bool {
@@ -457,17 +455,12 @@ impl Executor {
                 // events, so either side keeps the round live.
                 let (la, lb) = node.lineage[0].map_interval(a, b);
                 let (ra, rb) = node.lineage[1].map_interval(a, b);
-                self.node_active(node.inputs[0], la, lb)
-                    || self.node_active(node.inputs[1], ra, rb)
+                self.node_active(node.inputs[0], la, lb) || self.node_active(node.inputs[1], ra, rb)
             }
-            _ => node
-                .inputs
-                .iter()
-                .zip(&node.lineage)
-                .all(|(&inp, lin)| {
-                    let (ia, ib) = lin.map_interval(a, b);
-                    self.node_active(inp, ia, ib)
-                }),
+            _ => node.inputs.iter().zip(&node.lineage).all(|(&inp, lin)| {
+                let (ia, ib) = lin.map_interval(a, b);
+                self.node_active(inp, ia, ib)
+            }),
         }
     }
 }
@@ -588,13 +581,14 @@ mod tests {
         let mut exec = qb
             .compile()
             .unwrap()
-            .executor_with(
-                vec![data],
-                ExecOptions::default().with_round_ticks(100),
-            )
+            .executor_with(vec![data], ExecOptions::default().with_round_ticks(100))
             .unwrap();
         let stats = exec.run().unwrap();
-        assert!(stats.windows_skipped >= 75, "skipped {}", stats.windows_skipped);
+        assert!(
+            stats.windows_skipped >= 75,
+            "skipped {}",
+            stats.windows_skipped
+        );
         assert_eq!(stats.output_events, 2000);
     }
 
@@ -630,10 +624,7 @@ mod tests {
                 .executor_with(vec![a1, b1], ExecOptions::default().with_round_ticks(400))
                 .unwrap();
             let mut e2 = build()
-                .executor_with(
-                    vec![a2, b2],
-                    ExecOptions::eager().with_round_ticks(400),
-                )
+                .executor_with(vec![a2, b2], ExecOptions::eager().with_round_ticks(400))
                 .unwrap();
             let o1 = e1.run_collect().unwrap();
             let o2 = e2.run_collect().unwrap();
@@ -666,7 +657,11 @@ mod tests {
         assert_eq!(stats.output_events, 0);
         assert_eq!(stats.windows_executed, 0);
         // Data spans [0, 6000) with round 100 -> ~61 rounds, all skipped.
-        assert!(stats.windows_skipped >= 60, "skipped {}", stats.windows_skipped);
+        assert!(
+            stats.windows_skipped >= 60,
+            "skipped {}",
+            stats.windows_skipped
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl FWindow {
             shape.period()
         );
         assert!(
-            arity >= 1 && arity <= MAX_ARITY,
+            (1..=MAX_ARITY).contains(&arity),
             "arity {arity} out of range 1..={MAX_ARITY}"
         );
         let cap = (dim / shape.period()) as usize;

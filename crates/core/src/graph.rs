@@ -166,11 +166,7 @@ impl fmt::Display for Node {
         write!(
             f,
             "#{} {} {}[{}] arity={}",
-            self.id,
-            self.name,
-            self.shape,
-            self.dim,
-            self.arity
+            self.id, self.name, self.shape, self.dim, self.arity
         )
     }
 }
@@ -232,11 +228,7 @@ impl Graph {
     pub fn render(&self) -> String {
         let mut s = String::new();
         for n in &self.nodes {
-            s.push_str(&format!(
-                "{} <- {:?}\n",
-                n,
-                n.inputs
-            ));
+            s.push_str(&format!("{} <- {:?}\n", n, n.inputs));
         }
         s
     }
@@ -262,16 +254,32 @@ mod tests {
     #[test]
     fn source_ids_ordered_by_slot() {
         let mut g = Graph::new();
-        g.nodes.push(node(0, OpKind::Source { index: 1 }, vec![], StreamShape::new(0, 2)));
-        g.nodes.push(node(1, OpKind::Source { index: 0 }, vec![], StreamShape::new(0, 5)));
+        g.nodes.push(node(
+            0,
+            OpKind::Source { index: 1 },
+            vec![],
+            StreamShape::new(0, 2),
+        ));
+        g.nodes.push(node(
+            1,
+            OpKind::Source { index: 0 },
+            vec![],
+            StreamShape::new(0, 5),
+        ));
         assert_eq!(g.source_ids(), vec![1, 0]);
     }
 
     #[test]
     fn consumers_inverts_edges() {
         let mut g = Graph::new();
-        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], StreamShape::new(0, 1)));
-        g.nodes.push(node(1, OpKind::Select, vec![0], StreamShape::new(0, 1)));
+        g.nodes.push(node(
+            0,
+            OpKind::Source { index: 0 },
+            vec![],
+            StreamShape::new(0, 1),
+        ));
+        g.nodes
+            .push(node(1, OpKind::Select, vec![0], StreamShape::new(0, 1)));
         g.nodes.push(node(
             2,
             OpKind::Join {
@@ -321,7 +329,12 @@ mod tests {
     #[test]
     fn render_is_nonempty() {
         let mut g = Graph::new();
-        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], StreamShape::new(0, 2)));
+        g.nodes.push(node(
+            0,
+            OpKind::Source { index: 0 },
+            vec![],
+            StreamShape::new(0, 2),
+        ));
         assert!(g.render().contains("Source"));
     }
 }

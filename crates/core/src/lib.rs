@@ -31,6 +31,11 @@
 //!
 //! ## Quickstart
 //!
+//! Queries are written against the fluent [`stream`] surface: a
+//! [`Query`](stream::Query) scope hands out chainable
+//! [`Stream`](stream::Stream) values, and every Table-2 operator is a
+//! fallible method on them.
+//!
 //! ```
 //! use lifestream_core::prelude::*;
 //!
@@ -38,17 +43,23 @@
 //! let data = SignalData::dense(StreamShape::new(0, 100),
 //!                              (0..100).map(|i| i as f32).collect());
 //!
-//! let mut qb = QueryBuilder::new();
-//! let src = qb.source("sig", data.shape());
-//! let sq = qb.select_map(src, |v| v * v);
-//! qb.sink(sq);
+//! let q = Query::new();
+//! q.source("sig", data.shape())
+//!     .map(|v| v * v)?
+//!     .sink();
 //!
-//! let mut exec = qb.compile()?.executor(vec![data])?;
+//! let mut exec = q.compile()?.executor(vec![data])?;
 //! let out = exec.run_collect()?;
 //! assert_eq!(out.len(), 100);
 //! assert_eq!(out.values(0)[3], 9.0);
 //! # Ok::<(), lifestream_core::Error>(())
 //! ```
+//!
+//! The fluent layer drives the logical-plan layer — the
+//! [`QueryBuilder`](query::QueryBuilder) — one-to-one; both compile to
+//! identical plans, and the builder remains the documented low-level API
+//! for compiler passes that rewrite the plan graph (see [`stream`] for
+//! the two-layer design).
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -67,6 +78,7 @@ pub mod presence;
 pub mod query;
 pub mod source;
 pub mod stats;
+pub mod stream;
 pub mod time;
 pub mod trace;
 
@@ -75,6 +87,7 @@ pub use exec::{ExecOptions, Executor};
 pub use fwindow::FWindow;
 pub use query::{QueryBuilder, StreamHandle};
 pub use source::SignalData;
+pub use stream::{Query, Stream};
 pub use time::{StreamShape, Tick};
 
 /// Convenience re-exports for typical usage.
@@ -88,5 +101,6 @@ pub mod prelude {
     pub use crate::query::{QueryBuilder, StreamHandle};
     pub use crate::source::SignalData;
     pub use crate::stats::RunStats;
+    pub use crate::stream::{Query, Stream};
     pub use crate::time::{StreamShape, Tick};
 }

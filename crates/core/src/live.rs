@@ -117,10 +117,8 @@ impl LiveSession {
             .iter()
             .map(|&s| SignalData::dense(s, Vec::new()))
             .collect();
-        let exec = compiled.executor_with(
-            empty,
-            ExecOptions::default().with_round_ticks(round_ticks),
-        )?;
+        let exec =
+            compiled.executor_with(empty, ExecOptions::default().with_round_ticks(round_ticks))?;
         let round_dim = exec.round_dim();
         Ok(Self {
             exec,
@@ -159,12 +157,7 @@ impl LiveSession {
     /// # Errors
     /// Propagates execution errors.
     pub fn poll<F: FnMut(&FWindow)>(&mut self, on_output: F) -> Result<RunStats> {
-        let safe = self
-            .sources
-            .iter()
-            .map(|s| s.watermark)
-            .min()
-            .unwrap_or(0);
+        let safe = self.sources.iter().map(|s| s.watermark).min().unwrap_or(0);
         let end = safe.div_euclid(self.round_dim) * self.round_dim;
         self.run_span(end, on_output)
     }
@@ -176,14 +169,9 @@ impl LiveSession {
     /// # Errors
     /// Propagates execution errors.
     pub fn finish<F: FnMut(&FWindow)>(&mut self, mut on_output: F) -> Result<RunStats> {
-        let end = self
-            .sources
-            .iter()
-            .map(|s| s.watermark)
-            .max()
-            .unwrap_or(0);
-        let aligned = (end + self.round_dim - 1).div_euclid(self.round_dim) * self.round_dim
-            + self.round_dim;
+        let end = self.sources.iter().map(|s| s.watermark).max().unwrap_or(0);
+        let aligned =
+            (end + self.round_dim - 1).div_euclid(self.round_dim) * self.round_dim + self.round_dim;
         let mut stats = self.run_span(aligned, &mut on_output)?;
         let mut extra = 0;
         while self.exec.has_pending() && extra < 64 {

@@ -221,7 +221,12 @@ mod tests {
         // Input (0,2), window 10 -> output (0,10): one mean per 10 ticks.
         let s_in = StreamShape::new(0, 2);
         let s_out = StreamShape::new(0, 10);
-        let input = filled(s_in, 20, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let input = filled(
+            s_in,
+            20,
+            0,
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        );
         let mut out = empty(s_out, 20, 0, 1);
         let mut k = TumblingAggKernel::new(AggKind::Mean, 10);
         k.process(&[&input], &mut out);

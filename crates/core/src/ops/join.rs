@@ -66,7 +66,14 @@ impl Side {
     /// Sweeps `input`, filling `self.cover` for the output grid described
     /// by (`out_base`, `out_period`, `out_len`) over an interval ending at
     /// `b`.
-    fn sweep(&mut self, input: &FWindow, out_base: Tick, out_period: Tick, out_len: usize, b: Tick) {
+    fn sweep(
+        &mut self,
+        input: &FWindow,
+        out_base: Tick,
+        out_period: Tick,
+        out_len: usize,
+        b: Tick,
+    ) {
         for c in self.cover[..out_len].iter_mut() {
             *c = -1;
         }
@@ -75,7 +82,15 @@ impl Side {
         self.round_carry = self.carry.take();
         if let Some(c) = self.round_carry {
             if c.end > out_base {
-                mark(&mut self.cover, out_base, out_period, out_len, c.start, c.end, -2);
+                mark(
+                    &mut self.cover,
+                    out_base,
+                    out_period,
+                    out_len,
+                    c.start,
+                    c.end,
+                    -2,
+                );
             }
             if c.end > b {
                 self.carry = Some(c);
@@ -83,7 +98,15 @@ impl Side {
         }
         for (i, t, d) in input.iter_present() {
             let end = t + d;
-            mark(&mut self.cover, out_base, out_period, out_len, t, end, i as i32);
+            mark(
+                &mut self.cover,
+                out_base,
+                out_period,
+                out_len,
+                t,
+                end,
+                i as i32,
+            );
             if end > b {
                 let mut payload = [0.0; MAX_ARITY];
                 input.read(i, &mut payload[..self.arity]);
@@ -123,7 +146,15 @@ impl Side {
 }
 
 /// Marks output slots covered by `[t, end)` with `tag`.
-fn mark(cover: &mut [i32], out_base: Tick, out_period: Tick, out_len: usize, t: Tick, end: Tick, tag: i32) {
+fn mark(
+    cover: &mut [i32],
+    out_base: Tick,
+    out_period: Tick,
+    out_len: usize,
+    t: Tick,
+    end: Tick,
+    tag: i32,
+) {
     if end <= out_base {
         return;
     }
@@ -183,7 +214,11 @@ impl JoinKernel {
 impl Kernel for JoinKernel {
     fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
         let (l, r) = (inputs[0], inputs[1]);
-        let base = if out.len() > 0 { out.slot_time(0) } else { out.sync() };
+        let base = if !out.is_empty() {
+            out.slot_time(0)
+        } else {
+            out.sync()
+        };
         let p = out.shape().period();
         let b = out.end();
         self.left.sweep(l, base, p, out.len(), b);
@@ -203,7 +238,11 @@ impl Kernel for JoinKernel {
             }
             match &mut self.map {
                 Some(f) => {
-                    f(&self.lbuf[..la], &self.rbuf[..ra], &mut self.obuf[..self.out_arity]);
+                    f(
+                        &self.lbuf[..la],
+                        &self.rbuf[..ra],
+                        &mut self.obuf[..self.out_arity],
+                    );
                     out.write(j, &self.obuf[..self.out_arity], p);
                 }
                 None => {

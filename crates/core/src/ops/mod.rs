@@ -10,7 +10,6 @@
 //! state across rounds — the bounded-memory-footprint property guarantees
 //! the state never grows with the data.
 
-
 use crate::fwindow::FWindow;
 
 pub mod aggregate;
@@ -43,7 +42,6 @@ pub trait Kernel: Send {
     /// Clears all state, returning the kernel to its initial condition.
     fn reset(&mut self) {}
 }
-
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -99,7 +99,9 @@ impl Kernel for WhereKernel {
 
 impl std::fmt::Debug for WhereKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WhereKernel").field("arity", &self.arity).finish()
+        f.debug_struct("WhereKernel")
+            .field("arity", &self.arity)
+            .finish()
     }
 }
 

@@ -1,18 +1,21 @@
-//! Prebuilt physiological-data pipelines.
+//! Prebuilt physiological-data pipelines, written against the fluent
+//! [`Stream`] API.
 //!
 //! The building blocks here are the operation benchmarks of Table 3
 //! (Normalize, PassFilter, FillConst, FillMean, Resample) expressed as
 //! LifeStream queries, plus the three end-to-end applications evaluated in
 //! the paper: the Fig. 3 ECG ⋈ ABP pipeline (§8.3), the line-zero artifact
 //! detection model, and the cardiac-arrest-prediction (CAP) feature
-//! pipeline (§8.4).
+//! pipeline (§8.4). Each operation takes and returns a [`Stream`], so
+//! applications compose them like any other operator; the end-to-end
+//! builders return a ready-to-compile [`Query`].
 
 use crate::error::{Error, Result};
 use crate::ops::aggregate::AggKind;
 use crate::ops::join::JoinKind;
 use crate::ops::transform::TransformCtx;
 use crate::ops::where_shape::ShapeMode;
-use crate::query::{QueryBuilder, StreamHandle};
+use crate::stream::{Query, Stream};
 use crate::time::{StreamShape, Tick};
 
 /// Designs a windowed-sinc low-pass FIR filter (Hamming window).
@@ -50,8 +53,8 @@ pub fn fir_lowpass(taps: usize, cutoff: f32) -> Vec<f32> {
 ///
 /// # Errors
 /// Propagates transform validation errors.
-pub fn normalize(qb: &mut QueryBuilder, input: StreamHandle, window: Tick) -> Result<StreamHandle> {
-    qb.transform(input, window, |ctx: TransformCtx<'_>| {
+pub fn normalize(input: Stream<'_>, window: Tick) -> Result<Stream<'_>> {
+    input.transform(window, |ctx: TransformCtx<'_>| {
         let n = ctx.input.len();
         let mut sum = 0.0f64;
         let mut count = 0usize;
@@ -89,12 +92,7 @@ pub fn normalize(qb: &mut QueryBuilder, input: StreamHandle, window: Tick) -> Re
 ///
 /// # Errors
 /// Propagates transform validation errors; rejects an empty tap vector.
-pub fn pass_filter(
-    qb: &mut QueryBuilder,
-    input: StreamHandle,
-    window: Tick,
-    taps: Vec<f32>,
-) -> Result<StreamHandle> {
+pub fn pass_filter(input: Stream<'_>, window: Tick, taps: Vec<f32>) -> Result<Stream<'_>> {
     if taps.is_empty() {
         return Err(Error::InvalidParameter {
             message: "pass_filter requires at least one tap".into(),
@@ -103,7 +101,7 @@ pub fn pass_filter(
     let hist_len = taps.len() - 1;
     let mut history: Vec<f32> = Vec::with_capacity(hist_len.max(1));
     let mut expected_base: Option<Tick> = None;
-    qb.transform(input, window, move |ctx: TransformCtx<'_>| {
+    input.transform(window, move |ctx: TransformCtx<'_>| {
         if expected_base != Some(ctx.base) {
             history.clear(); // discontinuity: reset filter state
         }
@@ -163,13 +161,8 @@ fn window_of(ctx: &TransformCtx<'_>) -> Tick {
 ///
 /// # Errors
 /// Propagates transform validation errors.
-pub fn fill_const(
-    qb: &mut QueryBuilder,
-    input: StreamHandle,
-    window: Tick,
-    value: f32,
-) -> Result<StreamHandle> {
-    qb.transform(input, window, move |ctx: TransformCtx<'_>| {
+pub fn fill_const(input: Stream<'_>, window: Tick, value: f32) -> Result<Stream<'_>> {
+    input.transform(window, move |ctx: TransformCtx<'_>| {
         for i in 0..ctx.input.len() {
             if ctx.present[i] {
                 ctx.output[i] = ctx.input[i];
@@ -187,8 +180,8 @@ pub fn fill_const(
 ///
 /// # Errors
 /// Propagates transform validation errors.
-pub fn fill_mean(qb: &mut QueryBuilder, input: StreamHandle, window: Tick) -> Result<StreamHandle> {
-    qb.transform(input, window, |ctx: TransformCtx<'_>| {
+pub fn fill_mean(input: Stream<'_>, window: Tick) -> Result<Stream<'_>> {
+    input.transform(window, |ctx: TransformCtx<'_>| {
         let mut sum = 0.0f64;
         let mut count = 0usize;
         for i in 0..ctx.input.len() {
@@ -209,93 +202,87 @@ pub fn fill_mean(qb: &mut QueryBuilder, input: StreamHandle, window: Tick) -> Re
 }
 
 /// `Resample`: up/down-samples to `new_period` using linear interpolation
-/// (the SciPy benchmark of Table 3). Composed from `AlterPeriod` (re-grid)
-/// + `Transform` (interpolate the holes), with the closure carrying the
-/// last sample across sub-windows.
+/// (the SciPy benchmark of Table 3). Composed from `AlterPeriod`
+/// (re-grid) + `Transform` (interpolate the holes), with the closure
+/// carrying the last sample across sub-windows.
 ///
 /// # Errors
 /// Propagates operator validation errors.
-pub fn resample(
-    qb: &mut QueryBuilder,
-    input: StreamHandle,
-    new_period: Tick,
-    window: Tick,
-) -> Result<StreamHandle> {
-    let regridded = qb.alter_period(input, new_period)?;
+pub fn resample(input: Stream<'_>, new_period: Tick, window: Tick) -> Result<Stream<'_>> {
     let mut last: Option<(Tick, f32)> = None;
-    qb.transform(regridded, window, move |ctx: TransformCtx<'_>| {
-        let n = ctx.input.len();
-        // Invalidate the carried sample across discontinuities.
-        if let Some((t, _)) = last {
-            if ctx.base - t > window {
-                last = None;
+    input
+        .alter_period(new_period)?
+        .transform(window, move |ctx: TransformCtx<'_>| {
+            let n = ctx.input.len();
+            // Invalidate the carried sample across discontinuities.
+            if let Some((t, _)) = last {
+                if ctx.base - t > window {
+                    last = None;
+                }
             }
-        }
-        let mut i = 0usize;
-        while i < n {
-            if ctx.present[i] {
-                ctx.output[i] = ctx.input[i];
-                ctx.out_present[i] = true;
-                last = Some((ctx.base + i as Tick * ctx.period, ctx.input[i]));
-                i += 1;
-                continue;
-            }
-            // Find the next present sample to interpolate toward.
-            let next = (i + 1..n).find(|&j| ctx.present[j]);
-            match (last, next) {
-                (Some((lt, lv)), Some(j)) => {
-                    let nt = ctx.base + j as Tick * ctx.period;
-                    let nv = ctx.input[j];
-                    for k in i..j {
-                        let t = ctx.base + k as Tick * ctx.period;
-                        let frac = (t - lt) as f32 / (nt - lt) as f32;
-                        ctx.output[k] = lv + frac * (nv - lv);
-                        ctx.out_present[k] = true;
+            let mut i = 0usize;
+            while i < n {
+                if ctx.present[i] {
+                    ctx.output[i] = ctx.input[i];
+                    ctx.out_present[i] = true;
+                    last = Some((ctx.base + i as Tick * ctx.period, ctx.input[i]));
+                    i += 1;
+                    continue;
+                }
+                // Find the next present sample to interpolate toward.
+                let next = (i + 1..n).find(|&j| ctx.present[j]);
+                match (last, next) {
+                    (Some((lt, lv)), Some(j)) => {
+                        let nt = ctx.base + j as Tick * ctx.period;
+                        let nv = ctx.input[j];
+                        for k in i..j {
+                            let t = ctx.base + k as Tick * ctx.period;
+                            let frac = (t - lt) as f32 / (nt - lt) as f32;
+                            ctx.output[k] = lv + frac * (nv - lv);
+                            ctx.out_present[k] = true;
+                        }
+                        i = j;
                     }
-                    i = j;
-                }
-                (Some((_, lv)), None) => {
-                    // Trailing holes: hold the last value (streaming
-                    // boundary effect; SciPy would see the full array).
-                    for k in i..n {
-                        ctx.output[k] = lv;
-                        ctx.out_present[k] = true;
+                    (Some((_, lv)), None) => {
+                        // Trailing holes: hold the last value (streaming
+                        // boundary effect; SciPy would see the full array).
+                        for k in i..n {
+                            ctx.output[k] = lv;
+                            ctx.out_present[k] = true;
+                        }
+                        i = n;
                     }
-                    i = n;
+                    (None, Some(j)) => {
+                        i = j; // leading holes before any sample stay absent
+                    }
+                    (None, None) => break,
                 }
-                (None, Some(j)) => {
-                    i = j; // leading holes before any sample stay absent
-                }
-                (None, None) => break,
             }
-        }
-    })
+        })
 }
 
 /// Builds the Fig. 3 end-to-end pipeline: impute both signals, upsample ABP
-/// to the ECG rate, normalize both, and inner-join them. Returns the sink's
-/// builder so callers can compile.
+/// to the ECG rate, normalize both, and inner-join them. Returns the
+/// ready-to-compile query.
 ///
 /// Source order: 0 = ECG (period `ecg.period()`), 1 = ABP.
 ///
 /// # Errors
 /// Propagates operator validation errors.
-pub fn fig3_pipeline(ecg: StreamShape, abp: StreamShape, window: Tick) -> Result<QueryBuilder> {
-    let mut qb = QueryBuilder::new();
-    let ecg_src = qb.source("ecg", ecg);
-    let abp_src = qb.source("abp", abp);
+pub fn fig3_pipeline(ecg: StreamShape, abp: StreamShape, window: Tick) -> Result<Query> {
+    let q = Query::new();
+    let ecg_src = q.source("ecg", ecg);
+    let abp_src = q.source("abp", abp);
     // Signal value imputation.
-    let ecg_f = fill_mean(&mut qb, ecg_src, window)?;
-    let abp_f = fill_mean(&mut qb, abp_src, window)?;
+    let ecg_f = fill_mean(ecg_src, window)?;
+    let abp_f = fill_mean(abp_src, window)?;
     // Upsample ABP to the ECG rate.
-    let abp_up = resample(&mut qb, abp_f, ecg.period(), window)?;
-    // Normalize both.
-    let ecg_n = normalize(&mut qb, ecg_f, window)?;
-    let abp_n = normalize(&mut qb, abp_up, window)?;
-    // Join strictly overlapping events.
-    let joined = qb.join(ecg_n, abp_n, JoinKind::Inner)?;
-    qb.sink(joined);
-    Ok(qb)
+    let abp_up = resample(abp_f, ecg.period(), window)?;
+    // Normalize both, then join strictly overlapping events.
+    normalize(ecg_f, window)?
+        .join(normalize(abp_up, window)?, JoinKind::Inner)?
+        .sink();
+    Ok(q)
 }
 
 /// Builds the line-zero artifact detection model (§8.4): sliding-window
@@ -310,21 +297,21 @@ pub fn linezero_pipeline(
     band: usize,
     threshold: f32,
     mode: ShapeMode,
-) -> Result<QueryBuilder> {
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("abp", abp);
+) -> Result<Query> {
+    let q = Query::new();
+    let src = q.source("abp", abp);
     // Sliding-window normalization (stride = 1 sample, window = 32 samples).
     let p = abp.period();
-    let mean = qb.aggregate(src, AggKind::Mean, 32 * p, p)?;
-    let std = qb.aggregate(src, AggKind::Std, 32 * p, p)?;
-    let zipped = qb.join(src, mean, JoinKind::Inner)?;
-    let zipped2 = qb.join(zipped, std, JoinKind::Inner)?;
-    let normed = qb.select(zipped2, 1, |v, o| {
-        o[0] = (v[0] - v[1]) / v[2].max(1e-6);
-    })?;
-    let matched = qb.where_shape(normed, pattern, band, threshold, true, mode)?;
-    qb.sink(matched);
-    Ok(qb)
+    let mean = src.aggregate(AggKind::Mean, 32 * p, p)?;
+    let std = src.aggregate(AggKind::Std, 32 * p, p)?;
+    src.join(mean, JoinKind::Inner)?
+        .join(std, JoinKind::Inner)?
+        .select(1, |v, o| {
+            o[0] = (v[0] - v[1]) / v[2].max(1e-6);
+        })?
+        .where_shape(pattern, band, threshold, true, mode)?
+        .sink();
+    Ok(q)
 }
 
 /// Builds the cardiac-arrest-prediction (CAP) feature pipeline (§8.4):
@@ -335,34 +322,33 @@ pub fn linezero_pipeline(
 /// # Errors
 /// Returns an error when fewer than two signals are supplied or arity
 /// limits are exceeded.
-pub fn cap_pipeline(shapes: &[StreamShape], window: Tick) -> Result<QueryBuilder> {
+pub fn cap_pipeline(shapes: &[StreamShape], window: Tick) -> Result<Query> {
     if shapes.len() < 2 {
         return Err(Error::InvalidParameter {
             message: "CAP pipeline requires at least two signals".into(),
         });
     }
     let fastest = shapes.iter().map(|s| s.period()).min().expect("non-empty");
-    let mut qb = QueryBuilder::new();
+    let q = Query::new();
     let mut processed = Vec::with_capacity(shapes.len());
     for (i, &shape) in shapes.iter().enumerate() {
-        let src = qb.source(format!("sig{i}"), shape);
-        let filled = fill_mean(&mut qb, src, window)?;
+        let src = q.source(format!("sig{i}"), shape);
+        let filled = fill_mean(src, window)?;
         let up = if shape.period() != fastest {
-            resample(&mut qb, filled, fastest, window)?
+            resample(filled, fastest, window)?
         } else {
             filled
         };
-        let normed = normalize(&mut qb, up, window)?;
         // Event masking: drop implausible magnitudes (|z| > 8).
-        let masked = qb.where_(normed, |v| v[0].abs() <= 8.0)?;
+        let masked = normalize(up, window)?.where_(|v| v[0].abs() <= 8.0)?;
         processed.push(masked);
     }
     let mut joined = processed[0];
     for &next in &processed[1..] {
-        joined = qb.join(joined, next, JoinKind::Inner)?;
+        joined = joined.join(next, JoinKind::Inner)?;
     }
-    qb.sink(joined);
-    Ok(qb)
+    joined.sink();
+    Ok(q)
 }
 
 #[cfg(test)]
@@ -396,11 +382,9 @@ mod tests {
     fn normalize_produces_zero_mean_unit_std() {
         let s = StreamShape::new(0, 2);
         let data = sine(s, 500, 0.05);
-        let mut qb = QueryBuilder::new();
-        let src = qb.source("s", s);
-        let n = normalize(&mut qb, src, 1000).unwrap();
-        qb.sink(n);
-        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let q = Query::new();
+        normalize(q.source("s", s), 1000).unwrap().sink();
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
         let out = exec.run_collect().unwrap();
         assert_eq!(out.len(), 500);
         let m: f32 = out.values(0).iter().sum::<f32>() / 500.0;
@@ -411,12 +395,17 @@ mod tests {
     fn pass_filter_attenuates_high_frequency() {
         let s = StreamShape::new(0, 1);
         // High-frequency alternating signal.
-        let data = SignalData::dense(s, (0..2000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect());
-        let mut qb = QueryBuilder::new();
-        let src = qb.source("s", s);
-        let f = pass_filter(&mut qb, src, 500, fir_lowpass(31, 0.05)).unwrap();
-        qb.sink(f);
-        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let data = SignalData::dense(
+            s,
+            (0..2000)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        let q = Query::new();
+        pass_filter(q.source("s", s), 500, fir_lowpass(31, 0.05))
+            .unwrap()
+            .sink();
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
         let out = exec.run_collect().unwrap();
         // After the filter warms up, the alternating component is ~gone.
         let tail = &out.values(0)[100..];
@@ -429,11 +418,9 @@ mod tests {
         let s = StreamShape::new(0, 1);
         let mut data = SignalData::dense(s, vec![5.0; 100]);
         data.punch_gap(10, 14);
-        let mut qb = QueryBuilder::new();
-        let src = qb.source("s", s);
-        let f = fill_const(&mut qb, src, 50, -1.0).unwrap();
-        qb.sink(f);
-        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let q = Query::new();
+        fill_const(q.source("s", s), 50, -1.0).unwrap().sink();
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
         let out = exec.run_collect().unwrap();
         assert_eq!(out.len(), 100);
         assert_eq!(out.values(0)[11], -1.0);
@@ -445,11 +432,9 @@ mod tests {
         let s = StreamShape::new(0, 1);
         let mut data = SignalData::dense(s, (0..10).map(|i| i as f32).collect());
         data.punch_gap(4, 5);
-        let mut qb = QueryBuilder::new();
-        let src = qb.source("s", s);
-        let f = fill_mean(&mut qb, src, 10).unwrap();
-        qb.sink(f);
-        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let q = Query::new();
+        fill_mean(q.source("s", s), 10).unwrap().sink();
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
         let out = exec.run_collect().unwrap();
         assert_eq!(out.len(), 10);
         // Present values: 0,1,2,3,5,6,7,8,9 -> mean 41/9.
@@ -461,11 +446,9 @@ mod tests {
     fn resample_upsamples_with_linear_interpolation() {
         let s = StreamShape::new(0, 8); // 125 Hz
         let data = SignalData::dense(s, (0..100).map(|i| i as f32).collect());
-        let mut qb = QueryBuilder::new();
-        let src = qb.source("s", s);
-        let r = resample(&mut qb, src, 2, 400).unwrap(); // -> 500 Hz
-        qb.sink(r);
-        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let q = Query::new();
+        resample(q.source("s", s), 2, 400).unwrap().sink(); // -> 500 Hz
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
         let out = exec.run_collect().unwrap();
         // Original samples at t=0,8,16,... value t/8; interpolated slots
         // at t=2,4,6 should be t/8 exactly (linear data).
@@ -480,8 +463,8 @@ mod tests {
         let abp = StreamShape::new(0, 8);
         let ecg_data = sine(ecg, 2000, 0.1);
         let abp_data = sine(abp, 500, 0.03);
-        let qb = fig3_pipeline(ecg, abp, 1000).unwrap();
-        let mut exec = qb
+        let q = fig3_pipeline(ecg, abp, 1000).unwrap();
+        let mut exec = q
             .compile()
             .unwrap()
             .executor_with(vec![ecg_data, abp_data], ExecOptions::default())
@@ -500,8 +483,8 @@ mod tests {
         // Disjoint availability: ECG first half, ABP second half.
         ecg_data.punch_gap(50_000, 100_000);
         abp_data.punch_gap(0, 50_000);
-        let qb = fig3_pipeline(ecg, abp, 1000).unwrap();
-        let mut exec = qb
+        let q = fig3_pipeline(ecg, abp, 1000).unwrap();
+        let mut exec = q
             .compile()
             .unwrap()
             .executor_with(
@@ -511,7 +494,11 @@ mod tests {
             .unwrap();
         let stats = exec.run().unwrap();
         assert_eq!(stats.output_events, 0);
-        assert!(stats.windows_skipped >= 90, "skipped {}", stats.windows_skipped);
+        assert!(
+            stats.windows_skipped >= 90,
+            "skipped {}",
+            stats.windows_skipped
+        );
     }
 
     #[test]
@@ -528,8 +515,8 @@ mod tests {
             .iter()
             .map(|&s| sine(s, (4000 / s.period()) as usize, 0.05))
             .collect();
-        let qb = cap_pipeline(&shapes, 1000).unwrap();
-        let mut exec = qb.compile().unwrap().executor(data).unwrap();
+        let q = cap_pipeline(&shapes, 1000).unwrap();
+        let mut exec = q.compile().unwrap().executor(data).unwrap();
         let out = exec.run_collect().unwrap();
         assert_eq!(out.arity(), 6);
         assert!(out.len() > 1000);
@@ -548,8 +535,8 @@ mod tests {
         let data = SignalData::dense(abp, vals);
         // Pattern: normalized flat-drop shape.
         let pattern = vec![0.0; 32];
-        let qb = linezero_pipeline(abp, pattern, 4, 3.0, ShapeMode::Keep).unwrap();
-        let mut exec = qb.compile().unwrap().executor(vec![data]).unwrap();
+        let q = linezero_pipeline(abp, pattern, 4, 3.0, ShapeMode::Keep).unwrap();
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
         let out = exec.run_collect().unwrap();
         assert!(!out.is_empty(), "artifact should be detected");
         // Detections should land inside the artifact region [7200, 8000).

@@ -43,9 +43,16 @@ use crate::time::{gcd, StreamShape, Tick};
 use crate::trace::{self, TraceReport};
 
 /// A handle to an intermediate stream inside a [`QueryBuilder`].
+///
+/// Handles carry the identity of the builder that created them, so
+/// passing a handle to a *different* builder is detected (returning
+/// [`Error::InvalidHandle`]) even when the node index happens to be in
+/// range there.
+#[must_use = "a StreamHandle names a sub-query; without reaching a sink() it computes nothing"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamHandle {
     node: NodeId,
+    builder: u64,
 }
 
 type KernelFactory = Box<dyn FnOnce(&Node) -> Box<dyn Kernel> + Send>;
@@ -55,7 +62,12 @@ pub struct QueryBuilder {
     graph: Graph,
     factories: Vec<Option<KernelFactory>>,
     n_sources: usize,
+    id: u64,
 }
+
+/// Process-unique builder identities, embedded in every [`StreamHandle`]
+/// to detect handles crossing between builders.
+static NEXT_BUILDER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Default for QueryBuilder {
     fn default() -> Self {
@@ -70,9 +82,11 @@ impl QueryBuilder {
             graph: Graph::new(),
             factories: Vec::new(),
             n_sources: 0,
+            id: NEXT_BUILDER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push(
         &mut self,
         name: impl Into<String>,
@@ -95,10 +109,16 @@ impl QueryBuilder {
             lineage,
         });
         self.factories.push(factory);
-        StreamHandle { node: id }
+        StreamHandle {
+            node: id,
+            builder: self.id,
+        }
     }
 
     fn node(&self, h: StreamHandle) -> Result<&Node> {
+        if h.builder != self.id {
+            return Err(Error::InvalidHandle { node: h.node });
+        }
         self.graph
             .nodes
             .get(h.node)
@@ -110,7 +130,15 @@ impl QueryBuilder {
     pub fn source(&mut self, name: impl Into<String>, shape: StreamShape) -> StreamHandle {
         let index = self.n_sources;
         self.n_sources += 1;
-        self.push(name, OpKind::Source { index }, vec![], shape, 1, vec![], None)
+        self.push(
+            name,
+            OpKind::Source { index },
+            vec![],
+            shape,
+            1,
+            vec![],
+            None,
+        )
     }
 
     /// `Select`: projects each event's payload through `f`
@@ -129,9 +157,8 @@ impl QueryBuilder {
         }
         let n = self.node(input)?;
         let (shape, in_arity) = (n.shape, n.arity);
-        let factory: KernelFactory = Box::new(move |_| {
-            Box::new(SelectKernel::new(in_arity, out_arity, Box::new(f)))
-        });
+        let factory: KernelFactory =
+            Box::new(move |_| Box::new(SelectKernel::new(in_arity, out_arity, Box::new(f))));
         Ok(self.push(
             "Select",
             OpKind::Select,
@@ -555,16 +582,28 @@ impl QueryBuilder {
         ))
     }
 
-    /// `Multicast`: forks a stream so multiple subqueries can read it. The
-    /// engine's graph supports fan-out natively, so this simply returns two
-    /// handles to the same node — provided to mirror the paper's operator
-    /// vocabulary (Listing 1).
+    /// `Multicast`: forks a stream so multiple subqueries can read it.
+    ///
+    /// This is **aliasing, not copying**: the engine's graph supports
+    /// fan-out natively (every operator consuming a handle adds an edge to
+    /// the same node), so no node is inserted and both returned handles
+    /// name the same stream. Since [`StreamHandle`] is `Copy`, using the
+    /// input handle twice is equivalent; `multicast` exists to mirror the
+    /// paper's operator vocabulary (Listing 1). The fluent counterpart is
+    /// [`Stream::multicast`](crate::stream::Stream::multicast).
     pub fn multicast(&mut self, input: StreamHandle) -> (StreamHandle, StreamHandle) {
         (input, input)
     }
 
     /// Marks `input` as a query output.
+    ///
+    /// # Panics
+    /// Panics on a handle from a different builder or out of range.
     pub fn sink(&mut self, input: StreamHandle) {
+        assert_eq!(
+            input.builder, self.id,
+            "stream handle from a different builder passed to sink()"
+        );
         let (shape, arity) = {
             let n = &self.graph.nodes[input.node];
             (n.shape, n.arity)
@@ -617,6 +656,7 @@ impl std::fmt::Debug for QueryBuilder {
 }
 
 /// A compiled (traced) query, ready to instantiate executors.
+#[must_use = "a CompiledQuery does nothing until an executor is created from it"]
 pub struct CompiledQuery {
     graph: Graph,
     factories: Vec<Option<KernelFactory>>,
@@ -639,7 +679,6 @@ impl CompiledQuery {
     pub fn trace_report(&self) -> &TraceReport {
         &self.report
     }
-
 
     /// Shapes of the declared sources, in dataset-slot order.
     pub fn source_shapes(&self) -> Vec<StreamShape> {
@@ -669,7 +708,11 @@ impl CompiledQuery {
     /// Returns an error when the datasets mismatch the declared sources or
     /// the requested round dimension is incompatible with the traced
     /// dimension.
-    pub fn executor_with(mut self, sources: Vec<SignalData>, opts: ExecOptions) -> Result<Executor> {
+    pub fn executor_with(
+        mut self,
+        sources: Vec<SignalData>,
+        opts: ExecOptions,
+    ) -> Result<Executor> {
         if sources.len() != self.n_sources {
             return Err(Error::SourceCountMismatch {
                 expected: self.n_sources,
@@ -690,12 +733,19 @@ impl CompiledQuery {
         let round_dim = match opts.round_ticks {
             Some(r) => {
                 let g = self.report.global_dim;
-                let aligned = (r.max(g) + g - 1) / g * g;
+                // Round the requested size up to the next multiple of the
+                // traced dimension (both are positive; signed div_ceil is
+                // not stable yet).
+                let aligned = ((r.max(g) as u64).div_ceil(g as u64) * g as u64) as Tick;
                 trace::apply_round_dim(&mut self.graph, g, aligned)?;
                 aligned
             }
             None => {
-                trace::apply_round_dim(&mut self.graph, self.report.global_dim, self.report.global_dim)?;
+                trace::apply_round_dim(
+                    &mut self.graph,
+                    self.report.global_dim,
+                    self.report.global_dim,
+                )?;
                 self.report.global_dim
             }
         };

@@ -99,10 +99,7 @@ impl SignalData {
         self.presence
             .ranges()
             .iter()
-            .map(|&(s, e)| {
-                self.shape
-                    .events_in(s.max(self.shape.offset()), e.min(end))
-            })
+            .map(|&(s, e)| self.shape.events_in(s.max(self.shape.offset()), e.min(end)))
             .sum()
     }
 

@@ -1,0 +1,472 @@
+//! The fluent, typed query surface: [`Query`] scopes and chainable
+//! [`Stream`]s.
+//!
+//! LifeStream queries have two layers:
+//!
+//! * **This module — the fluent surface.** A [`Query`] owns the plan
+//!   under construction; [`Query::source`] hands out lightweight, `Copy`
+//!   [`Stream`] values, and every Table-2 operator is a chainable method
+//!   on [`Stream`]. All operator methods are *consistently fallible*
+//!   (they return [`Result`]), unlike the low-level builder where
+//!   convenience methods such as
+//!   [`select_map`](crate::query::QueryBuilder::select_map) panic on bad
+//!   handles.
+//! * **The logical-plan layer** — [`QueryBuilder`](crate::query), which
+//!   this module drives one-to-one. The builder remains the documented
+//!   low-level API: compiler passes (locality tracing, and future
+//!   profile-guided rewrites) operate on the graph it produces, and the
+//!   fluent layer adds no nodes of its own, so both surfaces compile to
+//!   identical plans.
+//!
+//! The paper's Listing 1 in fluent form:
+//!
+//! ```
+//! use lifestream_core::prelude::*;
+//!
+//! let q = Query::new();
+//! let sig500 = q.source("sig500", StreamShape::new(0, 2));
+//! let sig200 = q.source("sig200", StreamShape::new(0, 5));
+//! sig500
+//!     .aggregate(AggKind::Mean, 100, 100)?
+//!     .join_map(sig500, JoinKind::Inner, 1, |m, v, out| out[0] = v[0] - m[0])?
+//!     .join(sig200, JoinKind::Inner)?
+//!     .sink();
+//! let compiled = q.compile()?;
+//! assert_eq!(compiled.global_dim(), 100); // Fig. 6's traced dimension
+//! # Ok::<(), lifestream_core::Error>(())
+//! ```
+
+use std::cell::RefCell;
+
+use crate::error::{Error, Result};
+use crate::ops::aggregate::AggKind;
+use crate::ops::join::JoinKind;
+use crate::ops::transform::TransformCtx;
+use crate::ops::where_shape::ShapeMode;
+use crate::query::{CompiledQuery, QueryBuilder, StreamHandle};
+use crate::time::{StreamShape, Tick};
+
+/// A query under construction, owning the logical-plan builder that the
+/// fluent [`Stream`] methods drive.
+///
+/// Interior mutability (a `RefCell` around the [`QueryBuilder`]) is what
+/// lets multiple live `Stream`s — e.g. both sides of a join — share one
+/// plan without threading `&mut` through every call.
+#[derive(Debug, Default)]
+pub struct Query {
+    inner: RefCell<QueryBuilder>,
+}
+
+impl Query {
+    /// Creates an empty query scope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing low-level builder so construction can continue
+    /// fluently.
+    pub fn from_builder(builder: QueryBuilder) -> Self {
+        Self {
+            inner: RefCell::new(builder),
+        }
+    }
+
+    /// Declares a source stream. Datasets are later supplied to the
+    /// executor in declaration order.
+    pub fn source(&self, name: impl Into<String>, shape: StreamShape) -> Stream<'_> {
+        let handle = self.inner.borrow_mut().source(name, shape);
+        Stream {
+            query: self,
+            handle,
+        }
+    }
+
+    /// Wraps a low-level [`StreamHandle`] (e.g. one created before
+    /// [`Query::from_builder`]) as a fluent [`Stream`] — the
+    /// builder-to-fluent direction of mixed construction.
+    ///
+    /// # Errors
+    /// Returns an error for a handle that does not name a stream in this
+    /// query.
+    pub fn stream(&self, handle: StreamHandle) -> Result<Stream<'_>> {
+        self.inner.borrow().shape_of(handle)?;
+        Ok(Stream {
+            query: self,
+            handle,
+        })
+    }
+
+    /// Unwraps back into the low-level builder (escape hatch for plan
+    /// surgery the fluent surface does not expose).
+    pub fn into_builder(self) -> QueryBuilder {
+        self.inner.into_inner()
+    }
+
+    /// Compiles the query: validates the graph and runs locality tracing.
+    ///
+    /// # Errors
+    /// Returns an error when the query has no sink or tracing diverges.
+    pub fn compile(self) -> Result<CompiledQuery> {
+        self.into_builder().compile()
+    }
+}
+
+/// A stream inside a [`Query`], with every Table-2 operator as a
+/// chainable method.
+///
+/// `Stream` is `Copy`: it is only a `(scope, node)` pair, so a stream can
+/// be consumed by several operators — that is how fan-out is written (see
+/// [`Stream::multicast`]).
+#[must_use = "a Stream describes a sub-query; without reaching a sink() it computes nothing"]
+#[derive(Debug, Clone, Copy)]
+pub struct Stream<'q> {
+    query: &'q Query,
+    handle: StreamHandle,
+}
+
+impl<'q> Stream<'q> {
+    /// The low-level handle this stream wraps (for mixing fluent and
+    /// builder-level construction via [`Query::into_builder`]).
+    pub fn handle(&self) -> StreamHandle {
+        self.handle
+    }
+
+    /// Shape of this stream (offset and period).
+    ///
+    /// # Errors
+    /// Returns an error for a stale handle.
+    pub fn shape(&self) -> Result<StreamShape> {
+        self.query.inner.borrow().shape_of(self.handle)
+    }
+
+    fn wrap(self, handle: Result<StreamHandle>) -> Result<Stream<'q>> {
+        handle.map(|handle| Stream {
+            query: self.query,
+            handle,
+        })
+    }
+
+    fn same_scope(&self, other: &Stream<'q>) -> Result<()> {
+        if std::ptr::eq(self.query, other.query) {
+            Ok(())
+        } else {
+            Err(Error::CrossQuery)
+        }
+    }
+
+    /// `Select`: projects each event's payload through `f` (`out_arity`
+    /// output fields).
+    ///
+    /// # Errors
+    /// Returns an error for `out_arity` out of range.
+    pub fn select<F>(self, out_arity: usize, f: F) -> Result<Stream<'q>>
+    where
+        F: FnMut(&[f32], &mut [f32]) + Send + 'static,
+    {
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .select(self.handle, out_arity, f);
+        self.wrap(h)
+    }
+
+    /// Single-field `Select` mapping `f32 -> f32` — the fallible fluent
+    /// counterpart of the builder's panicking
+    /// [`select_map`](QueryBuilder::select_map).
+    ///
+    /// # Errors
+    /// Returns an error for a stale handle.
+    pub fn map<F>(self, mut f: F) -> Result<Stream<'q>>
+    where
+        F: FnMut(f32) -> f32 + Send + 'static,
+    {
+        self.select(1, move |i, o| o[0] = f(i[0]))
+    }
+
+    /// `Where`: keeps events satisfying `pred`.
+    ///
+    /// # Errors
+    /// Returns an error for a stale handle.
+    pub fn where_<F>(self, pred: F) -> Result<Stream<'q>>
+    where
+        F: FnMut(&[f32]) -> bool + Send + 'static,
+    {
+        let h = self.query.inner.borrow_mut().where_(self.handle, pred);
+        self.wrap(h)
+    }
+
+    /// Extended `Where` (§6.1): filters by visual pattern using streaming
+    /// constrained DTW.
+    ///
+    /// # Errors
+    /// Returns an error for a multi-field input or an empty pattern.
+    pub fn where_shape(
+        self,
+        pattern: Vec<f32>,
+        band: usize,
+        threshold: f32,
+        normalize: bool,
+        mode: ShapeMode,
+    ) -> Result<Stream<'q>> {
+        let h = self.query.inner.borrow_mut().where_shape(
+            self.handle,
+            pattern,
+            band,
+            threshold,
+            normalize,
+            mode,
+        );
+        self.wrap(h)
+    }
+
+    /// `Aggregate(w, p)`: applies `kind` to `window`-tick windows with
+    /// stride `stride`.
+    ///
+    /// # Errors
+    /// Returns an error for invalid window/stride parameters or a
+    /// multi-field input.
+    pub fn aggregate(self, kind: AggKind, window: Tick, stride: Tick) -> Result<Stream<'q>> {
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .aggregate(self.handle, kind, window, stride);
+        self.wrap(h)
+    }
+
+    /// Temporal equijoin with `other`, concatenating both payloads.
+    ///
+    /// # Errors
+    /// Returns an error when the grids never align, the combined arity
+    /// overflows, or `other` belongs to a different [`Query`].
+    pub fn join(self, other: Stream<'q>, kind: JoinKind) -> Result<Stream<'q>> {
+        self.same_scope(&other)?;
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .join(self.handle, other.handle, kind);
+        self.wrap(h)
+    }
+
+    /// Temporal equijoin with a payload projection: `f(left, right, out)`.
+    ///
+    /// # Errors
+    /// Returns an error when the grids never align, `out_arity` is out of
+    /// range, or `other` belongs to a different [`Query`].
+    pub fn join_map<F>(
+        self,
+        other: Stream<'q>,
+        kind: JoinKind,
+        out_arity: usize,
+        f: F,
+    ) -> Result<Stream<'q>>
+    where
+        F: FnMut(&[f32], &[f32], &mut [f32]) + Send + 'static,
+    {
+        self.same_scope(&other)?;
+        let h =
+            self.query
+                .inner
+                .borrow_mut()
+                .join_map(self.handle, other.handle, kind, out_arity, f);
+        self.wrap(h)
+    }
+
+    /// `ClipJoin`: pairs each event of this stream with the most recent
+    /// event of `other` at or before it (as-of join).
+    ///
+    /// # Errors
+    /// Returns an error when the combined arity overflows or `other`
+    /// belongs to a different [`Query`].
+    pub fn clip_join(self, other: Stream<'q>) -> Result<Stream<'q>> {
+        self.same_scope(&other)?;
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .clip_join(self.handle, other.handle);
+        self.wrap(h)
+    }
+
+    /// `Chop(b)`: splits event intervals on multiples of `boundary`.
+    ///
+    /// # Errors
+    /// Returns an error for a non-positive boundary or an offset off the
+    /// joint grid.
+    pub fn chop(self, boundary: Tick) -> Result<Stream<'q>> {
+        let h = self.query.inner.borrow_mut().chop(self.handle, boundary);
+        self.wrap(h)
+    }
+
+    /// `Shift(k)`: moves every sync time forward by `delta` ticks.
+    ///
+    /// # Errors
+    /// Returns an error for a negative `delta`.
+    pub fn shift(self, delta: Tick) -> Result<Stream<'q>> {
+        let h = self.query.inner.borrow_mut().shift(self.handle, delta);
+        self.wrap(h)
+    }
+
+    /// `AlterPeriod(p)`: re-grids the stream to period `period`.
+    ///
+    /// # Errors
+    /// Returns an error for a non-positive period.
+    pub fn alter_period(self, period: Tick) -> Result<Stream<'q>> {
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .alter_period(self.handle, period);
+        self.wrap(h)
+    }
+
+    /// `AlterDuration(d)`: rewrites every event's active lifetime.
+    ///
+    /// # Errors
+    /// Returns an error for a non-positive duration.
+    pub fn alter_duration(self, duration: Tick) -> Result<Stream<'q>> {
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .alter_duration(self.handle, duration);
+        self.wrap(h)
+    }
+
+    /// `Transform(w)`: applies a user window-to-window function to
+    /// `window`-tick sub-windows (single-field streams).
+    ///
+    /// # Errors
+    /// Returns an error for a multi-field input or a window that is not a
+    /// positive multiple of the period.
+    pub fn transform<F>(self, window: Tick, f: F) -> Result<Stream<'q>>
+    where
+        F: FnMut(TransformCtx<'_>) + Send + 'static,
+    {
+        let h = self
+            .query
+            .inner
+            .borrow_mut()
+            .transform(self.handle, window, f);
+        self.wrap(h)
+    }
+
+    /// `Multicast`: forks the stream so multiple subqueries can read it.
+    ///
+    /// The engine's graph supports fan-out natively — every operator that
+    /// consumes a stream adds an edge to the same node — so this returns
+    /// two *aliases* of the same underlying stream rather than inserting
+    /// copy nodes. It exists to mirror the paper's operator vocabulary
+    /// (Listing 1); because `Stream` is `Copy`, simply using the value
+    /// twice is equivalent.
+    pub fn multicast(self) -> (Stream<'q>, Stream<'q>) {
+        (self, self)
+    }
+
+    /// Marks this stream as a query output, ending the chain.
+    pub fn sink(self) {
+        self.query.inner.borrow_mut().sink(self.handle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SignalData;
+
+    #[test]
+    fn listing1_fluent_compiles_to_dim_100() {
+        let q = Query::new();
+        let sig500 = q.source("sig500", StreamShape::new(0, 2));
+        let sig200 = q.source("sig200", StreamShape::new(0, 5));
+        let (a, b) = sig500.multicast();
+        a.aggregate(AggKind::Mean, 100, 100)
+            .unwrap()
+            .join_map(b, JoinKind::Inner, 1, |m, v, o| o[0] = v[0] - m[0])
+            .unwrap()
+            .join(sig200, JoinKind::Inner)
+            .unwrap()
+            .sink();
+        let compiled = q.compile().unwrap();
+        assert_eq!(compiled.global_dim(), 100);
+        assert_eq!(compiled.source_count(), 2);
+    }
+
+    #[test]
+    fn cross_query_join_is_rejected() {
+        let q1 = Query::new();
+        let q2 = Query::new();
+        let a = q1.source("a", StreamShape::new(0, 1));
+        let b = q2.source("b", StreamShape::new(0, 1));
+        assert_eq!(a.join(b, JoinKind::Inner).unwrap_err(), Error::CrossQuery);
+        assert_eq!(
+            a.join_map(b, JoinKind::Inner, 1, |_, _, _| {}).unwrap_err(),
+            Error::CrossQuery
+        );
+        assert_eq!(a.clip_join(b).unwrap_err(), Error::CrossQuery);
+    }
+
+    #[test]
+    fn fluent_map_is_fallible_not_panicking() {
+        let q = Query::new();
+        let s = q.source("s", StreamShape::new(0, 1));
+        let mapped = s.map(|v| v * 2.0);
+        assert!(mapped.is_ok());
+    }
+
+    #[test]
+    fn compile_without_sink_fails() {
+        let q = Query::new();
+        let s = q.source("s", StreamShape::new(0, 1));
+        let _ = s.map(|v| v).unwrap();
+        assert_eq!(q.compile().unwrap_err(), Error::NoSink);
+    }
+
+    #[test]
+    fn fluent_chain_runs_end_to_end() {
+        let data = SignalData::dense(
+            StreamShape::new(0, 100),
+            (0..100).map(|i| i as f32).collect(),
+        );
+        let q = Query::new();
+        q.source("sig", data.shape()).map(|v| v * v).unwrap().sink();
+        let mut exec = q.compile().unwrap().executor(vec![data]).unwrap();
+        let out = exec.run_collect().unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.values(0)[3], 9.0);
+    }
+
+    #[test]
+    fn from_builder_continues_fluently() {
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 2));
+        let q = Query::from_builder(qb);
+        let s = q.stream(src).unwrap();
+        s.aggregate(AggKind::Mean, 100, 100).unwrap().sink();
+        assert_eq!(q.compile().unwrap().global_dim(), 100);
+    }
+
+    #[test]
+    fn stream_rejects_foreign_handles() {
+        // The foreign handle's node index (0) is in range in `q` too —
+        // builder identity, not bounds, must reject it.
+        let mut other = QueryBuilder::new();
+        let foreign = other.source("a", StreamShape::new(0, 1));
+        let q = Query::new();
+        let _ = q.source("s", StreamShape::new(0, 1));
+        assert!(q.stream(foreign).is_err());
+    }
+
+    #[test]
+    fn shape_tracks_operators() {
+        let q = Query::new();
+        let s = q.source("s", StreamShape::new(0, 2));
+        assert_eq!(s.shape().unwrap(), StreamShape::new(0, 2));
+        let agg = s.aggregate(AggKind::Mean, 100, 100).unwrap();
+        assert_eq!(agg.shape().unwrap().period(), 100);
+        let shifted = agg.shift(10).unwrap();
+        assert_eq!(shifted.shape().unwrap().offset(), 10);
+    }
+}

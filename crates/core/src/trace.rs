@@ -61,7 +61,10 @@ pub fn trace(graph: &mut Graph) -> Result<TraceReport> {
                 d = lcm(d, graph.nodes[inp].dim);
             }
             // Respect this node's own grid constraint after merging.
-            d = lcm(d, graph.nodes[id].kind.dim_constraint(graph.nodes[id].shape));
+            d = lcm(
+                d,
+                graph.nodes[id].kind.dim_constraint(graph.nodes[id].shape),
+            );
             if d > DIM_BOUND {
                 return Err(Error::TraceDiverged { dim: d });
             }
@@ -163,7 +166,8 @@ mod tests {
         let s500 = StreamShape::new(0, 2);
         let s200 = StreamShape::new(0, 5);
         let mut g = Graph::new();
-        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], s500));
+        g.nodes
+            .push(node(0, OpKind::Source { index: 0 }, vec![], s500));
         g.nodes.push(node(1, OpKind::Select, vec![0], s500));
         g.nodes.push(node(
             2,
@@ -182,7 +186,8 @@ mod tests {
             vec![1, 2],
             s500, // gcd(2, 100) = 2
         ));
-        g.nodes.push(node(4, OpKind::Source { index: 1 }, vec![], s200));
+        g.nodes
+            .push(node(4, OpKind::Source { index: 1 }, vec![], s200));
         g.nodes.push(node(5, OpKind::Select, vec![4], s200));
         g.nodes.push(node(
             6,
@@ -192,7 +197,8 @@ mod tests {
             vec![3, 5],
             StreamShape::new(0, 1), // gcd(2, 5) = 1
         ));
-        g.nodes.push(node(7, OpKind::Sink, vec![6], StreamShape::new(0, 1)));
+        g.nodes
+            .push(node(7, OpKind::Sink, vec![6], StreamShape::new(0, 1)));
         g.sinks.push(7);
         g
     }
@@ -212,7 +218,8 @@ mod tests {
     fn single_chain_keeps_minimal_dim() {
         let s = StreamShape::new(0, 2);
         let mut g = Graph::new();
-        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], s));
+        g.nodes
+            .push(node(0, OpKind::Source { index: 0 }, vec![], s));
         g.nodes.push(node(1, OpKind::Select, vec![0], s));
         g.nodes.push(node(2, OpKind::Sink, vec![1], s));
         g.sinks.push(2);
@@ -225,8 +232,10 @@ mod tests {
         let l = StreamShape::new(0, 2);
         let r = StreamShape::new(0, 5);
         let mut g = Graph::new();
-        g.nodes.push(node(0, OpKind::Source { index: 0 }, vec![], l));
-        g.nodes.push(node(1, OpKind::Source { index: 1 }, vec![], r));
+        g.nodes
+            .push(node(0, OpKind::Source { index: 0 }, vec![], l));
+        g.nodes
+            .push(node(1, OpKind::Source { index: 1 }, vec![], r));
         g.nodes.push(node(
             2,
             OpKind::Join {
@@ -235,7 +244,8 @@ mod tests {
             vec![0, 1],
             StreamShape::new(0, 1),
         ));
-        g.nodes.push(node(3, OpKind::Sink, vec![2], StreamShape::new(0, 1)));
+        g.nodes
+            .push(node(3, OpKind::Sink, vec![2], StreamShape::new(0, 1)));
         g.sinks.push(3);
         let report = trace(&mut g).unwrap();
         // lcm(2, 5, 1) = 10.

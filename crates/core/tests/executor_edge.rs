@@ -198,7 +198,10 @@ fn round_larger_than_dataset_runs_once() {
     let mut exec = qb
         .compile()
         .unwrap()
-        .executor_with(vec![data], ExecOptions::default().with_round_ticks(1_000_000))
+        .executor_with(
+            vec![data],
+            ExecOptions::default().with_round_ticks(1_000_000),
+        )
         .unwrap();
     let stats = exec.run().unwrap();
     assert_eq!(stats.output_events, 10);

@@ -23,6 +23,9 @@
 //! the order — Storm < Spark < Flink ≪ Trill ≪ LifeStream/SciPy — is.
 
 #![warn(missing_docs)]
+// Boxing each event is the point: it reproduces the per-event heap
+// allocation (JVM object churn) these engines pay.
+#![allow(clippy::vec_box)]
 #![warn(rust_2018_idioms)]
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -342,7 +345,12 @@ mod tests {
     #[test]
     fn codec_roundtrips() {
         let evs: Vec<Box<Event>> = (0..10)
-            .map(|i| Box::new(Event { ts: i, value: i as f32 }))
+            .map(|i| {
+                Box::new(Event {
+                    ts: i,
+                    value: i as f32,
+                })
+            })
             .collect();
         let decoded = decode(encode(&evs));
         assert_eq!(decoded.len(), 10);

@@ -71,7 +71,11 @@ pub fn fill_mean(values: &[f32], window: usize) -> Vec<f32> {
                 n += 1;
             }
         }
-        let mean = if n > 0 { (sum / n as f64) as f32 } else { f32::NAN };
+        let mean = if n > 0 {
+            (sum / n as f64) as f32
+        } else {
+            f32::NAN
+        };
         out.extend(chunk.iter().map(|&v| if v.is_nan() { mean } else { v }));
     }
     out
@@ -84,11 +88,7 @@ pub fn fill_mean(values: &[f32], window: usize) -> Vec<f32> {
 ///
 /// # Panics
 /// Panics if either period is zero.
-pub fn resample_linear(
-    values: &[f32],
-    src_period: i64,
-    dst_period: i64,
-) -> (Vec<i64>, Vec<f32>) {
+pub fn resample_linear(values: &[f32], src_period: i64, dst_period: i64) -> (Vec<i64>, Vec<f32>) {
     assert!(src_period > 0 && dst_period > 0, "periods must be positive");
     if values.is_empty() {
         return (Vec::new(), Vec::new());

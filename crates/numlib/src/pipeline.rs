@@ -96,7 +96,9 @@ mod tests {
     fn sine(shape: StreamShape, n: usize) -> SignalData {
         SignalData::dense(
             shape,
-            (0..n).map(|i| (i as f32 * 0.1).sin() * 10.0 + 50.0).collect(),
+            (0..n)
+                .map(|i| (i as f32 * 0.1).sin() * 10.0 + 50.0)
+                .collect(),
         )
     }
 

@@ -250,9 +250,7 @@ impl Interp {
                     let v = self.eval(e)?;
                     match &self.slots[*slot] {
                         Value::List(l) => l.borrow_mut().push(v),
-                        other => {
-                            return Err(PyError::Type(format!("append to non-list {other}")))
-                        }
+                        other => return Err(PyError::Type(format!("append to non-list {other}"))),
                     }
                 }
                 Stmt::Break => return Ok(Flow::Break),
@@ -266,11 +264,7 @@ impl Interp {
         match e {
             Expr::Const(f) => Ok(Value::Float(*f)),
             Expr::ConstInt(i) => Ok(Value::Int(*i)),
-            Expr::Load(s) => self
-                .slots
-                .get(*s)
-                .cloned()
-                .ok_or(PyError::Slot(*s)),
+            Expr::Load(s) => self.slots.get(*s).cloned().ok_or(PyError::Slot(*s)),
             Expr::Len(s) => match &self.slots[*s] {
                 Value::List(l) => Ok(Value::Int(l.borrow().len() as i64)),
                 other => Err(PyError::Type(format!("len of non-list {other}"))),
@@ -326,6 +320,9 @@ impl Interp {
     }
 }
 
+/// Joined output: aligned `(times, left values, right values)` lists.
+pub type JoinedEvents = (Vec<i64>, Vec<f32>, Vec<f32>);
+
 /// The pure-Python temporal inner join the paper's NumLib pipeline uses:
 /// a merge walk over two sorted timestamp lists, emitting `(t, l, r)` for
 /// every left event whose covering right event exists (right events cover
@@ -342,7 +339,7 @@ pub fn py_temporal_join(
     right_ts: &[i64],
     right_vs: &[f32],
     right_period: i64,
-) -> Result<(Vec<i64>, Vec<f32>, Vec<f32>), PyError> {
+) -> Result<JoinedEvents, PyError> {
     // Slot layout.
     const LT: Slot = 0; // left timestamps
     const LV: Slot = 1; // left values
@@ -382,7 +379,11 @@ pub fn py_temporal_join(
                     bin(
                         And,
                         bin(Lt, bin(Add, Load(J), ConstInt(1)), Load(M)),
-                        bin(Le, Index(RT, Box::new(bin(Add, Load(J), ConstInt(1)))), Load(T)),
+                        bin(
+                            Le,
+                            Index(RT, Box::new(bin(Add, Load(J), ConstInt(1)))),
+                            Load(T),
+                        ),
                     ),
                     vec![Assign(J, bin(Add, Load(J), ConstInt(1)))],
                 ),
@@ -446,8 +447,22 @@ mod tests {
     fn arithmetic_and_types() {
         let mut vm = Interp::new(2);
         vm.exec(&[
-            Stmt::Assign(0, Expr::Bin(BinOp::Add, Box::new(Expr::ConstInt(2)), Box::new(Expr::ConstInt(3)))),
-            Stmt::Assign(1, Expr::Bin(BinOp::Div, Box::new(Expr::Const(1.0)), Box::new(Expr::ConstInt(4)))),
+            Stmt::Assign(
+                0,
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::ConstInt(2)),
+                    Box::new(Expr::ConstInt(3)),
+                ),
+            ),
+            Stmt::Assign(
+                1,
+                Expr::Bin(
+                    BinOp::Div,
+                    Box::new(Expr::Const(1.0)),
+                    Box::new(Expr::ConstInt(4)),
+                ),
+            ),
         ])
         .unwrap();
         assert!(matches!(vm.get(0), Value::Int(5)));
@@ -471,7 +486,11 @@ mod tests {
         )])
         .unwrap();
         assert!(matches!(vm.get(1), Value::Int(45)));
-        assert!(vm.ops_executed > 50, "dispatch counted: {}", vm.ops_executed);
+        assert!(
+            vm.ops_executed > 50,
+            "dispatch counted: {}",
+            vm.ops_executed
+        );
     }
 
     #[test]
@@ -488,8 +507,11 @@ mod tests {
     fn negative_index_wraps() {
         let mut vm = Interp::new(2);
         vm.set(0, Value::from_f32s(&[1.0, 2.0, 3.0]));
-        vm.exec(&[Stmt::Assign(1, Expr::Index(0, Box::new(Expr::ConstInt(-1))))])
-            .unwrap();
+        vm.exec(&[Stmt::Assign(
+            1,
+            Expr::Index(0, Box::new(Expr::ConstInt(-1))),
+        )])
+        .unwrap();
         assert!(matches!(vm.get(1), Value::Float(f) if *f == 3.0));
     }
 

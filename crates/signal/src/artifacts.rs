@@ -27,7 +27,7 @@ pub struct LineZeroSpec {
 impl Default for LineZeroSpec {
     fn default() -> Self {
         Self {
-            count: 49, // the paper's month of data contained 49
+            count: 49,         // the paper's month of data contained 49
             flat_samples: 250, // 2 s at 125 Hz
             ramp_samples: 12,
             noise: 1.0,
@@ -98,11 +98,11 @@ pub fn line_zero_pattern(len: usize) -> Vec<f32> {
 /// works on raw signals.
 pub fn line_zero_onset_pattern(pre: usize, ramp: usize, post: usize) -> Vec<f32> {
     let mut v = Vec::with_capacity(pre + ramp + post);
-    v.extend(std::iter::repeat(1.0).take(pre));
+    v.extend(std::iter::repeat_n(1.0, pre));
     for i in 0..ramp {
         v.push(1.0 - (i + 1) as f32 / (ramp + 1) as f32);
     }
-    v.extend(std::iter::repeat(0.0).take(post));
+    v.extend(std::iter::repeat_n(0.0, post));
     v
 }
 
@@ -117,19 +117,11 @@ pub fn score_detections(
     detections: &[usize],
     slack: usize,
 ) -> (usize, usize, usize) {
-    let hit = |d: usize| {
-        truth
-            .iter()
-            .any(|&(s, e)| d + slack >= s && d < e + slack)
-    };
+    let hit = |d: usize| truth.iter().any(|&(s, e)| d + slack >= s && d < e + slack);
     let fp = detections.iter().filter(|&&d| !hit(d)).count();
     let detected = truth
         .iter()
-        .filter(|&&(s, e)| {
-            detections
-                .iter()
-                .any(|&d| d + slack >= s && d < e + slack)
-        })
+        .filter(|&&(s, e)| detections.iter().any(|&d| d + slack >= s && d < e + slack))
         .count();
     (truth.len() - detected, fp, detected)
 }
@@ -185,7 +177,10 @@ mod tests {
         let mut a = abp_wave(100_000, 125.0, 72.0, 1);
         let mut b = a.clone();
         let s = LineZeroSpec::default();
-        assert_eq!(inject_line_zero(&mut a, &s, 7), inject_line_zero(&mut b, &s, 7));
+        assert_eq!(
+            inject_line_zero(&mut a, &s, 7),
+            inject_line_zero(&mut b, &s, 7)
+        );
         assert_eq!(a, b);
     }
 

@@ -54,10 +54,16 @@ pub fn read_csv<R: Read>(shape: StreamShape, reader: R) -> io::Result<SignalData
             )
         })?;
         let t: Tick = ts.trim().parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
         })?;
         let v: f32 = vs.trim().parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
         })?;
         if !shape.on_grid(t) || t < shape.offset() {
             return Err(io::Error::new(
@@ -69,7 +75,10 @@ pub fn read_csv<R: Read>(shape: StreamShape, reader: R) -> io::Result<SignalData
             if t <= prev {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("line {}: timestamps must be strictly increasing", lineno + 1),
+                    format!(
+                        "line {}: timestamps must be strictly increasing",
+                        lineno + 1
+                    ),
                 ));
             }
         }

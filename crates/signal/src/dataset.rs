@@ -145,7 +145,11 @@ pub fn ecg_abp_pair(minutes: i64, seed: u64) -> (SignalData, SignalData) {
 /// The ECG uses a ~45%-coverage gap model so the complement always has
 /// room for the non-overlapping share of the ABP data, keeping the ABP
 /// event count constant across the sweep.
-pub fn ecg_abp_with_overlap(minutes: i64, overlap_fraction: f64, seed: u64) -> (SignalData, SignalData) {
+pub fn ecg_abp_with_overlap(
+    minutes: i64,
+    overlap_fraction: f64,
+    seed: u64,
+) -> (SignalData, SignalData) {
     let span = minutes * 60_000;
     let sparse = GapModel {
         run_min: 20 * 60_000,
@@ -171,10 +175,14 @@ mod tests {
 
     #[test]
     fn builder_produces_expected_rates() {
-        let d = DatasetBuilder::new(SignalKind::Ecg, 1).minutes(1).build(500.0);
+        let d = DatasetBuilder::new(SignalKind::Ecg, 1)
+            .minutes(1)
+            .build(500.0);
         assert_eq!(d.shape().period(), 2);
         assert_eq!(d.len(), 30_000);
-        let d125 = DatasetBuilder::new(SignalKind::Abp, 1).minutes(1).build(125.0);
+        let d125 = DatasetBuilder::new(SignalKind::Abp, 1)
+            .minutes(1)
+            .build(125.0);
         assert_eq!(d125.shape().period(), 8);
         assert_eq!(d125.len(), 7_500);
     }
@@ -207,7 +215,9 @@ mod tests {
 
     #[test]
     fn ecg_abp_pair_has_partial_overlap() {
-        let (ecg, abp) = ecg_abp_pair(6 * 60, 42);
+        // A day-long span guarantees several run/outage cycles (runs cap
+        // at 8 h), so partial overlap is structural, not seed luck.
+        let (ecg, abp) = ecg_abp_pair(24 * 60, 42);
         let inter = ecg.presence().intersect(abp.presence()).covered_ticks();
         assert!(inter > 0);
         assert!(inter < ecg.presence().covered_ticks());

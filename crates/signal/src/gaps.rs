@@ -37,10 +37,10 @@ impl GapModel {
     /// minutes-to-hours outages (assuming millisecond ticks).
     pub fn icu_default() -> Self {
         Self {
-            run_min: 30 * 60_000,        // 30 min
-            run_max: 8 * 3_600_000,      // 8 h
-            gap_min: 60_000,             // 1 min
-            gap_max: 4 * 3_600_000,      // 4 h
+            run_min: 30 * 60_000,   // 30 min
+            run_max: 8 * 3_600_000, // 8 h
+            gap_min: 60_000,        // 1 min
+            gap_max: 4 * 3_600_000, // 4 h
             outage_prob: 0.7,
         }
     }
@@ -182,10 +182,7 @@ mod tests {
             let derived = with_overlap(&base, span, target, 21);
             let inter = base.intersect(&derived).covered_ticks();
             let frac = inter as f64 / base.covered_ticks() as f64;
-            assert!(
-                (frac - target).abs() < 0.05,
-                "target {target} got {frac}"
-            );
+            assert!((frac - target).abs() < 0.05, "target {target} got {frac}");
         }
     }
 

@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 /// ```
 pub fn ecg_wave(n: usize, hz: f64, bpm: f64, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xec6);
-    let beat_period = 60.0 / bpm; // seconds per beat
+    // Seconds per beat.
+    let beat_period = 60.0 / bpm;
     // (phase center, width, amplitude) of each deflection, phase in beats.
     let bumps: [(f64, f64, f64); 5] = [
         (0.15, 0.045, 0.12),  // P
@@ -132,7 +133,10 @@ mod tests {
     #[test]
     fn ecg_deterministic_per_seed() {
         assert_eq!(ecg_wave(100, 500.0, 72.0, 9), ecg_wave(100, 500.0, 72.0, 9));
-        assert_ne!(ecg_wave(100, 500.0, 72.0, 9), ecg_wave(100, 500.0, 72.0, 10));
+        assert_ne!(
+            ecg_wave(100, 500.0, 72.0, 9),
+            ecg_wave(100, 500.0, 72.0, 10)
+        );
     }
 
     #[test]

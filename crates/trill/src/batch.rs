@@ -69,11 +69,7 @@ impl StreamBatch {
     pub fn heap_bytes(&self) -> usize {
         self.sync.capacity() * 8
             + self.duration.capacity() * 8
-            + self
-                .fields
-                .iter()
-                .map(|f| f.capacity() * 4)
-                .sum::<usize>()
+            + self.fields.iter().map(|f| f.capacity() * 4).sum::<usize>()
     }
 
     /// Reads event `i`'s payload into `buf`.

@@ -125,18 +125,28 @@ impl EventSource {
 
 /// A user window function for `WindowOp`: receives the window's event
 /// times and values, emits transformed events via `push(t, v)`.
-pub type WindowFn =
-    Box<dyn FnMut(&[Tick], &[f32], &mut dyn FnMut(Tick, f32)) + Send>;
+pub type WindowFn = Box<dyn FnMut(&[Tick], &[f32], &mut dyn FnMut(Tick, f32)) + Send>;
 
+/// Payload projection kernel.
+type SelectFn = Box<dyn FnMut(&[f32], &mut [f32]) + Send>;
+/// Filter predicate kernel.
+type WherePred = Box<dyn FnMut(&[f32]) -> bool + Send>;
+/// Time-aware projection kernel.
+type SelectTimeFn = Box<dyn FnMut(Tick, &[f32], &mut [f32]) + Send>;
+
+// `WindowOp` deliberately echoes Trill's operator vocabulary.
+#[allow(clippy::enum_variant_names)]
 enum Op {
-    Source { index: usize },
+    Source {
+        index: usize,
+    },
     Select {
-        f: Box<dyn FnMut(&[f32], &mut [f32]) + Send>,
+        f: SelectFn,
         in_arity: usize,
         out_arity: usize,
     },
     Where {
-        pred: Box<dyn FnMut(&[f32]) -> bool + Send>,
+        pred: WherePred,
         arity: usize,
     },
     /// Tumbling/sliding aggregate over event-time windows.
@@ -163,7 +173,7 @@ enum Op {
     },
     /// Time-aware projection (Trill's `Select((vsync, payload) => ...)`).
     SelectTime {
-        f: Box<dyn FnMut(Tick, &[f32], &mut [f32]) + Send>,
+        f: SelectTimeFn,
         in_arity: usize,
         out_arity: usize,
     },
@@ -394,15 +404,7 @@ impl TrillPipeline {
     pub fn chop(&mut self, input: TrillHandle, boundary: Tick) -> TrillHandle {
         let (a, p) = (self.nodes[input.0].arity, self.nodes[input.0].period);
         let g = lifestream_core::time::gcd(p, boundary).max(1);
-        self.push_node(
-            Op::Chop {
-                boundary,
-                arity: a,
-            },
-            vec![input.0],
-            a,
-            g,
-        )
+        self.push_node(Op::Chop { boundary, arity: a }, vec![input.0], a, g)
     }
 
     /// Windowed user-defined operation (single-field streams).
@@ -508,7 +510,11 @@ impl TrillPipeline {
         stats: &mut TrillStats,
     ) -> Result<(), TrillError> {
         for &c in &consumers[from] {
-            let port = self.nodes[c].inputs.iter().position(|&i| i == from).unwrap();
+            let port = self.nodes[c]
+                .inputs
+                .iter()
+                .position(|&i| i == from)
+                .unwrap();
             let out = self.apply(c, port, &batch, stats)?;
             if let Some(out) = out {
                 if !out.is_empty() {
@@ -631,7 +637,7 @@ impl TrillPipeline {
                 let mut out = StreamBatch::with_capacity(*left_arity + *right_arity, batch.len());
                 if port == 1 {
                     // Right side: remember the latest payload.
-                    if batch.len() > 0 {
+                    if !batch.is_empty() {
                         let mut buf = vec![0.0f32; *right_arity];
                         batch.read_payload(batch.len() - 1, &mut buf);
                         *last_right = Some(buf);
@@ -656,11 +662,9 @@ impl TrillPipeline {
                                 obuf[*left_arity..].copy_from_slice(r);
                                 out.push(batch.sync[i], batch.duration[i], &obuf);
                             }
-                            None => pending_left.push((
-                                batch.sync[i],
-                                batch.duration[i],
-                                lbuf.clone(),
-                            )),
+                            None => {
+                                pending_left.push((batch.sync[i], batch.duration[i], lbuf.clone()))
+                            }
                         }
                     }
                 }

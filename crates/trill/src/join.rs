@@ -63,7 +63,12 @@ pub struct HashJoin {
 impl HashJoin {
     /// Creates a join over inputs with the given periods and payload
     /// arities; output events sit on the joint grid.
-    pub fn new(left_period: Tick, right_period: Tick, left_arity: usize, right_arity: usize) -> Self {
+    pub fn new(
+        left_period: Tick,
+        right_period: Tick,
+        left_arity: usize,
+        right_arity: usize,
+    ) -> Self {
         Self {
             left: Side::default(),
             right: Side::default(),
@@ -95,7 +100,11 @@ impl HashJoin {
         let mut payload = vec![0.0f32; arity];
         for i in 0..batch.len() {
             batch.read_payload(i, &mut payload);
-            side.push(batch.sync[i], batch.sync[i] + batch.duration[i], payload.clone());
+            side.push(
+                batch.sync[i],
+                batch.sync[i] + batch.duration[i],
+                payload.clone(),
+            );
         }
         if let Some(w) = batch.watermark() {
             side.watermark = side.watermark.max(w + 1);
@@ -243,15 +252,15 @@ mod tests {
                 all.push((b.sync[i], b.fields[1][i]));
             }
         };
-        let o1 = j.on_batch(true, &batch(1, &[(0, 1, 0.0), (1, 1, 1.0), (2, 1, 2.0), (3, 1, 3.0)]));
+        let o1 = j.on_batch(
+            true,
+            &batch(1, &[(0, 1, 0.0), (1, 1, 1.0), (2, 1, 2.0), (3, 1, 3.0)]),
+        );
         absorb(o1, &mut all);
         let o2 = j.on_batch(false, &batch(1, &[(0, 2, 100.0), (2, 2, 101.0)]));
         absorb(o2, &mut all);
         absorb(j.flush(), &mut all);
-        assert_eq!(
-            all,
-            vec![(0, 100.0), (1, 100.0), (2, 101.0), (3, 101.0)]
-        );
+        assert_eq!(all, vec![(0, 100.0), (1, 100.0), (2, 101.0), (3, 101.0)]);
     }
 
     #[test]
@@ -259,8 +268,7 @@ mod tests {
         let mut j = HashJoin::new(1, 1, 1, 1);
         // Left side races ahead; right side never arrives.
         for k in 0..100 {
-            let evs: Vec<(Tick, Tick, f32)> =
-                (0..100).map(|i| (k * 100 + i, 1, 0.0)).collect();
+            let evs: Vec<(Tick, Tick, f32)> = (0..100).map(|i| (k * 100 + i, 1, 0.0)).collect();
             j.on_batch(true, &batch(1, &evs));
         }
         assert_eq!(j.buffered_events(), 10_000);

@@ -30,7 +30,7 @@ pub fn pass_filter(
 ) -> TrillHandle {
     let mut history: Vec<f32> = Vec::new();
     p.window_op(input, window, move |ts, vs, push| {
-        for i in 0..vs.len() {
+        for (i, &t_out) in ts.iter().enumerate().take(vs.len()) {
             let mut acc = 0.0f32;
             for (k, &t) in taps.iter().enumerate() {
                 let idx = i as isize - k as isize;
@@ -45,7 +45,7 @@ pub fn pass_filter(
                 };
                 acc += t * x;
             }
-            push(ts[i], acc);
+            push(t_out, acc);
         }
         let keep = taps.len().saturating_sub(1);
         let take = vs.len().min(keep);
@@ -180,12 +180,8 @@ pub fn linezero_pipeline(abp: StreamShape, pattern_len: usize) -> TrillPipeline 
     let zipped2 = p.join(zipped, std);
     let normed = p.select(zipped2, 1, |v, o| o[0] = (v[0] - v[1]) / v[2].max(1e-6));
     // Shape detection as a user-defined operator over the stream.
-    let mut matcher = lifestream_core::dtw::StreamingMatcher::new(
-        vec![0.0; pattern_len.max(1)],
-        4,
-        3.0,
-        true,
-    );
+    let mut matcher =
+        lifestream_core::dtw::StreamingMatcher::new(vec![0.0; pattern_len.max(1)], 4, 3.0, true);
     let det = p.window_op(normed, 1024 * per, move |ts, vs, push| {
         for i in 0..vs.len() {
             if matcher.push(vs[i]) {
@@ -232,7 +228,9 @@ mod tests {
     fn sine(shape: StreamShape, n: usize) -> SignalData {
         SignalData::dense(
             shape,
-            (0..n).map(|i| (i as f32 * 0.1).sin() * 10.0 + 50.0).collect(),
+            (0..n)
+                .map(|i| (i as f32 * 0.1).sin() * 10.0 + 50.0)
+                .collect(),
         )
     }
 
@@ -275,8 +273,11 @@ mod tests {
         let src = p.source(s);
         let r = resample(&mut p, src, 400, 2);
         p.sink(r);
-        p.run(vec![SignalData::dense(s, (0..100).map(|i| i as f32).collect())])
-            .unwrap();
+        p.run(vec![SignalData::dense(
+            s,
+            (0..100).map(|i| i as f32).collect(),
+        )])
+        .unwrap();
         // ~4x the events (125 Hz -> 500 Hz), linear values preserved with
         // the composition's one-sample-period lag: output(t) = true(t - 8).
         assert!(p.collected().len() >= 380, "got {}", p.collected().len());
@@ -289,9 +290,7 @@ mod tests {
         let ecg = StreamShape::new(0, 2);
         let abp = StreamShape::new(0, 8);
         let mut p = fig3_pipeline(ecg, abp, 1000);
-        let stats = p
-            .run(vec![sine(ecg, 5000), sine(abp, 1250)])
-            .unwrap();
+        let stats = p.run(vec![sine(ecg, 5000), sine(abp, 1250)]).unwrap();
         assert!(stats.output_events > 4000, "out {}", stats.output_events);
     }
 
@@ -317,7 +316,9 @@ mod tests {
     #[test]
     fn linezero_detects_flat_run() {
         let abp = StreamShape::new(0, 8);
-        let mut vals: Vec<f32> = (0..4000).map(|i| 80.0 + 20.0 * (i as f32 * 0.3).sin()).collect();
+        let mut vals: Vec<f32> = (0..4000)
+            .map(|i| 80.0 + 20.0 * (i as f32 * 0.3).sin())
+            .collect();
         for v in &mut vals[2000..2300] {
             *v = 0.0;
         }

@@ -41,7 +41,9 @@ fn tiny_batches_preserve_results() {
     // Batch size 3 forces many batch boundaries through an aggregate.
     let s = StreamShape::new(0, 1);
     let run = |batch: usize| {
-        let mut p = TrillPipeline::new().with_batch_size(batch).with_collection();
+        let mut p = TrillPipeline::new()
+            .with_batch_size(batch)
+            .with_collection();
         let src = p.source(s);
         let a = p.aggregate(src, AggKind::Sum, 10, 10);
         p.sink(a);
@@ -95,7 +97,9 @@ fn join_state_grows_with_data_under_rate_divergence() {
         let b = p.source(sr);
         let j = p.join(a, b);
         p.sink(j);
-        p.run(vec![ramp(sl, n), ramp(sr, n)]).unwrap().peak_join_bytes
+        p.run(vec![ramp(sl, n), ramp(sr, n)])
+            .unwrap()
+            .peak_join_bytes
     };
     // Same rate: peak state flat as data quadruples.
     let b1 = run(8, 20_000);
@@ -104,8 +108,5 @@ fn join_state_grows_with_data_under_rate_divergence() {
     // Rate-divergent: peak state grows with data size.
     let d1 = run(2, 20_000);
     let d4 = run(2, 80_000);
-    assert!(
-        d4 > d1 * 2,
-        "divergent join state must grow: {d1} -> {d4}"
-    );
+    assert!(d4 > d1 * 2, "divergent join state must grow: {d1} -> {d4}");
 }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .enumerate()
         .map(|(i, &s)| {
-            let kind = if s.period() == 2 { SignalKind::Ecg } else { SignalKind::Abp };
+            let kind = if s.period() == 2 {
+                SignalKind::Ecg
+            } else {
+                SignalKind::Abp
+            };
             DatasetBuilder::new(kind, 100 + i as u64)
                 .minutes(minutes)
                 .with_gaps(GapModel::icu_default())
@@ -35,13 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let total: usize = data.iter().map(|d| d.present_events()).sum();
-    println!("six signals, {minutes} min, {:.1}M input events", total as f64 / 1e6);
+    println!(
+        "six signals, {minutes} min, {:.1}M input events",
+        total as f64 / 1e6
+    );
 
-    let qb = cap_pipeline(&shapes, 1000)?;
-    let mut exec = qb.compile()?.executor_with(
-        data,
-        ExecOptions::default().with_round_ticks(60_000),
-    )?;
+    let q = cap_pipeline(&shapes, 1000)?;
+    let mut exec = q
+        .compile()?
+        .executor_with(data, ExecOptions::default().with_round_ticks(60_000))?;
     let out = exec.run_collect()?;
     println!(
         "feature stream: {} events x {} fields",

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example csv_retrospective`
 
 use lifestream::core::pipeline::{fill_mean, normalize};
-use lifestream::core::prelude::QueryBuilder;
+use lifestream::core::prelude::Query;
 use lifestream::signal::csv::{read_csv, write_csv};
 use lifestream::signal::dataset::{DatasetBuilder, SignalKind};
 use lifestream::signal::gaps::GapModel;
@@ -36,13 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(loaded.present_events(), original.present_events());
     println!("round-trip verified: {} events", loaded.present_events());
 
-    // Clean: impute small gaps, then normalize.
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("ecg", loaded.shape());
-    let filled = fill_mean(&mut qb, src, 1000)?;
-    let normed = normalize(&mut qb, filled, 1000)?;
-    qb.sink(normed);
-    let mut exec = qb.compile()?.executor(vec![loaded])?;
+    // Clean: impute small gaps, then normalize — one fluent chain.
+    let q = Query::new();
+    let src = q.source("ecg", loaded.shape());
+    normalize(fill_mean(src, 1000)?, 1000)?.sink();
+    let mut exec = q.compile()?.executor(vec![loaded])?;
     let out = exec.run_collect()?;
     println!("cleaned stream: {} events", out.len());
     Ok(())

@@ -25,8 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         abp.presence().coverage_fraction(0, abp.end_time()) * 100.0
     );
 
-    let qb = fig3_pipeline(ecg.shape(), abp.shape(), 1000)?;
-    let mut exec = qb.compile()?.executor_with(
+    let q = fig3_pipeline(ecg.shape(), abp.shape(), 1000)?;
+    let mut exec = q.compile()?.executor_with(
         vec![ecg, abp],
         ExecOptions::default().with_round_ticks(60_000), // 1-minute windows
     )?;

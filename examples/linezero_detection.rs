@@ -5,10 +5,8 @@
 //! Run with: `cargo run --release --example linezero_detection`
 
 use lifestream::core::ops::where_shape::ShapeMode;
-use lifestream::core::prelude::{QueryBuilder, SignalData, StreamShape};
-use lifestream::signal::artifacts::{
-    inject_line_zero, line_zero_onset_pattern, LineZeroSpec,
-};
+use lifestream::core::prelude::{Query, SignalData, StreamShape};
+use lifestream::signal::artifacts::{inject_line_zero, line_zero_onset_pattern, LineZeroSpec};
 use lifestream::signal::waveform::abp_wave;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,23 +24,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The user sketches the artifact onset shape; matching is
     // amplitude-invariant (z-normalized windows + constrained DTW).
     let pattern = line_zero_onset_pattern(32, 8, 96);
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("abp", abp.shape());
-    let detections = qb.where_shape(src, pattern, 8, 2.1, true, ShapeMode::Keep)?;
-    qb.sink(detections);
+    let q = Query::new();
+    q.source("abp", abp.shape())
+        .where_shape(pattern, 8, 2.1, true, ShapeMode::Keep)?
+        .sink();
 
-    let mut exec = qb.compile()?.executor(vec![abp])?;
+    let mut exec = q.compile()?.executor(vec![abp])?;
     let out = exec.run_collect()?;
 
     // Collapse per-sample matches into distinct detections.
     let mut events = Vec::new();
     for &t in out.times() {
         let sample = (t / 8) as usize;
-        if events.last().map_or(true, |&p: &usize| sample > p + 300) {
+        if events.last().is_none_or(|&p: &usize| sample > p + 300) {
             events.push(sample);
         }
     }
-    println!("detected {} artifact(s) at samples {events:?}", events.len());
+    println!(
+        "detected {} artifact(s) at samples {events:?}",
+        events.len()
+    );
 
     // To scrub instead of detect, flip ShapeMode::Keep to Remove.
     Ok(())

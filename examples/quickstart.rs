@@ -17,21 +17,19 @@ fn main() -> Result<()> {
         (0..2000).map(|i| i as f32).collect(),
     );
 
-    // Listing 1: mean-adjust sig500 on 100 ms tumbling windows, then join
-    // with sig200.
-    let mut qb = QueryBuilder::new();
-    let s500 = qb.source("sig500", sig500.shape());
-    let s200 = qb.source("sig200", sig200.shape());
-    let (a, b) = qb.multicast(s500);
-    let mean = qb.aggregate(a, AggKind::Mean, 100, 100)?;
-    let adjusted = qb.join_map(b, mean, JoinKind::Inner, 1, |v, m, out| {
-        out[0] = v[0] - m[0];
-    })?;
-    let joined = qb.join(adjusted, s200, JoinKind::Inner)?;
-    qb.sink(joined);
+    // Listing 1 as one fluent chain: mean-adjust sig500 on 100 ms
+    // tumbling windows, then join with sig200. `Stream` values are Copy,
+    // so `s500` feeds both the aggregate and the join (native fan-out).
+    let q = Query::new();
+    let s500 = q.source("sig500", sig500.shape());
+    let s200 = q.source("sig200", sig200.shape());
+    s500.aggregate(AggKind::Mean, 100, 100)?
+        .join_map(s500, JoinKind::Inner, 1, |m, v, out| out[0] = v[0] - m[0])?
+        .join(s200, JoinKind::Inner)?
+        .sink();
 
     // Compile: locality tracing equalizes every FWindow dimension.
-    let compiled = qb.compile()?;
+    let compiled = q.compile()?;
     println!(
         "locality tracing: uniform dimension [{}] in {} iteration(s)",
         compiled.global_dim(),

@@ -13,9 +13,35 @@
 //! * [`distrib`] — Spark/Storm/Flink-like micro-batch engine profiles.
 //! * [`cache_sim`] — the set-associative LLC model behind Table 5.
 //! * [`cluster`] — scale-up/scale-out harness behind Fig. 10(c,d).
+//! * [`engine`] — the cross-engine layer: a [`Workload`](engine::Workload)
+//!   described once runs on every engine through the
+//!   [`Engine`](engine::Engine) trait.
+//!
+//! ## The two-layer query API
+//!
+//! LifeStream queries are written against two cooperating layers:
+//!
+//! 1. **The fluent surface** ([`core::stream`]) — a
+//!    [`Query`](core::stream::Query) scope hands out chainable, `Copy`
+//!    [`Stream`](core::stream::Stream) values; every Table-2 operator is
+//!    a consistently-fallible method, so the paper's Listing 1 reads as
+//!    one chain:
+//!    `src.aggregate(Mean, 100, 100)?.join_map(src, Inner, 1, f)?.sink()`.
+//! 2. **The logical-plan layer** ([`core::query`]) — the
+//!    [`QueryBuilder`](core::query::QueryBuilder) the fluent layer
+//!    drives one-to-one. It remains the documented low-level API: compiler
+//!    passes (locality tracing, future profile-guided rewrites) operate on
+//!    the plan graph it produces, and both surfaces compile to identical
+//!    plans.
+//!
+//! Baseline engines plug in *underneath* both layers via the
+//! [`engine::Engine`] trait, so comparisons (tests, benches, paper
+//! figures) define each workload exactly once.
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
 //! for one binary per paper table/figure.
+
+pub mod engine;
 
 pub use distrib_baseline as distrib;
 pub use lifestream_core as core;

@@ -1,44 +1,62 @@
-//! Cross-engine integration tests: the three engines implement the same
-//! logical pipelines, so their outputs must agree on shared workloads.
+//! Cross-engine integration tests.
+//!
+//! Every shared workload is described exactly once as a
+//! [`Workload`](lifestream::engine::Workload) value; the [`Engine`]
+//! trait translates it onto each engine's own query surface, so no
+//! pipeline here is hand-written per engine.
 
-use lifestream::core::exec::ExecOptions;
 use lifestream::core::ops::aggregate::AggKind;
-use lifestream::core::ops::join::JoinKind;
 use lifestream::core::prelude::*;
+use lifestream::engine::{
+    all_engines, Engine, EngineError, EngineOptions, LifeStreamEngine, RunOutcome, TrillEngine,
+    Workload,
+};
 use lifestream::signal::dataset::{DatasetBuilder, SignalKind};
-use lifestream::trill::TrillPipeline;
 
 fn ramp(shape: StreamShape, n: usize) -> SignalData {
     SignalData::dense(shape, (0..n).map(|i| (i % 977) as f32).collect())
+}
+
+/// Runs one workload on every engine that supports it, via trait
+/// objects — the single definition point for each comparison.
+fn run_supporting(
+    workload: &Workload,
+    inputs: &[SignalData],
+    opts: &EngineOptions,
+) -> Vec<(&'static str, RunOutcome)> {
+    all_engines()
+        .iter()
+        .filter(|e| e.supports(workload))
+        .map(|e| {
+            let out = e
+                .run(workload, inputs.to_vec(), opts)
+                .unwrap_or_else(|err| panic!("{} failed on {}: {err}", e.name(), workload.name()));
+            (e.name(), out)
+        })
+        .collect()
 }
 
 #[test]
 fn select_agrees_between_engines() {
     let shape = StreamShape::new(0, 2);
     let data = ramp(shape, 10_000);
-
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("s", shape);
-    let sel = qb.select_map(src, |v| v * 3.0 - 1.0);
-    qb.sink(sel);
-    let ls = qb
-        .compile()
-        .unwrap()
-        .executor(vec![data.clone()])
-        .unwrap()
-        .run_collect()
-        .unwrap();
-
-    let mut tp = TrillPipeline::new().with_collection();
-    let tsrc = tp.source(shape);
-    let tsel = tp.select(tsrc, 1, |i, o| o[0] = i[0] * 3.0 - 1.0);
-    tp.sink(tsel);
-    tp.run(vec![data]).unwrap();
-
-    assert_eq!(ls.len(), tp.collected().len());
-    for (i, &(t, v)) in tp.collected().iter().enumerate() {
-        assert_eq!(ls.times()[i], t);
-        assert_eq!(ls.values(0)[i], v);
+    let results = run_supporting(
+        &Workload::Select {
+            mul: 3.0,
+            add: -1.0,
+        },
+        &[data],
+        &EngineOptions::default().collecting(),
+    );
+    assert_eq!(results.len(), 3, "all engines support Select");
+    let reference = results[0].1.collected.as_ref().unwrap();
+    assert_eq!(reference.len(), 10_000);
+    for (name, outcome) in &results[1..] {
+        let collected = outcome
+            .collected
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name} did not collect"));
+        assert_eq!(reference, collected, "{name} disagrees with reference");
     }
 }
 
@@ -46,30 +64,31 @@ fn select_agrees_between_engines() {
 fn tumbling_mean_agrees_between_engines() {
     let shape = StreamShape::new(0, 2);
     let data = ramp(shape, 5_000);
+    let workload = Workload::Aggregate {
+        kind: AggKind::Mean,
+        window: 100,
+        stride: 100,
+    };
+    let opts = EngineOptions::default().collecting();
 
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("s", shape);
-    let agg = qb.aggregate(src, AggKind::Mean, 100, 100).unwrap();
-    qb.sink(agg);
-    let ls = qb
-        .compile()
-        .unwrap()
-        .executor(vec![data.clone()])
-        .unwrap()
-        .run_collect()
+    let ls = LifeStreamEngine
+        .run(&workload, vec![data.clone()], &opts)
         .unwrap();
-
-    let mut tp = TrillPipeline::new().with_collection();
-    let tsrc = tp.source(shape);
-    let tagg = tp.aggregate(tsrc, AggKind::Mean, 100, 100);
-    tp.sink(tagg);
-    tp.run(vec![data]).unwrap();
-
-    assert_eq!(ls.len(), tp.collected().len());
-    for (i, &(t, v)) in tp.collected().iter().enumerate() {
-        assert_eq!(ls.times()[i], t);
-        assert!((ls.values(0)[i] - v).abs() < 1e-3, "slot {i}: {} vs {v}", ls.values(0)[i]);
+    let tr = TrillEngine
+        .run(&workload, vec![data.clone()], &opts)
+        .unwrap();
+    let (ls_ev, tr_ev) = (ls.collected.unwrap(), tr.collected.unwrap());
+    assert_eq!(ls_ev.len(), tr_ev.len());
+    for (i, (&(lt, lv), &(tt, tv))) in ls_ev.iter().zip(&tr_ev).enumerate() {
+        assert_eq!(lt, tt, "slot {i} time");
+        assert!((lv - tv).abs() < 1e-3, "slot {i}: {lv} vs {tv}");
     }
+
+    // The interpreted array baseline windows the same way; counts match
+    // even though its whole-array timestamps live on a different grid.
+    let results = run_supporting(&workload, &[data], &EngineOptions::default());
+    let counts: Vec<u64> = results.iter().map(|(_, o)| o.output_events).collect();
+    assert!(counts.iter().all(|&c| c == counts[0]), "counts {counts:?}");
 }
 
 #[test]
@@ -81,76 +100,180 @@ fn join_counts_agree_with_gaps() {
     a.punch_gap(3_000, 7_000);
     b.punch_gap(12_000, 15_000);
 
-    let mut qb = QueryBuilder::new();
-    let ha = qb.source("a", s1);
-    let hb = qb.source("b", s2);
-    let j = qb.join(ha, hb, JoinKind::Inner).unwrap();
-    qb.sink(j);
-    let ls = qb
-        .compile()
-        .unwrap()
-        .executor_with(
-            vec![a.clone(), b.clone()],
-            ExecOptions::default().with_round_ticks(1000),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
-
-    let mut tp = TrillPipeline::new();
-    let ta = tp.source(s1);
-    let tb = tp.source(s2);
-    let tj = tp.join(ta, tb);
-    tp.sink(tj);
-    let tr = tp.run(vec![a.clone(), b.clone()]).unwrap();
-
-    assert_eq!(ls.output_events, tr.output_events);
-
-    // NumLib's interpreted join agrees too.
-    let (lt, lv) = events_of(&a);
-    let (rt, rv) = events_of(&b);
-    let (ts, _, _) =
-        lifestream::numlib::pyvm::py_temporal_join(&lt, &lv, &rt, &rv, 2).unwrap();
-    assert_eq!(ts.len() as u64, ls.output_events);
-}
-
-fn events_of(d: &SignalData) -> (Vec<i64>, Vec<f32>) {
-    let shape = d.shape();
-    let mut ts = Vec::new();
-    let mut vs = Vec::new();
-    for &(s, e) in d.presence().ranges() {
-        let mut t = shape.align_up(s.max(shape.offset()));
-        while t < e.min(d.end_time()) {
-            ts.push(t);
-            vs.push(d.values()[((t - shape.offset()) / shape.period()) as usize]);
-            t += shape.period();
-        }
+    let results = run_supporting(
+        &Workload::Join,
+        &[a, b],
+        &EngineOptions::default().with_round_ticks(1000),
+    );
+    assert_eq!(results.len(), 3, "all engines support Join");
+    let reference = results[0].1.output_events;
+    assert!(reference > 0);
+    for (name, outcome) in &results {
+        assert_eq!(outcome.output_events, reference, "{name} join count");
     }
-    (ts, vs)
 }
 
 #[test]
 fn fig3_outputs_close_across_engines() {
-    let ecg = DatasetBuilder::new(SignalKind::Ecg, 11).minutes(3).build(500.0);
-    let abp = DatasetBuilder::new(SignalKind::Abp, 12).minutes(3).build(125.0);
+    let ecg = DatasetBuilder::new(SignalKind::Ecg, 11)
+        .minutes(3)
+        .build(500.0);
+    let abp = DatasetBuilder::new(SignalKind::Abp, 12)
+        .minutes(3)
+        .build(125.0);
 
-    let qb = lifestream::core::pipeline::fig3_pipeline(ecg.shape(), abp.shape(), 1000).unwrap();
-    let ls = qb
-        .compile()
-        .unwrap()
-        .executor(vec![ecg.clone(), abp.clone()])
-        .unwrap()
-        .run()
-        .unwrap();
-
-    let mut tp = lifestream::trill::pipelines::fig3_pipeline(ecg.shape(), abp.shape(), 1000);
-    let tr = tp.run(vec![ecg.clone(), abp.clone()]).unwrap();
-
-    let nl = lifestream::numlib::fig3_numlib(&ecg, &abp, 1000).unwrap();
-
+    let results = run_supporting(
+        &Workload::Fig3 { window: 1000 },
+        &[ecg, abp],
+        &EngineOptions::default(),
+    );
+    assert_eq!(results.len(), 3, "all engines support Fig3");
+    let reference = results[0].1.output_events;
     let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / a.max(1) as f64;
-    assert!(rel(ls.output_events, tr.output_events) < 0.1);
-    assert!(rel(ls.output_events, nl.output_events) < 0.1);
+    for (name, outcome) in &results {
+        assert!(
+            rel(reference, outcome.output_events) < 0.1,
+            "{name}: {} vs reference {reference}",
+            outcome.output_events
+        );
+    }
+}
+
+#[test]
+fn engines_run_as_trait_objects_and_report_support() {
+    let shape = StreamShape::new(0, 2);
+    let data = ramp(shape, 2_000);
+    let supported = Workload::Aggregate {
+        kind: AggKind::Max,
+        window: 50,
+        stride: 50,
+    };
+    let temporal = Workload::ClipJoin;
+
+    let engines: Vec<Box<dyn Engine>> = all_engines();
+    assert_eq!(engines.len(), 3);
+    for engine in &engines {
+        // Every engine handles the windowed workload through the one
+        // shared definition.
+        let out = engine
+            .run(&supported, vec![data.clone()], &EngineOptions::default())
+            .unwrap();
+        assert!(out.output_events > 0, "{} produced nothing", engine.name());
+
+        // Engines without a temporal-operator analogue must refuse
+        // rather than fake semantics.
+        let side = ramp(StreamShape::new(0, 5), 800);
+        let run = engine.run(
+            &temporal,
+            vec![data.clone(), side],
+            &EngineOptions::default(),
+        );
+        if engine.supports(&temporal) {
+            assert!(run.is_ok(), "{}: {:?}", engine.name(), run.err());
+        } else {
+            assert!(matches!(run, Err(EngineError::Unsupported { .. })));
+        }
+    }
+}
+
+#[test]
+fn prepare_separates_construction_from_execution() {
+    let shape = StreamShape::new(0, 2);
+    let data = ramp(shape, 1_000);
+    let workload = Workload::WhereGt { threshold: 500.0 };
+    let mut prepared = LifeStreamEngine
+        .prepare(&workload, &[shape], &EngineOptions::default().collecting())
+        .unwrap();
+    let out = prepared.run(vec![data.clone()]).unwrap();
+    let collected = out.collected.unwrap();
+    assert!(!collected.is_empty());
+    assert!(collected.iter().all(|&(_, v)| v > 500.0));
+    // A prepared pipeline is single-shot — on every engine.
+    assert!(prepared.run(vec![data.clone()]).is_err());
+    for engine in all_engines() {
+        let mut p = engine
+            .prepare(&workload, &[shape], &EngineOptions::default())
+            .unwrap();
+        p.run(vec![data.clone()]).unwrap();
+        assert!(
+            p.run(vec![data.clone()]).is_err(),
+            "{} re-run must fail",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn trill_rejects_unrepresentable_chop() {
+    let shape = StreamShape::new(0, 2);
+    let stretched = Workload::Chop {
+        duration: 100,
+        boundary: 5,
+    };
+    assert!(!TrillEngine.supports(&stretched));
+    assert!(matches!(
+        TrillEngine.prepare(&stretched, &[shape], &EngineOptions::default()),
+        Err(EngineError::Unsupported { .. })
+    ));
+    // The representable form still runs.
+    let even = Workload::Chop {
+        duration: 5,
+        boundary: 5,
+    };
+    assert!(TrillEngine.supports(&even));
+    let out = TrillEngine
+        .run(&even, vec![ramp(shape, 1_000)], &EngineOptions::default())
+        .unwrap();
+    assert!(out.output_events > 0);
+}
+
+#[test]
+fn run_validates_input_shapes() {
+    let prepared_shape = StreamShape::new(0, 2);
+    let wrong = ramp(StreamShape::new(0, 8), 500);
+    // Datasets whose shapes differ from the prepared ones must error,
+    // not silently run with baked-in parameters, on every engine.
+    for engine in all_engines() {
+        let mut p = engine
+            .prepare(
+                &Workload::Aggregate {
+                    kind: AggKind::Mean,
+                    window: 100,
+                    stride: 100,
+                },
+                &[prepared_shape],
+                &EngineOptions::default(),
+            )
+            .unwrap();
+        let run = p.run(vec![wrong.clone()]);
+        assert!(run.is_err(), "{} accepted mismatched shape", engine.name());
+        // A rejected call must not poison the pipeline: correct inputs
+        // still run afterwards.
+        let good = ramp(prepared_shape, 500);
+        assert!(
+            p.run(vec![good]).is_ok(),
+            "{} poisoned by rejected inputs",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn run_validates_input_count() {
+    let shape = StreamShape::new(0, 2);
+    let data = ramp(shape, 500);
+    // Join needs two sources; running a prepared pipeline with one must
+    // error, not panic, on every engine.
+    for engine in all_engines() {
+        if !engine.supports(&Workload::Join) {
+            continue;
+        }
+        let mut p = engine
+            .prepare(&Workload::Join, &[shape, shape], &EngineOptions::default())
+            .unwrap();
+        let run = p.run(vec![data.clone()]);
+        assert!(run.is_err(), "{} accepted missing input", engine.name());
+    }
 }
 
 #[test]
@@ -160,12 +283,13 @@ fn trill_oom_is_contained_and_reported() {
     let mut right = ramp(s, 200_000);
     left.punch_gap(100_000, 200_000);
     right.punch_gap(0, 100_000);
-    let mut tp = TrillPipeline::new().with_memory_cap(128 * 1024);
-    let a = tp.source(s);
-    let b = tp.source(s);
-    let j = tp.join(a, b);
-    tp.sink(j);
-    let err = tp.run(vec![left, right]).unwrap_err();
+    let err = TrillEngine
+        .run(
+            &Workload::Join,
+            vec![left, right],
+            &EngineOptions::default().with_memory_cap(128 * 1024),
+        )
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("out of memory"), "{msg}");
 }

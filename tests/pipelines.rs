@@ -15,8 +15,8 @@ use lifestream::signal::waveform::abp_wave;
 #[test]
 fn fig3_pipeline_on_gap_bearing_data_skips_and_joins() {
     let (ecg, abp) = ecg_abp_pair(20, 7);
-    let qb = fig3_pipeline(ecg.shape(), abp.shape(), 1000).unwrap();
-    let mut exec = qb
+    let q = fig3_pipeline(ecg.shape(), abp.shape(), 1000).unwrap();
+    let mut exec = q
         .compile()
         .unwrap()
         .executor_with(
@@ -37,8 +37,8 @@ fn overlap_fraction_controls_skipping() {
     let mut prev_skip = -1.0f64;
     for overlap in [0.9, 0.5, 0.1] {
         let (ecg, abp) = ecg_abp_with_overlap(60, overlap, 3);
-        let qb = fig3_pipeline(ecg.shape(), abp.shape(), 1000).unwrap();
-        let stats = qb
+        let q = fig3_pipeline(ecg.shape(), abp.shape(), 1000).unwrap();
+        let stats = q
             .compile()
             .unwrap()
             .executor_with(
@@ -70,13 +70,18 @@ fn linezero_detection_accuracy_on_synthetic_month_slice() {
     let truth = inject_line_zero(&mut vals, &spec, 11);
     let data = SignalData::dense(StreamShape::new(0, 8), vals);
 
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("abp", data.shape());
-    let det = qb
-        .where_shape(src, line_zero_onset_pattern(32, 8, 96), 8, 2.1, true, ShapeMode::Keep)
-        .unwrap();
-    qb.sink(det);
-    let out = qb
+    let q = Query::new();
+    q.source("abp", data.shape())
+        .where_shape(
+            line_zero_onset_pattern(32, 8, 96),
+            8,
+            2.1,
+            true,
+            ShapeMode::Keep,
+        )
+        .unwrap()
+        .sink();
+    let out = q
         .compile()
         .unwrap()
         .executor(vec![data])
@@ -86,7 +91,7 @@ fn linezero_detection_accuracy_on_synthetic_month_slice() {
     let samples = times_to_samples(out.times(), 8);
     let mut distinct = Vec::new();
     for &d in &samples {
-        if distinct.last().map_or(true, |&p| d > p + 300) {
+        if distinct.last().is_none_or(|&p| d > p + 300) {
             distinct.push(d);
         }
     }
@@ -120,8 +125,8 @@ fn cap_pipeline_six_signals_with_gaps() {
             d
         })
         .collect();
-    let qb = cap_pipeline(&shapes, 1000).unwrap();
-    let mut exec = qb
+    let q = cap_pipeline(&shapes, 1000).unwrap();
+    let mut exec = q
         .compile()
         .unwrap()
         .executor_with(data, ExecOptions::default().with_round_ticks(10_000))
@@ -139,11 +144,12 @@ fn csv_to_pipeline_round_trip() {
     let loaded = read_csv(ecg.shape(), &buf[..]).unwrap();
     assert_eq!(loaded.present_events(), ecg.present_events());
 
-    let mut qb = QueryBuilder::new();
-    let src = qb.source("ecg", loaded.shape());
-    let n = lifestream::core::pipeline::normalize(&mut qb, src, 1000).unwrap();
-    qb.sink(n);
-    let out = qb
+    let q = Query::new();
+    let src = q.source("ecg", loaded.shape());
+    lifestream::core::pipeline::normalize(src, 1000)
+        .unwrap()
+        .sink();
+    let out = q
         .compile()
         .unwrap()
         .executor(vec![loaded])
@@ -181,5 +187,8 @@ fn cluster_model_matches_measured_single_machine() {
     let model = ClusterModel::default();
     let sweep = model.sweep(p.mev_per_s, 16);
     assert_eq!(sweep.len(), 16);
-    assert!(sweep[15].mev_per_s > sweep[0].mev_per_s * 12.0, "near-linear scale-out");
+    assert!(
+        sweep[15].mev_per_s > sweep[0].mev_per_s * 12.0,
+        "near-linear scale-out"
+    );
 }

@@ -75,21 +75,21 @@ proptest! {
             let mut b = SignalData::dense(s_b, (0..4_000).map(|i| (i * 2) as f32).collect());
             apply_gaps(&mut a, &gaps_a);
             apply_gaps(&mut b, &gaps_b);
-            let mut qb = QueryBuilder::new();
-            let ha = qb.source("a", s_a);
-            let hb = qb.source("b", s_b);
-            let mean = qb.aggregate(ha, AggKind::Mean, 100, 100).unwrap();
-            let adj = qb
-                .join_map(ha, mean, JoinKind::Inner, 1, |v, m, o| o[0] = v[0] - m[0])
-                .unwrap();
-            let j = qb.join(adj, hb, JoinKind::Inner).unwrap();
-            qb.sink(j);
+            let q = Query::new();
+            let sa = q.source("a", s_a);
+            let sb = q.source("b", s_b);
+            let mean = sa.aggregate(AggKind::Mean, 100, 100).unwrap();
+            sa.join_map(mean, JoinKind::Inner, 1, |v, m, o| o[0] = v[0] - m[0])
+                .unwrap()
+                .join(sb, JoinKind::Inner)
+                .unwrap()
+                .sink();
             let opts = if targeted {
                 ExecOptions::default().with_round_ticks(round)
             } else {
                 ExecOptions::eager().with_round_ticks(round)
             };
-            qb.compile()
+            q.compile()
                 .unwrap()
                 .executor_with(vec![a, b], opts)
                 .unwrap()
@@ -129,12 +129,11 @@ proptest! {
             }
         }
 
-        let mut qb = QueryBuilder::new();
-        let ha = qb.source("a", s_a);
-        let hb = qb.source("b", s_b);
-        let j = qb.join(ha, hb, JoinKind::Inner).unwrap();
-        qb.sink(j);
-        let got = qb
+        let q = Query::new();
+        let sa = q.source("a", s_a);
+        let sb = q.source("b", s_b);
+        sa.join(sb, JoinKind::Inner).unwrap().sink();
+        let got = q
             .compile()
             .unwrap()
             .executor_with(vec![a, b], ExecOptions::default().with_round_ticks(500))
@@ -156,14 +155,16 @@ proptest! {
         let s1 = StreamShape::new(0, p1);
         let s2 = StreamShape::new(0, p2);
         let w = p1 * wmul;
-        let mut qb = QueryBuilder::new();
-        let a = qb.source("a", s1);
-        let b = qb.source("b", s2);
-        let m = qb.aggregate(a, AggKind::Sum, w, w).unwrap();
-        let j1 = qb.join(a, m, JoinKind::Inner).unwrap();
-        let j2 = qb.join(j1, b, JoinKind::Inner).unwrap();
-        qb.sink(j2);
-        let compiled = qb.compile().unwrap();
+        let q = Query::new();
+        let sa = q.source("a", s1);
+        let sb = q.source("b", s2);
+        let m = sa.aggregate(AggKind::Sum, w, w).unwrap();
+        sa.join(m, JoinKind::Inner)
+            .unwrap()
+            .join(sb, JoinKind::Inner)
+            .unwrap()
+            .sink();
+        let compiled = q.compile().unwrap();
         let dim = compiled.global_dim();
         for node in &compiled.graph().nodes {
             prop_assert_eq!(node.dim, dim, "all dims uniform");
@@ -200,10 +201,9 @@ proptest! {
         let mut d = SignalData::dense(s, (0..5_000).map(|i| i as f32).collect());
         apply_gaps(&mut d, &gaps);
         let expected = d.present_events() as u64;
-        let mut qb = QueryBuilder::new();
-        let src = qb.source("s", s);
-        qb.sink(src);
-        let stats = qb
+        let q = Query::new();
+        q.source("s", s).sink();
+        let stats = q
             .compile()
             .unwrap()
             .executor_with(vec![d], ExecOptions::default().with_round_ticks(round))
