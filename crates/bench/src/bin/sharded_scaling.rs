@@ -1,0 +1,177 @@
+//! Sharded-runtime scaling: the Fig. 10(c) workload served by the
+//! long-lived [`ShardedRuntime`], swept over worker counts, emitting a
+//! machine-readable JSON series (one point per thread count) alongside
+//! the human-readable table.
+//!
+//! Environment knobs:
+//! * `LS_SCALE` — workload scale factor (shared with every bench).
+//! * `LS_PATIENTS` — patient count (default `4 × workers_max`, min 16).
+//! * `LS_THREADS` — comma-separated worker counts (default `1,2,4,8`).
+//! * `LS_JSON_OUT` — also write the JSON to this path.
+//!
+//! The JSON deliberately records `host_cores`: thread counts beyond the
+//! physical cores oversubscribe, and on a single-core host the curve is
+//! flat — the series is only meaningful relative to that field.
+
+use std::fmt::Write as _;
+
+use cluster_harness::multicore::run_workload_sharded;
+use cluster_harness::sharded::ShardedConfig;
+use cluster_harness::PatientWorkload;
+use lifestream_bench::{scaled_minutes, Table};
+use lifestream_core::pipeline::fig3_pipeline;
+
+struct Point {
+    workers: usize,
+    events: u64,
+    elapsed_s: f64,
+    mev_per_s: f64,
+    compiles: u64,
+    recycles: u64,
+    stolen: u64,
+    oom: bool,
+}
+
+fn measure(workload: &PatientWorkload, workers: usize) -> Point {
+    let start = std::time::Instant::now();
+    let (events, oom, stats) = run_workload_sharded(
+        workload,
+        ShardedConfig::with_workers(workers).round_ticks(workload.window),
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    Point {
+        workers,
+        events,
+        elapsed_s: elapsed,
+        mev_per_s: events as f64 / elapsed / 1e6,
+        compiles: stats.compiles,
+        recycles: stats.recycles,
+        stolen: stats.stolen,
+        oom,
+    }
+}
+
+/// The pre-sharding harness as a baseline: one thread, a fresh compile +
+/// trace + memory plan for every patient (what `multicore.rs` did before
+/// the sharded runtime existed). The warm-vs-cold ratio isolates the
+/// pooling win from the thread-scaling win — meaningful even when the
+/// host has a single core and the thread curve is flat.
+fn measure_cold(workload: &PatientWorkload) -> f64 {
+    let window = workload.window;
+    let start = std::time::Instant::now();
+    let mut events = 0u64;
+    for (ecg, abp) in &workload.patients {
+        let q = fig3_pipeline(ecg.shape(), abp.shape(), 1000).expect("pipeline");
+        let mut exec = q
+            .compile()
+            .expect("compile")
+            .executor_with(
+                vec![ecg.clone(), abp.clone()],
+                lifestream_core::exec::ExecOptions::default().with_round_ticks(window),
+            )
+            .expect("executor");
+        exec.run().expect("run");
+        events += (ecg.present_events() + abp.present_events()) as u64;
+    }
+    events as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: Vec<usize> = std::env::var("LS_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    let max_workers = threads.iter().copied().max().unwrap_or(1);
+    let patients: usize = std::env::var("LS_PATIENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| (max_workers * 4).max(16));
+    let minutes = scaled_minutes(5);
+    println!(
+        "Sharded-runtime scaling — Fig. 10(c) workload \
+         ({patients} patients x {minutes} min, {cores} host cores)\n"
+    );
+    let workload = PatientWorkload::synthesize(patients, minutes, 77);
+    let total_events = workload.total_events();
+    println!("total events: {:.2}M\n", total_events as f64 / 1e6);
+
+    let mut table = Table::new(&[
+        "workers", "Mev/s", "speedup", "compiles", "recycles", "stolen",
+    ]);
+    let mut points = Vec::new();
+    for &w in &threads {
+        let p = measure(&workload, w);
+        let base = points
+            .first()
+            .map_or(p.mev_per_s, |b: &Point| b.mev_per_s.max(1e-12));
+        table.row(&[
+            w.to_string(),
+            if p.oom {
+                "OOM".into()
+            } else {
+                format!("{:.3}", p.mev_per_s)
+            },
+            format!("{:.2}x", p.mev_per_s / base),
+            p.compiles.to_string(),
+            p.recycles.to_string(),
+            p.stolen.to_string(),
+        ]);
+        points.push(p);
+    }
+    println!("{}", table.render());
+
+    let cold = measure_cold(&workload);
+    let warm1 = points.first().map_or(0.0, |p| p.mev_per_s);
+    println!(
+        "\ncold baseline (compile per patient, 1 thread): {:.3} Mev/s; \
+         pooled runtime at 1 worker: {:.3} Mev/s ({:.2}x)",
+        cold,
+        warm1,
+        warm1 / cold.max(1e-12)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sharded_scaling\",");
+    let _ = writeln!(json, "  \"workload\": \"fig10c_ecg_abp_fig3\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"patients\": {patients},");
+    let _ = writeln!(json, "  \"minutes\": {minutes},");
+    let _ = writeln!(json, "  \"total_events\": {total_events},");
+    let _ = writeln!(json, "  \"cold_compile_per_patient_mev_per_s\": {cold:.4},");
+    let _ = writeln!(
+        json,
+        "  \"pooled_vs_cold_speedup_1_worker\": {:.3},",
+        warm1 / cold.max(1e-12)
+    );
+    let _ = writeln!(json, "  \"points\": [");
+    let base = points.first().map_or(0.0, |p| p.mev_per_s);
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"events\": {}, \"elapsed_s\": {:.4}, \
+             \"mev_per_s\": {:.4}, \"speedup_vs_1\": {:.3}, \"compiles\": {}, \
+             \"recycles\": {}, \"stolen\": {}, \"oom\": {}}}{comma}",
+            p.workers,
+            p.events,
+            p.elapsed_s,
+            p.mev_per_s,
+            p.mev_per_s / base.max(1e-12),
+            p.compiles,
+            p.recycles,
+            p.stolen,
+            p.oom,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("LS_JSON_OUT") {
+        std::fs::write(&path, &json).expect("write JSON output");
+        println!("wrote {path}");
+    }
+}

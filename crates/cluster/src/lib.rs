@@ -1,18 +1,31 @@
 //! # cluster-harness
 //!
-//! Scale-up and scale-out harness for Figs. 10(c) and 10(d).
+//! Scale-up machinery: the sharded multi-patient runtime, plus the
+//! harnesses behind Figs. 10(c) and 10(d).
 //!
 //! Physiological pipelines are data-parallel across patients (§8.6):
 //! every patient's signals are processed independently, so scaling is a
-//! matter of partitioning patients over workers.
+//! matter of partitioning patients over workers. This crate provides
+//! that partitioning twice — once as a *service*, once as a *benchmark*:
 //!
-//! * [`multicore`] runs *real threads* on this machine, one engine
-//!   instance per worker, patients partitioned round-robin — the Fig. 10c
-//!   experiment, including each engine's failure modes (the Trill
-//!   baseline's join-state memory is per-process, so thread count
-//!   multiplies its footprint and it OOMs beyond a thread budget; the
-//!   NumLib baseline's whole-array materialization saturates the memory
-//!   bus).
+//! * [`sharded`] is the service: a fixed pool of long-lived worker
+//!   threads (shards), each owning a pool of prepared executors that are
+//!   recycled across patients (`Executor::recycle`), so locality
+//!   tracing, memory planning, and static allocation run once per shard
+//!   rather than once per patient. Patient jobs are routed by patient-id
+//!   hash with work stealing for stragglers, and
+//!   [`sharded::LiveIngest`] multiplexes live `(patient, source, t, v)`
+//!   sample streams into per-shard `LiveSession`s with round-aligned
+//!   polling. This is the architecture the ROADMAP's "heavy traffic"
+//!   north star asks for: data is routed *to* warmed workers (the
+//!   Timely Dataflow shape) instead of work being spawned per input.
+//! * [`multicore`] runs *real threads* on this machine — the Fig. 10c
+//!   experiment. Its LifeStream arm is served by the sharded runtime;
+//!   the baselines keep their per-patient loops, including each one's
+//!   failure mode (the Trill baseline's join-state memory is
+//!   per-process, so thread count multiplies its footprint and it OOMs
+//!   beyond a thread budget; the NumLib baseline's whole-array
+//!   materialization saturates the memory bus).
 //! * [`machines`] extrapolates measured per-machine throughput to a
 //!   multi-machine cluster with a discrete coordination/straggler model —
 //!   the Fig. 10d experiment. The paper's 16 × EC2 m5a.8xlarge cluster is
@@ -23,6 +36,10 @@
 
 pub mod machines;
 pub mod multicore;
+pub mod sharded;
 
 pub use machines::{ClusterModel, MachineRun};
 pub use multicore::{run_scaling, Engine, PatientWorkload, ScalePoint};
+pub use sharded::{
+    JobOutcome, LiveIngest, PatientId, PatientReport, RuntimeStats, ShardedConfig, ShardedRuntime,
+};

@@ -1,0 +1,295 @@
+//! Live-ingest front end: online sessions behind the same shard router.
+//!
+//! Deployment (§2 of the paper) means samples arrive one at a time from
+//! live monitors, for many patients at once. [`LiveIngest`] multiplexes a
+//! pushed `(patient, source, t, v)` event stream onto per-shard worker
+//! threads, each owning the [`LiveSession`]s of the patients routed to
+//! it. Polling is *round-aligned*: a [`poll`](LiveIngest::poll) only
+//! processes rounds fully below every source's watermark, exactly as a
+//! single `LiveSession` would, so online output is byte-identical to the
+//! retrospective run of the same query (the core crate's equivalence
+//! tests lock that property; this module adds the multi-patient fan-in).
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use lifestream_core::exec::OutputCollector;
+use lifestream_core::live::LiveSession;
+use lifestream_core::time::Tick;
+
+use super::pool::PipelineFactory;
+use super::PatientId;
+
+enum Cmd {
+    Admit {
+        patient: PatientId,
+        reply: Sender<Result<(), String>>,
+    },
+    Push {
+        patient: PatientId,
+        source: usize,
+        t: Tick,
+        v: f32,
+    },
+    Poll,
+    Finish {
+        patient: PatientId,
+        reply: Sender<Result<OutputCollector, String>>,
+    },
+    Shutdown,
+}
+
+struct Session {
+    live: LiveSession,
+    out: OutputCollector,
+    /// Push/poll errors deferred to `finish` (pushes don't round-trip).
+    errors: Vec<String>,
+}
+
+/// Multiplexes live per-patient sample streams onto sharded
+/// [`LiveSession`] workers. See the module docs.
+pub struct LiveIngest {
+    txs: Vec<Sender<Cmd>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl LiveIngest {
+    /// Spawns `workers` ingest shards. Each admitted patient gets a
+    /// [`LiveSession`] compiled from `factory` on its routed shard, with
+    /// `round_ticks` processing windows.
+    pub fn new(factory: PipelineFactory, workers: usize, round_ticks: Tick) -> Self {
+        let workers = workers.max(1);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let (tx, rx) = channel::<Cmd>();
+            let factory = PipelineFactory::clone(&factory);
+            let handle = std::thread::Builder::new()
+                .name(format!("ingest-{me}"))
+                .spawn(move || ingest_loop(rx, factory, round_ticks))
+                .expect("spawn ingest worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Self { txs, handles }
+    }
+
+    /// Ingest shard count.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The shard a patient's events route to.
+    pub fn shard_of(&self, patient: PatientId) -> usize {
+        (super::hash_patient(patient) % self.txs.len() as u64) as usize
+    }
+
+    /// Admits a patient: compiles the query and opens a live session on
+    /// the routed shard. Waits for the shard's acknowledgement.
+    ///
+    /// # Errors
+    /// Returns the compile error message, or a complaint when the patient
+    /// is already admitted.
+    pub fn admit(&self, patient: PatientId) -> Result<(), String> {
+        let (reply, ack) = channel();
+        self.send(patient, Cmd::Admit { patient, reply });
+        ack.recv().map_err(|_| "ingest shard gone".to_string())?
+    }
+
+    /// Pushes one sample. Fire-and-forget: grid/order violations are
+    /// recorded on the shard and surface from [`finish`](Self::finish).
+    pub fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
+        self.send(
+            patient,
+            Cmd::Push {
+                patient,
+                source,
+                t,
+                v,
+            },
+        );
+    }
+
+    /// Asks every shard to process all complete rounds of all its
+    /// sessions (round-aligned: partial rounds wait for their watermark).
+    pub fn poll(&self) {
+        for tx in &self.txs {
+            let _ = tx.send(Cmd::Poll);
+        }
+    }
+
+    /// Ends a patient's stream: flushes the tail and returns everything
+    /// the query emitted for this patient, in order.
+    ///
+    /// # Errors
+    /// Returns the first deferred push/poll error, or a complaint for an
+    /// unknown patient.
+    pub fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let (reply, ack) = channel();
+        self.send(patient, Cmd::Finish { patient, reply });
+        ack.recv().map_err(|_| "ingest shard gone".to_string())?
+    }
+
+    /// Closes every session and joins the shard threads.
+    pub fn shutdown(self) {
+        for tx in &self.txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    fn send(&self, patient: PatientId, cmd: Cmd) {
+        let shard = self.shard_of(patient);
+        // A send only fails after shutdown; admit/finish surface that via
+        // their reply channels.
+        let _ = self.txs[shard].send(cmd);
+    }
+}
+
+impl std::fmt::Debug for LiveIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveIngest")
+            .field("workers", &self.txs.len())
+            .finish()
+    }
+}
+
+fn ingest_loop(rx: Receiver<Cmd>, factory: PipelineFactory, round_ticks: Tick) {
+    let mut sessions: HashMap<PatientId, Session> = HashMap::new();
+    for cmd in rx.iter() {
+        match cmd {
+            Cmd::Admit { patient, reply } => {
+                use std::collections::hash_map::Entry;
+                let outcome = match sessions.entry(patient) {
+                    Entry::Occupied(_) => Err(format!("patient {patient} already admitted")),
+                    Entry::Vacant(slot) => factory()
+                        .and_then(|compiled| LiveSession::new(compiled, round_ticks))
+                        .and_then(|live| {
+                            let arity = live.sink_arity()?;
+                            slot.insert(Session {
+                                live,
+                                out: OutputCollector::new(arity),
+                                errors: Vec::new(),
+                            });
+                            Ok(())
+                        })
+                        .map_err(|e| e.to_string()),
+                };
+                let _ = reply.send(outcome);
+            }
+            Cmd::Push {
+                patient,
+                source,
+                t,
+                v,
+            } => match sessions.get_mut(&patient) {
+                Some(s) => {
+                    if let Err(e) = s.live.push(source, t, v) {
+                        s.errors.push(e.to_string());
+                    }
+                }
+                None => { /* dropped: patient never admitted or already finished */ }
+            },
+            Cmd::Poll => {
+                for s in sessions.values_mut() {
+                    let Session { live, out, errors } = s;
+                    if let Err(e) = live.poll(|w| out.absorb(w)) {
+                        errors.push(e.to_string());
+                    }
+                }
+            }
+            Cmd::Finish { patient, reply } => {
+                let outcome = match sessions.remove(&patient) {
+                    Some(mut s) => {
+                        if let Err(e) = s.live.finish(|w| s.out.absorb(w)) {
+                            s.errors.push(e.to_string());
+                        }
+                        match s.errors.into_iter().next() {
+                            Some(first) => Err(first),
+                            None => Ok(s.out),
+                        }
+                    }
+                    None => Err(format!("patient {patient} not admitted")),
+                };
+                let _ = reply.send(outcome);
+            }
+            Cmd::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifestream_core::exec::ExecOptions;
+    use lifestream_core::source::SignalData;
+    use lifestream_core::stream::Query;
+    use lifestream_core::time::StreamShape;
+    use std::sync::Arc;
+
+    fn factory() -> PipelineFactory {
+        Arc::new(|| {
+            let q = Query::new();
+            q.source("s", StreamShape::new(0, 2))
+                .select(1, |i, o| o[0] = i[0] + 1.0)?
+                .sink();
+            q.compile()
+        })
+    }
+
+    #[test]
+    fn multiplexed_sessions_match_batch_execution() {
+        let ingest = LiveIngest::new(factory(), 2, 100);
+        let patients: Vec<u64> = vec![3, 8, 21];
+        for &p in &patients {
+            ingest.admit(p).unwrap();
+        }
+        // Interleave pushes across patients, polling as we go.
+        for k in 0..200i64 {
+            for &p in &patients {
+                ingest.push(p, 0, k * 2, (k as f32) + p as f32);
+            }
+            if k % 37 == 0 {
+                ingest.poll();
+            }
+        }
+        for &p in &patients {
+            let online = ingest.finish(p).unwrap();
+            // Batch reference over the same recorded signal.
+            let data = SignalData::dense(
+                StreamShape::new(0, 2),
+                (0..200).map(|k| (k as f32) + p as f32).collect(),
+            );
+            let mut exec = (factory())()
+                .unwrap()
+                .executor_with(vec![data], ExecOptions::default().with_round_ticks(100))
+                .unwrap();
+            let offline = exec.run_collect().unwrap();
+            assert_eq!(online.len(), offline.len(), "patient {p}");
+            assert_eq!(online.checksum(), offline.checksum(), "patient {p}");
+        }
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn admit_twice_and_unknown_finish_are_errors() {
+        let ingest = LiveIngest::new(factory(), 2, 100);
+        ingest.admit(1).unwrap();
+        assert!(ingest.admit(1).unwrap_err().contains("already admitted"));
+        assert!(ingest.finish(99).unwrap_err().contains("not admitted"));
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn bad_pushes_surface_at_finish() {
+        let ingest = LiveIngest::new(factory(), 1, 100);
+        ingest.admit(5).unwrap();
+        ingest.push(5, 0, 3, 1.0); // off the period-2 grid
+        let err = ingest.finish(5).unwrap_err();
+        assert!(err.contains("grid"), "err: {err}");
+        ingest.shutdown();
+    }
+}

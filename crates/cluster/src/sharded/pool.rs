@@ -1,0 +1,248 @@
+//! Per-worker executor pools.
+//!
+//! An [`Executor`] is expensive to make — locality tracing, memory
+//! planning, and static buffer allocation all happen at construction —
+//! but cheap to *recycle*: [`Executor::recycle`] wipes kernel state and
+//! swaps the source datasets in place. The pool exploits that split: the
+//! first patient with a given source-shape signature pays the one-time
+//! compile on its worker; every later patient with the same signature
+//! rides the warmed executor. This is the per-worker half of the PGO
+//! observation that the win is in reusing warmed-up execution state on
+//! the hot path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lifestream_core::exec::{ExecOptions, Executor, OutputCollector};
+use lifestream_core::query::CompiledQuery;
+use lifestream_core::source::SignalData;
+use lifestream_core::stats::RunStats;
+use lifestream_core::time::{StreamShape, Tick};
+
+/// Builds a compiled query. Each worker invokes this once per distinct
+/// source-shape signature; the result is owned by that worker's pool and
+/// recycled across patients from then on.
+pub type PipelineFactory =
+    Arc<dyn Fn() -> lifestream_core::error::Result<CompiledQuery> + Send + Sync>;
+
+/// Pool hit/miss counters (exposed through the runtime's aggregate
+/// stats so scaling runs can prove the compile-once property).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Cold checkouts: an executor was compiled, traced, and planned.
+    pub compiles: u64,
+    /// Warm checkouts: an existing executor was recycled in place.
+    pub recycles: u64,
+}
+
+/// What one pooled run produced.
+#[derive(Debug)]
+pub enum PoolRun {
+    /// The job ran to completion.
+    Done {
+        /// Execution statistics for this job.
+        stats: RunStats,
+        /// Sink events `(time, first-field value)` when collection was
+        /// requested.
+        collected: Option<Vec<(Tick, f32)>>,
+    },
+    /// The executor's static memory plan exceeded the worker's share of
+    /// the machine budget (the §8.6 failure mode the budget models).
+    OutOfMemory {
+        /// Bytes the plan wanted.
+        planned_bytes: usize,
+        /// The per-worker cap it exceeded.
+        cap_bytes: usize,
+    },
+}
+
+/// A pool of prepared executors owned by one worker thread, keyed by the
+/// sources' shape signature.
+pub struct ExecutorPool {
+    factory: PipelineFactory,
+    opts: ExecOptions,
+    slots: HashMap<Vec<StreamShape>, Executor>,
+    /// Static-plan footprint per shape signature, remembered even after
+    /// an over-budget executor is evicted — so a persistent memory cap
+    /// costs one compile per shape, not one per job.
+    plan_sizes: HashMap<Vec<StreamShape>, usize>,
+    stats: PoolStats,
+}
+
+impl ExecutorPool {
+    /// Creates an empty pool; executors are built lazily on first use.
+    pub fn new(factory: PipelineFactory, opts: ExecOptions) -> Self {
+        Self {
+            factory,
+            opts,
+            slots: HashMap::new(),
+            plan_sizes: HashMap::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of distinct shape signatures with a prepared executor.
+    pub fn prepared(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs one patient job on a pooled executor: recycle on a warm hit,
+    /// compile on a cold miss. `mem_cap` models the worker's share of the
+    /// machine memory; a plan that exceeds it reports
+    /// [`PoolRun::OutOfMemory`] instead of running (and the offending
+    /// executor is dropped to release its buffers).
+    ///
+    /// # Errors
+    /// Returns the pipeline's own error message when compilation or
+    /// execution fails.
+    pub fn run(
+        &mut self,
+        sources: Vec<SignalData>,
+        collect: bool,
+        mem_cap: Option<usize>,
+    ) -> Result<PoolRun, String> {
+        let key: Vec<StreamShape> = sources.iter().map(SignalData::shape).collect();
+        // Known-over-budget shape: answer from the cached plan size
+        // instead of recompiling just to fail again — and evict any warm
+        // executor for it, honoring the buffers-are-released contract
+        // even when the cap tightened after the compile.
+        if let (Some(&planned), Some(cap)) = (self.plan_sizes.get(&key), mem_cap) {
+            if planned > cap {
+                self.slots.remove(&key);
+                return Ok(PoolRun::OutOfMemory {
+                    planned_bytes: planned,
+                    cap_bytes: cap,
+                });
+            }
+        }
+        if let Some(exec) = self.slots.get_mut(&key) {
+            exec.recycle(sources).map_err(|e| e.to_string())?;
+            self.stats.recycles += 1;
+        } else {
+            let compiled = (self.factory)().map_err(|e| e.to_string())?;
+            let exec = compiled
+                .executor_with(sources, self.opts)
+                .map_err(|e| e.to_string())?;
+            self.stats.compiles += 1;
+            self.plan_sizes.insert(key.clone(), exec.planned_bytes());
+            self.slots.insert(key.clone(), exec);
+        }
+        let exec = self.slots.get_mut(&key).expect("just inserted or hit");
+        if let Some(cap) = mem_cap {
+            if exec.planned_bytes() > cap {
+                let planned = exec.planned_bytes();
+                self.slots.remove(&key);
+                return Ok(PoolRun::OutOfMemory {
+                    planned_bytes: planned,
+                    cap_bytes: cap,
+                });
+            }
+        }
+        if collect {
+            let mut coll = OutputCollector::new(exec.sink_arity().map_err(|e| e.to_string())?);
+            let stats = exec
+                .run_with(|w| coll.absorb(w))
+                .map_err(|e| e.to_string())?;
+            let collected = coll
+                .times()
+                .iter()
+                .copied()
+                .zip(coll.values(0).iter().copied())
+                .collect();
+            Ok(PoolRun::Done {
+                stats,
+                collected: Some(collected),
+            })
+        } else {
+            let stats = exec.run().map_err(|e| e.to_string())?;
+            Ok(PoolRun::Done {
+                stats,
+                collected: None,
+            })
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecutorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorPool")
+            .field("prepared", &self.slots.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifestream_core::stream::Query;
+    use lifestream_core::time::StreamShape;
+
+    fn factory() -> PipelineFactory {
+        Arc::new(|| {
+            let q = Query::new();
+            q.source("s", StreamShape::new(0, 1))
+                .select(1, |i, o| o[0] = i[0] * 2.0)?
+                .sink();
+            q.compile()
+        })
+    }
+
+    fn ramp(n: usize) -> SignalData {
+        SignalData::dense(StreamShape::new(0, 1), (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn pool_compiles_once_per_shape() {
+        let mut pool = ExecutorPool::new(factory(), ExecOptions::default());
+        for _ in 0..5 {
+            let r = pool.run(vec![ramp(100)], false, None).unwrap();
+            assert!(matches!(r, PoolRun::Done { .. }));
+        }
+        assert_eq!(pool.stats().compiles, 1);
+        assert_eq!(pool.stats().recycles, 4);
+        assert_eq!(pool.prepared(), 1);
+    }
+
+    #[test]
+    fn recycled_executor_matches_fresh_output() {
+        let mut pool = ExecutorPool::new(factory(), ExecOptions::default());
+        // Warm the pool with one patient, then run a second; the second
+        // run must look exactly like a fresh executor's.
+        pool.run(vec![ramp(64)], true, None).unwrap();
+        let warm = match pool.run(vec![ramp(32)], true, None).unwrap() {
+            PoolRun::Done { collected, .. } => collected.unwrap(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let fresh = {
+            let mut p2 = ExecutorPool::new(factory(), ExecOptions::default());
+            match p2.run(vec![ramp(32)], true, None).unwrap() {
+                PoolRun::Done { collected, .. } => collected.unwrap(),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn mem_cap_reports_oom() {
+        let mut pool = ExecutorPool::new(factory(), ExecOptions::default());
+        let r = pool.run(vec![ramp(100)], false, Some(1)).unwrap();
+        assert!(matches!(r, PoolRun::OutOfMemory { cap_bytes: 1, .. }));
+        // The over-budget executor was dropped, not kept warm.
+        assert_eq!(pool.prepared(), 0);
+        // ... but the verdict is cached: repeating the job must not pay
+        // another compile.
+        let r2 = pool.run(vec![ramp(100)], false, Some(1)).unwrap();
+        assert!(matches!(r2, PoolRun::OutOfMemory { cap_bytes: 1, .. }));
+        assert_eq!(pool.stats().compiles, 1);
+        // A generous cap still works for the same shape afterwards.
+        let r3 = pool.run(vec![ramp(100)], false, Some(usize::MAX)).unwrap();
+        assert!(matches!(r3, PoolRun::Done { .. }));
+    }
+}

@@ -1,0 +1,162 @@
+//! Shard workers: long-lived threads that jobs are routed *to*.
+//!
+//! Timely-style inversion of the old benchmark loop: instead of spawning
+//! work per patient, a fixed set of workers is spawned once, each owning
+//! a deque of patient jobs and an [`ExecutorPool`](super::ExecutorPool)
+//! of warmed executors. Jobs land on the deque chosen by patient-id hash
+//! (so a returning patient always finds its warm shard); an idle worker
+//! steals from the *back* of a straggling sibling's deque so one slow
+//! shard cannot gate the run.
+//!
+//! The deques live under one mutex paired with the wake condvar — queue
+//! operations are microseconds against per-patient runs of milliseconds,
+//! so contention is immaterial and the single lock rules out the
+//! lost-wakeup races a split pending-counter design invites.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+use lifestream_core::source::SignalData;
+
+use super::pool::{ExecutorPool, PoolRun};
+use super::{JobOutcome, PatientId, PatientReport};
+
+/// One queued patient job.
+pub(super) struct Job {
+    pub patient: PatientId,
+    pub sources: Vec<SignalData>,
+    /// Shard the router picked (reports expose it so stealing is visible).
+    pub routed: usize,
+}
+
+/// State shared by every worker and the runtime handle.
+pub(super) struct SharedState {
+    /// One deque per shard, all guarded together (see module docs).
+    pub queues: Mutex<Vec<VecDeque<Job>>>,
+    pub wake: Condvar,
+    pub shutdown: AtomicBool,
+    pub steal: bool,
+    // Aggregate counters (see RuntimeStats).
+    pub compiles: AtomicU64,
+    pub recycles: AtomicU64,
+    pub stolen: AtomicU64,
+    pub completed: AtomicU64,
+}
+
+impl SharedState {
+    /// Pops a job for worker `me` from an already-locked queue set: own
+    /// queue first (front), then — when stealing is on — the back of the
+    /// most loaded sibling, so stragglers shed their tails first.
+    fn pop_or_steal(&self, queues: &mut [VecDeque<Job>], me: usize) -> Option<Job> {
+        if let Some(job) = queues[me].pop_front() {
+            return Some(job);
+        }
+        if !self.steal {
+            return None;
+        }
+        let victim = (0..queues.len())
+            .filter(|&w| w != me && !queues[w].is_empty())
+            .max_by_key(|&w| queues[w].len())?;
+        let job = queues[victim].pop_back();
+        if job.is_some() {
+            self.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        job
+    }
+}
+
+/// The body of one worker thread.
+pub(super) fn worker_loop(
+    me: usize,
+    shared: Arc<SharedState>,
+    mut pool: ExecutorPool,
+    make_pool: impl Fn() -> ExecutorPool,
+    collect: bool,
+    mem_cap: Option<usize>,
+    results: Sender<PatientReport>,
+) {
+    'serve: loop {
+        let job = {
+            let mut queues = shared.queues.lock().expect("queue lock");
+            loop {
+                if let Some(job) = shared.pop_or_steal(&mut queues, me) {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break 'serve;
+                }
+                queues = shared.wake.wait(queues).expect("wake wait");
+            }
+        };
+
+        // Every claimed job must produce exactly one report — recv()'s
+        // claimed-vs-submitted accounting depends on it — so a panic in
+        // user code (pipeline factory, kernel closure) is caught and
+        // reported as a failure rather than silently killing the shard.
+        // The pool's executor state is unknowable after an unwind, so it
+        // is rebuilt from scratch (counters are published first).
+        let sources = job.sources;
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(sources, collect, mem_cap)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            let s = pool.stats();
+            shared.compiles.fetch_add(s.compiles, Ordering::Relaxed);
+            shared.recycles.fetch_add(s.recycles, Ordering::Relaxed);
+            pool = make_pool();
+            Err(format!("shard worker panicked: {msg}"))
+        });
+
+        let report = match run {
+            Ok(PoolRun::Done { stats, collected }) => PatientReport {
+                patient: job.patient,
+                routed: job.routed,
+                shard: me,
+                input_events: stats.input_events,
+                output_events: stats.output_events,
+                collected,
+                outcome: JobOutcome::Ok,
+            },
+            Ok(PoolRun::OutOfMemory {
+                planned_bytes,
+                cap_bytes,
+            }) => PatientReport {
+                patient: job.patient,
+                routed: job.routed,
+                shard: me,
+                input_events: 0,
+                output_events: 0,
+                collected: None,
+                outcome: JobOutcome::OutOfMemory {
+                    planned_bytes,
+                    cap_bytes,
+                },
+            },
+            Err(message) => PatientReport {
+                patient: job.patient,
+                routed: job.routed,
+                shard: me,
+                input_events: 0,
+                output_events: 0,
+                collected: None,
+                outcome: JobOutcome::Failed(message),
+            },
+        };
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        if results.send(report).is_err() {
+            // Runtime handle dropped its receiver: nothing left to serve.
+            break;
+        }
+    }
+    // Publish this worker's pool counters on exit.
+    let s = pool.stats();
+    shared.compiles.fetch_add(s.compiles, Ordering::Relaxed);
+    shared.recycles.fetch_add(s.recycles, Ordering::Relaxed);
+}

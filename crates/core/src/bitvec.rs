@@ -53,7 +53,9 @@ impl BitVec {
     /// Reads bit `i`.
     ///
     /// # Panics
-    /// Panics if `i >= len`.
+    /// Panics if `i >= len` in debug builds; release builds skip the
+    /// check (this sits on the per-slot presence hot path) and may read
+    /// a stale bit from the backing word instead.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
@@ -288,8 +290,11 @@ mod tests {
         assert_eq!(b.iter_ones().count(), 0);
     }
 
+    // debug_assert-backed: the bounds check (and therefore the panic)
+    // only exists in debug builds.
     #[test]
     #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
     fn out_of_range_get_panics() {
         let b = BitVec::new(4);
         b.get(4);

@@ -140,6 +140,23 @@ impl OutputCollector {
         self.arity
     }
 
+    /// Appends one event directly (time, duration, payload fields).
+    ///
+    /// Lets harnesses build a collector from events that did not come out
+    /// of a LifeStream sink — e.g. a baseline engine's collected output —
+    /// so [`checksum`](Self::checksum) can compare engines uniformly.
+    ///
+    /// # Panics
+    /// Panics when `values.len()` differs from the collector's arity.
+    pub fn push(&mut self, t: Tick, d: Tick, values: &[f32]) {
+        assert_eq!(values.len(), self.arity, "payload arity mismatch");
+        self.times.push(t);
+        self.durations.push(d);
+        for (f, &v) in values.iter().enumerate() {
+            self.fields[f].push(v);
+        }
+    }
+
     /// Order-sensitive checksum over times and values — used by tests to
     /// compare targeted and untargeted runs bit-for-bit.
     pub fn checksum(&self) -> u64 {
@@ -321,11 +338,18 @@ impl Executor {
         Ok(stats)
     }
 
-    /// Swaps the source datasets (the live session grows them between
-    /// polls). Shapes must match the originals.
+    /// Swaps the source datasets. Shapes must match the originals.
+    ///
+    /// Two callers rely on this: the live session grows its sources
+    /// between polls, and pooled executors (the sharded runtime) are
+    /// recycled across patients so locality tracing, memory planning, and
+    /// static allocation happen once per pool slot instead of once per
+    /// dataset. The run span is recomputed from the new presence maps.
     ///
     /// # Errors
-    /// Returns an error on count or shape mismatch.
+    /// Returns a descriptive error — never panics — on a source-count or
+    /// per-source shape mismatch; the executor is left untouched so the
+    /// caller can retry with corrected inputs.
     pub fn replace_sources(&mut self, sources: Vec<SignalData>) -> Result<()> {
         if sources.len() != self.sources.len() {
             return Err(Error::SourceCountMismatch {
@@ -333,15 +357,27 @@ impl Executor {
                 actual: sources.len(),
             });
         }
-        for (old, new) in self.sources.iter().zip(&sources) {
+        for (slot, (old, new)) in self.sources.iter().zip(&sources).enumerate() {
             if old.shape() != new.shape() {
+                // Name lookup only on the error path — recycle calls this
+                // per patient and must not pay for it on success.
+                let name = self.graph.source_ids().get(slot).map_or_else(
+                    || format!("source {slot}"),
+                    |&id| self.graph.nodes[id].name.clone(),
+                );
                 return Err(Error::SourceShapeMismatch {
-                    name: String::from("live source"),
+                    name,
                     declared: old.shape(),
                     supplied: new.shape(),
                 });
             }
         }
+        let start = sources
+            .iter()
+            .filter_map(|s| s.presence().start())
+            .min()
+            .unwrap_or(0);
+        self.start = start.div_euclid(self.round_dim) * self.round_dim;
         self.end = sources
             .iter()
             .filter_map(|s| s.presence().end())
@@ -349,6 +385,31 @@ impl Executor {
             .unwrap_or(0);
         self.sources = sources;
         Ok(())
+    }
+
+    /// Clears every kernel's carried state, returning the executor to the
+    /// condition it was in right after construction. Preallocated windows
+    /// and the memory plan are kept — that is the point: a pool can hand
+    /// the same executor a new patient without re-tracing or reallocating.
+    pub fn reset(&mut self) {
+        for k in self.kernels.iter_mut().flatten() {
+            k.reset();
+        }
+    }
+
+    /// Recycles the executor for a fresh, unrelated dataset:
+    /// [`reset`](Self::reset) + [`replace_sources`](Self::replace_sources).
+    /// This is the hot path of the sharded runtime's executor pools —
+    /// per-patient cost is a state wipe and a span recomputation, not a
+    /// compile.
+    ///
+    /// # Errors
+    /// Propagates [`replace_sources`](Self::replace_sources) errors; the
+    /// kernel reset still happens, so a failed recycle leaves the executor
+    /// clean for the next attempt.
+    pub fn recycle(&mut self, sources: Vec<SignalData>) -> Result<()> {
+        self.reset();
+        self.replace_sources(sources)
     }
 
     /// Payload arity of the single sink.

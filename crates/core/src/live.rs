@@ -134,6 +134,14 @@ impl LiveSession {
         self.round_dim
     }
 
+    /// Payload arity of the single sink (what an output collector needs).
+    ///
+    /// # Errors
+    /// Returns an error when the query has more than one sink.
+    pub fn sink_arity(&self) -> Result<usize> {
+        self.exec.sink_arity()
+    }
+
     /// Cumulative statistics across all polls.
     pub fn stats(&self) -> RunStats {
         self.stats

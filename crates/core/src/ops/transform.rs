@@ -16,6 +16,12 @@ pub struct TransformCtx<'a> {
     pub base: Tick,
     /// Event period.
     pub period: Tick,
+    /// True on the first sub-window after the kernel was constructed,
+    /// [`reset`](crate::ops::Kernel::reset) (executor recycled onto a new
+    /// dataset), or a skipped round (targeted processing jumped a gap).
+    /// Stateful closures must drop carried history when this is set — the
+    /// time axis is not continuous with whatever they saw last.
+    pub fresh: bool,
     /// Input values (slot-indexed, including absent slots' stale values).
     pub input: &'a [f32],
     /// Input presence, one flag per slot.
@@ -38,6 +44,7 @@ pub struct TransformKernel {
     in_flags: Vec<bool>,
     out_vals: Vec<f32>,
     out_flags: Vec<bool>,
+    fresh: bool,
 }
 
 impl TransformKernel {
@@ -51,6 +58,7 @@ impl TransformKernel {
             in_flags: vec![false; sub.max(capacity)],
             out_vals: vec![0.0; sub.max(capacity)],
             out_flags: vec![false; sub.max(capacity)],
+            fresh: true,
         }
     }
 }
@@ -73,11 +81,13 @@ impl Kernel for TransformKernel {
             (self.f)(TransformCtx {
                 base: input.slot_time(start),
                 period,
+                fresh: self.fresh,
                 input: &input.field(0)[start..end],
                 present: &self.in_flags[..n],
                 output: &mut self.out_vals[..n],
                 out_present: &mut self.out_flags[..n],
             });
+            self.fresh = false;
             for i in 0..n {
                 if self.out_flags[i] {
                     out.write(start + i, &[self.out_vals[i]], period);
@@ -85,6 +95,15 @@ impl Kernel for TransformKernel {
             }
             start = end;
         }
+    }
+
+    fn on_skip(&mut self) {
+        // A skipped round breaks time continuity for the closure.
+        self.fresh = true;
+    }
+
+    fn reset(&mut self) {
+        self.fresh = true;
     }
 }
 

@@ -102,7 +102,7 @@ pub fn pass_filter(input: Stream<'_>, window: Tick, taps: Vec<f32>) -> Result<St
     let mut history: Vec<f32> = Vec::with_capacity(hist_len.max(1));
     let mut expected_base: Option<Tick> = None;
     input.transform(window, move |ctx: TransformCtx<'_>| {
-        if expected_base != Some(ctx.base) {
+        if ctx.fresh || expected_base != Some(ctx.base) {
             history.clear(); // discontinuity: reset filter state
         }
         let n = ctx.input.len();
@@ -133,20 +133,27 @@ pub fn pass_filter(input: Stream<'_>, window: Tick, taps: Vec<f32>) -> Result<St
             ctx.output[i] = acc;
             ctx.out_present[i] = true;
         }
-        // Carry the tail into the next sub-window.
+        // Carry the tail into the next sub-window — but only the run of
+        // *present* trailing samples. Absent slots hold whatever the
+        // window buffer last contained (stale values under static
+        // memory, zeros under dynamic), so carrying them would leak the
+        // allocation strategy into the convolution output; and a gap in
+        // the tail separates the next window from anything older.
         if hist_len > 0 {
-            let take = n.min(hist_len);
-            if take == hist_len || history.len() + take > hist_len {
-                // Rebuild: previous history tail + this window's tail.
-                let mut next: Vec<f32> = Vec::with_capacity(hist_len);
-                let needed_old = hist_len - take;
+            let max_take = n.min(hist_len);
+            let mut run = 0usize;
+            while run < max_take && ctx.present[n - 1 - run] {
+                run += 1;
+            }
+            let mut next: Vec<f32> = Vec::with_capacity(hist_len);
+            if run == max_take {
+                // Fully-present carry span: top up from older history.
+                let needed_old = hist_len - run;
                 let old_start = history.len().saturating_sub(needed_old);
                 next.extend_from_slice(&history[old_start..]);
-                next.extend_from_slice(&ctx.input[n - take..]);
-                history = next;
-            } else {
-                history.extend_from_slice(&ctx.input[n - take..]);
             }
+            next.extend_from_slice(&ctx.input[n - run..]);
+            history = next;
         }
         expected_base = Some(ctx.base + window_of(&ctx));
     })
@@ -157,12 +164,19 @@ fn window_of(ctx: &TransformCtx<'_>) -> Tick {
 }
 
 /// `FillConst`: fills gaps smaller than the sub-window with a constant
-/// (the NumPy benchmark of Table 3).
+/// (the NumPy benchmark of Table 3). Sub-windows with no present values
+/// stay absent — imputation patches holes in data, it does not invent
+/// data where a monitor was disconnected outright (and an all-absent
+/// window is exactly what targeted query processing skips, so filling it
+/// would make targeted and eager execution disagree).
 ///
 /// # Errors
 /// Propagates transform validation errors.
 pub fn fill_const(input: Stream<'_>, window: Tick, value: f32) -> Result<Stream<'_>> {
     input.transform(window, move |ctx: TransformCtx<'_>| {
+        if !ctx.present.iter().any(|&p| p) {
+            return;
+        }
         for i in 0..ctx.input.len() {
             if ctx.present[i] {
                 ctx.output[i] = ctx.input[i];
@@ -214,11 +228,26 @@ pub fn resample(input: Stream<'_>, new_period: Tick, window: Tick) -> Result<Str
         .alter_period(new_period)?
         .transform(window, move |ctx: TransformCtx<'_>| {
             let n = ctx.input.len();
-            // Invalidate the carried sample across discontinuities.
+            // Invalidate the carried sample across discontinuities: a
+            // fresh kernel (recycled executor, skipped round) or a time
+            // jump larger than one sub-window.
+            if ctx.fresh {
+                last = None;
+            }
             if let Some((t, _)) = last {
                 if ctx.base - t > window {
                     last = None;
                 }
+            }
+            // A sub-window with no samples at all emits nothing: holding
+            // the carried value across it would invent data in rounds
+            // targeted processing (rightly) skips — e.g. the post-end
+            // drain rounds, where eager execution would otherwise extend
+            // the signal by a full window. The carried sample expires via
+            // the distance check above, so later windows cannot
+            // interpolate across the dead zone either.
+            if !ctx.present.iter().any(|&p| p) {
+                return;
             }
             let mut i = 0usize;
             while i < n {

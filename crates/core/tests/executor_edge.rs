@@ -227,3 +227,108 @@ fn stats_skip_plus_exec_covers_span() {
     assert!(stats.windows_skipped >= 10);
     assert_eq!(stats.output_events, 4_000);
 }
+
+// ---------------------------------------------------------------------
+// replace_sources / recycle misuse: descriptive errors, never panics
+// ---------------------------------------------------------------------
+
+fn two_source_executor() -> lifestream_core::exec::Executor {
+    let mut qb = QueryBuilder::new();
+    let a = qb.source("ecg", StreamShape::new(0, 2));
+    let b = qb.source("abp", StreamShape::new(0, 8));
+    let j = qb.join(a, b, JoinKind::Inner).unwrap();
+    qb.sink(j);
+    qb.compile()
+        .unwrap()
+        .executor(vec![
+            ramp(StreamShape::new(0, 2), 400),
+            ramp(StreamShape::new(0, 8), 100),
+        ])
+        .unwrap()
+}
+
+#[test]
+fn replace_sources_wrong_count_is_a_descriptive_error() {
+    let mut exec = two_source_executor();
+    let err = exec
+        .replace_sources(vec![ramp(StreamShape::new(0, 2), 400)])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::SourceCountMismatch {
+            expected: 2,
+            actual: 1
+        }
+    ));
+    // Regression lock on the rendered message.
+    assert_eq!(
+        err.to_string(),
+        "query declares 2 sources but 1 datasets were supplied"
+    );
+    // The executor is untouched and still runs.
+    assert!(exec.run().is_ok());
+}
+
+#[test]
+fn replace_sources_wrong_shape_names_the_offending_source() {
+    let mut exec = two_source_executor();
+    let err = exec
+        .replace_sources(vec![
+            ramp(StreamShape::new(0, 2), 400),
+            ramp(StreamShape::new(0, 4), 200), // abp declared (0, 8)
+        ])
+        .unwrap_err();
+    match &err {
+        Error::SourceShapeMismatch { name, .. } => assert_eq!(name, "abp"),
+        other => panic!("expected shape mismatch, got {other:?}"),
+    }
+    // Regression lock on the rendered message: it must carry the real
+    // source name and both shapes, not a generic placeholder.
+    assert_eq!(
+        err.to_string(),
+        "source 'abp' declared (0, 8) but dataset has (0, 4)"
+    );
+    assert!(exec.run().is_ok(), "failed replace must not poison");
+}
+
+#[test]
+fn recycle_resets_state_and_recomputes_span() {
+    // A recycled executor must behave exactly like a fresh one, even when
+    // the new dataset covers a different time span than the old one.
+    let shape = StreamShape::new(0, 2);
+    let build = || {
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", shape);
+        let agg = qb.aggregate(src, AggKind::Mean, 20, 2).unwrap();
+        qb.sink(agg);
+        qb.compile().unwrap()
+    };
+    let long = ramp(shape, 2_000);
+    let mut short = ramp(shape, 600);
+    short.punch_gap(100, 400);
+
+    let mut pooled = build().executor(vec![long]).unwrap();
+    pooled.run_collect().unwrap();
+    pooled.recycle(vec![short.clone()]).unwrap();
+    let warm = pooled.run_collect().unwrap();
+
+    let fresh = build()
+        .executor(vec![short])
+        .unwrap()
+        .run_collect()
+        .unwrap();
+    assert_eq!(warm.len(), fresh.len());
+    assert_eq!(warm.checksum(), fresh.checksum());
+}
+
+#[test]
+fn recycle_failure_leaves_executor_reusable() {
+    let mut exec = two_source_executor();
+    assert!(exec.recycle(vec![]).is_err());
+    let ok = exec.recycle(vec![
+        ramp(StreamShape::new(0, 2), 100),
+        ramp(StreamShape::new(0, 8), 25),
+    ]);
+    assert!(ok.is_ok());
+    assert!(exec.run().is_ok());
+}

@@ -1,0 +1,184 @@
+//! Deployment seamlessness (§2): a recorded signal pushed through
+//! `LiveSession::push`/`poll`/`finish` must yield *byte-identical* output
+//! to the batch `Executor::run_collect` of the same compiled query —
+//! including on gap-heavy data, where targeted processing skips rounds
+//! online and offline alike.
+
+use lifestream_core::exec::{ExecOptions, OutputCollector};
+use lifestream_core::live::LiveSession;
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::ops::join::JoinKind;
+use lifestream_core::pipeline as lspipe;
+use lifestream_core::query::CompiledQuery;
+use lifestream_core::source::SignalData;
+use lifestream_core::stream::Query;
+use lifestream_core::time::{StreamShape, Tick};
+
+const ROUND: Tick = 400;
+
+/// A recorded, gap-riddled signal: deterministic waveform with several
+/// dropouts of varying length (including one longer than a round).
+fn recorded(shape: StreamShape, slots: usize, seed: u64) -> SignalData {
+    let vals: Vec<f32> = (0..slots)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(seed);
+            ((x >> 40) % 997) as f32 / 7.0
+        })
+        .collect();
+    let mut data = SignalData::dense(shape, vals);
+    let span = slots as Tick * shape.period();
+    // Gap pattern: short dropout, mid dropout, and one > ROUND.
+    data.punch_gap(span / 10, span / 10 + 3 * shape.period());
+    data.punch_gap(span / 3, span / 3 + span / 20);
+    data.punch_gap(span / 2, span / 2 + ROUND + span / 15);
+    data
+}
+
+/// Replays `sources` through a live session (pushing present samples in
+/// time order, interleaved across sources, polling periodically), then
+/// checks the collected output against the batch run bit-for-bit.
+fn assert_live_matches_batch(build: impl Fn() -> CompiledQuery, sources: Vec<SignalData>) {
+    // Batch reference.
+    let mut exec = build()
+        .executor_with(
+            sources.clone(),
+            ExecOptions::default().with_round_ticks(ROUND),
+        )
+        .unwrap();
+    let offline = exec.run_collect().unwrap();
+
+    // Live replay: merge all sources' present events by time.
+    let mut events: Vec<(Tick, usize, f32)> = Vec::new();
+    for (s, data) in sources.iter().enumerate() {
+        let shape = data.shape();
+        for &(rs, re) in data.presence().ranges() {
+            let mut t = shape.align_up(rs.max(shape.offset()));
+            let end = re.min(data.end_time());
+            while t < end {
+                let slot = ((t - shape.offset()) / shape.period()) as usize;
+                events.push((t, s, data.values()[slot]));
+                t += shape.period();
+            }
+        }
+    }
+    events.sort_by_key(|&(t, s, _)| (t, s));
+
+    let mut session = LiveSession::new(build(), ROUND).unwrap();
+    let mut online = OutputCollector::new(session.sink_arity().unwrap());
+    for (k, &(t, s, v)) in events.iter().enumerate() {
+        session.push(s, t, v).unwrap();
+        if k % 97 == 0 {
+            session.poll(|w| online.absorb(w)).unwrap();
+        }
+    }
+    session.finish(|w| online.absorb(w)).unwrap();
+
+    assert_eq!(offline.len(), online.len(), "event count online vs batch");
+    assert_eq!(
+        offline.checksum(),
+        online.checksum(),
+        "live output must be byte-identical to batch"
+    );
+    assert!(
+        !offline.is_empty(),
+        "trivially-empty comparison proves nothing"
+    );
+}
+
+#[test]
+fn select_chain_live_equals_batch_on_gap_heavy_data() {
+    let shape = StreamShape::new(0, 2);
+    let data = recorded(shape, 4_000, 11);
+    assert_live_matches_batch(
+        || {
+            let q = Query::new();
+            q.source("s", shape)
+                .select(1, |i, o| o[0] = i[0] * 3.0 - 1.0)
+                .unwrap()
+                .where_(|v| v[0] > 10.0)
+                .unwrap()
+                .sink();
+            q.compile().unwrap()
+        },
+        vec![data],
+    );
+}
+
+#[test]
+fn sliding_aggregate_live_equals_batch_on_gap_heavy_data() {
+    // Stateful kernel: the ring buffer must behave identically when fed
+    // round-by-round online.
+    let shape = StreamShape::new(0, 2);
+    let data = recorded(shape, 4_000, 23);
+    assert_live_matches_batch(
+        || {
+            let q = Query::new();
+            q.source("s", shape)
+                .aggregate(AggKind::Mean, 40, 4)
+                .unwrap()
+                .sink();
+            q.compile().unwrap()
+        },
+        vec![data],
+    );
+}
+
+#[test]
+fn shift_spill_live_equals_batch_on_gap_heavy_data() {
+    // Shift pushes events into future rounds; the spill queue must drain
+    // identically online.
+    let shape = StreamShape::new(0, 1);
+    let data = recorded(shape, 3_000, 37);
+    assert_live_matches_batch(
+        || {
+            let q = Query::new();
+            q.source("s", shape).shift(900).unwrap().sink();
+            q.compile().unwrap()
+        },
+        vec![data],
+    );
+}
+
+#[test]
+fn two_source_join_live_equals_batch_on_gap_heavy_data() {
+    let s_ecg = StreamShape::new(0, 2);
+    let s_abp = StreamShape::new(0, 8);
+    let ecg = recorded(s_ecg, 4_000, 5);
+    let abp = recorded(s_abp, 1_000, 6);
+    assert_live_matches_batch(
+        || {
+            let q = Query::new();
+            let a = q.source("ecg", s_ecg);
+            let b = q.source("abp", s_abp);
+            a.aggregate(AggKind::Max, 80, 80)
+                .unwrap()
+                .join(b, JoinKind::Inner)
+                .unwrap()
+                .sink();
+            q.compile().unwrap()
+        },
+        vec![ecg, abp],
+    );
+}
+
+#[test]
+fn fig3_pipeline_live_equals_batch_on_gap_heavy_data() {
+    // The full end-to-end application, including the stateful transform
+    // closures (fill, resample, normalize) whose carried history must
+    // survive incremental polling unchanged.
+    let s_ecg = StreamShape::new(0, 2);
+    let s_abp = StreamShape::new(0, 8);
+    let ecg = recorded(s_ecg, 8_000, 41);
+    let abp = recorded(s_abp, 2_000, 42);
+    assert_live_matches_batch(
+        || {
+            lspipe::fig3_pipeline(s_ecg, s_abp, ROUND)
+                .unwrap()
+                .compile()
+                .unwrap()
+        },
+        vec![ecg, abp],
+    );
+}

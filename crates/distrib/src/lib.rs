@@ -21,6 +21,16 @@
 //! Three [`Profile`]s dial those knobs to the three engines. Absolute
 //! numbers are not the point (the paper's Table 1 machines differ);
 //! the order — Storm < Spark < Flink ≪ Trill ≪ LifeStream/SciPy — is.
+//!
+//! ## The distributed runtime this crate argues for
+//!
+//! The baselines above spawn work per input batch and pay for it at
+//! every hop. LifeStream's own answer — long-lived sharded workers with
+//! pooled, warmed executors that patient data is routed *to*, plus a
+//! live-ingest front end — lives in [`cluster_harness::sharded`] and is
+//! re-exported here as [`sharded`] so distributed-deployment code has
+//! one import surface: the baselines to compare against and the runtime
+//! to deploy.
 
 #![warn(missing_docs)]
 // Boxing each event is the point: it reproduces the per-event heap
@@ -32,6 +42,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
+
+pub use cluster_harness::sharded;
 
 /// One event record (what a JVM engine would hold as an object).
 #[derive(Debug, Clone, Copy, PartialEq)]

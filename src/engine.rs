@@ -317,19 +317,63 @@ pub trait EnginePipeline {
     fn run(&mut self, inputs: Vec<SignalData>) -> Result<RunOutcome, EngineError>;
 }
 
-/// All engines that implement the shared [`Engine`] surface, in the
-/// paper's comparison order.
+/// All engines that implement the shared [`Engine`] surface: the paper's
+/// three in comparison order, then the sharded runtime serving the
+/// LifeStream engine (added by this repo's scale-up work — semantically
+/// identical to LifeStream, so it rides every cross-engine check).
 pub fn all_engines() -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(LifeStreamEngine),
         Box::new(TrillEngine),
         Box::new(NumLibEngine),
+        Box::new(ShardedEngine::default()),
     ]
 }
 
 // ---------------------------------------------------------------------
 // LifeStream
 // ---------------------------------------------------------------------
+
+/// Translates a [`Workload`] onto the LifeStream fluent query surface.
+/// Shared by [`LifeStreamEngine`] (direct execution) and
+/// [`ShardedEngine`] (whose shard workers each compile their own copy
+/// once, then recycle the pooled executor across inputs).
+fn lifestream_query(
+    workload: &Workload,
+    shapes: &[StreamShape],
+) -> lifestream_core::error::Result<Query> {
+    match workload {
+        Workload::Fig3 { window } => lspipe::fig3_pipeline(shapes[0], shapes[1], *window),
+        _ => {
+            let q = Query::new();
+            let src = q.source("src0", shapes[0]);
+            let out = match workload.clone() {
+                Workload::Select { mul, add } => src.select(1, move |i, o| o[0] = i[0] * mul + add),
+                Workload::WhereGt { threshold } => src.where_(move |v| v[0] > threshold),
+                Workload::Aggregate {
+                    kind,
+                    window,
+                    stride,
+                } => src.aggregate(kind, window, stride),
+                Workload::Chop { duration, boundary } => {
+                    src.alter_duration(duration).and_then(|s| s.chop(boundary))
+                }
+                Workload::Join => src.join(q.source("src1", shapes[1]), JoinKind::Inner),
+                Workload::ClipJoin => src.clip_join(q.source("src1", shapes[1])),
+                Workload::Operation { op, window } => match op {
+                    TableOp::Normalize => lspipe::normalize(src, window),
+                    TableOp::PassFilter { taps } => lspipe::pass_filter(src, window, taps),
+                    TableOp::FillConst { value } => lspipe::fill_const(src, window, value),
+                    TableOp::FillMean => lspipe::fill_mean(src, window),
+                    TableOp::Resample { new_period } => lspipe::resample(src, new_period, window),
+                },
+                Workload::Fig3 { .. } => unreachable!("handled above"),
+            }?;
+            out.sink();
+            Ok(q)
+        }
+    }
+}
 
 /// The LifeStream engine behind the shared [`Engine`] surface.
 #[derive(Debug, Clone, Copy, Default)]
@@ -358,44 +402,7 @@ impl Engine for LifeStreamEngine {
         opts: &EngineOptions,
     ) -> Result<Box<dyn EnginePipeline>, EngineError> {
         require_arity(self.name(), workload, shapes.len())?;
-        let q = match workload {
-            Workload::Fig3 { window } => {
-                lspipe::fig3_pipeline(shapes[0], shapes[1], *window).map_err(fail)?
-            }
-            _ => {
-                let q = Query::new();
-                let src = q.source("src0", shapes[0]);
-                let out = match workload.clone() {
-                    Workload::Select { mul, add } => {
-                        src.select(1, move |i, o| o[0] = i[0] * mul + add)
-                    }
-                    Workload::WhereGt { threshold } => src.where_(move |v| v[0] > threshold),
-                    Workload::Aggregate {
-                        kind,
-                        window,
-                        stride,
-                    } => src.aggregate(kind, window, stride),
-                    Workload::Chop { duration, boundary } => {
-                        src.alter_duration(duration).and_then(|s| s.chop(boundary))
-                    }
-                    Workload::Join => src.join(q.source("src1", shapes[1]), JoinKind::Inner),
-                    Workload::ClipJoin => src.clip_join(q.source("src1", shapes[1])),
-                    Workload::Operation { op, window } => match op {
-                        TableOp::Normalize => lspipe::normalize(src, window),
-                        TableOp::PassFilter { taps } => lspipe::pass_filter(src, window, taps),
-                        TableOp::FillConst { value } => lspipe::fill_const(src, window, value),
-                        TableOp::FillMean => lspipe::fill_mean(src, window),
-                        TableOp::Resample { new_period } => {
-                            lspipe::resample(src, new_period, window)
-                        }
-                    },
-                    Workload::Fig3 { .. } => unreachable!("handled above"),
-                }
-                .map_err(fail)?;
-                out.sink();
-                q
-            }
-        };
+        let q = lifestream_query(workload, shapes).map_err(fail)?;
         let mut exec_opts = ExecOptions::default();
         if let Some(t) = opts.round_ticks {
             exec_opts = exec_opts.with_round_ticks(t);
@@ -744,6 +751,119 @@ impl EnginePipeline for NumLibPrepared {
             Workload::Chop { .. } | Workload::ClipJoin => {
                 unreachable!("rejected by NumLibEngine::prepare")
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded runtime
+// ---------------------------------------------------------------------
+
+/// The [`ShardedRuntime`](cluster_harness::sharded::ShardedRuntime)
+/// behind the shared [`Engine`] surface: the same LifeStream engine, but
+/// served by the long-lived multi-patient runtime — hash-routed shard
+/// workers with pooled, recycled executors. A shared-workload run
+/// submits its inputs as one patient job; the point of carrying it in
+/// [`all_engines`] is that every cross-engine agreement check now also
+/// locks "sharding changes nothing about the answer".
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEngine {
+    /// Shard (worker thread) count for prepared runtimes.
+    pub workers: usize,
+}
+
+impl Default for ShardedEngine {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4)),
+        }
+    }
+}
+
+impl ShardedEngine {
+    /// Engine with an explicit shard count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+}
+
+struct ShardedPrepared {
+    // `None` once run, matching the single-shot EnginePipeline contract;
+    // the runtime is shut down after its one job.
+    runtime: Option<cluster_harness::sharded::ShardedRuntime>,
+    shapes: Vec<StreamShape>,
+}
+
+impl Engine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn supports(&self, _workload: &Workload) -> bool {
+        true // serves the LifeStream engine, which supports everything
+    }
+
+    fn prepare(
+        &self,
+        workload: &Workload,
+        shapes: &[StreamShape],
+        opts: &EngineOptions,
+    ) -> Result<Box<dyn EnginePipeline>, EngineError> {
+        use cluster_harness::sharded::{ShardedConfig, ShardedRuntime};
+        require_arity(self.name(), workload, shapes.len())?;
+        // Validate the translation once up front so bad parameters fail
+        // in prepare (like every other engine), not inside a worker.
+        lifestream_query(workload, shapes).map_err(fail)?;
+        let (workload, shapes_owned) = (workload.clone(), shapes.to_vec());
+        let factory =
+            std::sync::Arc::new(move || lifestream_query(&workload, &shapes_owned)?.compile());
+        let mut cfg = ShardedConfig::with_workers(self.workers);
+        if let Some(t) = opts.round_ticks {
+            cfg = cfg.round_ticks(t);
+        }
+        if let Some(cap) = opts.memory_cap {
+            cfg = cfg.mem_cap_per_worker(cap);
+        }
+        if opts.collect {
+            cfg = cfg.collecting();
+        }
+        Ok(Box::new(ShardedPrepared {
+            runtime: Some(ShardedRuntime::new(factory, cfg)),
+            shapes: shapes.to_vec(),
+        }))
+    }
+}
+
+impl EnginePipeline for ShardedPrepared {
+    fn run(&mut self, inputs: Vec<SignalData>) -> Result<RunOutcome, EngineError> {
+        use cluster_harness::sharded::JobOutcome;
+        // Validate before consuming: a rejected call must not poison the
+        // single-shot pipeline.
+        require_shapes("Sharded", &self.shapes, &inputs)?;
+        let runtime = self
+            .runtime
+            .take()
+            .ok_or_else(|| EngineError::Failed("pipeline already consumed".into()))?;
+        runtime.submit(0, inputs);
+        let report = runtime
+            .recv()
+            .ok_or_else(|| EngineError::Failed("sharded runtime returned no report".into()))?;
+        runtime.shutdown();
+        match report.outcome {
+            JobOutcome::Ok => Ok(RunOutcome {
+                input_events: report.input_events,
+                output_events: report.output_events,
+                collected: report.collected,
+            }),
+            JobOutcome::OutOfMemory {
+                planned_bytes,
+                cap_bytes,
+            } => Err(EngineError::Failed(format!(
+                "sharded worker out of memory: static plan {planned_bytes} B exceeds cap {cap_bytes} B"
+            ))),
+            JobOutcome::Failed(m) => Err(EngineError::Failed(m)),
         }
     }
 }

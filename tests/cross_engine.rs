@@ -8,8 +8,8 @@
 use lifestream::core::ops::aggregate::AggKind;
 use lifestream::core::prelude::*;
 use lifestream::engine::{
-    all_engines, Engine, EngineError, EngineOptions, LifeStreamEngine, RunOutcome, TrillEngine,
-    Workload,
+    all_engines, Engine, EngineError, EngineOptions, LifeStreamEngine, RunOutcome, ShardedEngine,
+    TableOp, TrillEngine, Workload,
 };
 use lifestream::signal::dataset::{DatasetBuilder, SignalKind};
 
@@ -48,7 +48,7 @@ fn select_agrees_between_engines() {
         &[data],
         &EngineOptions::default().collecting(),
     );
-    assert_eq!(results.len(), 3, "all engines support Select");
+    assert_eq!(results.len(), 4, "all engines support Select");
     let reference = results[0].1.collected.as_ref().unwrap();
     assert_eq!(reference.len(), 10_000);
     for (name, outcome) in &results[1..] {
@@ -105,7 +105,7 @@ fn join_counts_agree_with_gaps() {
         &[a, b],
         &EngineOptions::default().with_round_ticks(1000),
     );
-    assert_eq!(results.len(), 3, "all engines support Join");
+    assert_eq!(results.len(), 4, "all engines support Join");
     let reference = results[0].1.output_events;
     assert!(reference > 0);
     for (name, outcome) in &results {
@@ -127,7 +127,7 @@ fn fig3_outputs_close_across_engines() {
         &[ecg, abp],
         &EngineOptions::default(),
     );
-    assert_eq!(results.len(), 3, "all engines support Fig3");
+    assert_eq!(results.len(), 4, "all engines support Fig3");
     let reference = results[0].1.output_events;
     let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / a.max(1) as f64;
     for (name, outcome) in &results {
@@ -151,7 +151,7 @@ fn engines_run_as_trait_objects_and_report_support() {
     let temporal = Workload::ClipJoin;
 
     let engines: Vec<Box<dyn Engine>> = all_engines();
-    assert_eq!(engines.len(), 3);
+    assert_eq!(engines.len(), 4);
     for engine in &engines {
         // Every engine handles the windowed workload through the one
         // shared definition.
@@ -274,6 +274,64 @@ fn run_validates_input_count() {
         let run = p.run(vec![data.clone()]);
         assert!(run.is_err(), "{} accepted missing input", engine.name());
     }
+}
+
+#[test]
+fn sharded_runtime_is_transparent_to_query_semantics() {
+    // The sharded runtime serves the LifeStream engine through pooled,
+    // recycled executors; nothing about routing, pooling, or worker
+    // threads may change a single collected event.
+    let shape = StreamShape::new(0, 2);
+    let mut data = ramp(shape, 8_000);
+    data.punch_gap(3_000, 9_000); // gaps exercise targeted skipping too
+    let workloads = vec![
+        Workload::Select { mul: 2.0, add: 0.5 },
+        Workload::WhereGt { threshold: 400.0 },
+        Workload::Aggregate {
+            kind: AggKind::Mean,
+            window: 100,
+            stride: 100,
+        },
+        Workload::Operation {
+            op: TableOp::FillConst { value: -1.0 },
+            window: 200,
+        },
+    ];
+    for workload in &workloads {
+        let opts = EngineOptions::default().collecting();
+        let direct = LifeStreamEngine
+            .run(workload, vec![data.clone()], &opts)
+            .unwrap();
+        let sharded = ShardedEngine::with_workers(3)
+            .run(workload, vec![data.clone()], &opts)
+            .unwrap();
+        assert_eq!(
+            direct.output_events,
+            sharded.output_events,
+            "{} event count",
+            workload.name()
+        );
+        assert_eq!(
+            direct.collected,
+            sharded.collected,
+            "{} collected events",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_reports_worker_oom() {
+    let shape = StreamShape::new(0, 2);
+    let err = ShardedEngine::with_workers(2)
+        .run(
+            &Workload::Fig3 { window: 1000 },
+            vec![ramp(shape, 10_000), ramp(StreamShape::new(0, 8), 2_500)],
+            &EngineOptions::default().with_memory_cap(16),
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "{msg}");
 }
 
 #[test]
