@@ -1,0 +1,254 @@
+//! Live data-plane throughput: batched vs per-sample ingest through the
+//! sharded [`LiveIngest`] front end, plus the long-session memory /
+//! poll-latency curve of the compacting [`LiveSession`].
+//!
+//! Two claims this bench pins down, both products of the bounded
+//! zero-copy live data plane:
+//!
+//! 1. **Batching wins.** Per-sample channel sends dominate the live path
+//!    once sessions are cheap; staging samples client-side and shipping
+//!    them in batches amortizes the dispatch. The same feed runs at
+//!    several batch sizes (1 = the pre-batching behaviour) and the
+//!    outputs are asserted identical before throughput is compared.
+//! 2. **Sessions are flat.** A `LiveSession` polled while samples stream
+//!    through holds a retained buffer bounded by round + history margin +
+//!    poll lag, so poll latency and memory stay constant as the cumulative
+//!    stream grows — the curve section records both along a long push.
+//!
+//! Environment knobs:
+//! * `LS_SCALE` — workload scale factor (shared with every bench).
+//! * `LS_WORKERS` — ingest shard count (default 4).
+//! * `LS_JSON_OUT` — also write the JSON to this path.
+//!
+//! As with `sharded_scaling`, `host_cores` is recorded: thread-level
+//! speedups are only meaningful relative to it, while the batched-vs-
+//! per-sample ratio is mostly dispatch-bound and portable.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cluster_harness::sharded::{IngestConfig, LiveIngest, PipelineFactory};
+use lifestream_bench::{scale, Table};
+use lifestream_core::live::LiveSession;
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::stream::Query;
+use lifestream_core::time::{StreamShape, Tick};
+
+const ROUND: Tick = 1_000;
+const PERIOD: Tick = 2;
+
+/// The live pipeline: stateless select into a sliding mean — a stateful
+/// kernel, so sessions exercise carried state, and a window lookback, so
+/// compaction has a real margin to respect.
+fn factory() -> PipelineFactory {
+    Arc::new(|| {
+        let q = Query::new();
+        q.source("sig", StreamShape::new(0, PERIOD))
+            .select(1, |i, o| o[0] = i[0] * 0.25 + 1.0)?
+            .aggregate(AggKind::Mean, 50 * PERIOD, 5 * PERIOD)?
+            .sink();
+        q.compile()
+    })
+}
+
+fn wave(k: i64, p: u64) -> f32 {
+    (((k * 37 + p as i64 * 101) % 997) as f32) / 7.0
+}
+
+struct ModeResult {
+    batch: usize,
+    elapsed_s: f64,
+    mev_per_s: f64,
+    batches_flushed: u64,
+    checksum: u64,
+}
+
+/// Replays `patients × samples` through an ingest configured with the
+/// given batch size, polling every `poll_every` pushes per patient.
+fn run_mode(workers: usize, patients: u64, samples: i64, batch: usize) -> ModeResult {
+    let ingest = LiveIngest::with_config(
+        factory(),
+        IngestConfig::new(workers, ROUND)
+            .batch(batch)
+            .channel_cap(64),
+    );
+    for p in 0..patients {
+        ingest.admit(p).expect("admit");
+    }
+    let poll_every = ROUND / PERIOD;
+    let start = Instant::now();
+    for k in 0..samples {
+        for p in 0..patients {
+            ingest.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            ingest.poll();
+        }
+    }
+    let mut checksum = 0u64;
+    for p in 0..patients {
+        let out = ingest.finish(p).expect("finish");
+        checksum ^= out.checksum().rotate_left((p % 63) as u32);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = ingest.stats();
+    assert_eq!(stats.dropped_unknown, 0);
+    let events = patients as f64 * samples as f64;
+    ModeResult {
+        batch,
+        elapsed_s: elapsed,
+        mev_per_s: events / elapsed / 1e6,
+        batches_flushed: stats.batches_flushed,
+        checksum,
+    }
+}
+
+struct CurvePoint {
+    pushed: i64,
+    retained_slots: usize,
+    poll_us: f64,
+}
+
+/// Pushes one long stream through a single session, recording retained
+/// buffer length and poll latency at evenly spaced checkpoints.
+fn session_curve(total: i64, checkpoints: usize) -> (Tick, Vec<CurvePoint>) {
+    let mut session = LiveSession::new((factory())().expect("compile"), ROUND).expect("session");
+    let margin = session.history_margin(0).expect("margin");
+    let poll_every = ROUND / PERIOD;
+    let every = (total / checkpoints as i64).max(1);
+    let mut points = Vec::new();
+    let mut sink = 0usize;
+    let mut last_poll_us = 0.0f64;
+    for k in 0..total {
+        session.push(0, k * PERIOD, wave(k, 7)).expect("push");
+        if k % poll_every == 0 {
+            let t0 = Instant::now();
+            session.poll(|w| sink += w.present_count()).expect("poll");
+            last_poll_us = t0.elapsed().as_secs_f64() * 1e6;
+        }
+        if (k + 1) % every == 0 {
+            points.push(CurvePoint {
+                pushed: k + 1,
+                retained_slots: session.retained_slots(0).expect("slots"),
+                poll_us: last_poll_us,
+            });
+        }
+    }
+    assert!(sink > 0, "the session must produce output");
+    (margin, points)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers: usize = std::env::var("LS_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let patients: u64 = 8;
+    let samples: i64 = ((100_000.0 * scale()) as i64).max(2_000);
+    let curve_total: i64 = ((400_000.0 * scale()) as i64).max(10_000);
+    println!(
+        "Live data-plane throughput — {patients} patients x {samples} samples, \
+         {workers} ingest shards, {cores} host cores\n"
+    );
+
+    // -----------------------------------------------------------------
+    // Batched vs per-sample ingest.
+    // -----------------------------------------------------------------
+    let batches = [1usize, 16, 256];
+    let mut modes: Vec<ModeResult> = Vec::new();
+    let mut table = Table::new(&["batch", "Mev/s", "speedup", "flushes"]);
+    for &b in &batches {
+        let m = run_mode(workers, patients, samples, b);
+        let base = modes.first().map_or(m.mev_per_s, |r| r.mev_per_s);
+        table.row(&[
+            b.to_string(),
+            format!("{:.3}", m.mev_per_s),
+            format!("{:.2}x", m.mev_per_s / base.max(1e-12)),
+            m.batches_flushed.to_string(),
+        ]);
+        modes.push(m);
+    }
+    println!("{}", table.render());
+    // Transport must be invisible in the results.
+    for m in &modes[1..] {
+        assert_eq!(
+            m.checksum, modes[0].checksum,
+            "batch size leaked into output"
+        );
+    }
+    let speedup = modes
+        .last()
+        .map_or(0.0, |m| m.mev_per_s / modes[0].mev_per_s.max(1e-12));
+    println!("batched (256) vs per-sample ingest: {speedup:.2}x\n");
+
+    // -----------------------------------------------------------------
+    // Long-session memory / poll-latency curve.
+    // -----------------------------------------------------------------
+    let (margin, curve) = session_curve(curve_total, 8);
+    let mut ctable = Table::new(&["pushed", "retained slots", "poll µs"]);
+    for p in &curve {
+        ctable.row(&[
+            p.pushed.to_string(),
+            p.retained_slots.to_string(),
+            format!("{:.1}", p.poll_us),
+        ]);
+    }
+    println!(
+        "single session, round {ROUND} ticks, history margin {margin} ticks, \
+         {curve_total} samples:\n{}",
+        ctable.render()
+    );
+    let max_retained = curve.iter().map(|p| p.retained_slots).max().unwrap_or(0);
+    // Bound in *slots*: margin + the unfinished round + one round of
+    // poll lag, all converted from ticks by the source period.
+    let bound_slots = (margin + 3 * ROUND) / PERIOD;
+    assert!(
+        (max_retained as i64) < bound_slots,
+        "retention must stay bounded by round + margin ({bound_slots} slots), \
+         got {max_retained}"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"live_throughput\",");
+    let _ = writeln!(json, "  \"workload\": \"select_sliding_mean_live\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"ingest_workers\": {workers},");
+    let _ = writeln!(json, "  \"patients\": {patients},");
+    let _ = writeln!(json, "  \"samples_per_patient\": {samples},");
+    let _ = writeln!(json, "  \"round_ticks\": {ROUND},");
+    let _ = writeln!(json, "  \"batched_vs_per_sample_speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (i, m) in modes.iter().enumerate() {
+        let comma = if i + 1 < modes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"batch\": {}, \"elapsed_s\": {:.4}, \"mev_per_s\": {:.4}, \
+             \"batches_flushed\": {}}}{comma}",
+            m.batch, m.elapsed_s, m.mev_per_s, m.batches_flushed
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"session_curve\": {{");
+    let _ = writeln!(json, "    \"samples\": {curve_total},");
+    let _ = writeln!(json, "    \"history_margin_ticks\": {margin},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, p) in curve.iter().enumerate() {
+        let comma = if i + 1 < curve.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"pushed\": {}, \"retained_slots\": {}, \"poll_us\": {:.1}}}{comma}",
+            p.pushed, p.retained_slots, p.poll_us
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("LS_JSON_OUT") {
+        std::fs::write(&path, &json).expect("write JSON output");
+        println!("wrote {path}");
+    }
+}

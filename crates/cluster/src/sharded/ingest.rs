@@ -1,17 +1,50 @@
-//! Live-ingest front end: online sessions behind the same shard router.
+//! Live-ingest front end: batched, bounded, backpressured online sessions
+//! behind the same shard router.
 //!
-//! Deployment (§2 of the paper) means samples arrive one at a time from
+//! Deployment (§2 of the paper) means samples arrive continuously from
 //! live monitors, for many patients at once. [`LiveIngest`] multiplexes a
 //! pushed `(patient, source, t, v)` event stream onto per-shard worker
-//! threads, each owning the [`LiveSession`]s of the patients routed to
-//! it. Polling is *round-aligned*: a [`poll`](LiveIngest::poll) only
-//! processes rounds fully below every source's watermark, exactly as a
-//! single `LiveSession` would, so online output is byte-identical to the
-//! retrospective run of the same query (the core crate's equivalence
-//! tests lock that property; this module adds the multi-patient fan-in).
+//! threads, each owning the [`LiveSession`]s of the patients routed to it.
+//!
+//! ## Batched ingest
+//!
+//! A per-sample channel send costs more than the sample's processing, so
+//! the front end stages samples client-side: [`push`](LiveIngest::push)
+//! appends to a per-shard staging buffer and only ships a `SampleBatch`
+//! command once [`IngestConfig::batch`] samples have
+//! accumulated (or a [`poll`](LiveIngest::poll) /
+//! [`finish`](LiveIngest::finish) forces a flush). The shard applies the
+//! whole batch with one channel round, so dispatch cost is amortized over
+//! the batch — the same observation batched-rollout systems make about
+//! per-item dispatch.
+//!
+//! ## Bounded queues and backpressure
+//!
+//! Shard command channels are *bounded* ([`IngestConfig::channel_cap`]).
+//! When a shard falls behind, `push` blocks on the full channel instead of
+//! queueing unboundedly — producers feel backpressure at the ingest edge,
+//! and resident memory stays bounded by `workers × channel_cap × batch`
+//! staged samples plus each session's compacted retained suffix.
+//!
+//! ## Semantics
+//!
+//! Polling is *round-aligned*: a [`poll`](LiveIngest::poll) only processes
+//! rounds fully below every source's watermark, exactly as a single
+//! [`LiveSession`] would, so online output is byte-identical to the
+//! retrospective run of the same query regardless of batch size (the core
+//! crate's equivalence tests lock the single-session property; this
+//! module's tests add the multi-patient, batched fan-in). Pushes for
+//! unknown patients are dropped and counted in
+//! [`IngestStats::dropped_unknown`]; per-sample grid/order violations are
+//! deferred and reported — all of them, joined — by `finish`. Dropping a
+//! `LiveIngest` without calling [`shutdown`](LiveIngest::shutdown) runs
+//! the same close-channels-and-join protocol, so no worker is ever
+//! stranded mid-batch.
 
 use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use lifestream_core::exec::OutputCollector;
@@ -21,17 +54,77 @@ use lifestream_core::time::Tick;
 use super::pool::PipelineFactory;
 use super::PatientId;
 
+/// One pushed sample: `(patient, source index, sync time, value)`.
+pub type Sample = (PatientId, usize, Tick, f32);
+
+/// Ingest front-end knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Ingest shard (worker thread) count.
+    pub workers: usize,
+    /// Processing-round length for every patient session.
+    pub round_ticks: Tick,
+    /// Samples staged per shard before an automatic batch flush. `1`
+    /// degenerates to per-sample sends (the pre-batching behaviour, kept
+    /// measurable for the `live_throughput` bench).
+    pub batch: usize,
+    /// Bounded depth of each shard's command channel; a full channel
+    /// blocks `push`/`poll` until the shard catches up (backpressure).
+    pub channel_cap: usize,
+}
+
+impl IngestConfig {
+    /// Config with the default batch (256) and channel depth (64).
+    pub fn new(workers: usize, round_ticks: Tick) -> Self {
+        Self {
+            workers: workers.max(1),
+            round_ticks,
+            batch: 256,
+            channel_cap: 64,
+        }
+    }
+
+    /// Sets the staging-batch size (min 1).
+    pub fn batch(mut self, samples: usize) -> Self {
+        self.batch = samples.max(1);
+        self
+    }
+
+    /// Sets the per-shard command-channel depth (min 1).
+    pub fn channel_cap(mut self, depth: usize) -> Self {
+        self.channel_cap = depth.max(1);
+        self
+    }
+}
+
+/// Ingest-front-end counters (monotonic over the ingest's lifetime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Samples accepted by [`push`](LiveIngest::push).
+    pub samples_pushed: u64,
+    /// Batch commands shipped to shards.
+    pub batches_flushed: u64,
+    /// Samples dropped on a shard because their patient was never
+    /// admitted (or already finished). Silently losing these was a bug
+    /// class; now they are counted and visible.
+    pub dropped_unknown: u64,
+}
+
+/// Counters shared between the front end and the shard threads.
+#[derive(Default)]
+struct Counters {
+    samples_pushed: AtomicU64,
+    batches_flushed: AtomicU64,
+    dropped_unknown: AtomicU64,
+}
+
 enum Cmd {
     Admit {
         patient: PatientId,
         reply: Sender<Result<(), String>>,
     },
-    Push {
-        patient: PatientId,
-        source: usize,
-        t: Tick,
-        v: f32,
-    },
+    /// A staged run of samples, applied in order on the shard.
+    SampleBatch(Vec<Sample>),
     Poll,
     Finish {
         patient: PatientId,
@@ -45,34 +138,56 @@ struct Session {
     out: OutputCollector,
     /// Push/poll errors deferred to `finish` (pushes don't round-trip).
     errors: Vec<String>,
+    /// Set when user code panicked inside this session's kernels; the
+    /// executor state is unknowable after an unwind, so the session stops
+    /// processing and `finish` reports the panic instead.
+    poisoned: bool,
 }
 
 /// Multiplexes live per-patient sample streams onto sharded
 /// [`LiveSession`] workers. See the module docs.
 pub struct LiveIngest {
-    txs: Vec<Sender<Cmd>>,
+    txs: Vec<SyncSender<Cmd>>,
     handles: Vec<JoinHandle<()>>,
+    /// Client-side staging buffers, one per shard. Held while flushing so
+    /// a full channel backpressures every producer pushing to that shard.
+    staged: Vec<Mutex<Vec<Sample>>>,
+    batch: usize,
+    counters: Arc<Counters>,
 }
 
 impl LiveIngest {
-    /// Spawns `workers` ingest shards. Each admitted patient gets a
-    /// [`LiveSession`] compiled from `factory` on its routed shard, with
-    /// `round_ticks` processing windows.
+    /// Spawns `workers` ingest shards with default batching. Each
+    /// admitted patient gets a [`LiveSession`] compiled from `factory` on
+    /// its routed shard, with `round_ticks` processing windows.
     pub fn new(factory: PipelineFactory, workers: usize, round_ticks: Tick) -> Self {
-        let workers = workers.max(1);
+        Self::with_config(factory, IngestConfig::new(workers, round_ticks))
+    }
+
+    /// Spawns the ingest shards described by `cfg`.
+    pub fn with_config(factory: PipelineFactory, cfg: IngestConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let counters = Arc::new(Counters::default());
         let mut txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for me in 0..workers {
-            let (tx, rx) = channel::<Cmd>();
+            let (tx, rx) = sync_channel::<Cmd>(cfg.channel_cap.max(1));
             let factory = PipelineFactory::clone(&factory);
+            let counters = Arc::clone(&counters);
             let handle = std::thread::Builder::new()
                 .name(format!("ingest-{me}"))
-                .spawn(move || ingest_loop(rx, factory, round_ticks))
+                .spawn(move || ingest_loop(rx, factory, cfg.round_ticks, counters))
                 .expect("spawn ingest worker");
             txs.push(tx);
             handles.push(handle);
         }
-        Self { txs, handles }
+        Self {
+            txs,
+            handles,
+            staged: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            batch: cfg.batch.max(1),
+            counters,
+        }
     }
 
     /// Ingest shard count.
@@ -85,6 +200,15 @@ impl LiveIngest {
         (super::hash_patient(patient) % self.txs.len() as u64) as usize
     }
 
+    /// Front-end counters so far.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            samples_pushed: self.counters.samples_pushed.load(Ordering::Relaxed),
+            batches_flushed: self.counters.batches_flushed.load(Ordering::Relaxed),
+            dropped_unknown: self.counters.dropped_unknown.load(Ordering::Relaxed),
+        }
+    }
+
     /// Admits a patient: compiles the query and opens a live session on
     /// the routed shard. Waits for the shard's acknowledgement.
     ///
@@ -92,60 +216,108 @@ impl LiveIngest {
     /// Returns the compile error message, or a complaint when the patient
     /// is already admitted.
     pub fn admit(&self, patient: PatientId) -> Result<(), String> {
+        let shard = self.shard_of(patient);
+        // Flush staged samples first so a re-admission after finish sees
+        // commands in push order.
+        self.flush_shard(shard);
         let (reply, ack) = channel();
-        self.send(patient, Cmd::Admit { patient, reply });
+        let _ = self.txs[shard].send(Cmd::Admit { patient, reply });
         ack.recv().map_err(|_| "ingest shard gone".to_string())?
     }
 
-    /// Pushes one sample. Fire-and-forget: grid/order violations are
-    /// recorded on the shard and surface from [`finish`](Self::finish).
+    /// Stages one sample; ships a batch once the routed shard's staging
+    /// buffer reaches the configured batch size. Fire-and-forget:
+    /// grid/order violations are recorded on the shard and surface from
+    /// [`finish`](Self::finish). Blocks (backpressure) when the shard's
+    /// bounded channel is full.
     pub fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
-        self.send(
-            patient,
-            Cmd::Push {
-                patient,
-                source,
-                t,
-                v,
-            },
-        );
-    }
-
-    /// Asks every shard to process all complete rounds of all its
-    /// sessions (round-aligned: partial rounds wait for their watermark).
-    pub fn poll(&self) {
-        for tx in &self.txs {
-            let _ = tx.send(Cmd::Poll);
+        let shard = self.shard_of(patient);
+        let mut staged = self.staged[shard].lock().expect("staging lock");
+        staged.push((patient, source, t, v));
+        self.counters.samples_pushed.fetch_add(1, Ordering::Relaxed);
+        if staged.len() >= self.batch {
+            let batch = std::mem::take(&mut *staged);
+            // Ship while holding the staging lock: releasing it first
+            // would let a concurrent producer ship a *later* batch ahead
+            // of this one, reordering samples on the shard.
+            self.ship(shard, batch);
         }
     }
 
-    /// Ends a patient's stream: flushes the tail and returns everything
-    /// the query emitted for this patient, in order.
+    /// Flushes every staged sample and asks every shard to process all
+    /// complete rounds of all its sessions (round-aligned: partial rounds
+    /// wait for their watermark).
+    pub fn poll(&self) {
+        for shard in 0..self.txs.len() {
+            self.flush_shard(shard);
+            let _ = self.txs[shard].send(Cmd::Poll);
+        }
+    }
+
+    /// Ends a patient's stream: flushes staged samples, drains the tail,
+    /// and returns everything the query emitted for this patient, in
+    /// order.
     ///
     /// # Errors
-    /// Returns the first deferred push/poll error, or a complaint for an
-    /// unknown patient.
+    /// Returns every deferred push/poll error for the patient (joined
+    /// with `"; "`), or a complaint for an unknown patient.
     pub fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let shard = self.shard_of(patient);
+        self.flush_shard(shard);
         let (reply, ack) = channel();
-        self.send(patient, Cmd::Finish { patient, reply });
+        let _ = self.txs[shard].send(Cmd::Finish { patient, reply });
         ack.recv().map_err(|_| "ingest shard gone".to_string())?
     }
 
-    /// Closes every session and joins the shard threads.
-    pub fn shutdown(self) {
-        for tx in &self.txs {
-            let _ = tx.send(Cmd::Shutdown);
+    /// Closes every session and joins the shard threads. Equivalent to
+    /// dropping the ingest; kept for explicit call sites.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Sends staged samples of one shard as a batch command. The staging
+    /// lock is held across the send (see `push` for why).
+    fn flush_shard(&self, shard: usize) {
+        let mut staged = self.staged[shard].lock().expect("staging lock");
+        if staged.is_empty() {
+            return;
         }
-        for h in self.handles {
+        let batch = std::mem::take(&mut *staged);
+        self.ship(shard, batch);
+    }
+
+    fn ship(&self, shard: usize, batch: Vec<Sample>) {
+        self.counters
+            .batches_flushed
+            .fetch_add(1, Ordering::Relaxed);
+        // A bounded send blocks while the shard is behind (backpressure);
+        // it only errors after shutdown, when dropping the batch is
+        // correct.
+        let _ = self.txs[shard].send(Cmd::SampleBatch(batch));
+    }
+
+    /// Shared teardown for [`shutdown`](Self::shutdown) and `Drop`:
+    /// flush staged data, close the channels, join the workers.
+    fn stop(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        for shard in 0..self.txs.len() {
+            self.flush_shard(shard);
+            let _ = self.txs[shard].send(Cmd::Shutdown);
+        }
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
+}
 
-    fn send(&self, patient: PatientId, cmd: Cmd) {
-        let shard = self.shard_of(patient);
-        // A send only fails after shutdown; admit/finish surface that via
-        // their reply channels.
-        let _ = self.txs[shard].send(cmd);
+impl Drop for LiveIngest {
+    /// Dropping without [`shutdown`](Self::shutdown) must not strand the
+    /// shard threads mid-batch: the same protocol runs — staged samples
+    /// flushed, channels closed, workers joined.
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -153,11 +325,17 @@ impl std::fmt::Debug for LiveIngest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LiveIngest")
             .field("workers", &self.txs.len())
+            .field("batch", &self.batch)
             .finish()
     }
 }
 
-fn ingest_loop(rx: Receiver<Cmd>, factory: PipelineFactory, round_ticks: Tick) {
+fn ingest_loop(
+    rx: Receiver<Cmd>,
+    factory: PipelineFactory,
+    round_ticks: Tick,
+    counters: Arc<Counters>,
+) {
     let mut sessions: HashMap<PatientId, Session> = HashMap::new();
     for cmd in rx.iter() {
         match cmd {
@@ -165,51 +343,82 @@ fn ingest_loop(rx: Receiver<Cmd>, factory: PipelineFactory, round_ticks: Tick) {
                 use std::collections::hash_map::Entry;
                 let outcome = match sessions.entry(patient) {
                     Entry::Occupied(_) => Err(format!("patient {patient} already admitted")),
-                    Entry::Vacant(slot) => factory()
-                        .and_then(|compiled| LiveSession::new(compiled, round_ticks))
+                    Entry::Vacant(slot) => {
+                        // The factory is user code: a panic must become
+                        // this admit's error, not the shard's death.
+                        catch_user(|| {
+                            factory().and_then(|compiled| LiveSession::new(compiled, round_ticks))
+                        })
+                        .map_err(UserFailure::into_message)
                         .and_then(|live| {
-                            let arity = live.sink_arity()?;
+                            let arity = live.sink_arity().map_err(|e| e.to_string())?;
                             slot.insert(Session {
                                 live,
                                 out: OutputCollector::new(arity),
                                 errors: Vec::new(),
+                                poisoned: false,
                             });
                             Ok(())
                         })
-                        .map_err(|e| e.to_string()),
+                    }
                 };
                 let _ = reply.send(outcome);
             }
-            Cmd::Push {
-                patient,
-                source,
-                t,
-                v,
-            } => match sessions.get_mut(&patient) {
-                Some(s) => {
-                    if let Err(e) = s.live.push(source, t, v) {
-                        s.errors.push(e.to_string());
+            Cmd::SampleBatch(batch) => {
+                let mut dropped = 0u64;
+                for (patient, source, t, v) in batch {
+                    match sessions.get_mut(&patient) {
+                        Some(s) if !s.poisoned => {
+                            if let Err(e) = s.live.push(source, t, v) {
+                                s.errors.push(e.to_string());
+                            }
+                        }
+                        Some(_) => { /* poisoned: finish will report why */ }
+                        None => dropped += 1,
                     }
                 }
-                None => { /* dropped: patient never admitted or already finished */ }
-            },
+                if dropped > 0 {
+                    counters
+                        .dropped_unknown
+                        .fetch_add(dropped, Ordering::Relaxed);
+                }
+            }
             Cmd::Poll => {
                 for s in sessions.values_mut() {
-                    let Session { live, out, errors } = s;
-                    if let Err(e) = live.poll(|w| out.absorb(w)) {
-                        errors.push(e.to_string());
+                    if s.poisoned {
+                        continue;
+                    }
+                    let Session { live, out, .. } = s;
+                    // Polling runs user kernel closures: one patient's
+                    // panic poisons that session only, never the shard
+                    // (its siblings keep streaming). Ordinary engine
+                    // errors leave the session sound and just defer.
+                    match catch_user(|| live.poll(|w| out.absorb(w))) {
+                        Ok(_) => {}
+                        Err(UserFailure::Error(e)) => s.errors.push(e),
+                        Err(f @ UserFailure::Panic(_)) => {
+                            s.poisoned = true;
+                            s.errors.push(f.into_message());
+                        }
                     }
                 }
             }
             Cmd::Finish { patient, reply } => {
                 let outcome = match sessions.remove(&patient) {
                     Some(mut s) => {
-                        if let Err(e) = s.live.finish(|w| s.out.absorb(w)) {
-                            s.errors.push(e.to_string());
+                        if !s.poisoned {
+                            let Session { live, out, .. } = &mut s;
+                            if let Err(f) = catch_user(|| live.finish(|w| out.absorb(w))) {
+                                s.errors.push(f.into_message());
+                            }
                         }
-                        match s.errors.into_iter().next() {
-                            Some(first) => Err(first),
-                            None => Ok(s.out),
+                        if s.errors.is_empty() {
+                            Ok(s.out)
+                        } else {
+                            // All deferred errors, not just the first —
+                            // a monitor feed can violate the grid many
+                            // ways in one session.
+                            Err(s.errors.join("; "))
                         }
                     }
                     None => Err(format!("patient {patient} not admitted")),
@@ -218,6 +427,34 @@ fn ingest_loop(rx: Receiver<Cmd>, factory: PipelineFactory, round_ticks: Tick) {
             }
             Cmd::Shutdown => break,
         }
+    }
+}
+
+/// Why a user-code invocation failed — the distinction matters: an
+/// ordinary engine error leaves the session sound, a panic leaves its
+/// executor state unknowable (so the caller poisons it).
+enum UserFailure {
+    /// The engine returned an ordinary error.
+    Error(String),
+    /// User code panicked (payload rendered by [`super::panic_msg`]).
+    Panic(String),
+}
+
+impl UserFailure {
+    fn into_message(self) -> String {
+        match self {
+            UserFailure::Error(m) => m,
+            UserFailure::Panic(m) => format!("ingest worker panicked: {m}"),
+        }
+    }
+}
+
+/// Runs user-adjacent code, catching both `Err` and panics (same payload
+/// policy as the batch runtime's `worker_loop`, via [`super::panic_msg`]).
+fn catch_user<R>(f: impl FnOnce() -> lifestream_core::error::Result<R>) -> Result<R, UserFailure> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r.map_err(|e| UserFailure::Error(e.to_string())),
+        Err(payload) => Err(UserFailure::Panic(super::panic_msg(payload.as_ref()))),
     }
 }
 
@@ -271,7 +508,32 @@ mod tests {
             assert_eq!(online.len(), offline.len(), "patient {p}");
             assert_eq!(online.checksum(), offline.checksum(), "patient {p}");
         }
+        let stats = ingest.stats();
+        assert_eq!(stats.samples_pushed, 600);
+        assert!(stats.batches_flushed >= 3, "finish flushes remainders");
         ingest.shutdown();
+    }
+
+    #[test]
+    fn per_sample_config_matches_batched_config() {
+        // Batch size must be invisible in the output: run the same feed
+        // through batch=1 (per-sample sends) and batch=64.
+        let run = |batch: usize| {
+            let ingest = LiveIngest::with_config(
+                factory(),
+                IngestConfig::new(2, 100).batch(batch).channel_cap(4),
+            );
+            ingest.admit(9).unwrap();
+            for k in 0..300i64 {
+                ingest.push(9, 0, k * 2, (k * 7 % 23) as f32);
+                if k % 41 == 0 {
+                    ingest.poll();
+                }
+            }
+            let out = ingest.finish(9).unwrap();
+            (out.len(), out.checksum())
+        };
+        assert_eq!(run(1), run(64));
     }
 
     #[test]
@@ -284,12 +546,99 @@ mod tests {
     }
 
     #[test]
-    fn bad_pushes_surface_at_finish() {
+    fn all_bad_pushes_surface_at_finish_joined() {
         let ingest = LiveIngest::new(factory(), 1, 100);
         ingest.admit(5).unwrap();
         ingest.push(5, 0, 3, 1.0); // off the period-2 grid
+        ingest.push(5, 0, 7, 2.0); // off the grid again
         let err = ingest.finish(5).unwrap_err();
-        assert!(err.contains("grid"), "err: {err}");
+        assert!(err.contains("time 3"), "first error kept: {err}");
+        assert!(err.contains("time 7"), "later errors joined in: {err}");
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn unknown_patient_pushes_are_counted_not_lost_silently() {
+        let ingest = LiveIngest::new(factory(), 1, 100);
+        ingest.admit(1).unwrap();
+        ingest.push(2, 0, 0, 1.0); // never admitted
+        ingest.push(2, 0, 2, 1.0);
+        ingest.push(1, 0, 0, 1.0); // known
+        ingest.poll(); // flush + process so the shard has seen them
+        let _ = ingest.finish(1).unwrap();
+        let stats = ingest.stats();
+        assert_eq!(stats.dropped_unknown, 2);
+        assert_eq!(stats.samples_pushed, 3);
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn panicking_kernel_poisons_one_session_not_the_shard() {
+        // Patient 1's select closure panics on a poison value; patient 2
+        // shares the single shard and must stream on unaffected.
+        let fac: PipelineFactory = Arc::new(|| {
+            let q = Query::new();
+            q.source("s", StreamShape::new(0, 2))
+                .select(1, |i, o| {
+                    assert!(i[0] < 900.0, "kernel exploded");
+                    o[0] = i[0];
+                })?
+                .sink();
+            q.compile()
+        });
+        let ingest = LiveIngest::with_config(fac, IngestConfig::new(1, 100).batch(8));
+        ingest.admit(1).unwrap();
+        ingest.admit(2).unwrap();
+        for k in 0..200i64 {
+            ingest.push(1, 0, k * 2, if k == 60 { 999.0 } else { k as f32 });
+            ingest.push(2, 0, k * 2, k as f32);
+            if k % 50 == 0 {
+                ingest.poll();
+            }
+        }
+        let err = ingest.finish(1).unwrap_err();
+        assert!(err.contains("panicked"), "err: {err}");
+        let ok = ingest.finish(2).unwrap();
+        assert_eq!(ok.len(), 200, "sibling session must be intact");
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn panicking_factory_fails_admit_not_the_shard() {
+        let ingest = LiveIngest::new(Arc::new(|| panic!("factory exploded")), 1, 100);
+        let err = ingest.admit(5).unwrap_err();
+        assert!(err.contains("factory exploded"), "{err}");
+        // The shard survives to serve a sane admit... of nothing here,
+        // but shutdown must join cleanly (a dead thread would hang).
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let ingest = LiveIngest::new(factory(), 2, 100);
+        ingest.admit(4).unwrap();
+        for k in 0..50i64 {
+            ingest.push(4, 0, k * 2, k as f32);
+        }
+        // No shutdown(): Drop must flush, close channels, and join the
+        // shard threads (a leak would hang the test binary at exit).
+        drop(ingest);
+    }
+
+    #[test]
+    fn bounded_channel_backpressures_instead_of_queueing_unboundedly() {
+        // A tiny channel with per-sample batches: the producer must make
+        // progress only as fast as the shard drains, and everything still
+        // arrives intact.
+        let ingest =
+            LiveIngest::with_config(factory(), IngestConfig::new(1, 100).batch(1).channel_cap(2));
+        ingest.admit(6).unwrap();
+        for k in 0..2_000i64 {
+            ingest.push(6, 0, k * 2, k as f32);
+        }
+        let out = ingest.finish(6).unwrap();
+        assert_eq!(out.len(), 2_000);
+        assert_eq!(ingest.stats().batches_flushed, 2_000);
         ingest.shutdown();
     }
 }

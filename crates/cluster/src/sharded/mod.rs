@@ -15,11 +15,15 @@
 //! * **Routing + work stealing**: jobs go to the shard chosen by a
 //!   patient-id hash (a returning patient hits its warm shard); idle
 //!   shards steal from stragglers' tails so skewed patient sizes cannot
-//!   gate the run.
-//! * **Live ingest** ([`ingest::LiveIngest`]) multiplexes pushed
-//!   `(patient, source, t, v)` events into per-shard
+//!   gate the run. Pools are LRU-capped ([`ShardedConfig::pool_cap`])
+//!   and queues optionally bounded ([`ShardedConfig::queue_cap`], which
+//!   turns a slow shard into backpressure on `submit`).
+//! * **Live ingest** ([`ingest::LiveIngest`]) stages pushed
+//!   `(patient, source, t, v)` events client-side and ships them in
+//!   batches over bounded channels into per-shard
 //!   [`LiveSession`](lifestream_core::live::LiveSession)s with
-//!   round-aligned polling — the online face of the same runtime.
+//!   round-aligned polling — the online face of the same runtime, with
+//!   per-sample dispatch amortized away and bounded memory end to end.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -62,7 +66,7 @@ use lifestream_core::exec::ExecOptions;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
 
-pub use ingest::LiveIngest;
+pub use ingest::{IngestConfig, IngestStats, LiveIngest, Sample};
 pub use pool::{ExecutorPool, PipelineFactory, PoolRun, PoolStats};
 
 use shard::{worker_loop, Job, SharedState};
@@ -82,6 +86,14 @@ pub struct ShardedConfig {
     /// out-of-memory instead of running (models the machine budget of
     /// the Fig. 10c experiment).
     pub mem_cap_per_worker: Option<usize>,
+    /// Max prepared executors each worker's pool keeps warm (LRU beyond
+    /// that); `None` is unbounded. Guards against many distinct pipeline
+    /// shapes pinning unbounded static plans.
+    pub pool_cap: Option<usize>,
+    /// Bound on each shard's pending-job queue; a full queue blocks
+    /// [`submit`](ShardedRuntime::submit) (backpressure) instead of
+    /// growing without limit. `None` is unbounded.
+    pub queue_cap: Option<usize>,
     /// Allow idle shards to steal queued jobs from stragglers.
     pub work_stealing: bool,
     /// Collect sink events into every [`PatientReport`].
@@ -94,6 +106,8 @@ impl Default for ShardedConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             round_ticks: None,
             mem_cap_per_worker: None,
+            pool_cap: None,
+            queue_cap: None,
             work_stealing: true,
             collect: false,
         }
@@ -118,6 +132,20 @@ impl ShardedConfig {
     /// Caps each worker's static-plan memory.
     pub fn mem_cap_per_worker(mut self, bytes: usize) -> Self {
         self.mem_cap_per_worker = Some(bytes);
+        self
+    }
+
+    /// Caps each worker's pool of prepared executors (LRU eviction).
+    pub fn pool_cap(mut self, executors: usize) -> Self {
+        self.pool_cap = Some(executors.max(1));
+        self
+    }
+
+    /// Bounds each shard's pending-job queue; a full queue makes
+    /// [`submit`](ShardedRuntime::submit) block until the shard (or a
+    /// stealing sibling) drains it.
+    pub fn queue_cap(mut self, jobs: usize) -> Self {
+        self.queue_cap = Some(jobs.max(1));
         self
     }
 
@@ -178,6 +206,8 @@ pub struct RuntimeStats {
     pub compiles: u64,
     /// Warm executor recycles across all shards.
     pub recycles: u64,
+    /// Prepared executors dropped by per-worker LRU pool caps.
+    pub evictions: u64,
     /// Jobs executed by a shard other than the routed one.
     pub stolen: u64,
     /// Jobs completed (any outcome).
@@ -216,8 +246,10 @@ impl ShardedRuntime {
             wake: std::sync::Condvar::new(),
             shutdown: AtomicBool::new(false),
             steal: cfg.work_stealing,
+            queue_cap: cfg.queue_cap,
             compiles: AtomicU64::new(0),
             recycles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             completed: AtomicU64::new(0),
         });
@@ -230,7 +262,8 @@ impl ShardedRuntime {
                 std::thread::Builder::new()
                     .name(format!("shard-{me}"))
                     .spawn(move || {
-                        let make_pool = || ExecutorPool::new(Arc::clone(&factory), opts);
+                        let make_pool =
+                            || ExecutorPool::with_cap(Arc::clone(&factory), opts, cfg.pool_cap);
                         worker_loop(
                             me,
                             shared,
@@ -263,11 +296,20 @@ impl ShardedRuntime {
         (hash_patient(patient) % self.handles.len() as u64) as usize
     }
 
-    /// Enqueues one patient job on its hash-routed shard.
+    /// Enqueues one patient job on its hash-routed shard. With a
+    /// [`queue_cap`](ShardedConfig::queue_cap) configured, blocks while
+    /// the routed shard's queue is at capacity — a slow shard exerts
+    /// backpressure on submitters instead of queueing unboundedly (an
+    /// idle sibling stealing from the full queue also unblocks it).
     pub fn submit(&self, patient: PatientId, sources: Vec<SignalData>) {
         let routed = self.shard_of(patient);
         {
             let mut queues = self.shared.queues.lock().expect("queue lock");
+            if let Some(cap) = self.shared.queue_cap {
+                while queues[routed].len() >= cap && !self.shared.shutdown.load(Ordering::Acquire) {
+                    queues = self.shared.wake.wait(queues).expect("submit wait");
+                }
+            }
             queues[routed].push_back(Job {
                 patient,
                 sources,
@@ -313,6 +355,7 @@ impl ShardedRuntime {
         RuntimeStats {
             compiles: self.shared.compiles.load(Ordering::Relaxed),
             recycles: self.shared.recycles.load(Ordering::Relaxed),
+            evictions: self.shared.evictions.load(Ordering::Relaxed),
             stolen: self.shared.stolen.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
         }
@@ -365,6 +408,16 @@ impl std::fmt::Debug for ShardedRuntime {
             .field("submitted", &self.submitted)
             .finish()
     }
+}
+
+/// Renders a caught panic payload as a message, shared by the batch
+/// workers and the live-ingest shards so the policy cannot diverge.
+pub(crate) fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 /// splitmix64 — patient ids are often sequential; a real mix keeps the
@@ -489,6 +542,44 @@ mod tests {
         }
         let stats = rt.shutdown();
         assert_eq!(stats.stolen, 0);
+    }
+
+    #[test]
+    fn bounded_queue_backpressures_submit_but_loses_nothing() {
+        // queue_cap 1 on a single shard: every submit beyond the first
+        // must wait for the worker to drain, and all jobs still complete
+        // exactly once.
+        let rt = ShardedRuntime::new(
+            doubler_factory(),
+            ShardedConfig::with_workers(1).queue_cap(1),
+        );
+        for p in 0..32u64 {
+            rt.submit(p, vec![ramp(200, p as f32)]);
+        }
+        let reports = rt.drain(32);
+        assert_eq!(reports.len(), 32);
+        assert!(reports.iter().all(|r| r.outcome == JobOutcome::Ok));
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 32);
+    }
+
+    #[test]
+    fn pool_cap_flows_through_to_runtime_stats() {
+        // One worker, pool capped at 1: a single fixed-shape factory only
+        // ever produces one signature, so no evictions — but the knob and
+        // the counter must wire through end to end.
+        let rt = ShardedRuntime::new(
+            doubler_factory(),
+            ShardedConfig::with_workers(1).pool_cap(1),
+        );
+        for p in 0..6u64 {
+            rt.submit(p, vec![ramp(50, 0.0)]);
+        }
+        rt.drain(6);
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.compiles, 1);
     }
 
     #[test]

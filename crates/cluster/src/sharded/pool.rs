@@ -33,6 +33,16 @@ pub struct PoolStats {
     pub compiles: u64,
     /// Warm checkouts: an existing executor was recycled in place.
     pub recycles: u64,
+    /// Prepared executors dropped to honor the pool's size cap (least
+    /// recently used first). Many distinct pipeline shapes therefore
+    /// cannot pin unbounded static plans on a worker.
+    pub evictions: u64,
+}
+
+/// One prepared executor plus its recency stamp (for LRU eviction).
+struct Slot {
+    exec: Executor,
+    last_used: u64,
 }
 
 /// What one pooled run produced.
@@ -57,26 +67,40 @@ pub enum PoolRun {
 }
 
 /// A pool of prepared executors owned by one worker thread, keyed by the
-/// sources' shape signature.
+/// sources' shape signature and optionally capped (LRU) so arbitrarily
+/// many distinct shapes cannot pin unbounded static plans.
 pub struct ExecutorPool {
     factory: PipelineFactory,
     opts: ExecOptions,
-    slots: HashMap<Vec<StreamShape>, Executor>,
+    slots: HashMap<Vec<StreamShape>, Slot>,
     /// Static-plan footprint per shape signature, remembered even after
     /// an over-budget executor is evicted — so a persistent memory cap
     /// costs one compile per shape, not one per job.
     plan_sizes: HashMap<Vec<StreamShape>, usize>,
+    /// Max prepared executors kept warm; `None` is unbounded.
+    cap: Option<usize>,
+    /// Monotonic checkout clock driving LRU recency.
+    clock: u64,
     stats: PoolStats,
 }
 
 impl ExecutorPool {
-    /// Creates an empty pool; executors are built lazily on first use.
+    /// Creates an empty, uncapped pool; executors are built lazily on
+    /// first use.
     pub fn new(factory: PipelineFactory, opts: ExecOptions) -> Self {
+        Self::with_cap(factory, opts, None)
+    }
+
+    /// Creates an empty pool that keeps at most `cap` prepared executors
+    /// warm, evicting the least recently used shape beyond that.
+    pub fn with_cap(factory: PipelineFactory, opts: ExecOptions, cap: Option<usize>) -> Self {
         Self {
             factory,
             opts,
             slots: HashMap::new(),
             plan_sizes: HashMap::new(),
+            cap: cap.map(|c| c.max(1)),
+            clock: 0,
             stats: PoolStats::default(),
         }
     }
@@ -89,6 +113,37 @@ impl ExecutorPool {
     /// Number of distinct shape signatures with a prepared executor.
     pub fn prepared(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Memoizes a shape's static-plan size. The memo itself is bounded
+    /// when the pool is: an adversarial stream of ever-new shapes must
+    /// not grow *any* per-worker map without limit, so at 8x the cap
+    /// (+64) the memo is cleared — costing at most one extra compile per
+    /// forgotten shape, never unbounded memory.
+    fn remember_plan_size(&mut self, key: &[StreamShape], bytes: usize) {
+        if let Some(cap) = self.cap {
+            if self.plan_sizes.len() >= 8 * cap + 64 {
+                self.plan_sizes.clear();
+            }
+        }
+        self.plan_sizes.insert(key.to_vec(), bytes);
+    }
+
+    /// Drops least-recently-used slots until a new insert fits the cap.
+    fn evict_for_insert(&mut self) {
+        let Some(cap) = self.cap else { return };
+        while self.slots.len() + 1 > cap {
+            let Some(oldest) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            self.slots.remove(&oldest);
+            self.stats.evictions += 1;
+        }
     }
 
     /// Runs one patient job on a pooled executor: recycle on a warm hit,
@@ -120,8 +175,11 @@ impl ExecutorPool {
                 });
             }
         }
-        if let Some(exec) = self.slots.get_mut(&key) {
-            exec.recycle(sources).map_err(|e| e.to_string())?;
+        self.clock += 1;
+        let now = self.clock;
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.exec.recycle(sources).map_err(|e| e.to_string())?;
+            slot.last_used = now;
             self.stats.recycles += 1;
         } else {
             let compiled = (self.factory)().map_err(|e| e.to_string())?;
@@ -129,10 +187,31 @@ impl ExecutorPool {
                 .executor_with(sources, self.opts)
                 .map_err(|e| e.to_string())?;
             self.stats.compiles += 1;
-            self.plan_sizes.insert(key.clone(), exec.planned_bytes());
-            self.slots.insert(key.clone(), exec);
+            self.remember_plan_size(&key, exec.planned_bytes());
+            // Reject over-budget plans *before* touching the warm set:
+            // evicting an LRU slot to make room for an executor the cap
+            // is about to discard would cost a spurious recompile.
+            if let Some(cap) = mem_cap {
+                if exec.planned_bytes() > cap {
+                    return Ok(PoolRun::OutOfMemory {
+                        planned_bytes: exec.planned_bytes(),
+                        cap_bytes: cap,
+                    });
+                }
+            }
+            self.evict_for_insert();
+            self.slots.insert(
+                key.clone(),
+                Slot {
+                    exec,
+                    last_used: now,
+                },
+            );
         }
-        let exec = self.slots.get_mut(&key).expect("just inserted or hit");
+        let exec = &mut self.slots.get_mut(&key).expect("just inserted or hit").exec;
+        // Warm-hit guard: a cap that tightened after the compile (and a
+        // cleared size memo) must still evict-and-report, honoring the
+        // buffers-are-released contract.
         if let Some(cap) = mem_cap {
             if exec.planned_bytes() > cap {
                 let planned = exec.planned_bytes();
@@ -227,6 +306,45 @@ mod tests {
             }
         };
         assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used_shape() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        // A factory that follows the submitted shape (via a shared knob),
+        // so one pool can accumulate distinct shape signatures.
+        let period = Arc::new(AtomicI64::new(1));
+        let knob = Arc::clone(&period);
+        let fac: PipelineFactory = Arc::new(move || {
+            let q = Query::new();
+            q.source("s", StreamShape::new(0, knob.load(Ordering::Relaxed)))
+                .select(1, |i, o| o[0] = i[0])?
+                .sink();
+            q.compile()
+        });
+        let mut pool = ExecutorPool::with_cap(fac, ExecOptions::default(), Some(2));
+        let data = |p: i64| SignalData::dense(StreamShape::new(0, p), vec![1.0; 16]);
+        for p in [1, 2, 4] {
+            period.store(p, Ordering::Relaxed);
+            assert!(matches!(
+                pool.run(vec![data(p)], false, None).unwrap(),
+                PoolRun::Done { .. }
+            ));
+        }
+        // Cap 2: the third distinct shape evicted the least recent (p=1).
+        assert_eq!(pool.prepared(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().compiles, 3);
+        // p=2 survived and is still warm.
+        period.store(2, Ordering::Relaxed);
+        pool.run(vec![data(2)], false, None).unwrap();
+        assert_eq!(pool.stats().recycles, 1);
+        // The evicted shape recompiles, evicting the new LRU (p=4).
+        period.store(1, Ordering::Relaxed);
+        pool.run(vec![data(1)], false, None).unwrap();
+        assert_eq!(pool.stats().compiles, 4);
+        assert_eq!(pool.stats().evictions, 2);
+        assert_eq!(pool.prepared(), 2);
     }
 
     #[test]

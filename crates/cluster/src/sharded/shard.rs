@@ -38,9 +38,13 @@ pub(super) struct SharedState {
     pub wake: Condvar,
     pub shutdown: AtomicBool,
     pub steal: bool,
+    /// Per-shard pending-job bound; submitters park on `wake` while their
+    /// routed queue is at this cap (None = unbounded).
+    pub queue_cap: Option<usize>,
     // Aggregate counters (see RuntimeStats).
     pub compiles: AtomicU64,
     pub recycles: AtomicU64,
+    pub evictions: AtomicU64,
     pub stolen: AtomicU64,
     pub completed: AtomicU64,
 }
@@ -90,6 +94,10 @@ pub(super) fn worker_loop(
                 queues = shared.wake.wait(queues).expect("wake wait");
             }
         };
+        // A bounded queue just freed a slot: wake any parked submitter.
+        if shared.queue_cap.is_some() {
+            shared.wake.notify_all();
+        }
 
         // Every claimed job must produce exactly one report — recv()'s
         // claimed-vs-submitted accounting depends on it — so a panic in
@@ -102,14 +110,11 @@ pub(super) fn worker_loop(
             pool.run(sources, collect, mem_cap)
         }))
         .unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
+            let msg = super::panic_msg(payload.as_ref());
             let s = pool.stats();
             shared.compiles.fetch_add(s.compiles, Ordering::Relaxed);
             shared.recycles.fetch_add(s.recycles, Ordering::Relaxed);
+            shared.evictions.fetch_add(s.evictions, Ordering::Relaxed);
             pool = make_pool();
             Err(format!("shard worker panicked: {msg}"))
         });
@@ -159,4 +164,5 @@ pub(super) fn worker_loop(
     let s = pool.stats();
     shared.compiles.fetch_add(s.compiles, Ordering::Relaxed);
     shared.recycles.fetch_add(s.recycles, Ordering::Relaxed);
+    shared.evictions.fetch_add(s.evictions, Ordering::Relaxed);
 }

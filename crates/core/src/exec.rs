@@ -387,6 +387,22 @@ impl Executor {
         Ok(())
     }
 
+    /// Releases the executor's hold on the current source datasets,
+    /// swapping in empty same-shape placeholders. Incremental callers
+    /// (live sessions) hand in a fresh `Arc`-shared snapshot via
+    /// [`replace_sources`](Self::replace_sources) before every span and
+    /// compact their buffers between spans; releasing here makes the
+    /// session's buffer the *unique* owner again, so compaction and
+    /// appends mutate in place instead of paying a copy-on-write clone
+    /// against the executor's stale reference.
+    pub fn release_sources(&mut self) {
+        for s in &mut self.sources {
+            *s = SignalData::dense(s.shape(), Vec::new());
+        }
+        self.start = 0;
+        self.end = 0;
+    }
+
     /// Clears every kernel's carried state, returning the executor to the
     /// condition it was in right after construction. Preallocated windows
     /// and the memory plan are kept — that is the point: a pool can hand
@@ -496,6 +512,82 @@ impl Executor {
             .any(|n| matches!(n.kind, OpKind::Shift { .. }) && self.node_active(n.inputs[0], a, b))
     }
 
+    /// Per-source retirement margins for incremental (live) execution.
+    ///
+    /// For source `i`, the returned margin is the number of ticks *below*
+    /// a round's start tick that deciding or filling any round at-or-after
+    /// that start can still consult; source data older than
+    /// `round_start - margin` is dead history a live session may retire.
+    ///
+    /// The margin is derived from the same composed lineage maps targeted
+    /// processing walks: shifts carry their input lookback down to the
+    /// sources, while window lookaheads only ever look *forward*.
+    /// Kernel-internal history (FIR taps, shift spill, sliding-aggregate
+    /// rings) is carried in kernel state across rounds, never re-read from
+    /// source buffers, so it contributes nothing here. Margins are rounded
+    /// up to whole source periods; a non-unit-scale lineage map (possible
+    /// only through the generic [`LineageMap::scaled`] constructor, which
+    /// no built-in operator uses) makes the margin effectively unbounded,
+    /// disabling compaction rather than risking it.
+    ///
+    /// [`LineageMap::scaled`]: crate::lineage::LineageMap::scaled
+    pub fn history_margins(&self) -> Vec<Tick> {
+        /// Sentinel "keep everything" low for non-unit-scale lineage.
+        const UNBOUNDED: Tick = -(1 << 40);
+        let mut node_lows: Vec<Option<Tick>> = vec![None; self.graph.nodes.len()];
+        // Mirror round_active's roots: every sink, plus every Shift input
+        // (rounds stay alive to absorb shifted events into the spill).
+        for &s in &self.graph.sinks {
+            self.min_source_lows(s, 0, &mut node_lows, UNBOUNDED);
+        }
+        for n in &self.graph.nodes {
+            if matches!(n.kind, OpKind::Shift { .. }) {
+                self.min_source_lows(n.inputs[0], 0, &mut node_lows, UNBOUNDED);
+            }
+        }
+        let mut lows: Vec<Tick> = vec![0; self.sources.len()];
+        for n in &self.graph.nodes {
+            if let OpKind::Source { index } = n.kind {
+                lows[index] = node_lows[n.id].unwrap_or(0).min(0);
+            }
+        }
+        lows.iter()
+            .zip(&self.sources)
+            .map(|(&lo, src)| {
+                let p = src.shape().period();
+                // Signed div_ceil is unstable; operands are non-negative.
+                ((-lo).max(0) + p - 1) / p * p
+            })
+            .collect()
+    }
+
+    /// Walks lineage edges from `id` down to the sources, recording per
+    /// node the lowest input tick (relative to a round starting at 0) it
+    /// can be asked about. A node is only re-expanded when a strictly
+    /// lower value arrives, so reconvergent (multicast/join) DAGs cost
+    /// linear work instead of one walk per path.
+    fn min_source_lows(
+        &self,
+        id: NodeId,
+        lo: Tick,
+        node_lows: &mut [Option<Tick>],
+        unbounded: Tick,
+    ) {
+        match node_lows[id] {
+            Some(prev) if prev <= lo => return,
+            _ => node_lows[id] = Some(lo),
+        }
+        let node = &self.graph.nodes[id];
+        for (&inp, lin) in node.inputs.iter().zip(&node.lineage) {
+            let ia = if lin.is_unit_scale() {
+                lin.map_interval(lo, lo + 1).0
+            } else {
+                unbounded
+            };
+            self.min_source_lows(inp, ia, node_lows, unbounded);
+        }
+    }
+
     fn node_active(&self, id: NodeId, a: Tick, b: Tick) -> bool {
         let node = &self.graph.nodes[id];
         match node.kind {
@@ -538,21 +630,24 @@ impl std::fmt::Debug for Executor {
 
 /// Fills a source window from the dataset; returns the number of events
 /// written. Uses bulk range copies over the presence map's kept intervals.
+/// Sample indices are relative to the dataset's retained base, so compacted
+/// live snapshots (non-zero [`SignalData::base_slot`]) fill correctly.
 fn fill_source(w: &mut FWindow, data: &SignalData, round_end: Tick) -> usize {
     let sh = data.shape();
     let p = sh.period();
+    let base = data.base_time();
     let mut written = 0usize;
     for &(rs, re) in data.presence().ranges() {
         if rs >= round_end {
             break;
         }
-        let s = sh.align_up(rs.max(w.sync()).max(sh.offset()));
+        let s = sh.align_up(rs.max(w.sync()).max(base));
         let e = re.min(round_end).min(data.end_time());
         if s >= e {
             continue;
         }
         let n = ((e - 1 - s) / p + 1) as usize;
-        let src_lo = ((s - sh.offset()) / p) as usize;
+        let src_lo = ((s - base) / p) as usize;
         let dst_lo = match w.slot_of(s) {
             Some(i) => i,
             None => continue,

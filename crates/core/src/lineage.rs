@@ -133,6 +133,14 @@ impl LineageMap {
         }
     }
 
+    /// True when the map does not rescale the time axis (`num == den`).
+    /// All of the paper's operators are unit-scale; consumers that assume
+    /// shift-invariant margins (live-buffer compaction) check this and
+    /// fall back to keeping everything when it fails.
+    pub fn is_unit_scale(&self) -> bool {
+        self.num == self.den
+    }
+
     /// Lookback margin (ticks of input before the mapped start).
     pub fn lookback(&self) -> Tick {
         self.lookback

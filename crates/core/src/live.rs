@@ -27,6 +27,8 @@
 //! # Ok::<(), lifestream_core::Error>(())
 //! ```
 
+use std::sync::Arc;
+
 use crate::error::{Error, Result};
 use crate::exec::{ExecOptions, Executor, OutputCollector};
 use crate::fwindow::FWindow;
@@ -36,11 +38,22 @@ use crate::source::SignalData;
 use crate::stats::RunStats;
 use crate::time::{StreamShape, Tick};
 
-/// Growable per-source ingest buffer.
+/// Compacting per-source ingest buffer.
+///
+/// Samples land in an `Arc`-shared dense array whose first slot is
+/// `base_slot` on the stream grid; once a round has been processed, the
+/// session *retires* everything below the round start minus the source's
+/// lineage history margin, so the buffer holds only the live suffix.
+/// Snapshots clone the `Arc`, not the samples, and the executor releases
+/// its clone at the end of each span — steady-state pushes and compaction
+/// therefore mutate in place; copy-on-write only fires (bounded by the
+/// retained suffix) if a snapshot somehow outlives the span.
 #[derive(Debug)]
 struct LiveSource {
     shape: StreamShape,
-    values: Vec<f32>,
+    /// Grid-slot index of `values[0]`; everything below is retired.
+    base_slot: usize,
+    values: Arc<Vec<f32>>,
     presence: PresenceMap,
     /// Largest appended sync time + period (this source's watermark).
     watermark: Tick,
@@ -50,10 +63,15 @@ impl LiveSource {
     fn new(shape: StreamShape) -> Self {
         Self {
             shape,
-            values: Vec::new(),
+            base_slot: 0,
+            values: Arc::new(Vec::new()),
             presence: PresenceMap::new(),
             watermark: shape.offset(),
         }
+    }
+
+    fn base_time(&self) -> Tick {
+        self.shape.offset() + self.base_slot as Tick * self.shape.period()
     }
 
     fn push(&mut self, t: Tick, v: f32) -> Result<()> {
@@ -62,23 +80,65 @@ impl LiveSource {
                 message: format!("sample time {t} off the {} grid", self.shape),
             });
         }
+        if t < self.base_time() {
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "sample time {t} is below the retained horizon {} (already \
+                     processed and retired)",
+                    self.base_time()
+                ),
+            });
+        }
         if t < self.watermark && self.presence.contains(t) {
             return Err(Error::InvalidParameter {
                 message: format!("sample time {t} arrived out of order"),
             });
         }
-        let slot = ((t - self.shape.offset()) / self.shape.period()) as usize;
-        if slot >= self.values.len() {
-            self.values.resize(slot + 1, 0.0);
+        let slot = ((t - self.base_time()) / self.shape.period()) as usize;
+        let values = Arc::make_mut(&mut self.values);
+        if slot >= values.len() {
+            values.resize(slot + 1, 0.0);
         }
-        self.values[slot] = v;
+        values[slot] = v;
         self.presence.add(t, t + self.shape.period());
         self.watermark = self.watermark.max(t + self.shape.period());
         Ok(())
     }
 
+    /// Zero-copy snapshot of the retained suffix: `Arc` bumps only.
     fn snapshot(&self) -> SignalData {
-        SignalData::with_presence(self.shape, self.values.clone(), self.presence.clone())
+        SignalData::from_shared(
+            self.shape,
+            self.base_slot,
+            Arc::clone(&self.values),
+            self.presence.clone(),
+        )
+    }
+
+    /// Retires everything strictly below `cutoff` (grid-aligned down,
+    /// clamped to the stream offset): drops the dead sample prefix and the
+    /// presence ranges covering it. After this, `push` rejects times below
+    /// the new horizon.
+    fn retire_below(&mut self, cutoff: Tick) {
+        let cutoff = self.shape.align_down(cutoff.max(self.shape.offset()));
+        let new_base = ((cutoff - self.shape.offset()) / self.shape.period()) as usize;
+        if new_base <= self.base_slot {
+            return;
+        }
+        let drop = new_base - self.base_slot;
+        let values = Arc::make_mut(&mut self.values);
+        if drop >= values.len() {
+            values.clear();
+        } else {
+            values.drain(..drop);
+        }
+        self.base_slot = new_base;
+        self.presence.retire(cutoff);
+    }
+
+    /// Currently buffered grid slots (the retained suffix length).
+    fn retained_slots(&self) -> usize {
+        self.values.len()
     }
 }
 
@@ -90,12 +150,24 @@ impl LiveSource {
 /// retrospective executor would have. [`finish`](Self::finish) flushes the
 /// tail. One executor persists across polls, so stateful kernels (sliding
 /// aggregates, shifts, join carries) behave exactly as offline.
+///
+/// The session's cost is bounded by the round size, not the stream
+/// length: once a round is processed, each source buffer retires
+/// everything below the round start minus that source's lineage history
+/// margin ([`Executor::history_margins`]), and snapshots handed to the
+/// executor share the retained suffix by `Arc` instead of copying it. A
+/// session that is pushed to and polled forever therefore holds
+/// O(round + margin + poll lag) memory and pays O(delta) per poll,
+/// regardless of how many samples have flowed through it.
 pub struct LiveSession {
     exec: Executor,
     sources: Vec<LiveSource>,
     round_dim: Tick,
     /// Next round start to process.
     next_round: Tick,
+    /// Per-source retirement margins (ticks below `next_round` a future
+    /// round may still consult), fixed by the compiled lineage.
+    margins: Vec<Tick>,
     stats: RunStats,
 }
 
@@ -120,11 +192,13 @@ impl LiveSession {
         let exec =
             compiled.executor_with(empty, ExecOptions::default().with_round_ticks(round_ticks))?;
         let round_dim = exec.round_dim();
+        let margins = exec.history_margins();
         Ok(Self {
             exec,
             sources,
             round_dim,
             next_round: 0,
+            margins,
             stats: RunStats::new(),
         })
     }
@@ -145,6 +219,31 @@ impl LiveSession {
     /// Cumulative statistics across all polls.
     pub fn stats(&self) -> RunStats {
         self.stats
+    }
+
+    /// Ticks below the next unprocessed round that source `source` must
+    /// keep buffered (its lineage history margin).
+    ///
+    /// # Errors
+    /// Returns an error for an unknown source index.
+    pub fn history_margin(&self, source: usize) -> Result<Tick> {
+        self.margins
+            .get(source)
+            .copied()
+            .ok_or(Error::InvalidHandle { node: source })
+    }
+
+    /// Grid slots currently buffered for source `source` — after a poll,
+    /// bounded by the history margin plus the data not yet processed,
+    /// never by the total stream length.
+    ///
+    /// # Errors
+    /// Returns an error for an unknown source index.
+    pub fn retained_slots(&self, source: usize) -> Result<usize> {
+        self.sources
+            .get(source)
+            .map(LiveSource::retained_slots)
+            .ok_or(Error::InvalidHandle { node: source })
     }
 
     /// Appends one sample to source `source` at grid time `t`.
@@ -205,10 +304,20 @@ impl LiveSession {
         if to <= self.next_round {
             return Ok(RunStats::new());
         }
+        // Zero-copy: snapshots share each source's retained suffix.
         let datasets: Vec<SignalData> = self.sources.iter().map(LiveSource::snapshot).collect();
         self.exec.replace_sources(datasets)?;
         let stats = self.exec.run_span(self.next_round, to, &mut on_output)?;
+        // Drop the executor's snapshot before compacting: with the
+        // session's buffer unique again, retirement (and later appends)
+        // mutate in place instead of copy-on-writing against it.
+        self.exec.release_sources();
         self.next_round = to;
+        // Compact: rounds below `to` are done, so each source only needs
+        // its lineage margin of history below the new frontier.
+        for (src, &margin) in self.sources.iter_mut().zip(&self.margins) {
+            src.retire_below(to.saturating_sub(margin));
+        }
         self.stats.merge(&stats);
         Ok(stats)
     }
@@ -310,6 +419,72 @@ mod tests {
         s.push(0, 10, 1.0).unwrap();
         assert!(s.push(0, 10, 2.0).is_err()); // duplicate
         s.push(0, 20, 2.0).unwrap(); // forward gap is fine
+    }
+
+    #[test]
+    fn compaction_retires_processed_history() {
+        let mut s = session(100); // stateless select: zero history margin
+        assert_eq!(s.history_margin(0).unwrap(), 0);
+        for k in 0..500 {
+            s.push(0, k * 2, k as f32).unwrap();
+        }
+        let mut n = 0;
+        s.poll(|w| n += w.present_count()).unwrap();
+        assert_eq!(n, 500);
+        // Rounds [0, 1000) are done; with no margin the whole buffer is
+        // retired, not merely the processed prefix kept around.
+        assert_eq!(s.retained_slots(0).unwrap(), 0);
+        // A sample below the retired horizon is rejected explicitly.
+        let err = s.push(0, 4, 1.0).unwrap_err().to_string();
+        assert!(err.contains("retained horizon"), "err: {err}");
+        // The frontier keeps accepting and producing.
+        for k in 500..600 {
+            s.push(0, k * 2, k as f32).unwrap();
+        }
+        let out = s.finish_collect().unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.values(0)[0], 501.0);
+    }
+
+    #[test]
+    fn shift_margin_keeps_lookback_history() {
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 1));
+        let sh = qb.shift(src, 250).unwrap();
+        qb.sink(sh);
+        let mut s = LiveSession::new(qb.compile().unwrap(), 100).unwrap();
+        // Shift(250) lineage looks 250 ticks back from any round start.
+        assert_eq!(s.history_margin(0).unwrap(), 250);
+        for t in 0..1000 {
+            s.push(0, t, t as f32).unwrap();
+        }
+        let mut out = OutputCollector::new(1);
+        s.poll(|w| out.absorb(w)).unwrap();
+        // Processed to 1000; the margin (and only the margin) is retained.
+        assert_eq!(s.retained_slots(0).unwrap(), 250);
+        s.finish(|w| out.absorb(w)).unwrap();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out.times()[0], 250);
+    }
+
+    #[test]
+    fn snapshots_share_the_retained_buffer() {
+        // Two consecutive polls with no pushes in between must not copy
+        // the sample buffer at all (replace_sources gets Arc clones).
+        let mut s = session(100);
+        for k in 0..5_000 {
+            s.push(0, k * 2, k as f32).unwrap();
+        }
+        let before = s.stats();
+        s.poll(|_| {}).unwrap();
+        s.poll(|_| {}).unwrap(); // no new data: zero rounds re-run
+        let after = s.stats();
+        assert_eq!(before.windows_executed, 0);
+        assert_eq!(
+            after.windows_executed + after.windows_skipped,
+            100,
+            "10_000 ticks / 100-tick rounds, each executed or skipped once"
+        );
     }
 
     #[test]

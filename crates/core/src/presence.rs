@@ -6,9 +6,18 @@
 //! query processing consults these maps — through the event-lineage maps —
 //! to decide which output windows can possibly produce output.
 
+use std::sync::Arc;
+
 use crate::time::Tick;
 
 /// Sorted, coalesced set of half-open data-bearing intervals.
+///
+/// The interval list is `Arc`-backed with copy-on-write mutation: cloning
+/// a map is a reference-count bump, and a clone held elsewhere (a live
+/// snapshot handed to the executor) stays valid while the original keeps
+/// growing — the first mutation after a clone pays one copy of the
+/// retained ranges, nothing more. Long-lived live buffers additionally
+/// [`retire`](Self::retire) processed history so that copy stays bounded.
 ///
 /// # Examples
 /// ```
@@ -23,7 +32,7 @@ use crate::time::Tick;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PresenceMap {
     /// Sorted, non-overlapping, non-adjacent `[start, end)` intervals.
-    ranges: Vec<(Tick, Tick)>,
+    ranges: Arc<Vec<(Tick, Tick)>>,
 }
 
 impl PresenceMap {
@@ -48,14 +57,15 @@ impl PresenceMap {
         // Find insertion window: all ranges overlapping or adjacent.
         let lo = self.ranges.partition_point(|&(_, e)| e < start);
         let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        let ranges = Arc::make_mut(&mut self.ranges);
         if lo == hi {
-            self.ranges.insert(lo, (start, end));
+            ranges.insert(lo, (start, end));
             return;
         }
-        let new_start = start.min(self.ranges[lo].0);
-        let new_end = end.max(self.ranges[hi - 1].1);
-        self.ranges.drain(lo..hi);
-        self.ranges.insert(lo, (new_start, new_end));
+        let new_start = start.min(ranges[lo].0);
+        let new_end = end.max(ranges[hi - 1].1);
+        ranges.drain(lo..hi);
+        ranges.insert(lo, (new_start, new_end));
     }
 
     /// Removes `[start, end)` from the map (punches a gap).
@@ -63,8 +73,11 @@ impl PresenceMap {
         if end <= start {
             return;
         }
+        if !self.overlaps(start, end) {
+            return;
+        }
         let mut out = Vec::with_capacity(self.ranges.len() + 1);
-        for &(s, e) in &self.ranges {
+        for &(s, e) in self.ranges.iter() {
             if e <= start || s >= end {
                 out.push((s, e));
                 continue;
@@ -76,7 +89,22 @@ impl PresenceMap {
                 out.push((end, e));
             }
         }
-        self.ranges = out;
+        self.ranges = Arc::new(out);
+    }
+
+    /// Drops all coverage strictly below `before` — the compaction step of
+    /// long-lived live buffers, which retire processed history so clones
+    /// and copy-on-write both stay bounded by the retained suffix.
+    pub fn retire(&mut self, before: Tick) {
+        let cut = self.ranges.partition_point(|&(_, e)| e <= before);
+        if cut == 0 && self.ranges.first().is_none_or(|&(s, _)| s >= before) {
+            return;
+        }
+        let ranges = Arc::make_mut(&mut self.ranges);
+        ranges.drain(..cut);
+        if let Some(first) = ranges.first_mut() {
+            first.0 = first.0.max(before);
+        }
     }
 
     /// True if any data exists in `[start, end)`.
@@ -105,7 +133,7 @@ impl PresenceMap {
     /// Number of data ticks covered by `[start, end)` ∩ map.
     pub fn covered_in(&self, start: Tick, end: Tick) -> Tick {
         let mut total = 0;
-        for &(s, e) in &self.ranges {
+        for &(s, e) in self.ranges.iter() {
             let a = s.max(start);
             let b = e.min(end);
             if b > a {
@@ -167,7 +195,7 @@ impl PresenceMap {
     /// Union with another map (used for outer joins).
     pub fn union(&self, other: &PresenceMap) -> PresenceMap {
         let mut out = self.clone();
-        for &(s, e) in &other.ranges {
+        for &(s, e) in other.ranges.iter() {
             out.add(s, e);
         }
         out
@@ -260,6 +288,32 @@ mod tests {
         let empty = PresenceMap::new();
         assert!(a.intersect(&empty).is_empty());
         assert_eq!(a.union(&empty), a);
+    }
+
+    #[test]
+    fn retire_drops_history() {
+        let mut m: PresenceMap = [(0, 10), (20, 30), (40, 50)].into_iter().collect();
+        m.retire(25);
+        assert_eq!(m.ranges(), &[(25, 30), (40, 50)]);
+        m.retire(25); // idempotent
+        assert_eq!(m.ranges(), &[(25, 30), (40, 50)]);
+        m.retire(0); // below everything: no-op
+        assert_eq!(m.ranges(), &[(25, 30), (40, 50)]);
+        m.retire(100);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn clone_is_shared_until_mutation() {
+        let mut m = PresenceMap::full(0, 100);
+        let snap = m.clone();
+        m.add(200, 300); // copy-on-write: the snapshot must not move
+        assert_eq!(snap.ranges(), &[(0, 100)]);
+        assert_eq!(m.ranges(), &[(0, 100), (200, 300)]);
+        let snap2 = m.clone();
+        m.remove(0, 50);
+        assert_eq!(snap2.ranges(), &[(0, 100), (200, 300)]);
+        assert_eq!(m.ranges(), &[(50, 100), (200, 300)]);
     }
 
     #[test]

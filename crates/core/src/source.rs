@@ -13,9 +13,18 @@ use crate::time::{StreamShape, Tick};
 /// One signal's retrospective data: values on the periodic grid plus the
 /// presence map of data-bearing intervals.
 ///
-/// Samples are stored densely by grid index: slot `k` holds the value of
-/// the event at `offset + k * period`, whether or not that event is present.
-/// Absent slots hold a filler value and are excluded by the presence map.
+/// Samples are stored densely by grid index: slot `k` of the *retained*
+/// array holds the value of the event at `base_time() + k * period`,
+/// whether or not that event is present. Absent slots hold a filler value
+/// and are excluded by the presence map.
+///
+/// Retrospective datasets start at the stream offset (`base_time() ==
+/// shape.offset()`), so the retained array covers the whole signal. Live
+/// sessions, by contrast, *retire* processed history: their snapshots
+/// keep only a suffix of the grid, recorded by a non-zero
+/// [`base_slot`](Self::base_slot), and share the sample buffer with the
+/// growing ingest tail via `Arc` — cloning a `SignalData` never copies
+/// samples, and a snapshot stays bounded by the retained suffix.
 ///
 /// # Examples
 /// ```
@@ -31,6 +40,9 @@ use crate::time::{StreamShape, Tick};
 #[derive(Debug, Clone)]
 pub struct SignalData {
     shape: StreamShape,
+    /// Grid-slot index of `values[0]`; slots below it are retired history
+    /// no longer backed by samples. Zero for retrospective datasets.
+    base_slot: usize,
     values: Arc<Vec<f32>>,
     presence: PresenceMap,
 }
@@ -47,6 +59,7 @@ impl SignalData {
         };
         Self {
             shape,
+            base_slot: 0,
             values: Arc::new(values),
             presence,
         }
@@ -57,9 +70,32 @@ impl SignalData {
     pub fn with_presence(shape: StreamShape, values: Vec<f32>, presence: PresenceMap) -> Self {
         Self {
             shape,
+            base_slot: 0,
             values: Arc::new(values),
             presence,
         }
+    }
+
+    /// Creates a signal from an already-shared sample buffer whose first
+    /// slot is grid index `base_slot` (the retained suffix of a longer
+    /// stream). This is the zero-copy snapshot path of live ingestion: the
+    /// buffer is shared, not copied, and the presence map must not claim
+    /// data below `base_time` or at/after `end_time`.
+    pub fn from_shared(
+        shape: StreamShape,
+        base_slot: usize,
+        values: Arc<Vec<f32>>,
+        presence: PresenceMap,
+    ) -> Self {
+        let d = Self {
+            shape,
+            base_slot,
+            values,
+            presence,
+        };
+        debug_assert!(d.presence.start().is_none_or(|s| s >= d.base_time()));
+        debug_assert!(d.presence.end().is_none_or(|e| e <= d.end_time()));
+        d
     }
 
     /// The stream's symbolic shape.
@@ -67,7 +103,7 @@ impl SignalData {
         self.shape
     }
 
-    /// Total grid slots (present or absent).
+    /// Retained grid slots (present or absent).
     pub fn len(&self) -> usize {
         self.values.len()
     }
@@ -77,12 +113,25 @@ impl SignalData {
         self.values.is_empty()
     }
 
-    /// One past the last grid point.
-    pub fn end_time(&self) -> Tick {
-        self.shape.offset() + self.values.len() as Tick * self.shape.period()
+    /// Grid-slot index of the first retained sample (`values()[0]`).
+    /// Zero unless this is the retired-history suffix of a live stream.
+    pub fn base_slot(&self) -> usize {
+        self.base_slot
     }
 
-    /// The dense sample array.
+    /// Sync time of the first retained sample slot.
+    pub fn base_time(&self) -> Tick {
+        self.shape.offset() + self.base_slot as Tick * self.shape.period()
+    }
+
+    /// One past the last retained grid point.
+    pub fn end_time(&self) -> Tick {
+        self.base_time() + self.values.len() as Tick * self.shape.period()
+    }
+
+    /// The dense retained sample array; index `k` holds the event at
+    /// `base_time() + k * period`. Use [`slot_of`](Self::slot_of) to map
+    /// absolute times to indices rather than assuming a zero base.
     pub fn values(&self) -> &[f32] {
         &self.values
     }
@@ -93,13 +142,14 @@ impl SignalData {
     }
 
     /// Number of events actually present (grid points inside kept ranges,
-    /// clipped to the sample array).
+    /// clipped to the retained sample array).
     pub fn present_events(&self) -> usize {
+        let base = self.base_time();
         let end = self.end_time();
         self.presence
             .ranges()
             .iter()
-            .map(|&(s, e)| self.shape.events_in(s.max(self.shape.offset()), e.min(end)))
+            .map(|&(s, e)| self.shape.events_in(s.max(base), e.min(end)))
             .sum()
     }
 
@@ -109,12 +159,13 @@ impl SignalData {
         self.presence.remove(start, end);
     }
 
-    /// Grid slot index of time `t`, if on-grid and in range.
+    /// Index into [`values`](Self::values) of time `t`, if on-grid and
+    /// inside the retained suffix.
     pub fn slot_of(&self, t: Tick) -> Option<usize> {
-        if t < self.shape.offset() || t >= self.end_time() {
+        if t < self.base_time() || t >= self.end_time() {
             return None;
         }
-        let d = t - self.shape.offset();
+        let d = t - self.base_time();
         (d % self.shape.period() == 0).then(|| (d / self.shape.period()) as usize)
     }
 
@@ -124,12 +175,35 @@ impl SignalData {
         self.presence.contains(t).then(|| self.values[slot])
     }
 
+    /// Iterates `(index, time, value)` over the present grid points of
+    /// the retained suffix, in time order; `index` addresses
+    /// [`values`](Self::values). This is *the* way to walk present
+    /// events — hand-rolled `(t - offset) / period` indexing silently
+    /// misreads compacted live snapshots (non-zero base).
+    pub fn present_samples(&self) -> impl Iterator<Item = (usize, Tick, f32)> + '_ {
+        let base = self.base_time();
+        let end = self.end_time();
+        let p = self.shape.period();
+        self.presence.ranges().iter().flat_map(move |&(rs, re)| {
+            let s = self.shape.align_up(rs.max(base));
+            let e = re.min(end);
+            let n = if s >= e {
+                0
+            } else {
+                ((e - 1 - s) / p + 1) as usize
+            };
+            let lo = if n == 0 { 0 } else { ((s - base) / p) as usize };
+            (0..n).map(move |k| (lo + k, s + k as Tick * p, self.values[lo + k]))
+        })
+    }
+
     /// Cheap clone of the underlying sample buffer (Arc-shared) restricted
     /// to a new presence map — used to derive overlap-controlled variants of
     /// one dataset without copying samples.
     pub fn with_new_presence(&self, presence: PresenceMap) -> Self {
         Self {
             shape: self.shape,
+            base_slot: self.base_slot,
             values: Arc::clone(&self.values),
             presence,
         }
@@ -183,6 +257,32 @@ mod tests {
         let half = d.with_new_presence(PresenceMap::full(0, 500));
         assert_eq!(half.present_events(), 500);
         assert_eq!(half.values().len(), 1000);
+    }
+
+    #[test]
+    fn shared_suffix_is_base_offset_aware() {
+        // Retained suffix: slots 100.. of a period-2 stream (t = 200..).
+        let values = Arc::new((100..150).map(|i| i as f32).collect::<Vec<_>>());
+        let d = SignalData::from_shared(
+            StreamShape::new(0, 2),
+            100,
+            Arc::clone(&values),
+            PresenceMap::full(200, 300),
+        );
+        assert_eq!(d.base_slot(), 100);
+        assert_eq!(d.base_time(), 200);
+        assert_eq!(d.end_time(), 300);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.present_events(), 50);
+        assert_eq!(d.slot_of(198), None); // retired
+        assert_eq!(d.slot_of(200), Some(0));
+        assert_eq!(d.slot_of(298), Some(49));
+        assert_eq!(d.value_at(210), Some(105.0));
+        // The buffer is shared, not copied.
+        assert_eq!(Arc::strong_count(&values), 2);
+        let clone = d.clone();
+        assert_eq!(Arc::strong_count(&values), 3);
+        assert_eq!(clone.value_at(210), Some(105.0));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use lifestream_core::query::CompiledQuery;
 use lifestream_core::source::SignalData;
 use lifestream_core::stream::Query;
 use lifestream_core::time::{StreamShape, Tick};
+use proptest::prelude::*;
 
 const ROUND: Tick = 400;
 
@@ -52,16 +53,7 @@ fn assert_live_matches_batch(build: impl Fn() -> CompiledQuery, sources: Vec<Sig
     // Live replay: merge all sources' present events by time.
     let mut events: Vec<(Tick, usize, f32)> = Vec::new();
     for (s, data) in sources.iter().enumerate() {
-        let shape = data.shape();
-        for &(rs, re) in data.presence().ranges() {
-            let mut t = shape.align_up(rs.max(shape.offset()));
-            let end = re.min(data.end_time());
-            while t < end {
-                let slot = ((t - shape.offset()) / shape.period()) as usize;
-                events.push((t, s, data.values()[slot]));
-                t += shape.period();
-            }
-        }
+        events.extend(data.present_samples().map(|(_, t, v)| (t, s, v)));
     }
     events.sort_by_key(|&(t, s, _)| (t, s));
 
@@ -161,6 +153,118 @@ fn two_source_join_live_equals_batch_on_gap_heavy_data() {
         },
         vec![ecg, abp],
     );
+}
+
+/// The boundedness contract of the compacting live data plane: a session
+/// polled while 100k+ samples stream through holds a buffer bounded by
+/// round size + history margin + poll lag, never by stream length — and
+/// since snapshots are `Arc` clones whose copy-on-write cost is the
+/// retained length, bounded retention is bounded snapshot cost.
+#[test]
+fn long_session_retained_buffer_stays_bounded() {
+    const TOTAL: i64 = 120_000;
+    const ROUND: Tick = 500;
+    const POLL_EVERY: i64 = 2_000;
+    // A stateful pipeline with a real history margin: sliding mean over
+    // a shifted stream.
+    let q = Query::new();
+    q.source("s", StreamShape::new(0, 1))
+        .shift(300)
+        .unwrap()
+        .aggregate(AggKind::Mean, 50, 5)
+        .unwrap()
+        .sink();
+    let mut s = LiveSession::new(q.compile().unwrap(), ROUND).unwrap();
+    let margin = s.history_margin(0).unwrap();
+    // Shift(300) composes with the sliding aggregate's window-50 lookback.
+    assert_eq!(margin, 350);
+
+    let mut emitted = 0usize;
+    let mut max_retained = 0usize;
+    for t in 0..TOTAL {
+        s.push(0, t, (t % 611) as f32).unwrap();
+        if (t + 1) % POLL_EVERY == 0 {
+            s.poll(|w| emitted += w.present_count()).unwrap();
+            max_retained = max_retained.max(s.retained_slots(0).unwrap());
+        }
+    }
+    s.poll(|w| emitted += w.present_count()).unwrap();
+
+    // Post-poll retention: the margin plus at most one unfinished round.
+    let bound = (margin + 2 * ROUND) as usize;
+    assert!(
+        s.retained_slots(0).unwrap() <= bound,
+        "retained {} > bound {bound}",
+        s.retained_slots(0).unwrap()
+    );
+    // Across the whole run the buffer never exceeded margin + round +
+    // poll lag — two orders of magnitude below the 120k-sample stream.
+    let running_bound = (margin + 2 * ROUND + POLL_EVERY) as usize;
+    assert!(
+        max_retained <= running_bound,
+        "max retained {max_retained} > bound {running_bound}"
+    );
+    assert!(max_retained * 20 < TOTAL as usize);
+    assert!(emitted > 0, "the session must actually produce output");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Deployment seamlessness, fuzzed: random single-source pipelines,
+    /// gap patterns, and poll cadences — the compacting live session's
+    /// per-sample replay must stay byte-identical to the batch run.
+    #[test]
+    fn random_pipelines_live_equal_batch(
+        period in prop::sample::select(vec![1i64, 2, 4]),
+        slots in 300usize..2500,
+        seed in 0u64..u64::MAX / 2,
+        gap_a in (0usize..2500, 1usize..400),
+        gap_b in (0usize..2500, 1usize..400),
+        poll_every in prop::sample::select(vec![23usize, 97, 401, 1861]),
+        pipe in 0usize..4,
+    ) {
+        let shape = StreamShape::new(0, period);
+        let mut data = recorded(shape, slots, seed);
+        for (s, l) in [gap_a, gap_b] {
+            let s = (s % slots) as Tick * period;
+            data.punch_gap(s, s + l as Tick * period);
+        }
+        let build = || {
+            let q = Query::new();
+            let s = q.source("s", shape);
+            match pipe {
+                0 => s.select(1, |i, o| o[0] = i[0] * 1.5 + 2.0).unwrap().sink(),
+                1 => s.aggregate(AggKind::Mean, 20 * period, 2 * period).unwrap().sink(),
+                2 => s.aggregate(AggKind::Max, 64 * period, 64 * period).unwrap().sink(),
+                _ => s.shift(13 * period).unwrap().sink(),
+            }
+            q.compile().unwrap()
+        };
+
+        let mut exec = build()
+            .executor_with(
+                vec![data.clone()],
+                ExecOptions::default().with_round_ticks(ROUND),
+            )
+            .unwrap();
+        let offline = exec.run_collect().unwrap();
+
+        let mut session = LiveSession::new(build(), ROUND).unwrap();
+        let mut online = OutputCollector::new(1);
+        let mut pushed = 0usize;
+        for (_, t, v) in data.present_samples().collect::<Vec<_>>() {
+            session.push(0, t, v).unwrap();
+            pushed += 1;
+            if pushed.is_multiple_of(poll_every) {
+                session.poll(|w| online.absorb(w)).unwrap();
+            }
+        }
+        session.finish(|w| online.absorb(w)).unwrap();
+
+        prop_assert_eq!(offline.len(), online.len());
+        prop_assert_eq!(offline.checksum(), online.checksum());
+    }
 }
 
 #[test]

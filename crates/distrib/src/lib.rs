@@ -24,13 +24,24 @@
 //!
 //! ## The distributed runtime this crate argues for
 //!
-//! The baselines above spawn work per input batch and pay for it at
-//! every hop. LifeStream's own answer — long-lived sharded workers with
-//! pooled, warmed executors that patient data is routed *to*, plus a
-//! live-ingest front end — lives in [`cluster_harness::sharded`] and is
-//! re-exported here as [`sharded`] so distributed-deployment code has
-//! one import surface: the baselines to compare against and the runtime
-//! to deploy.
+//! The baselines above spawn work per input batch and pay serialization
+//! at every hop. LifeStream's own answer — long-lived sharded workers
+//! with pooled, warmed, LRU-capped executors that patient data is routed
+//! *to* — lives in [`cluster_harness::sharded`] and is re-exported here
+//! as [`sharded`] so distributed-deployment code has one import surface:
+//! the baselines to compare against and the runtime to deploy.
+//!
+//! Its data plane is *bounded end to end*: batch jobs queue on bounded
+//! per-shard deques (`ShardedConfig::queue_cap` backpressures `submit`),
+//! live samples are staged client-side and shipped as batches over
+//! bounded channels (`IngestConfig`; `push` blocks when a shard lags,
+//! exactly the discipline these baselines' channel-connected operator
+//! tasks apply between operators), and each live session compacts its
+//! ingest buffer as rounds complete, so resident memory follows the
+//! round size and history margin — not the feed length. The
+//! `live_throughput` bench bin quantifies the batched-vs-per-sample win
+//! and the flat long-session curve; `machines.rs` remains the *model* of
+//! cross-machine placement, with a real transport still an open item.
 
 #![warn(missing_docs)]
 // Boxing each event is the point: it reproduces the per-event heap
@@ -170,20 +181,11 @@ fn hop(events: Vec<Box<Event>>, passes: usize, stats_bytes: &mut u64) -> Vec<Box
 
 /// Extracts present events from a dataset as record objects.
 fn to_events(data: &SignalData) -> Vec<Box<Event>> {
-    let shape = data.shape();
     let mut out = Vec::with_capacity(data.present_events());
-    for &(s, e) in data.presence().ranges() {
-        let mut t = shape.align_up(s.max(shape.offset()));
-        let end = e.min(data.end_time());
-        while t < end {
-            let slot = ((t - shape.offset()) / shape.period()) as usize;
-            out.push(Box::new(Event {
-                ts: t,
-                value: data.values()[slot],
-            }));
-            t += shape.period();
-        }
-    }
+    out.extend(
+        data.present_samples()
+            .map(|(_, t, v)| Box::new(Event { ts: t, value: v })),
+    );
     out
 }
 

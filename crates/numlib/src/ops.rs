@@ -116,17 +116,9 @@ pub fn resample_linear(values: &[f32], src_period: i64, dst_period: i64) -> (Vec
 /// Materializes a gap-bearing signal as a dense NaN-encoded array (the
 /// conventional NumPy representation loaded from retrospective storage).
 pub fn to_nan_array(data: &lifestream_core::source::SignalData) -> Vec<f32> {
-    let shape = data.shape();
     let mut out = vec![f32::NAN; data.len()];
-    for &(s, e) in data.presence().ranges() {
-        let lo = shape.align_up(s.max(shape.offset()));
-        let hi = e.min(data.end_time());
-        let mut t = lo;
-        while t < hi {
-            let slot = ((t - shape.offset()) / shape.period()) as usize;
-            out[slot] = data.values()[slot];
-            t += shape.period();
-        }
+    for (slot, _, v) in data.present_samples() {
+        out[slot] = v;
     }
     out
 }

@@ -16,15 +16,8 @@ use lifestream_core::time::{StreamShape, Tick};
 /// Propagates I/O errors from the writer.
 pub fn write_csv<W: Write>(data: &SignalData, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    let shape = data.shape();
-    for &(s, e) in data.presence().ranges() {
-        let mut t = shape.align_up(s.max(shape.offset()));
-        let end = e.min(data.end_time());
-        while t < end {
-            let slot = ((t - shape.offset()) / shape.period()) as usize;
-            writeln!(w, "{t},{}", data.values()[slot])?;
-            t += shape.period();
-        }
+    for (_, t, v) in data.present_samples() {
+        writeln!(w, "{t},{v}")?;
     }
     w.flush()
 }

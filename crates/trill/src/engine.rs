@@ -100,7 +100,8 @@ impl EventSource {
                 break;
             }
             let (rs, re) = ranges[self.range_idx];
-            let start = shape.align_up(rs.max(shape.offset())) + self.pos_in_range;
+            let base = self.data.base_time();
+            let start = shape.align_up(rs.max(base)) + self.pos_in_range;
             let end = re.min(self.data.end_time());
             if start >= end {
                 self.range_idx += 1;
@@ -109,11 +110,11 @@ impl EventSource {
             }
             let mut t = start;
             while t < end && out.len() < n {
-                let slot = ((t - shape.offset()) / p) as usize;
+                let slot = ((t - base) / p) as usize;
                 out.push(t, p, &[self.data.values()[slot]]);
                 t += p;
             }
-            self.pos_in_range = t - shape.align_up(rs.max(shape.offset()));
+            self.pos_in_range = t - shape.align_up(rs.max(base));
             if t >= end {
                 self.range_idx += 1;
                 self.pos_in_range = 0;

@@ -3,18 +3,21 @@
 //! Two faces of the same service:
 //!
 //! 1. **Batch jobs** — a stream of arriving patients is submitted to a
-//!    fixed pool of shard workers; each shard compiles the pipeline once
-//!    and recycles its warmed executor for every later patient.
-//! 2. **Live ingest** — per-patient monitor feeds push samples one at a
-//!    time; the front end multiplexes them into per-shard live sessions
-//!    polled on round boundaries.
+//!    fixed pool of shard workers over *bounded* queues (a slow shard
+//!    backpressures `submit` instead of queueing without limit); each
+//!    shard compiles the pipeline once and recycles its warmed executor
+//!    for every later patient.
+//! 2. **Live ingest** — per-patient monitor feeds push samples that are
+//!    staged client-side and shipped to the shards in batches over
+//!    bounded channels; sessions compact their buffers as rounds
+//!    complete, so a feed can run forever in bounded memory.
 //!
 //! Run with `cargo run --release --example sharded_runtime`.
 
 use std::sync::Arc;
 
 use lifestream::cluster::sharded::{
-    JobOutcome, LiveIngest, PipelineFactory, ShardedConfig, ShardedRuntime,
+    IngestConfig, JobOutcome, LiveIngest, PipelineFactory, ShardedConfig, ShardedRuntime,
 };
 use lifestream::core::pipeline::fig3_pipeline;
 use lifestream::core::prelude::*;
@@ -39,9 +42,16 @@ fn main() {
         Arc::new(move || fig3_pipeline(ecg_shape, abp_shape, 1000)?.compile());
     let rt = ShardedRuntime::new(
         factory,
-        ShardedConfig::with_workers(workers).round_ticks(60_000),
+        ShardedConfig::with_workers(workers)
+            .round_ticks(60_000)
+            // Bounded per-shard queues: submit blocks (backpressure)
+            // rather than buffering an unbounded patient backlog.
+            .queue_cap(4)
+            // LRU-capped executor pools: distinct pipeline shapes cannot
+            // pin unbounded static plans on a worker.
+            .pool_cap(8),
     );
-    println!("submitting {patients} patients to {workers} shards ...");
+    println!("submitting {patients} patients to {workers} shards (queue cap 4) ...");
     for (p, (ecg, abp)) in pairs.iter().enumerate() {
         rt.submit(p as u64, vec![ecg.clone(), abp.clone()]);
     }
@@ -59,7 +69,7 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
-    // 2. Live ingest: push samples, poll rounds, finish.
+    // 2. Live ingest: batched pushes, round-aligned polls, finish.
     // ---------------------------------------------------------------
     let live_factory: PipelineFactory = Arc::new(|| {
         let q = Query::new();
@@ -68,12 +78,18 @@ fn main() {
             .sink();
         q.compile()
     });
-    let ingest = LiveIngest::new(live_factory, workers, 1000);
+    // Samples are staged client-side and shipped 256 at a time over
+    // bounded (depth-64) channels — per-sample dispatch is amortized and
+    // a lagging shard backpressures push instead of queueing unboundedly.
+    let ingest = LiveIngest::with_config(
+        live_factory,
+        IngestConfig::new(workers, 1000).batch(256).channel_cap(64),
+    );
     let live_patients: Vec<u64> = vec![7, 42, 99];
     for &p in &live_patients {
         ingest.admit(p).expect("admit");
     }
-    println!("live-ingesting 3 patient feeds, interleaved ...");
+    println!("live-ingesting 3 patient feeds, interleaved, batched ...");
     for k in 0..5_000i64 {
         for &p in &live_patients {
             // Each monitor has its own waveform phase.
@@ -92,6 +108,14 @@ fn main() {
             out.values(0).first().copied().unwrap_or(f32::NAN)
         );
     }
+    let istats = ingest.stats();
+    println!(
+        "ingest: {} samples in {} batches ({} samples/flush), {} dropped-unknown",
+        istats.samples_pushed,
+        istats.batches_flushed,
+        istats.samples_pushed / istats.batches_flushed.max(1),
+        istats.dropped_unknown
+    );
     ingest.shutdown();
     println!("done.");
 }
