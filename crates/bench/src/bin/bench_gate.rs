@@ -1,0 +1,144 @@
+//! Bench-regression gate: compares a freshly measured bench JSON against
+//! the committed baseline and fails (exit 1) when a *portable ratio*
+//! regresses beyond the tolerance.
+//!
+//! Absolute Mev/s numbers are machine-bound — a 4-core CI runner and the
+//! 1-core box that produced a baseline legitimately disagree — so the
+//! gate checks only the ratios the bench JSONs were designed around:
+//!
+//! | bench             | gated metric                       |
+//! |-------------------|------------------------------------|
+//! | `sharded_scaling` | `pooled_vs_cold_speedup_1_worker`  |
+//! | `live_throughput` | `batched_vs_per_sample_speedup`    |
+//! | `net_throughput`  | `batched_vs_per_frame_speedup`     |
+//!
+//! Usage: `bench_gate <baseline.json> <current.json>`
+//!
+//! Environment knobs:
+//! * `LS_GATE_TOL` — allowed fractional regression (default `0.25`,
+//!   i.e. the current ratio may be up to 25% below the baseline).
+//!
+//! The parser is deliberately a tiny field scanner, not a JSON library:
+//! the bench bins emit flat, known-shaped documents, and the gate must
+//! run on the CI image with no extra dependencies.
+
+use std::process::ExitCode;
+
+/// Extracts the number following `"key":` in a flat JSON document.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The gated metric for a bench id, or `None` for benches without one.
+fn metric_for(bench: &str) -> Option<&'static str> {
+    match bench {
+        "sharded_scaling" => Some("pooled_vs_cold_speedup_1_worker"),
+        "live_throughput" => Some("batched_vs_per_sample_speedup"),
+        "net_throughput" => Some("batched_vs_per_frame_speedup"),
+        _ => None,
+    }
+}
+
+fn bench_id(json: &str) -> Option<String> {
+    let at = json.find("\"bench\":")? + "\"bench\":".len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = &args[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = std::env::var("LS_GATE_TOL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let (Some(base_bench), Some(cur_bench)) = (bench_id(&baseline), bench_id(&current)) else {
+        eprintln!("bench_gate: missing \"bench\" field");
+        return ExitCode::FAILURE;
+    };
+    if base_bench != cur_bench {
+        eprintln!("bench_gate: comparing {base_bench} baseline against {cur_bench} run");
+        return ExitCode::FAILURE;
+    }
+    let Some(metric) = metric_for(&base_bench) else {
+        eprintln!("bench_gate: no gated metric for bench {base_bench}");
+        return ExitCode::FAILURE;
+    };
+    let (Some(expect), Some(got)) = (field(&baseline, metric), field(&current, metric)) else {
+        eprintln!("bench_gate: metric {metric} missing from one of the files");
+        return ExitCode::FAILURE;
+    };
+
+    let floor = expect * (1.0 - tolerance);
+    let verdict = if got >= floor { "ok" } else { "REGRESSION" };
+    println!(
+        "{base_bench}: {metric} = {got:.3} (baseline {expect:.3}, floor {floor:.3}, \
+         tolerance {:.0}%) ... {verdict}",
+        tolerance * 100.0
+    );
+    // Context for the log: cores the two measurements ran on.
+    if let (Some(bc), Some(cc)) = (
+        field(&baseline, "host_cores"),
+        field(&current, "host_cores"),
+    ) {
+        println!("  host_cores: baseline {bc:.0}, current {cc:.0}");
+    }
+    if got >= floor {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: {metric} regressed more than {:.0}% ({got:.3} < {floor:.3})",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "live_throughput",
+  "host_cores": 4,
+  "batched_vs_per_sample_speedup": 3.838,
+  "modes": []
+}"#;
+
+    #[test]
+    fn extracts_fields_and_bench_id() {
+        assert_eq!(bench_id(DOC).as_deref(), Some("live_throughput"));
+        assert_eq!(field(DOC, "batched_vs_per_sample_speedup"), Some(3.838));
+        assert_eq!(field(DOC, "host_cores"), Some(4.0));
+        assert_eq!(field(DOC, "missing"), None);
+    }
+
+    #[test]
+    fn every_gated_bench_has_a_metric() {
+        for b in ["sharded_scaling", "live_throughput", "net_throughput"] {
+            assert!(metric_for(b).is_some());
+        }
+        assert!(metric_for("fig2").is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Wire-fabric throughput: the same live feed pushed through an
+//! in-process [`LiveIngest`] and through a [`RemoteIngest`] talking TCP
+//! to a loopback [`ShardServer`], at several batch sizes.
+//!
+//! What this pins down: the wire transport's *overhead profile*. A
+//! per-sample frame (batch 1) pays a syscall + ack round trip per
+//! sample, so it is dominated by the wire; batching amortizes the frame
+//! and ack costs exactly as client-side staging amortized channel sends
+//! in-process. Outputs are asserted byte-identical between local and
+//! remote before any throughput is compared — a transport that cheats
+//! by dropping or re-timing samples fails the bench rather than winning
+//! it.
+//!
+//! Environment knobs:
+//! * `LS_SCALE` — workload scale factor (shared with every bench).
+//! * `LS_WORKERS` — server-side ingest shard count (default 2).
+//! * `LS_JSON_OUT` — also write the JSON to this path.
+//!
+//! As with the other live benches, `host_cores` is recorded; on one
+//! core the client and server time-slice, so absolute Mev/s undersells
+//! real deployments while the batched-vs-per-frame ratio stays the
+//! portable signal.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cluster_harness::net::{RemoteConfig, RemoteIngest, ShardServer};
+use cluster_harness::sharded::{Ingest, IngestConfig, LiveIngest, PipelineFactory};
+use lifestream_bench::{scale, Table};
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::stream::Query;
+use lifestream_core::time::{StreamShape, Tick};
+
+const ROUND: Tick = 1_000;
+const PERIOD: Tick = 2;
+
+fn factory() -> PipelineFactory {
+    Arc::new(|| {
+        let q = Query::new();
+        q.source("sig", StreamShape::new(0, PERIOD))
+            .select(1, |i, o| o[0] = i[0] * 0.25 + 1.0)?
+            .aggregate(AggKind::Mean, 50 * PERIOD, 5 * PERIOD)?
+            .sink();
+        q.compile()
+    })
+}
+
+fn wave(k: i64, p: u64) -> f32 {
+    (((k * 37 + p as i64 * 101) % 997) as f32) / 7.0
+}
+
+struct ModeResult {
+    label: String,
+    elapsed_s: f64,
+    mev_per_s: f64,
+    frames: u64,
+    checksum: u64,
+}
+
+fn run(label: &str, ingest: &dyn Ingest, patients: u64, samples: i64) -> ModeResult {
+    for p in 0..patients {
+        ingest.admit(p).expect("admit");
+    }
+    let poll_every = ROUND / PERIOD;
+    let start = Instant::now();
+    for k in 0..samples {
+        for p in 0..patients {
+            ingest.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            ingest.poll();
+        }
+    }
+    let mut checksum = 0u64;
+    for p in 0..patients {
+        let out = ingest.finish(p).expect("finish");
+        checksum ^= out.checksum().rotate_left((p % 63) as u32);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = ingest.stats();
+    assert_eq!(stats.dropped_unknown, 0);
+    ModeResult {
+        label: label.to_string(),
+        elapsed_s: elapsed,
+        mev_per_s: patients as f64 * samples as f64 / elapsed / 1e6,
+        frames: stats.batches_flushed,
+        checksum,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers: usize = std::env::var("LS_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let patients: u64 = 4;
+    let samples: i64 = ((50_000.0 * scale()) as i64).max(2_000);
+    println!(
+        "Wire-fabric throughput — {patients} patients x {samples} samples over loopback TCP, \
+         {workers} server shards, {cores} host cores\n"
+    );
+
+    let mut modes: Vec<ModeResult> = Vec::new();
+
+    // Baseline: no wire at all.
+    let local = LiveIngest::with_config(factory(), IngestConfig::new(workers, ROUND).batch(256));
+    modes.push(run("local (in-process)", &local, patients, samples));
+    local.shutdown();
+
+    // Remote at several frame sizes, one fresh server each so session
+    // state never carries over.
+    for batch in [1usize, 64, 1024] {
+        let server = ShardServer::bind(factory(), IngestConfig::new(workers, ROUND), "127.0.0.1:0")
+            .expect("bind loopback");
+        let remote = RemoteIngest::connect(
+            server.local_addr(),
+            RemoteConfig::default().batch(batch).window(32),
+        )
+        .expect("connect");
+        modes.push(run(
+            &format!("remote batch={batch}"),
+            &remote,
+            patients,
+            samples,
+        ));
+        remote.shutdown();
+        server.shutdown();
+    }
+
+    // The transport must be invisible in results before speed matters.
+    for m in &modes[1..] {
+        assert_eq!(
+            m.checksum, modes[0].checksum,
+            "{}: wire transport leaked into output",
+            m.label
+        );
+    }
+
+    let mut table = Table::new(&["mode", "Mev/s", "vs local", "frames"]);
+    let base = modes[0].mev_per_s;
+    for m in &modes {
+        table.row(&[
+            m.label.clone(),
+            format!("{:.3}", m.mev_per_s),
+            format!("{:.2}x", m.mev_per_s / base.max(1e-12)),
+            m.frames.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let per_frame = modes[1].mev_per_s;
+    let batched = modes.last().map_or(0.0, |m| m.mev_per_s);
+    let speedup = batched / per_frame.max(1e-12);
+    println!("\nbatched (1024) vs per-sample frames over TCP: {speedup:.2}x");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"net_throughput\",");
+    let _ = writeln!(json, "  \"workload\": \"select_sliding_mean_live_tcp\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"server_workers\": {workers},");
+    let _ = writeln!(json, "  \"patients\": {patients},");
+    let _ = writeln!(json, "  \"samples_per_patient\": {samples},");
+    let _ = writeln!(json, "  \"round_ticks\": {ROUND},");
+    let _ = writeln!(json, "  \"batched_vs_per_frame_speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (i, m) in modes.iter().enumerate() {
+        let comma = if i + 1 < modes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"elapsed_s\": {:.4}, \"mev_per_s\": {:.4}, \
+             \"frames\": {}}}{comma}",
+            m.label, m.elapsed_s, m.mev_per_s, m.frames
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    println!("\n{json}");
+    if let Ok(path) = std::env::var("LS_JSON_OUT") {
+        std::fs::write(&path, &json).expect("write JSON output");
+        println!("wrote {path}");
+    }
+}

@@ -1,14 +1,104 @@
-//! Multi-machine scale-out model (Fig. 10d).
+//! Multi-machine placement: the live routing table behind
+//! [`ClusterIngest`](crate::net::ClusterIngest), plus the scale-out
+//! *model* of Fig. 10d it grew out of.
 //!
-//! The paper runs up to 16 EC2 m5a.8xlarge machines, each at its
-//! per-engine best thread count, and reports aggregate throughput. The
-//! workload is embarrassingly parallel across patients, so scale-out is
-//! near-linear minus (i) per-machine coordination overhead (work
-//! distribution, result collection) and (ii) stragglers. We measure the
-//! real per-machine throughput on this host ([`super::multicore`]) and
-//! extrapolate with a small discrete model of those two effects.
+//! Historically this module was only the model: the paper runs up to 16
+//! EC2 m5a.8xlarge machines and we extrapolated measured single-machine
+//! throughput with a discrete coordination/straggler model
+//! ([`ClusterModel`], kept below — the Fig. 10d harness still uses it).
+//! With the wire transport in [`crate::net`], placement is now *live*:
+//! [`PlacementTable`] decides which machine endpoint owns each patient,
+//! defaulting to a balanced hash and recording explicit reassignments as
+//! patients are handed off between machines mid-stream.
 
-/// The scale-out model.
+use std::collections::HashMap;
+
+use crate::sharded::PatientId;
+
+/// Live patient→machine routing table.
+///
+/// The default placement hashes the patient id to a machine, using a
+/// *double* application of the shard router's splitmix64 so the two
+/// levels are decorrelated: with the same hash at both levels, every
+/// patient placed on machine `m` would satisfy `h ≡ m (mod machines)`
+/// and therefore collapse onto the shard residues `m (mod gcd)` of its
+/// server, idling the other ingest workers (with machines == workers,
+/// all of a machine's patients would land on a single shard). A
+/// partition handoff ([`ClusterIngest::rebalance`]) records an explicit
+/// override; lookups stay O(1) either way.
+///
+/// [`ClusterIngest::rebalance`]: crate::net::ClusterIngest::rebalance
+#[derive(Debug, Clone)]
+pub struct PlacementTable {
+    machines: usize,
+    overrides: HashMap<PatientId, usize>,
+}
+
+impl PlacementTable {
+    /// A table over `machines` endpoints (min 1), hash-balanced, with no
+    /// overrides yet.
+    pub fn new(machines: usize) -> Self {
+        Self {
+            machines: machines.max(1),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Number of machine endpoints this table routes across.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The machine a patient's stream routes to.
+    pub fn place(&self, patient: PatientId) -> usize {
+        self.overrides
+            .get(&patient)
+            .copied()
+            .unwrap_or_else(|| self.default_place(patient))
+    }
+
+    /// The hash placement ignoring overrides (re-mixed relative to the
+    /// shard router — see the struct docs for why).
+    pub fn default_place(&self, patient: PatientId) -> usize {
+        let h = crate::sharded::hash_patient(crate::sharded::hash_patient(patient));
+        (h % self.machines as u64) as usize
+    }
+
+    /// Pins a patient to a machine (recorded after a handoff). Assigning
+    /// the hash-default placement clears the override instead of storing
+    /// a redundant entry.
+    ///
+    /// # Panics
+    /// Panics when `machine` is out of range.
+    pub fn assign(&mut self, patient: PatientId, machine: usize) {
+        assert!(
+            machine < self.machines,
+            "machine {machine} out of range ({} endpoints)",
+            self.machines
+        );
+        if machine == self.default_place(patient) {
+            self.overrides.remove(&patient);
+        } else {
+            self.overrides.insert(patient, machine);
+        }
+    }
+
+    /// Number of patients currently pinned away from their hash
+    /// placement.
+    pub fn overridden(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+/// The scale-out *model* (Fig. 10d).
+///
+/// The paper runs up to 16 EC2 m5a.8xlarge machines, each at its
+/// per-engine best thread count, and reports aggregate throughput. The
+/// workload is embarrassingly parallel across patients, so scale-out is
+/// near-linear minus (i) per-machine coordination overhead (work
+/// distribution, result collection) and (ii) stragglers. We measure the
+/// real per-machine throughput on this host ([`super::multicore`]) and
+/// extrapolate with a small discrete model of those two effects.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterModel {
     /// Fraction of each machine's throughput lost to coordination
@@ -85,6 +175,62 @@ impl ClusterModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn placement_is_balanced_stable_and_overridable() {
+        let mut t = PlacementTable::new(4);
+        let mut seen = [0usize; 4];
+        for p in 0..1000u64 {
+            let m = t.place(p);
+            assert!(m < 4);
+            assert_eq!(m, t.place(p), "placement must be deterministic");
+            seen[m] += 1;
+        }
+        for (m, &n) in seen.iter().enumerate() {
+            assert!(n > 150, "machine {m} got {n}/1000 — hash collapsed");
+        }
+        // A handoff pins the patient; re-assigning home clears the pin.
+        let p = 42u64;
+        let home = t.place(p);
+        let away = (home + 1) % 4;
+        t.assign(p, away);
+        assert_eq!(t.place(p), away);
+        assert_eq!(t.overridden(), 1);
+        t.assign(p, home);
+        assert_eq!(t.place(p), home);
+        assert_eq!(t.overridden(), 0, "home assignment stores no override");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn placement_rejects_unknown_machines() {
+        PlacementTable::new(2).assign(1, 2);
+    }
+
+    #[test]
+    fn machine_placement_is_decorrelated_from_shard_routing() {
+        // The regression this guards: with machine = h % M and shard =
+        // h % W over the SAME hash and M == W, every patient of machine
+        // m would land on shard m of its server, idling the rest. The
+        // double-mix must spread one machine's patients across all shard
+        // residues.
+        let t = PlacementTable::new(2);
+        let workers = 2u64;
+        let mut shard_residues_on_machine0 = [0usize; 2];
+        for p in 0..400u64 {
+            if t.place(p) == 0 {
+                let shard = (crate::sharded::hash_patient(p) % workers) as usize;
+                shard_residues_on_machine0[shard] += 1;
+            }
+        }
+        for (s, &n) in shard_residues_on_machine0.iter().enumerate() {
+            assert!(
+                n > 40,
+                "shard residue {s} got {n} of machine 0's patients — \
+                 machine and shard hashes are correlated"
+            );
+        }
+    }
 
     #[test]
     fn single_machine_is_near_nominal() {

@@ -1,0 +1,373 @@
+//! The client side of the shard fabric: a remote ingest speaking the
+//! [`wire`](super::wire) protocol to one [`ShardServer`](super::ShardServer).
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+
+use lifestream_core::exec::OutputCollector;
+use lifestream_core::time::Tick;
+
+use crate::sharded::{Ingest, IngestStats, PatientHandoff, PatientId, Sample};
+
+use super::wire::{self, WireCmd, WireReply};
+
+/// Client-side knobs for a [`RemoteIngest`].
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteConfig {
+    /// Samples staged client-side before a batch frame ships (min 1;
+    /// `1` degenerates to a frame per sample).
+    pub batch: usize,
+    /// Maximum batch/poll frames in flight without an ack (min 1). Acks
+    /// drive backpressure: when the server falls behind, the window
+    /// fills and `push` blocks — the wire-stretched equivalent of
+    /// [`IngestConfig::channel_cap`](crate::sharded::IngestConfig::channel_cap).
+    pub window: usize,
+}
+
+impl Default for RemoteConfig {
+    /// Default batch (256) and in-flight window (64).
+    fn default() -> Self {
+        Self {
+            batch: 256,
+            window: 64,
+        }
+    }
+}
+
+impl RemoteConfig {
+    /// Sets the staging-batch size (min 1).
+    pub fn batch(mut self, samples: usize) -> Self {
+        self.batch = samples.max(1);
+        self
+    }
+
+    /// Sets the in-flight ack window (min 1).
+    pub fn window(mut self, frames: usize) -> Self {
+        self.window = frames.max(1);
+        self
+    }
+}
+
+/// What kind of reply an un-acked in-flight frame owes us.
+enum Pending {
+    /// A batch ack whose sample count we verify against what we sent.
+    Batch(u64),
+    /// A poll ack (zero-delta).
+    Poll,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    staged: Vec<Sample>,
+    inflight: VecDeque<Pending>,
+    stats: IngestStats,
+    /// First fatal transport/protocol error; once set, pushes no-op and
+    /// every synchronous call reports it.
+    dead: Option<String>,
+}
+
+/// A [`LiveIngest`](crate::sharded::LiveIngest)-shaped front end whose
+/// sessions live on a remote [`ShardServer`](super::ShardServer).
+///
+/// The staging/backpressure contract is the same as in-process: `push`
+/// stages samples, ships them as batch frames, and blocks when the
+/// server stops acking ([`RemoteConfig::window`]); `finish` returns the
+/// collected output; per-sample violations defer to `finish`. Samples
+/// the server dropped for unknown patients come back in every ack and
+/// land in this client's [`IngestStats::dropped_unknown`] — exact after
+/// any synchronous call ([`admit`](Self::admit)/[`finish`](Self::finish)/
+/// [`barrier`](Self::barrier)), not lost server-side.
+pub struct RemoteIngest {
+    conn: Mutex<Conn>,
+    batch: usize,
+    window: usize,
+}
+
+impl RemoteIngest {
+    /// Connects to a shard server.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, cfg: RemoteConfig) -> io::Result<Self> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        let reader = BufReader::new(sock.try_clone()?);
+        Ok(Self {
+            conn: Mutex::new(Conn {
+                reader,
+                writer: BufWriter::new(sock),
+                staged: Vec::new(),
+                inflight: VecDeque::new(),
+                stats: IngestStats::default(),
+                dead: None,
+            }),
+            batch: cfg.batch.max(1),
+            window: cfg.window.max(1),
+        })
+    }
+
+    /// Admits a patient on the server (synchronous round trip).
+    ///
+    /// # Errors
+    /// Returns the server's compile/duplicate error, or the transport
+    /// error that killed the connection.
+    pub fn admit(&self, patient: PatientId) -> Result<(), String> {
+        let mut c = self.conn.lock().expect("conn lock");
+        match self.roundtrip(&mut c, &WireCmd::Admit { patient })? {
+            WireReply::Ok => Ok(()),
+            WireReply::Err(e) => Err(e),
+            _ => Err(self.poison(&mut c, "protocol: unexpected reply to Admit")),
+        }
+    }
+
+    /// Stages one sample; ships a batch frame at the configured batch
+    /// size. Blocks when the in-flight window is full (the server is
+    /// behind). Transport errors are deferred to [`finish`](Self::finish).
+    pub fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
+        let mut c = self.conn.lock().expect("conn lock");
+        if c.dead.is_some() {
+            return;
+        }
+        c.staged.push((patient, source, t, v));
+        c.stats.samples_pushed += 1;
+        if c.staged.len() >= self.batch {
+            let _ = self.ship_staged(&mut c);
+        }
+    }
+
+    /// Flushes staged samples and asks the server to process all
+    /// complete rounds (fire-and-forget; its ack counts against the
+    /// window).
+    pub fn poll(&self) {
+        let mut c = self.conn.lock().expect("conn lock");
+        if c.dead.is_some() {
+            return;
+        }
+        let _ = self.ship_staged(&mut c);
+        let _ = self.send_windowed(&mut c, &WireCmd::Poll, Pending::Poll);
+    }
+
+    /// Ends a patient's stream and returns everything it emitted.
+    ///
+    /// # Errors
+    /// Returns the server's deferred errors, or the transport error that
+    /// killed the connection.
+    pub fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let mut c = self.conn.lock().expect("conn lock");
+        match self.roundtrip(&mut c, &WireCmd::Finish { patient })? {
+            WireReply::Output(out) => Ok(out),
+            WireReply::Err(e) => Err(e),
+            _ => Err(self.poison(&mut c, "protocol: unexpected reply to Finish")),
+        }
+    }
+
+    /// Exports a patient's session for handoff (synchronous; drains the
+    /// in-flight window first so every prior push is applied).
+    ///
+    /// # Errors
+    /// Returns the server's error for unknown/poisoned patients, or the
+    /// transport error.
+    pub fn export_patient(&self, patient: PatientId) -> Result<PatientHandoff, String> {
+        let mut c = self.conn.lock().expect("conn lock");
+        match self.roundtrip(&mut c, &WireCmd::Export { patient })? {
+            WireReply::Handoff(state) => Ok(*state),
+            WireReply::Err(e) => Err(e),
+            _ => Err(self.poison(&mut c, "protocol: unexpected reply to Export")),
+        }
+    }
+
+    /// Imports a patient session exported elsewhere onto this server.
+    ///
+    /// # Errors
+    /// Returns the server's compile/duplicate error, or the transport
+    /// error.
+    pub fn import_patient(&self, patient: PatientId, state: PatientHandoff) -> Result<(), String> {
+        let mut c = self.conn.lock().expect("conn lock");
+        let cmd = WireCmd::Import {
+            patient,
+            state: Box::new(state),
+        };
+        match self.roundtrip(&mut c, &cmd)? {
+            WireReply::Ok => Ok(()),
+            WireReply::Err(e) => Err(e),
+            _ => Err(self.poison(&mut c, "protocol: unexpected reply to Import")),
+        }
+    }
+
+    /// Synchronization point: flushes staged samples and waits for every
+    /// outstanding ack, making [`stats`](Self::stats) (including
+    /// server-side drop counts) exact.
+    ///
+    /// # Errors
+    /// Returns the transport error that killed the connection, if any.
+    pub fn barrier(&self) -> Result<(), String> {
+        let mut c = self.conn.lock().expect("conn lock");
+        self.ship_staged(&mut c)?;
+        self.drain_all(&mut c)
+    }
+
+    /// Client-side counters. `samples_pushed`/`batches_flushed` count
+    /// locally; `dropped_unknown` accumulates the server's ack deltas
+    /// (exact after any synchronous call).
+    pub fn stats(&self) -> IngestStats {
+        self.conn.lock().expect("conn lock").stats
+    }
+
+    /// Flushes, drains outstanding acks, and closes the connection.
+    /// Equivalent to dropping the client; kept for explicit call sites.
+    pub fn shutdown(self) {
+        // Drop runs close().
+    }
+
+    fn close(&self) {
+        let mut c = self.conn.lock().expect("conn lock");
+        if c.dead.is_none() {
+            let _ = self.ship_staged(&mut c);
+            let _ = self.drain_all(&mut c);
+            let _ = c.writer.flush();
+        }
+        let _ = c.writer.get_ref().shutdown(Shutdown::Both);
+    }
+
+    // -- internals ----------------------------------------------------
+
+    /// Records the first fatal error and returns it (subsequent calls
+    /// keep reporting the original failure, not cascading noise).
+    fn poison(&self, c: &mut Conn, msg: &str) -> String {
+        if c.dead.is_none() {
+            c.dead = Some(msg.to_string());
+        }
+        c.dead.clone().expect("just set")
+    }
+
+    fn ship_staged(&self, c: &mut Conn) -> Result<(), String> {
+        if c.staged.is_empty() || c.dead.is_some() {
+            return c.dead.clone().map_or(Ok(()), Err);
+        }
+        let batch = std::mem::take(&mut c.staged);
+        c.stats.batches_flushed += 1;
+        let sent = batch.len() as u64;
+        self.send_windowed(c, &WireCmd::Batch(batch), Pending::Batch(sent))
+    }
+
+    /// Ships an async-acked frame, then blocks while the in-flight
+    /// window is over-full — acks are the transport's backpressure.
+    fn send_windowed(&self, c: &mut Conn, cmd: &WireCmd, pending: Pending) -> Result<(), String> {
+        self.write_cmd(c, cmd)?;
+        c.inflight.push_back(pending);
+        while c.inflight.len() > self.window {
+            self.drain_one(c)?;
+        }
+        Ok(())
+    }
+
+    /// Synchronous command: flush staged data, drain every outstanding
+    /// ack (replies are strictly ordered), send, read our reply.
+    fn roundtrip(&self, c: &mut Conn, cmd: &WireCmd) -> Result<WireReply, String> {
+        self.ship_staged(c)?;
+        self.drain_all(c)?;
+        self.write_cmd(c, cmd)?;
+        self.read_reply(c)
+    }
+
+    fn write_cmd(&self, c: &mut Conn, cmd: &WireCmd) -> Result<(), String> {
+        if let Some(e) = &c.dead {
+            return Err(e.clone());
+        }
+        let payload = wire::encode_cmd(cmd);
+        let done = wire::write_frame(&mut c.writer, &payload).and_then(|()| c.writer.flush());
+        done.map_err(|e| self.poison(c, &format!("transport: {e}")))
+    }
+
+    fn read_reply(&self, c: &mut Conn) -> Result<WireReply, String> {
+        if let Some(e) = &c.dead {
+            return Err(e.clone());
+        }
+        let payload = match wire::read_frame(&mut c.reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Err(self.poison(c, "transport: server closed the connection")),
+            Err(e) => return Err(self.poison(c, &format!("transport: {e}"))),
+        };
+        wire::decode_reply(&payload).map_err(|e| self.poison(c, &format!("protocol: {e}")))
+    }
+
+    fn drain_one(&self, c: &mut Conn) -> Result<(), String> {
+        let Some(pending) = c.inflight.pop_front() else {
+            return Ok(());
+        };
+        let reply = self.read_reply(c)?;
+        match (pending, reply) {
+            (
+                Pending::Batch(sent),
+                WireReply::Ack {
+                    samples,
+                    dropped_unknown,
+                },
+            ) => {
+                c.stats.dropped_unknown += dropped_unknown;
+                if samples + dropped_unknown != sent {
+                    return Err(self.poison(
+                        c,
+                        &format!(
+                            "protocol: batch of {sent} acked as {samples} applied \
+                             + {dropped_unknown} dropped"
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            (Pending::Poll, WireReply::Ack { .. }) => Ok(()),
+            (_, WireReply::Err(e)) => Err(self.poison(c, &format!("server: {e}"))),
+            _ => Err(self.poison(c, "protocol: reply does not match the in-flight command")),
+        }
+    }
+
+    fn drain_all(&self, c: &mut Conn) -> Result<(), String> {
+        while !c.inflight.is_empty() {
+            self.drain_one(c)?;
+        }
+        Ok(())
+    }
+}
+
+impl Ingest for RemoteIngest {
+    fn admit(&self, patient: PatientId) -> Result<(), String> {
+        RemoteIngest::admit(self, patient)
+    }
+
+    fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
+        RemoteIngest::push(self, patient, source, t, v);
+    }
+
+    fn poll(&self) {
+        RemoteIngest::poll(self);
+    }
+
+    fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        RemoteIngest::finish(self, patient)
+    }
+
+    fn stats(&self) -> IngestStats {
+        RemoteIngest::stats(self)
+    }
+}
+
+impl Drop for RemoteIngest {
+    /// Dropping flushes staged samples, drains outstanding acks, and
+    /// closes the socket so the server's handler unwinds cleanly.
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for RemoteIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteIngest")
+            .field("batch", &self.batch)
+            .field("window", &self.window)
+            .finish()
+    }
+}

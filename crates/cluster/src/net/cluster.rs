@@ -1,0 +1,198 @@
+//! The cluster router: one ingest front end over N machine endpoints,
+//! with live partition handoff between them.
+
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::RwLock;
+
+use lifestream_core::exec::OutputCollector;
+use lifestream_core::time::Tick;
+
+use crate::machines::PlacementTable;
+use crate::sharded::{Ingest, IngestStats, PatientId};
+
+use super::client::{RemoteConfig, RemoteIngest};
+
+/// Hash-partitions patients across a fleet of
+/// [`ShardServer`](super::ShardServer)s and routes every ingest call to
+/// the owning machine — the cross-machine face of the same [`Ingest`]
+/// protocol.
+///
+/// Placement starts as the [`PlacementTable`]'s balanced hash and stays
+/// a *live* table: [`rebalance`](Self::rebalance) moves one patient's
+/// session between machines mid-stream with the cooperative handoff
+/// protocol (flush + drain on the source, margin-suffix state transfer,
+/// re-pin in the table), losing zero samples and zero already-collected
+/// output.
+pub struct ClusterIngest {
+    endpoints: Vec<RemoteIngest>,
+    /// The routing table. Readers (push/admit/finish) share the lock so
+    /// endpoints ingest in parallel; a handoff takes the write lock, so
+    /// a concurrent push cannot race a patient to its old machine
+    /// mid-move — without one slow endpoint's backpressure serializing
+    /// the whole fleet behind a mutex.
+    table: RwLock<PlacementTable>,
+}
+
+impl ClusterIngest {
+    /// Connects one [`RemoteIngest`] per endpoint address.
+    ///
+    /// # Errors
+    /// Propagates the first connection failure; requires at least one
+    /// endpoint.
+    pub fn connect<A: ToSocketAddrs>(addrs: &[A], cfg: RemoteConfig) -> io::Result<Self> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one endpoint",
+            ));
+        }
+        let endpoints = addrs
+            .iter()
+            .map(|a| RemoteIngest::connect(a, cfg))
+            .collect::<io::Result<Vec<_>>>()?;
+        let table = RwLock::new(PlacementTable::new(endpoints.len()));
+        Ok(Self { endpoints, table })
+    }
+
+    /// Number of machine endpoints.
+    pub fn machines(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The machine currently owning a patient's stream.
+    pub fn machine_of(&self, patient: PatientId) -> usize {
+        self.table.read().expect("table lock").place(patient)
+    }
+
+    /// Moves a patient's live session to another machine without losing
+    /// a sample: staged data is flushed and acked on the source, the
+    /// session's margin-suffix state (plus collected output and deferred
+    /// errors) crosses to the destination, and the routing table re-pins
+    /// the patient. Pushes issued after this returns route to the new
+    /// machine; the resumed session emits byte-identically.
+    ///
+    /// # Errors
+    /// Returns a message for an out-of-range machine, an unknown or
+    /// poisoned patient, or a transport failure on either side. On an
+    /// import failure the patient is left un-admitted (the export
+    /// already removed it) — the error says so explicitly.
+    pub fn rebalance(&self, patient: PatientId, to: usize) -> Result<(), String> {
+        if to >= self.endpoints.len() {
+            return Err(format!(
+                "machine {to} out of range ({} endpoints)",
+                self.endpoints.len()
+            ));
+        }
+        let mut table = self.table.write().expect("table lock");
+        let from = table.place(patient);
+        if from == to {
+            return Ok(());
+        }
+        let state = self.endpoints[from].export_patient(patient)?;
+        self.endpoints[to]
+            .import_patient(patient, state)
+            .map_err(|e| format!("patient {patient} stranded mid-handoff (import failed): {e}"))?;
+        table.assign(patient, to);
+        Ok(())
+    }
+
+    /// Synchronization point across every endpoint: flushes staged
+    /// samples and drains outstanding acks, making [`stats`](Self::stats)
+    /// exact.
+    ///
+    /// # Errors
+    /// Returns the first endpoint's transport error, if any.
+    pub fn barrier(&self) -> Result<(), String> {
+        for e in &self.endpoints {
+            e.barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Cluster-wide counters: the sum of every endpoint's client-side
+    /// stats (drop counts propagated from the servers through acks).
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for e in &self.endpoints {
+            let s = e.stats();
+            total.samples_pushed += s.samples_pushed;
+            total.batches_flushed += s.batches_flushed;
+            total.dropped_unknown += s.dropped_unknown;
+        }
+        total
+    }
+
+    /// Admits a patient on its placed machine.
+    ///
+    /// # Errors
+    /// Returns the owning server's error.
+    pub fn admit(&self, patient: PatientId) -> Result<(), String> {
+        let table = self.table.read().expect("table lock");
+        self.endpoints[table.place(patient)].admit(patient)
+    }
+
+    /// Stages one sample on the owning machine's client. The table's
+    /// read lock is held across the push so a concurrent
+    /// [`rebalance`](Self::rebalance) cannot redirect the patient
+    /// mid-sample, while pushes to different machines proceed in
+    /// parallel (a blocked endpoint backpressures only its own
+    /// producers, not the fleet).
+    pub fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
+        let table = self.table.read().expect("table lock");
+        self.endpoints[table.place(patient)].push(patient, source, t, v);
+    }
+
+    /// Flushes and polls every machine.
+    pub fn poll(&self) {
+        for e in &self.endpoints {
+            e.poll();
+        }
+    }
+
+    /// Ends a patient's stream on its owning machine.
+    ///
+    /// # Errors
+    /// Returns the owning server's deferred errors.
+    pub fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let table = self.table.read().expect("table lock");
+        self.endpoints[table.place(patient)].finish(patient)
+    }
+
+    /// Closes every endpoint connection. Equivalent to dropping.
+    pub fn shutdown(self) {}
+}
+
+impl Ingest for ClusterIngest {
+    fn admit(&self, patient: PatientId) -> Result<(), String> {
+        ClusterIngest::admit(self, patient)
+    }
+
+    fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
+        ClusterIngest::push(self, patient, source, t, v);
+    }
+
+    fn poll(&self) {
+        ClusterIngest::poll(self);
+    }
+
+    fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        ClusterIngest::finish(self, patient)
+    }
+
+    fn stats(&self) -> IngestStats {
+        ClusterIngest::stats(self)
+    }
+}
+
+impl std::fmt::Debug for ClusterIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterIngest")
+            .field("machines", &self.endpoints.len())
+            .field(
+                "overridden",
+                &self.table.read().expect("table lock").overridden(),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,256 @@
+//! Cross-machine shard fabric: the ingest protocol over TCP.
+//!
+//! PR 4 shaped the live data plane around a serializable `SampleBatch`
+//! over bounded channels precisely so a wire transport could slide
+//! underneath without touching session semantics. This module is that
+//! transport, in three layers that mirror Timely Dataflow's exchange
+//! design — a process boundary speaks the same channel protocol as a
+//! thread boundary:
+//!
+//! * [`wire`] — the versioned, length-prefixed, little-endian frame
+//!   codec for the ingest command stream (batches, register/finish,
+//!   polls, partition handoffs) and its acked replies. The v1 layout is
+//!   locked by golden-byte fixtures.
+//! * [`ShardServer`] / [`RemoteIngest`] — a TCP listener hosting the
+//!   sharded live-ingest runtime, and the client that implements the
+//!   same staging/backpressure [`Ingest`](crate::sharded::Ingest) API as
+//!   the in-process front end: a bounded window of un-acked frames makes
+//!   acks the backpressure signal, and server-side drop counts ride the
+//!   acks back into the client's stats.
+//! * [`ClusterIngest`] — hash-partitions patients over N endpoints via
+//!   the live [`PlacementTable`](crate::machines::PlacementTable) and
+//!   moves a patient between machines mid-stream with a cooperative
+//!   handoff (drain, margin-suffix state transfer, re-pin) that loses
+//!   zero samples.
+//!
+//! ## Choosing a front end
+//!
+//! | Front end | Sessions live | Use when |
+//! |---|---|---|
+//! | [`LiveIngest`](crate::sharded::LiveIngest) | this process | one machine owns every patient |
+//! | [`RemoteIngest`] | one server | producers and compute are separate hosts |
+//! | [`ClusterIngest`] | a fleet | patients exceed one machine; rebalancing needed |
+//!
+//! All three implement [`Ingest`](crate::sharded::Ingest), so the choice
+//! is a constructor, not a rewrite. The `cluster_loopback` example runs
+//! the same feed through all three and asserts byte-identical output —
+//! including across a mid-stream handoff.
+
+mod client;
+mod cluster;
+mod server;
+pub mod wire;
+
+pub use client::{RemoteConfig, RemoteIngest};
+pub use cluster::ClusterIngest;
+pub use server::ShardServer;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use lifestream_core::ops::aggregate::AggKind;
+    use lifestream_core::stream::Query;
+    use lifestream_core::time::StreamShape;
+
+    use crate::sharded::{Ingest, IngestConfig, LiveIngest, PipelineFactory};
+
+    use super::*;
+
+    fn factory() -> PipelineFactory {
+        Arc::new(|| {
+            let q = Query::new();
+            q.source("s", StreamShape::new(0, 2))
+                .select(1, |i, o| o[0] = i[0] + 1.0)?
+                .aggregate(AggKind::Mean, 40, 4)?
+                .sink();
+            q.compile()
+        })
+    }
+
+    fn serve() -> (ShardServer, std::net::SocketAddr) {
+        let server = ShardServer::bind(factory(), IngestConfig::new(2, 100), "127.0.0.1:0")
+            .expect("bind loopback");
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    #[test]
+    fn remote_ingest_matches_local_ingest_byte_for_byte() {
+        let (server, addr) = serve();
+        let run = |ingest: &dyn Ingest| {
+            for p in [1u64, 2, 3] {
+                ingest.admit(p).unwrap();
+            }
+            for k in 0..400i64 {
+                for p in [1u64, 2, 3] {
+                    ingest.push(p, 0, k * 2, (k * 31 % 83) as f32 + p as f32);
+                }
+                if k % 47 == 0 {
+                    ingest.poll();
+                }
+            }
+            let mut sums = Vec::new();
+            for p in [1u64, 2, 3] {
+                let out = ingest.finish(p).unwrap();
+                sums.push((out.len(), out.checksum()));
+            }
+            sums
+        };
+        let local = LiveIngest::new(factory(), 2, 100);
+        let expect = run(&local);
+        local.shutdown();
+        let remote = RemoteIngest::connect(addr, RemoteConfig::default().batch(32).window(4))
+            .expect("connect");
+        let got = run(&remote);
+        assert_eq!(got, expect, "TCP transport must be invisible in output");
+        remote.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn tiny_window_backpressures_but_loses_nothing() {
+        let (server, addr) = serve();
+        let remote =
+            RemoteIngest::connect(addr, RemoteConfig::default().batch(1).window(1)).unwrap();
+        remote.admit(7).unwrap();
+        for k in 0..1_000i64 {
+            remote.push(7, 0, k * 2, k as f32);
+        }
+        let out = remote.finish(7).unwrap();
+        let local = LiveIngest::new(factory(), 1, 100);
+        local.admit(7).unwrap();
+        for k in 0..1_000i64 {
+            local.push(7, 0, k * 2, k as f32);
+        }
+        let expect = local.finish(7).unwrap();
+        local.shutdown();
+        assert_eq!(out.len(), expect.len());
+        assert_eq!(out.checksum(), expect.checksum());
+        let stats = remote.stats();
+        assert_eq!(stats.samples_pushed, 1_000);
+        assert_eq!(stats.batches_flushed, 1_000, "batch=1 → frame per sample");
+        remote.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_side_drops_surface_in_client_stats() {
+        // The satellite fix: unknown-patient drops happen on the server,
+        // but the client's IngestStats must see them (via ack deltas).
+        let (server, addr) = serve();
+        let remote = RemoteIngest::connect(addr, RemoteConfig::default().batch(4)).unwrap();
+        remote.admit(1).unwrap();
+        remote.push(2, 0, 0, 1.0); // never admitted
+        remote.push(2, 0, 2, 1.0);
+        remote.push(1, 0, 0, 1.0);
+        remote.barrier().unwrap();
+        let stats = remote.stats();
+        assert_eq!(stats.dropped_unknown, 2);
+        assert_eq!(stats.samples_pushed, 3);
+        assert_eq!(server.ingest_stats().dropped_unknown, 2);
+        let _ = remote.finish(1).unwrap();
+        remote.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_and_deferred_violations_propagate() {
+        let (server, addr) = serve();
+        let remote = RemoteIngest::connect(addr, RemoteConfig::default()).unwrap();
+        remote.admit(5).unwrap();
+        let err = remote.admit(5).unwrap_err();
+        assert!(err.contains("already admitted"), "err: {err}");
+        remote.push(5, 0, 3, 1.0); // off the period-2 grid
+        remote.push(5, 0, 7, 2.0);
+        let err = remote.finish(5).unwrap_err();
+        assert!(
+            err.contains("time 3") && err.contains("time 7"),
+            "err: {err}"
+        );
+        let err = remote.finish(99).unwrap_err();
+        assert!(err.contains("not admitted"), "err: {err}");
+        remote.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn cluster_rebalance_moves_a_patient_without_losing_samples() {
+        let (server_a, addr_a) = serve();
+        let (server_b, addr_b) = serve();
+        let cluster = ClusterIngest::connect(
+            &[addr_a, addr_b],
+            RemoteConfig::default().batch(16).window(4),
+        )
+        .unwrap();
+        let p = 11u64;
+        let home = cluster.machine_of(p);
+        let away = 1 - home;
+        cluster.admit(p).unwrap();
+        for k in 0..300i64 {
+            cluster.push(p, 0, k * 2, (k % 53) as f32);
+            if k % 59 == 0 {
+                cluster.poll();
+            }
+        }
+        cluster.rebalance(p, away).unwrap();
+        assert_eq!(cluster.machine_of(p), away);
+        for k in 300..600i64 {
+            cluster.push(p, 0, k * 2, (k % 53) as f32);
+            if k % 59 == 0 {
+                cluster.poll();
+            }
+        }
+        let moved = cluster.finish(p).unwrap();
+
+        // Reference: the same feed through one in-process ingest.
+        let local = LiveIngest::new(factory(), 1, 100);
+        local.admit(p).unwrap();
+        for k in 0..600i64 {
+            local.push(p, 0, k * 2, (k % 53) as f32);
+            if k % 59 == 0 {
+                local.poll();
+            }
+        }
+        let expect = local.finish(p).unwrap();
+        local.shutdown();
+
+        assert_eq!(moved.len(), expect.len(), "handoff must lose zero samples");
+        assert_eq!(
+            moved.checksum(),
+            expect.checksum(),
+            "and stay byte-identical"
+        );
+        assert_eq!(cluster.stats().dropped_unknown, 0);
+        // Rebalancing to the current owner is a no-op; out-of-range is an
+        // error, not a panic.
+        cluster.rebalance(p, away).unwrap();
+        assert!(cluster
+            .rebalance(p, 9)
+            .unwrap_err()
+            .contains("out of range"));
+        cluster.shutdown();
+        server_a.shutdown();
+        server_b.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_an_error_reply_not_a_hang() {
+        use std::io::{Read, Write};
+        let (server, addr) = serve();
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        // A well-framed payload with a bogus version byte.
+        let payload = [9u8, 0x01, 0, 0, 0, 0, 0, 0, 0, 0];
+        sock.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        sock.write_all(&payload).unwrap();
+        let mut reply = Vec::new();
+        sock.read_to_end(&mut reply).unwrap();
+        // 4-byte length + version + opcode 0x82 (Err) + message.
+        assert!(reply.len() > 6);
+        assert_eq!(reply[4], wire::WIRE_VERSION);
+        assert_eq!(reply[5], 0x82, "Err reply expected");
+        drop(sock);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,194 @@
+//! The serving side of the shard fabric: a TCP listener in front of a
+//! sharded live-ingest runtime.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::sharded::{IngestConfig, IngestStats, LiveIngest, PipelineFactory};
+
+use super::wire::{self, WireCmd, WireReply};
+
+/// One machine of the shard fabric: a [`LiveIngest`] (sharded worker
+/// threads, pooled sessions, bounded channels) hosted behind a TCP
+/// listener speaking the [`wire`] protocol.
+///
+/// Each accepted connection gets a handler thread that decodes command
+/// frames, executes them against the shared ingest, and writes exactly
+/// one reply frame per command, in order. Backpressure composes: when
+/// the ingest's bounded shard channels fill, the handler blocks applying
+/// a batch, its acks stop, the client's in-flight window fills, and the
+/// remote producer's `push` blocks — the same discipline as in-process,
+/// stretched over TCP.
+pub struct ShardServer {
+    local: SocketAddr,
+    ingest: Arc<LiveIngest>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ShardServer {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port) and
+    /// starts serving the ingest described by `factory` + `cfg`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind<A: ToSocketAddrs>(
+        factory: PipelineFactory,
+        cfg: IngestConfig,
+        addr: A,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let ingest = Arc::new(LiveIngest::with_config(factory, cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let ingest = Arc::clone(&ingest);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name(format!("shard-server-{local}"))
+                .spawn(move || {
+                    for sock in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(sock) = sock else { continue };
+                        let ingest = Arc::clone(&ingest);
+                        let handle = std::thread::Builder::new()
+                            .name("shard-conn".into())
+                            .spawn(move || serve_conn(sock, &ingest))
+                            .expect("spawn connection handler");
+                        let mut conns = conns.lock().expect("conns lock");
+                        // Prune handles of connections that already
+                        // ended, so a long-lived server churning through
+                        // short connections does not accumulate them.
+                        conns.retain(|h: &JoinHandle<()>| !h.is_finished());
+                        conns.push(handle);
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+        Ok(Self {
+            local,
+            ingest,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Server-side ingest counters (what the hosted [`LiveIngest`] saw).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest.stats()
+    }
+
+    /// Stops accepting, joins every connection handler, and shuts the
+    /// hosted ingest down. Call after clients have disconnected — a
+    /// still-connected client keeps its handler (and this call) alive
+    /// until it closes or fails.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.conns.lock().expect("conns lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // The ingest Arc is dropped with self; its Drop runs the
+        // close-channels-and-join protocol.
+    }
+}
+
+impl Drop for ShardServer {
+    /// Dropping runs the same protocol as [`shutdown`](Self::shutdown).
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("local", &self.local)
+            .finish()
+    }
+}
+
+/// One connection's command loop: frame in, execute, reply frame out.
+fn serve_conn(sock: TcpStream, ingest: &LiveIngest) {
+    let _ = sock.set_nodelay(true);
+    let mut reader = BufReader::new(sock.try_clone().expect("clone socket"));
+    let mut writer = BufWriter::new(sock);
+    // Clean EOF or a dead peer ends the loop either way; sessions live
+    // in the shared ingest and survive the connection.
+    while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+        let reply = match wire::decode_cmd(&payload) {
+            Ok(cmd) => execute(cmd, ingest),
+            Err(e) => WireReply::Err(format!("malformed command: {e}")),
+        };
+        let fatal = matches!(&reply, WireReply::Err(m) if m.starts_with("malformed"));
+        if wire::write_frame(&mut writer, &wire::encode_reply(&reply)).is_err()
+            || writer.flush().is_err()
+            || fatal
+        {
+            break;
+        }
+    }
+}
+
+/// Maps one wire command onto the hosted ingest.
+fn execute(cmd: WireCmd, ingest: &LiveIngest) -> WireReply {
+    match cmd {
+        WireCmd::Admit { patient } => match ingest.admit(patient) {
+            Ok(()) => WireReply::Ok,
+            Err(e) => WireReply::Err(e),
+        },
+        WireCmd::Batch(samples) => {
+            let n = samples.len() as u64;
+            let dropped = ingest.ingest_batch(samples);
+            WireReply::Ack {
+                samples: n - dropped,
+                dropped_unknown: dropped,
+            }
+        }
+        WireCmd::Poll => {
+            ingest.poll();
+            WireReply::Ack {
+                samples: 0,
+                dropped_unknown: 0,
+            }
+        }
+        WireCmd::Finish { patient } => match ingest.finish(patient) {
+            Ok(out) => WireReply::Output(out),
+            Err(e) => WireReply::Err(e),
+        },
+        WireCmd::Export { patient } => match ingest.export_patient(patient) {
+            Ok(state) => WireReply::Handoff(Box::new(state)),
+            Err(e) => WireReply::Err(e),
+        },
+        WireCmd::Import { patient, state } => match ingest.import_patient(patient, *state) {
+            Ok(()) => WireReply::Ok,
+            Err(e) => WireReply::Err(e),
+        },
+    }
+}

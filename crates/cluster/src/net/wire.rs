@@ -1,0 +1,579 @@
+//! Versioned, length-prefixed binary wire format for the ingest command
+//! stream.
+//!
+//! Everything the in-process [`LiveIngest`](crate::sharded::LiveIngest)
+//! protocol says — admit/finish, sample batches, polls, partition
+//! handoffs, and their replies — has one explicit byte layout here, so a
+//! client and server built from different checkouts either interoperate
+//! bit-exactly or fail loudly on the version byte.
+//!
+//! ## Frame layout (v1)
+//!
+//! Every frame is a 4-byte **little-endian** `u32` payload length
+//! followed by the payload. All multi-byte integers in the payload are
+//! little-endian; `f32` values travel as their IEEE-754 bit patterns.
+//!
+//! ```text
+//! frame   := len:u32 payload[len]
+//! payload := version:u8 (=0x01) opcode:u8 body
+//!
+//! commands                         replies
+//!   0x01 Admit   patient:u64        0x81 Ok
+//!   0x02 Batch   samples:vec        0x82 Err     msg:str
+//!   0x03 Poll                       0x83 Ack     samples:u64 dropped:u64
+//!   0x04 Finish  patient:u64        0x84 Output  collector
+//!   0x05 Export  patient:u64        0x85 Handoff handoff
+//!   0x06 Import  patient:u64 handoff
+//!
+//! sample    := patient:u64 source:u32 t:i64 v:f32          (24 bytes)
+//! vec       := count:u32 item*
+//! str       := len:u32 utf8-bytes
+//! collector := arity:u32 len:u32 times:i64*len
+//!              durations:i64*len (values:f32*len)*arity
+//! suffix    := base_slot:u64 watermark:i64
+//!              values:u32+f32* ranges:u32+(start:i64 end:i64)*
+//! snapshot  := next_round:i64 sources:u32+suffix*
+//! handoff   := snapshot collector errors:u32+str*
+//! ```
+//!
+//! Every `vec`/`str` count is validated against the bytes actually left
+//! in its frame before anything is allocated (and a collector's arity —
+//! whose columns can be zero bytes long — against [`MAX_WIRE_ARITY`]),
+//! so a corrupt or hostile frame is refused, never amplified into an
+//! allocation.
+//!
+//! The layout is locked by golden-byte fixtures in
+//! `crates/cluster/tests/wire_codec.rs`: changing any of the above
+//! without bumping [`WIRE_VERSION`] fails those tests, not a production
+//! peer.
+
+use std::io::{self, Read, Write};
+
+use lifestream_core::exec::OutputCollector;
+use lifestream_core::live::{SessionSnapshot, SourceSuffix};
+
+use crate::sharded::{PatientHandoff, PatientId, Sample};
+
+/// Wire-format version byte every payload starts with.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame payload (64 MiB): a corrupt or hostile length
+/// prefix must not become an allocation bomb.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Hard ceiling on a decoded collector's payload arity. The engine's own
+/// limit is 8 ([`lifestream_core::fwindow::MAX_ARITY`]); the wire allows
+/// headroom but must bound it, because arity is the one count whose
+/// elements can occupy *zero* payload bytes (a zero-length collector),
+/// so the remaining-bytes check below cannot constrain it.
+pub const MAX_WIRE_ARITY: usize = 1024;
+
+/// A decoded ingest command (client → server).
+#[derive(Debug)]
+pub enum WireCmd {
+    /// Register a patient: compile its query, open its live session.
+    Admit {
+        /// Patient to admit.
+        patient: PatientId,
+    },
+    /// A staged run of samples, applied in push order.
+    Batch(Vec<Sample>),
+    /// Process all complete rounds of every session.
+    Poll,
+    /// End a patient's stream and return its collected output.
+    Finish {
+        /// Patient to finish.
+        patient: PatientId,
+    },
+    /// Remove a patient's session and return its handoff state.
+    Export {
+        /// Patient to export.
+        patient: PatientId,
+    },
+    /// Re-create a patient session from handoff state.
+    Import {
+        /// Patient to import.
+        patient: PatientId,
+        /// The exported session state.
+        state: Box<PatientHandoff>,
+    },
+}
+
+/// A decoded reply (server → client). Every command frame gets exactly
+/// one reply frame, in order.
+#[derive(Debug)]
+pub enum WireReply {
+    /// The command succeeded with nothing to return.
+    Ok,
+    /// The command failed; the message preserves the server-side error.
+    Err(String),
+    /// A batch (or poll) was applied: the [`IngestStats`] delta it
+    /// caused — samples accepted and samples dropped for unknown
+    /// patients. Drop counts ride every ack so the client's counters
+    /// stay truthful without an extra round trip.
+    ///
+    /// [`IngestStats`]: crate::sharded::IngestStats
+    Ack {
+        /// Samples the server applied from this command.
+        samples: u64,
+        /// Samples dropped because their patient was unknown.
+        dropped_unknown: u64,
+    },
+    /// A finished patient's collected output.
+    Output(OutputCollector),
+    /// An exported patient's handoff state.
+    Handoff(Box<PatientHandoff>),
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// The version byte is not [`WIRE_VERSION`].
+    Version(u8),
+    /// Unknown opcode for this payload kind.
+    Opcode(u8),
+    /// A string field is not valid UTF-8.
+    Utf8,
+    /// Bytes remained after the structure was fully decoded.
+    Trailing(usize),
+    /// A declared length or count exceeds what its frame can hold (or a
+    /// protocol ceiling such as [`MAX_FRAME`] / [`MAX_WIRE_ARITY`]).
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Version(v) => {
+                write!(f, "wire version {v} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::Opcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Utf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::TooLarge(n) => {
+                write!(f, "declared length {n} exceeds its frame or a protocol cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_samples(buf: &mut Vec<u8>, samples: &[Sample]) {
+    put_u32(buf, samples.len() as u32);
+    for &(patient, source, t, v) in samples {
+        put_u64(buf, patient);
+        put_u32(buf, source as u32);
+        put_i64(buf, t);
+        put_f32(buf, v);
+    }
+}
+
+fn put_collector(buf: &mut Vec<u8>, c: &OutputCollector) {
+    put_u32(buf, c.arity() as u32);
+    put_u32(buf, c.len() as u32);
+    for &t in c.times() {
+        put_i64(buf, t);
+    }
+    for &d in c.durations() {
+        put_i64(buf, d);
+    }
+    for f in 0..c.arity() {
+        for &v in c.values(f) {
+            put_f32(buf, v);
+        }
+    }
+}
+
+fn put_handoff(buf: &mut Vec<u8>, h: &PatientHandoff) {
+    put_i64(buf, h.snapshot.next_round);
+    put_u32(buf, h.snapshot.sources.len() as u32);
+    for s in &h.snapshot.sources {
+        put_u64(buf, s.base_slot);
+        put_i64(buf, s.watermark);
+        put_u32(buf, s.values.len() as u32);
+        for &v in &s.values {
+            put_f32(buf, v);
+        }
+        put_u32(buf, s.ranges.len() as u32);
+        for &(a, b) in &s.ranges {
+            put_i64(buf, a);
+            put_i64(buf, b);
+        }
+    }
+    put_collector(buf, &h.output);
+    put_u32(buf, h.errors.len() as u32);
+    for e in &h.errors {
+        put_str(buf, e);
+    }
+}
+
+/// Encodes a command as a v1 payload (version byte + opcode + body).
+pub fn encode_cmd(cmd: &WireCmd) -> Vec<u8> {
+    let mut buf = vec![WIRE_VERSION];
+    match cmd {
+        WireCmd::Admit { patient } => {
+            buf.push(0x01);
+            put_u64(&mut buf, *patient);
+        }
+        WireCmd::Batch(samples) => {
+            buf.push(0x02);
+            put_samples(&mut buf, samples);
+        }
+        WireCmd::Poll => buf.push(0x03),
+        WireCmd::Finish { patient } => {
+            buf.push(0x04);
+            put_u64(&mut buf, *patient);
+        }
+        WireCmd::Export { patient } => {
+            buf.push(0x05);
+            put_u64(&mut buf, *patient);
+        }
+        WireCmd::Import { patient, state } => {
+            buf.push(0x06);
+            put_u64(&mut buf, *patient);
+            put_handoff(&mut buf, state);
+        }
+    }
+    buf
+}
+
+/// Encodes a reply as a v1 payload.
+pub fn encode_reply(reply: &WireReply) -> Vec<u8> {
+    let mut buf = vec![WIRE_VERSION];
+    match reply {
+        WireReply::Ok => buf.push(0x81),
+        WireReply::Err(msg) => {
+            buf.push(0x82);
+            put_str(&mut buf, msg);
+        }
+        WireReply::Ack {
+            samples,
+            dropped_unknown,
+        } => {
+            buf.push(0x83);
+            put_u64(&mut buf, *samples);
+            put_u64(&mut buf, *dropped_unknown);
+        }
+        WireReply::Output(c) => {
+            buf.push(0x84);
+            put_collector(&mut buf, c);
+        }
+        WireReply::Handoff(h) => {
+            buf.push(0x85);
+            put_handoff(&mut buf, h);
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.at < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(u32::from_le_bytes(
+            self.take(4)?.try_into().unwrap(),
+        )))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// A declared element count, refused outright unless the rest of the
+    /// payload is long enough to hold `n` elements of `min_elem_bytes`
+    /// each — a corrupt or hostile count can never make the decoder
+    /// allocate beyond (a small multiple of) the frame it rode in on.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::TooLarge(n));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.count(1)?;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| WireError::Utf8)
+    }
+
+    fn samples(&mut self) -> Result<Vec<Sample>, WireError> {
+        let n = self.count(24)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let patient = self.u64()?;
+            let source = self.u32()? as usize;
+            let t = self.i64()?;
+            let v = self.f32()?;
+            out.push((patient, source, t, v));
+        }
+        Ok(out)
+    }
+
+    fn collector(&mut self) -> Result<OutputCollector, WireError> {
+        // Arity elements occupy no bytes when `len` is zero, so the
+        // remaining-bytes rule cannot bound them; use the explicit cap.
+        let arity = self.u32()? as usize;
+        if arity > MAX_WIRE_ARITY {
+            return Err(WireError::TooLarge(arity));
+        }
+        // Each event row occupies 16 bytes of times+durations (plus
+        // 4 × arity of field values the per-column reads enforce).
+        let len = self.count(16)?;
+        let mut times = Vec::with_capacity(len);
+        for _ in 0..len {
+            times.push(self.i64()?);
+        }
+        let mut durations = Vec::with_capacity(len);
+        for _ in 0..len {
+            durations.push(self.i64()?);
+        }
+        let mut fields = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let mut col = Vec::with_capacity(len);
+            for _ in 0..len {
+                col.push(self.f32()?);
+            }
+            fields.push(col);
+        }
+        let mut c = OutputCollector::new(arity);
+        let mut row = vec![0.0f32; arity];
+        for i in 0..len {
+            for (f, slot) in row.iter_mut().enumerate() {
+                *slot = fields[f][i];
+            }
+            c.push(times[i], durations[i], &row);
+        }
+        Ok(c)
+    }
+
+    fn handoff(&mut self) -> Result<PatientHandoff, WireError> {
+        let next_round = self.i64()?;
+        // A source suffix is at least base_slot + watermark + two counts.
+        let nsources = self.count(24)?;
+        let mut sources = Vec::with_capacity(nsources);
+        for _ in 0..nsources {
+            let base_slot = self.u64()?;
+            let watermark = self.i64()?;
+            let nvals = self.count(4)?;
+            let mut values = Vec::with_capacity(nvals);
+            for _ in 0..nvals {
+                values.push(self.f32()?);
+            }
+            let nranges = self.count(16)?;
+            let mut ranges = Vec::with_capacity(nranges);
+            for _ in 0..nranges {
+                let a = self.i64()?;
+                let b = self.i64()?;
+                ranges.push((a, b));
+            }
+            sources.push(SourceSuffix {
+                base_slot,
+                watermark,
+                values,
+                ranges,
+            });
+        }
+        let output = self.collector()?;
+        let nerrors = self.count(4)?;
+        let mut errors = Vec::with_capacity(nerrors);
+        for _ in 0..nerrors {
+            errors.push(self.str()?);
+        }
+        Ok(PatientHandoff {
+            snapshot: SessionSnapshot {
+                next_round,
+                sources,
+            },
+            output,
+            errors,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let rest = self.buf.len() - self.at;
+        if rest != 0 {
+            return Err(WireError::Trailing(rest));
+        }
+        Ok(())
+    }
+}
+
+fn open(payload: &[u8]) -> Result<(Cursor<'_>, u8), WireError> {
+    let mut cur = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let version = cur.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version(version));
+    }
+    let opcode = cur.u8()?;
+    Ok((cur, opcode))
+}
+
+/// Decodes a command payload.
+///
+/// # Errors
+/// Returns a [`WireError`] on any structural mismatch — wrong version,
+/// unknown opcode, short or over-long body.
+pub fn decode_cmd(payload: &[u8]) -> Result<WireCmd, WireError> {
+    let (mut cur, opcode) = open(payload)?;
+    let cmd = match opcode {
+        0x01 => WireCmd::Admit {
+            patient: cur.u64()?,
+        },
+        0x02 => WireCmd::Batch(cur.samples()?),
+        0x03 => WireCmd::Poll,
+        0x04 => WireCmd::Finish {
+            patient: cur.u64()?,
+        },
+        0x05 => WireCmd::Export {
+            patient: cur.u64()?,
+        },
+        0x06 => WireCmd::Import {
+            patient: cur.u64()?,
+            state: Box::new(cur.handoff()?),
+        },
+        op => return Err(WireError::Opcode(op)),
+    };
+    cur.finish()?;
+    Ok(cmd)
+}
+
+/// Decodes a reply payload.
+///
+/// # Errors
+/// Returns a [`WireError`] on any structural mismatch.
+pub fn decode_reply(payload: &[u8]) -> Result<WireReply, WireError> {
+    let (mut cur, opcode) = open(payload)?;
+    let reply = match opcode {
+        0x81 => WireReply::Ok,
+        0x82 => WireReply::Err(cur.str()?),
+        0x83 => WireReply::Ack {
+            samples: cur.u64()?,
+            dropped_unknown: cur.u64()?,
+        },
+        0x84 => WireReply::Output(cur.collector()?),
+        0x85 => WireReply::Handoff(Box::new(cur.handoff()?)),
+        op => return Err(WireError::Opcode(op)),
+    };
+    cur.finish()?;
+    Ok(reply)
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// Propagates I/O errors; refuses payloads over [`MAX_FRAME`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            WireError::TooLarge(payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary (the peer closed the stream between frames); EOF
+/// mid-frame is an error.
+///
+/// # Errors
+/// Propagates I/O errors; refuses length prefixes over [`MAX_FRAME`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut at = 0;
+    while at < 4 {
+        match r.read(&mut len[at..]) {
+            Ok(0) if at == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::TooLarge(len),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}

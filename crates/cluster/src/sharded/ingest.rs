@@ -40,6 +40,19 @@
 //! `LiveIngest` without calling [`shutdown`](LiveIngest::shutdown) runs
 //! the same close-channels-and-join protocol, so no worker is ever
 //! stranded mid-batch.
+//!
+//! ## Protocol vs transport
+//!
+//! The surface above is the ingest *protocol*, named by the [`Ingest`]
+//! trait; bounded in-process channels are merely this module's
+//! *transport*. [`crate::net`] implements the same trait over TCP
+//! ([`RemoteIngest`](crate::net::RemoteIngest) /
+//! [`ClusterIngest`](crate::net::ClusterIngest)), reusing this module's
+//! shard loop via the acked entry points
+//! ([`ingest_batch`](LiveIngest::ingest_batch) returns drop counts
+//! synchronously so a wire ack can carry them) and moving whole sessions
+//! between machines with [`export_patient`](LiveIngest::export_patient) /
+//! [`import_patient`](LiveIngest::import_patient) ([`PatientHandoff`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,7 +61,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use lifestream_core::exec::OutputCollector;
-use lifestream_core::live::LiveSession;
+use lifestream_core::live::{LiveSession, SessionSnapshot};
 use lifestream_core::time::Tick;
 
 use super::pool::PipelineFactory;
@@ -56,6 +69,61 @@ use super::PatientId;
 
 /// One pushed sample: `(patient, source index, sync time, value)`.
 pub type Sample = (PatientId, usize, Tick, f32);
+
+/// The ingest *protocol*: the staging/backpressure surface every ingest
+/// front end exposes, independent of the transport underneath.
+///
+/// Three transports implement it — [`LiveIngest`] (in-process bounded
+/// channels), [`RemoteIngest`](crate::net::RemoteIngest) (one TCP peer,
+/// ack-windowed), and [`ClusterIngest`](crate::net::ClusterIngest) (a
+/// partitioned fleet of peers) — so callers written against this trait
+/// move from one process to a wire fabric unchanged.
+pub trait Ingest {
+    /// Admits a patient: compiles the query and opens a live session
+    /// wherever this transport places it.
+    ///
+    /// # Errors
+    /// Returns the compile error message, or a complaint when the patient
+    /// is already admitted.
+    fn admit(&self, patient: PatientId) -> Result<(), String>;
+
+    /// Stages one sample (fire-and-forget; transports batch staged
+    /// samples and block for backpressure). Per-sample violations are
+    /// deferred and surface from [`finish`](Self::finish).
+    fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32);
+
+    /// Flushes staged samples and asks every session to process all
+    /// complete rounds.
+    fn poll(&self);
+
+    /// Ends a patient's stream and returns everything the query emitted
+    /// for it, in order.
+    ///
+    /// # Errors
+    /// Returns every deferred error for the patient (joined with `"; "`),
+    /// or a complaint for an unknown patient.
+    fn finish(&self, patient: PatientId) -> Result<OutputCollector, String>;
+
+    /// Front-end counters so far. For remote transports,
+    /// [`IngestStats::dropped_unknown`] reflects server-side drops
+    /// propagated back through acks (exact after any synchronous call).
+    fn stats(&self) -> IngestStats;
+}
+
+/// Everything one patient's session carries across a partition handoff:
+/// the margin-suffix [`SessionSnapshot`], the output collected so far,
+/// and the errors deferred to `finish`. Produced by
+/// [`LiveIngest::export_patient`], consumed by
+/// [`LiveIngest::import_patient`] — locally or across the wire.
+#[derive(Debug)]
+pub struct PatientHandoff {
+    /// The live session's retained-suffix snapshot.
+    pub snapshot: SessionSnapshot,
+    /// Sink events already emitted for this patient.
+    pub output: OutputCollector,
+    /// Deferred push/poll errors accumulated so far.
+    pub errors: Vec<String>,
+}
 
 /// Ingest front-end knobs.
 #[derive(Debug, Clone, Copy)]
@@ -125,10 +193,29 @@ enum Cmd {
     },
     /// A staged run of samples, applied in order on the shard.
     SampleBatch(Vec<Sample>),
+    /// An already-assembled batch applied synchronously: the reply carries
+    /// the number of samples dropped for unknown patients, so an acked
+    /// transport can propagate the drop count to its client.
+    SampleBatchSync {
+        batch: Vec<Sample>,
+        reply: Sender<u64>,
+    },
     Poll,
     Finish {
         patient: PatientId,
         reply: Sender<Result<OutputCollector, String>>,
+    },
+    /// Removes the patient's session and returns its handoff state
+    /// (drains complete rounds first, so only the margin suffix moves).
+    Export {
+        patient: PatientId,
+        reply: Sender<Result<PatientHandoff, String>>,
+    },
+    /// Re-creates a patient session from handoff state.
+    Import {
+        patient: PatientId,
+        state: Box<PatientHandoff>,
+        reply: Sender<Result<(), String>>,
     },
     Shutdown,
 }
@@ -269,6 +356,78 @@ impl LiveIngest {
         ack.recv().map_err(|_| "ingest shard gone".to_string())?
     }
 
+    /// Applies an already-assembled batch, routing each sample to its
+    /// shard and waiting until every shard has applied its slice. Returns
+    /// the number of samples dropped for unknown patients — the delta an
+    /// acked transport ships back to its client.
+    ///
+    /// This is the server-side entry point of the wire fabric: samples
+    /// arrive pre-batched, so they bypass the client-side staging buffers
+    /// (do not interleave this with [`push`](Self::push) for the same
+    /// patient — the staging buffer would race the direct path).
+    pub fn ingest_batch(&self, batch: Vec<Sample>) -> u64 {
+        let n = batch.len() as u64;
+        let mut per_shard: Vec<Vec<Sample>> = (0..self.txs.len()).map(|_| Vec::new()).collect();
+        for s in batch {
+            per_shard[self.shard_of(s.0)].push(s);
+        }
+        self.counters.samples_pushed.fetch_add(n, Ordering::Relaxed);
+        let mut acks = Vec::new();
+        for (shard, slice) in per_shard.into_iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            self.counters
+                .batches_flushed
+                .fetch_add(1, Ordering::Relaxed);
+            let (reply, ack) = channel();
+            let _ = self.txs[shard].send(Cmd::SampleBatchSync {
+                batch: slice,
+                reply,
+            });
+            acks.push(ack);
+        }
+        acks.into_iter().filter_map(|a| a.recv().ok()).sum()
+    }
+
+    /// Removes a patient's session and returns its handoff state: the
+    /// session is drained of complete rounds, then its margin suffix,
+    /// collected output, and deferred errors are extracted. The patient
+    /// is no longer admitted here afterwards — pushes for it count as
+    /// dropped until [`import_patient`](Self::import_patient) lands it
+    /// somewhere.
+    ///
+    /// # Errors
+    /// Returns a message for an unknown patient or a poisoned session
+    /// (whose executor state cannot be transferred).
+    pub fn export_patient(&self, patient: PatientId) -> Result<PatientHandoff, String> {
+        let shard = self.shard_of(patient);
+        self.flush_shard(shard);
+        let (reply, ack) = channel();
+        let _ = self.txs[shard].send(Cmd::Export { patient, reply });
+        ack.recv().map_err(|_| "ingest shard gone".to_string())?
+    }
+
+    /// Re-creates a patient session from handoff state exported by
+    /// [`export_patient`](Self::export_patient) — on this ingest or on a
+    /// peer across the wire. The resumed session continues emitting
+    /// byte-identically from the exported frontier.
+    ///
+    /// # Errors
+    /// Returns the compile/import error message, or a complaint when the
+    /// patient is already admitted.
+    pub fn import_patient(&self, patient: PatientId, state: PatientHandoff) -> Result<(), String> {
+        let shard = self.shard_of(patient);
+        self.flush_shard(shard);
+        let (reply, ack) = channel();
+        let _ = self.txs[shard].send(Cmd::Import {
+            patient,
+            state: Box::new(state),
+            reply,
+        });
+        ack.recv().map_err(|_| "ingest shard gone".to_string())?
+    }
+
     /// Closes every session and joins the shard threads. Equivalent to
     /// dropping the ingest; kept for explicit call sites.
     pub fn shutdown(mut self) {
@@ -309,6 +468,28 @@ impl LiveIngest {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+impl Ingest for LiveIngest {
+    fn admit(&self, patient: PatientId) -> Result<(), String> {
+        LiveIngest::admit(self, patient)
+    }
+
+    fn push(&self, patient: PatientId, source: usize, t: Tick, v: f32) {
+        LiveIngest::push(self, patient, source, t, v);
+    }
+
+    fn poll(&self) {
+        LiveIngest::poll(self);
+    }
+
+    fn finish(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        LiveIngest::finish(self, patient)
+    }
+
+    fn stats(&self) -> IngestStats {
+        LiveIngest::stats(self)
     }
 }
 
@@ -365,23 +546,11 @@ fn ingest_loop(
                 let _ = reply.send(outcome);
             }
             Cmd::SampleBatch(batch) => {
-                let mut dropped = 0u64;
-                for (patient, source, t, v) in batch {
-                    match sessions.get_mut(&patient) {
-                        Some(s) if !s.poisoned => {
-                            if let Err(e) = s.live.push(source, t, v) {
-                                s.errors.push(e.to_string());
-                            }
-                        }
-                        Some(_) => { /* poisoned: finish will report why */ }
-                        None => dropped += 1,
-                    }
-                }
-                if dropped > 0 {
-                    counters
-                        .dropped_unknown
-                        .fetch_add(dropped, Ordering::Relaxed);
-                }
+                apply_batch(&mut sessions, batch, &counters);
+            }
+            Cmd::SampleBatchSync { batch, reply } => {
+                let dropped = apply_batch(&mut sessions, batch, &counters);
+                let _ = reply.send(dropped);
             }
             Cmd::Poll => {
                 for s in sessions.values_mut() {
@@ -425,9 +594,109 @@ fn ingest_loop(
                 };
                 let _ = reply.send(outcome);
             }
+            Cmd::Export { patient, reply } => {
+                let outcome = match sessions.remove(&patient) {
+                    Some(mut s) if !s.poisoned => {
+                        // Drain complete rounds so only the margin suffix
+                        // (not unprocessed backlog) crosses the wire.
+                        let drained = {
+                            let Session { live, out, .. } = &mut s;
+                            catch_user(|| live.poll(|w| out.absorb(w)))
+                        };
+                        match drained {
+                            Err(f @ UserFailure::Panic(_)) => {
+                                // Executor state is unknowable: keep the
+                                // poisoned session here so finish reports.
+                                s.poisoned = true;
+                                s.errors.push(f.into_message());
+                                sessions.insert(patient, s);
+                                Err(format!("patient {patient} poisoned during export"))
+                            }
+                            other => {
+                                if let Err(f) = other {
+                                    s.errors.push(f.into_message());
+                                }
+                                Ok(PatientHandoff {
+                                    snapshot: s.live.export_suffix(),
+                                    output: s.out,
+                                    errors: s.errors,
+                                })
+                            }
+                        }
+                    }
+                    Some(s) => {
+                        let why = s.errors.join("; ");
+                        sessions.insert(patient, s);
+                        Err(format!(
+                            "patient {patient} session is poisoned, cannot hand off: {why}"
+                        ))
+                    }
+                    None => Err(format!("patient {patient} not admitted")),
+                };
+                let _ = reply.send(outcome);
+            }
+            Cmd::Import {
+                patient,
+                state,
+                reply,
+            } => {
+                use std::collections::hash_map::Entry;
+                let outcome = match sessions.entry(patient) {
+                    Entry::Occupied(_) => Err(format!("patient {patient} already admitted")),
+                    Entry::Vacant(slot) => {
+                        let PatientHandoff {
+                            snapshot,
+                            output,
+                            errors,
+                        } = *state;
+                        catch_user(|| {
+                            factory().and_then(|compiled| {
+                                LiveSession::import_suffix(compiled, round_ticks, snapshot)
+                            })
+                        })
+                        .map_err(UserFailure::into_message)
+                        .map(|live| {
+                            slot.insert(Session {
+                                live,
+                                out: output,
+                                errors,
+                                poisoned: false,
+                            });
+                        })
+                    }
+                };
+                let _ = reply.send(outcome);
+            }
             Cmd::Shutdown => break,
         }
     }
+}
+
+/// Applies one batch of samples to a shard's sessions, counting drops
+/// (unknown patients) both into the shared counters and the return value.
+fn apply_batch(
+    sessions: &mut HashMap<PatientId, Session>,
+    batch: Vec<Sample>,
+    counters: &Counters,
+) -> u64 {
+    let mut dropped = 0u64;
+    for (patient, source, t, v) in batch {
+        match sessions.get_mut(&patient) {
+            Some(s) if !s.poisoned => {
+                if let Err(e) = s.live.push(source, t, v) {
+                    s.errors.push(e.to_string());
+                }
+            }
+            Some(_) => { /* poisoned: finish will report why */ }
+            None => dropped += 1,
+        }
+    }
+    if dropped > 0 {
+        counters
+            .dropped_unknown
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+    dropped
 }
 
 /// Why a user-code invocation failed — the distinction matters: an
@@ -570,6 +839,98 @@ mod tests {
         assert_eq!(stats.dropped_unknown, 2);
         assert_eq!(stats.samples_pushed, 3);
         ingest.shutdown();
+    }
+
+    #[test]
+    fn ingest_batch_reports_drops_synchronously() {
+        let ingest = LiveIngest::new(factory(), 2, 100);
+        ingest.admit(1).unwrap();
+        let dropped = ingest.ingest_batch(vec![
+            (1, 0, 0, 1.0),
+            (9, 0, 0, 1.0), // unknown
+            (1, 0, 2, 2.0),
+            (8, 0, 2, 1.0), // unknown
+        ]);
+        assert_eq!(dropped, 2, "drop count is exact at return, not eventual");
+        let stats = ingest.stats();
+        assert_eq!(stats.dropped_unknown, 2);
+        assert_eq!(stats.samples_pushed, 4);
+        let out = ingest.finish(1).unwrap();
+        assert_eq!(out.len(), 2);
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn patient_handoff_between_ingests_is_lossless_and_identical() {
+        // Move a patient mid-stream from ingest A to ingest B (the local
+        // form of a cross-machine partition handoff) and compare against
+        // one uninterrupted run.
+        let sliding: PipelineFactory = Arc::new(|| {
+            use lifestream_core::ops::aggregate::AggKind;
+            let q = Query::new();
+            q.source("s", StreamShape::new(0, 2))
+                .select(1, |i, o| o[0] = i[0] * 0.5)?
+                .aggregate(AggKind::Mean, 100, 10)?
+                .sink();
+            q.compile()
+        });
+        let feed = |k: i64| ((k * 37) % 97) as f32;
+
+        let reference = LiveIngest::new(Arc::clone(&sliding), 1, 100);
+        reference.admit(5).unwrap();
+        for k in 0..600 {
+            reference.push(5, 0, k * 2, feed(k));
+            if k % 43 == 0 {
+                reference.poll();
+            }
+        }
+        let expect = reference.finish(5).unwrap();
+        reference.shutdown();
+
+        let a = LiveIngest::new(Arc::clone(&sliding), 1, 100);
+        let b = LiveIngest::new(sliding, 2, 100);
+        a.admit(5).unwrap();
+        for k in 0..350 {
+            a.push(5, 0, k * 2, feed(k));
+            if k % 43 == 0 {
+                a.poll();
+            }
+        }
+        let state = a.export_patient(5).unwrap();
+        b.import_patient(5, state).unwrap();
+        // The patient left A: it is no longer admitted there, and pushes
+        // mis-routed to A now count as drops instead of vanishing.
+        assert!(a.finish(5).unwrap_err().contains("not admitted"));
+        assert_eq!(a.ingest_batch(vec![(5, 0, 700, 1.0)]), 1);
+        // The stream continues on B, byte-identical to the unbroken run.
+        for k in 350..600 {
+            b.push(5, 0, k * 2, feed(k));
+            if k % 43 == 0 {
+                b.poll();
+            }
+        }
+        let moved = b.finish(5).unwrap();
+        assert_eq!(moved.len(), expect.len());
+        assert_eq!(moved.checksum(), expect.checksum());
+        // Importing onto an admitted patient is refused like a double
+        // admit.
+        b.admit(7).unwrap();
+        let err = b
+            .import_patient(
+                7,
+                PatientHandoff {
+                    snapshot: lifestream_core::live::SessionSnapshot {
+                        next_round: 0,
+                        sources: vec![],
+                    },
+                    output: OutputCollector::new(1),
+                    errors: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("already"), "err: {err}");
+        a.shutdown();
+        b.shutdown();
     }
 
     #[test]

@@ -66,7 +66,7 @@ use lifestream_core::exec::ExecOptions;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
 
-pub use ingest::{IngestConfig, IngestStats, LiveIngest, Sample};
+pub use ingest::{Ingest, IngestConfig, IngestStats, LiveIngest, PatientHandoff, Sample};
 pub use pool::{ExecutorPool, PipelineFactory, PoolRun, PoolStats};
 
 use shard::{worker_loop, Job, SharedState};
@@ -421,8 +421,12 @@ pub(crate) fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// splitmix64 — patient ids are often sequential; a real mix keeps the
-/// shard assignment balanced anyway.
-fn hash_patient(p: PatientId) -> u64 {
+/// shard assignment balanced anyway. The cross-machine placement table
+/// ([`crate::machines::PlacementTable`]) applies this mix *twice* so the
+/// machine level is decorrelated from the shard level (same-hash levels
+/// with correlated moduli would funnel each machine's patients onto a
+/// subset of its shards).
+pub(crate) fn hash_patient(p: PatientId) -> u64 {
     let mut z = p.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

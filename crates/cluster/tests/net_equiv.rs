@@ -1,0 +1,176 @@
+//! Transport transparency of the shard fabric: for any workload, gap
+//! pattern, batch size, ack window, poll cadence, and mid-stream
+//! partition handoff, output over the 2-server TCP cluster must be
+//! *byte-identical* to the single-process `LiveIngest` run and to the
+//! retrospective batch run of the same compiled query. The wire is a
+//! transport concern; it must never leak into results — and a handoff
+//! must never lose a sample.
+
+use std::sync::Arc;
+
+use cluster_harness::net::{ClusterIngest, RemoteConfig, ShardServer};
+use cluster_harness::sharded::{Ingest, IngestConfig, LiveIngest, PipelineFactory};
+use lifestream_core::exec::ExecOptions;
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::source::SignalData;
+use lifestream_core::stream::Query;
+use lifestream_core::time::{StreamShape, Tick};
+use proptest::prelude::*;
+
+const ROUND: Tick = 200;
+const PATIENTS: [u64; 3] = [3, 8, 21];
+
+/// Same pipeline vocabulary as the in-process ingest battery: stateless,
+/// stateful (sliding ring), and margin-bearing (shift spill).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pipe {
+    Select,
+    SlidingMean,
+    Shift,
+}
+
+fn factory(pipe: Pipe, period: Tick) -> PipelineFactory {
+    Arc::new(move || {
+        let q = Query::new();
+        let s = q.source("s", StreamShape::new(0, period));
+        match pipe {
+            Pipe::Select => s.select(1, |i, o| o[0] = i[0] * 2.0 - 3.0)?.sink(),
+            Pipe::SlidingMean => s.aggregate(AggKind::Mean, 20 * period, 2 * period)?.sink(),
+            Pipe::Shift => s.shift(7 * period)?.sink(),
+        }
+        q.compile()
+    })
+}
+
+fn signal(period: Tick, slots: usize, seed: u64, gaps: &[(usize, usize)]) -> SignalData {
+    let vals: Vec<f32> = (0..slots)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((x >> 33) % 2001) as f32 / 10.0 - 100.0
+        })
+        .collect();
+    let mut data = SignalData::dense(StreamShape::new(0, period), vals);
+    for &(s, l) in gaps {
+        let s = (s % slots.max(1)) as Tick * period;
+        let e = s + (l.max(1) as Tick) * period;
+        data.punch_gap(s, e);
+    }
+    data
+}
+
+/// Replays interleaved per-patient feeds through any ingest front end;
+/// optionally hands every patient off to the other machine midway.
+#[allow(clippy::type_complexity)]
+fn run_front_end(
+    ingest: &dyn Ingest,
+    feeds: &[(u64, Vec<(Tick, f32)>)],
+    poll_every: usize,
+    handoff_at: Option<(usize, &ClusterIngest)>,
+) -> Vec<(usize, u64)> {
+    for &(p, _) in feeds {
+        ingest.admit(p).expect("admit");
+    }
+    let mut cursors = vec![0usize; feeds.len()];
+    let mut pushed = 0usize;
+    loop {
+        let next = (0..feeds.len())
+            .filter(|&i| cursors[i] < feeds[i].1.len())
+            .min_by_key(|&i| feeds[i].1[cursors[i]].0);
+        let Some(i) = next else { break };
+        let (t, v) = feeds[i].1[cursors[i]];
+        ingest.push(feeds[i].0, 0, t, v);
+        cursors[i] += 1;
+        pushed += 1;
+        if pushed.is_multiple_of(poll_every) {
+            ingest.poll();
+        }
+        if let Some((at, cluster)) = handoff_at {
+            if pushed == at {
+                // Mid-stream rebalance: move every patient to the other
+                // machine while samples are still arriving.
+                for &(p, _) in feeds {
+                    let to = 1 - cluster.machine_of(p);
+                    cluster.rebalance(p, to).expect("rebalance");
+                }
+            }
+        }
+    }
+    feeds
+        .iter()
+        .map(|&(p, _)| {
+            let out = ingest.finish(p).expect("finish");
+            (out.len(), out.checksum())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn tcp_cluster_with_handoff_matches_local_and_retrospective(
+        period in prop::sample::select(vec![1i64, 2, 4]),
+        slots in 300usize..1200,
+        seed in 0u64..u64::MAX / 2,
+        gaps in prop::collection::vec((0usize..1200, 1usize..200), 0..4),
+        batch in prop::sample::select(vec![1usize, 16, 256]),
+        window in prop::sample::select(vec![1usize, 8, 64]),
+        poll_every in prop::sample::select(vec![41usize, 223]),
+        pipe in prop::sample::select(vec![Pipe::Select, Pipe::SlidingMean, Pipe::Shift]),
+    ) {
+        let datas: Vec<(u64, SignalData)> = PATIENTS
+            .iter()
+            .map(|&p| (p, signal(period, slots, seed ^ p, &gaps)))
+            .collect();
+        let feeds: Vec<(u64, Vec<(Tick, f32)>)> = datas
+            .iter()
+            .map(|(p, d)| (*p, d.present_samples().map(|(_, t, v)| (t, v)).collect()))
+            .collect();
+        let total: usize = feeds.iter().map(|(_, f)| f.len()).sum();
+
+        // Arm 1: two ShardServers over loopback TCP, every patient handed
+        // off to the other machine mid-stream.
+        let server_a =
+            ShardServer::bind(factory(pipe, period), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+                .expect("bind a");
+        let server_b =
+            ShardServer::bind(factory(pipe, period), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+                .expect("bind b");
+        let cluster = ClusterIngest::connect(
+            &[server_a.local_addr(), server_b.local_addr()],
+            RemoteConfig::default().batch(batch).window(window),
+        )
+        .expect("connect");
+        let over_tcp = run_front_end(&cluster, &feeds, poll_every, Some((total / 2, &cluster)));
+        prop_assert_eq!(cluster.stats().dropped_unknown, 0, "handoff lost samples");
+        prop_assert_eq!(cluster.stats().samples_pushed, total as u64);
+        cluster.shutdown();
+        server_a.shutdown();
+        server_b.shutdown();
+
+        // Arm 2: the single-process front end.
+        let local = LiveIngest::with_config(
+            factory(pipe, period),
+            IngestConfig::new(2, ROUND).batch(batch.max(2)),
+        );
+        let in_process = run_front_end(&local, &feeds, poll_every, None);
+        local.shutdown();
+        prop_assert_eq!(&over_tcp, &in_process, "TCP fabric leaked into output");
+
+        // Arm 3: the retrospective batch run.
+        for (i, (p, d)) in datas.iter().enumerate() {
+            let mut exec = (factory(pipe, period))()
+                .expect("compile")
+                .executor_with(vec![d.clone()], ExecOptions::default().with_round_ticks(ROUND))
+                .expect("executor");
+            let out = exec.run_collect().expect("run");
+            prop_assert_eq!(
+                over_tcp[i],
+                (out.len(), out.checksum()),
+                "patient {} over TCP != retrospective", p
+            );
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Wire-format contract tests.
+//!
+//! Two layers of protection against format drift:
+//!
+//! * **Round-trip properties** — arbitrary command/reply values survive
+//!   `encode → decode → encode` with bit-identical bytes (floats travel
+//!   as bit patterns, so NaN payloads and negative zero are preserved).
+//! * **Golden-byte fixtures** — the v1 layout of every opcode is written
+//!   out by hand. Any codec change that moves a byte fails here first,
+//!   instead of on a live peer speaking yesterday's build.
+
+use cluster_harness::net::wire::{
+    decode_cmd, decode_reply, encode_cmd, encode_reply, read_frame, write_frame, WireCmd,
+    WireError, WireReply, MAX_FRAME, WIRE_VERSION,
+};
+use cluster_harness::sharded::{PatientHandoff, Sample};
+use lifestream_core::exec::OutputCollector;
+use lifestream_core::live::{SessionSnapshot, SourceSuffix};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------
+
+fn reencode_cmd(bytes: &[u8]) -> Vec<u8> {
+    encode_cmd(&decode_cmd(bytes).expect("golden decode"))
+}
+
+fn reencode_reply(bytes: &[u8]) -> Vec<u8> {
+    encode_reply(&decode_reply(bytes).expect("golden decode"))
+}
+
+/// Raw generator output for one source suffix: `(base_slot, watermark)`,
+/// value bit patterns, `(range start, range length)` pairs.
+type RawSource = ((u64, i64), Vec<u32>, Vec<(i64, u64)>);
+
+fn handoff_from(
+    next_round: i64,
+    raw_sources: &[RawSource],
+    rows: &[(i64, i64, u32)],
+    errors: Vec<String>,
+) -> PatientHandoff {
+    let sources = raw_sources
+        .iter()
+        .map(|((base_slot, watermark), vals, ranges)| SourceSuffix {
+            base_slot: *base_slot,
+            watermark: *watermark,
+            values: vals.iter().map(|&b| f32::from_bits(b)).collect(),
+            ranges: ranges
+                .iter()
+                .map(|&(a, len)| (a, a.saturating_add(len as i64)))
+                .collect(),
+        })
+        .collect();
+    let mut output = OutputCollector::new(1);
+    for &(t, d, v) in rows {
+        output.push(t, d, &[f32::from_bits(v)]);
+    }
+    PatientHandoff {
+        snapshot: SessionSnapshot {
+            next_round,
+            sources,
+        },
+        output,
+        errors,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn commands_roundtrip_bit_exactly(
+        patient in 0u64..=u64::MAX - 1,
+        raw in prop::collection::vec(((0u64..1 << 48, 0usize..64), (-(1i64 << 40)..1 << 40, 0u32..=u32::MAX - 1)), 0..200),
+        opcode in prop::sample::select(vec!["admit", "batch", "poll", "finish", "export"]),
+    ) {
+        let samples: Vec<Sample> = raw
+            .iter()
+            .map(|&((p, s), (t, bits))| (p, s, t, f32::from_bits(bits)))
+            .collect();
+        let cmd = match opcode {
+            "admit" => WireCmd::Admit { patient },
+            "batch" => WireCmd::Batch(samples),
+            "poll" => WireCmd::Poll,
+            "finish" => WireCmd::Finish { patient },
+            _ => WireCmd::Export { patient },
+        };
+        let bytes = encode_cmd(&cmd);
+        prop_assert_eq!(bytes[0], WIRE_VERSION);
+        prop_assert_eq!(reencode_cmd(&bytes), bytes);
+    }
+
+    #[test]
+    fn import_and_handoff_roundtrip_bit_exactly(
+        patient in 0u64..1 << 50,
+        next_round in (0i64..1 << 30),
+        raw_sources in prop::collection::vec(
+            ((0u64..1 << 32, -(1i64 << 32)..1 << 32),
+             prop::collection::vec(0u32..=u32::MAX - 1, 0..300),
+             prop::collection::vec((-(1i64 << 32)..1 << 32, 0u64..1 << 16), 0..8)),
+            0..4,
+        ),
+        rows in prop::collection::vec((-(1i64 << 32)..1 << 32, 0i64..1 << 16, 0u32..=u32::MAX - 1), 0..100),
+        errors in prop::collection::vec(prop::sample::select(vec![
+            String::new(),
+            "plain".to_string(),
+            "unicode: åß∂ƒ — 丸".to_string(),
+            "newline\nand\ttab".to_string(),
+        ]), 0..4),
+    ) {
+        let state = handoff_from(next_round, &raw_sources, &rows, errors);
+        let cmd = WireCmd::Import { patient, state: Box::new(state) };
+        let bytes = encode_cmd(&cmd);
+        prop_assert_eq!(reencode_cmd(&bytes), bytes.clone());
+
+        // The same handoff body must also survive as an Export reply.
+        let WireCmd::Import { state, .. } = decode_cmd(&bytes).unwrap() else {
+            panic!("import decoded as something else");
+        };
+        let reply_bytes = encode_reply(&WireReply::Handoff(state));
+        prop_assert_eq!(reencode_reply(&reply_bytes), reply_bytes);
+    }
+
+    #[test]
+    fn replies_roundtrip_bit_exactly(
+        samples in 0u64..1 << 40,
+        dropped in 0u64..1 << 40,
+        msg in prop::sample::select(vec![String::new(), "engine error; joined".to_string()]),
+        rows in prop::collection::vec((-(1i64 << 32)..1 << 32, 0i64..1 << 16, 0u32..=u32::MAX - 1), 0..200),
+        arity in 1usize..4,
+        kind in prop::sample::select(vec!["ok", "err", "ack", "output"]),
+    ) {
+        let reply = match kind {
+            "ok" => WireReply::Ok,
+            "err" => WireReply::Err(msg),
+            "ack" => WireReply::Ack { samples, dropped_unknown: dropped },
+            _ => {
+                let mut c = OutputCollector::new(arity);
+                let row: Vec<f32> = Vec::new();
+                let _ = row;
+                for &(t, d, bits) in &rows {
+                    let vals: Vec<f32> = (0..arity)
+                        .map(|f| f32::from_bits(bits.rotate_left(f as u32)))
+                        .collect();
+                    c.push(t, d, &vals);
+                }
+                WireReply::Output(c)
+            }
+        };
+        let bytes = encode_reply(&reply);
+        prop_assert_eq!(bytes[0], WIRE_VERSION);
+        prop_assert_eq!(reencode_reply(&bytes), bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden bytes: the v1 layout, written out by hand
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_admit_v1() {
+    let bytes = encode_cmd(&WireCmd::Admit {
+        patient: 0x0102_0304_0506_0708,
+    });
+    assert_eq!(
+        bytes,
+        [
+            0x01, // version
+            0x01, // opcode Admit
+            0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // patient u64 LE
+        ]
+    );
+}
+
+#[test]
+fn golden_batch_v1() {
+    // One sample: patient 1, source 2, t 3, v 1.5 (bits 0x3FC00000).
+    let bytes = encode_cmd(&WireCmd::Batch(vec![(1, 2, 3, 1.5)]));
+    assert_eq!(
+        bytes,
+        [
+            0x01, // version
+            0x02, // opcode Batch
+            0x01, 0x00, 0x00, 0x00, // count u32 LE
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // patient u64 LE
+            0x02, 0x00, 0x00, 0x00, // source u32 LE
+            0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // t i64 LE
+            0x00, 0x00, 0xC0, 0x3F, // 1.5f32 bits LE
+        ]
+    );
+}
+
+#[test]
+fn golden_poll_finish_export_v1() {
+    assert_eq!(encode_cmd(&WireCmd::Poll), [0x01, 0x03]);
+    assert_eq!(
+        encode_cmd(&WireCmd::Finish { patient: 7 }),
+        [0x01, 0x04, 0x07, 0, 0, 0, 0, 0, 0, 0]
+    );
+    assert_eq!(
+        encode_cmd(&WireCmd::Export { patient: 7 }),
+        [0x01, 0x05, 0x07, 0, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn golden_replies_v1() {
+    assert_eq!(encode_reply(&WireReply::Ok), [0x01, 0x81]);
+    assert_eq!(
+        encode_reply(&WireReply::Err("no".into())),
+        [0x01, 0x82, 0x02, 0x00, 0x00, 0x00, b'n', b'o']
+    );
+    assert_eq!(
+        encode_reply(&WireReply::Ack {
+            samples: 5,
+            dropped_unknown: 2
+        }),
+        [
+            0x01, 0x83, //
+            0x05, 0, 0, 0, 0, 0, 0, 0, // samples u64 LE
+            0x02, 0, 0, 0, 0, 0, 0, 0, // dropped u64 LE
+        ]
+    );
+    // Output: arity 1, one event (t 7, duration 2, value 2.5).
+    let mut c = OutputCollector::new(1);
+    c.push(7, 2, &[2.5]);
+    assert_eq!(
+        encode_reply(&WireReply::Output(c)),
+        [
+            0x01, 0x84, //
+            0x01, 0x00, 0x00, 0x00, // arity u32 LE
+            0x01, 0x00, 0x00, 0x00, // len u32 LE
+            0x07, 0, 0, 0, 0, 0, 0, 0, // time i64 LE
+            0x02, 0, 0, 0, 0, 0, 0, 0, // duration i64 LE
+            0x00, 0x00, 0x20, 0x40, // 2.5f32 bits LE
+        ]
+    );
+}
+
+#[test]
+fn golden_import_v1() {
+    // next_round 100; one source (base_slot 5, watermark 110, one value
+    // -1.0, one range [10, 110)); empty collector of arity 1; one error
+    // "x".
+    let state = handoff_from(
+        100,
+        &[((5, 110), vec![0xBF80_0000], vec![(10, 100)])],
+        &[],
+        vec!["x".into()],
+    );
+    let bytes = encode_cmd(&WireCmd::Import {
+        patient: 9,
+        state: Box::new(state),
+    });
+    assert_eq!(
+        bytes,
+        [
+            0x01, 0x06, // version, opcode Import
+            0x09, 0, 0, 0, 0, 0, 0, 0, // patient u64 LE
+            0x64, 0, 0, 0, 0, 0, 0, 0, // next_round i64 LE (100)
+            0x01, 0x00, 0x00, 0x00, // source count u32 LE
+            0x05, 0, 0, 0, 0, 0, 0, 0, // base_slot u64 LE
+            0x6E, 0, 0, 0, 0, 0, 0, 0, // watermark i64 LE (110)
+            0x01, 0x00, 0x00, 0x00, // value count u32 LE
+            0x00, 0x00, 0x80, 0xBF, // -1.0f32 bits LE
+            0x01, 0x00, 0x00, 0x00, // range count u32 LE
+            0x0A, 0, 0, 0, 0, 0, 0, 0, // range start i64 LE (10)
+            0x6E, 0, 0, 0, 0, 0, 0, 0, // range end i64 LE (110)
+            0x01, 0x00, 0x00, 0x00, // collector arity u32 LE
+            0x00, 0x00, 0x00, 0x00, // collector len u32 LE
+            0x01, 0x00, 0x00, 0x00, // error count u32 LE
+            0x01, 0x00, 0x00, 0x00, b'x', // error str
+        ]
+    );
+    // And the golden bytes decode back to the same structure.
+    assert_eq!(reencode_cmd(&bytes), bytes);
+}
+
+// ---------------------------------------------------------------------
+// Malformed payloads fail loudly, never panic
+// ---------------------------------------------------------------------
+
+#[test]
+fn rejects_wrong_version_unknown_opcode_truncation_trailing() {
+    assert_eq!(
+        decode_cmd(&[0x02, 0x03]).unwrap_err(),
+        WireError::Version(2)
+    );
+    assert_eq!(
+        decode_cmd(&[0x01, 0x7F]).unwrap_err(),
+        WireError::Opcode(0x7F)
+    );
+    assert_eq!(
+        decode_reply(&[0x01, 0x01]).unwrap_err(),
+        WireError::Opcode(0x01),
+        "command opcodes are not reply opcodes"
+    );
+    assert_eq!(
+        decode_cmd(&[0x01, 0x01, 0x07]).unwrap_err(),
+        WireError::Truncated
+    );
+    assert_eq!(decode_cmd(&[]).unwrap_err(), WireError::Truncated);
+    let mut admit = encode_cmd(&WireCmd::Admit { patient: 1 });
+    admit.push(0xAA);
+    assert_eq!(decode_cmd(&admit).unwrap_err(), WireError::Trailing(1));
+    // A declared count far beyond the frame cap is refused before any
+    // allocation, not trusted.
+    let mut batch = vec![0x01, 0x02];
+    batch.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decode_cmd(&batch).unwrap_err(),
+        WireError::TooLarge(u32::MAX as usize)
+    );
+    // Invalid UTF-8 in an error string.
+    let err = [0x01, 0x82, 0x02, 0x00, 0x00, 0x00, 0xFF, 0xFE];
+    assert_eq!(decode_reply(&err).unwrap_err(), WireError::Utf8);
+}
+
+#[test]
+fn hostile_counts_are_refused_before_any_allocation() {
+    // A tiny Output reply declaring a gigantic arity with len 0: arity
+    // columns occupy zero payload bytes, so only the explicit cap can
+    // stop this from allocating arity-many vectors.
+    let mut bomb = vec![0x01, 0x84];
+    bomb.extend_from_slice(&0x0400_0000u32.to_le_bytes()); // arity = 67M
+    bomb.extend_from_slice(&0u32.to_le_bytes()); // len = 0
+    assert_eq!(
+        decode_reply(&bomb).unwrap_err(),
+        WireError::TooLarge(0x0400_0000)
+    );
+    // The engine's real arities (≤ 8) sit far below the cap.
+    let empty = encode_reply(&WireReply::Output(OutputCollector::new(8)));
+    assert_eq!(reencode_reply(&empty), empty);
+
+    // A handoff declaring more sources than its frame could possibly
+    // hold is refused by the remaining-bytes rule, not trusted into a
+    // giant Vec::with_capacity.
+    let mut handoff = vec![0x01, 0x85];
+    handoff.extend_from_slice(&0i64.to_le_bytes()); // next_round
+    handoff.extend_from_slice(&0x00FF_FFFFu32.to_le_bytes()); // nsources
+    assert_eq!(
+        decode_reply(&handoff).unwrap_err(),
+        WireError::TooLarge(0x00FF_FFFF)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+#[test]
+fn frames_roundtrip_and_eof_is_clean_only_at_boundaries() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &[1, 2, 3]).unwrap();
+    write_frame(&mut buf, &[]).unwrap();
+    write_frame(&mut buf, &[9; 1000]).unwrap();
+    let mut r = &buf[..];
+    assert_eq!(read_frame(&mut r).unwrap(), Some(vec![1, 2, 3]));
+    assert_eq!(read_frame(&mut r).unwrap(), Some(vec![]));
+    assert_eq!(read_frame(&mut r).unwrap(), Some(vec![9; 1000]));
+    assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at boundary");
+
+    // EOF inside the length prefix.
+    let mut r = &buf[..2];
+    assert_eq!(
+        read_frame(&mut r).unwrap_err().kind(),
+        std::io::ErrorKind::UnexpectedEof
+    );
+    // EOF inside the payload.
+    let mut r = &buf[..5];
+    assert_eq!(
+        read_frame(&mut r).unwrap_err().kind(),
+        std::io::ErrorKind::UnexpectedEof
+    );
+    // A hostile length prefix is refused before allocating.
+    let mut bomb = Vec::new();
+    bomb.extend_from_slice(&((MAX_FRAME + 1) as u32).to_le_bytes());
+    let mut r = &bomb[..];
+    assert_eq!(
+        read_frame(&mut r).unwrap_err().kind(),
+        std::io::ErrorKind::InvalidData
+    );
+}

@@ -142,6 +142,38 @@ impl LiveSource {
     }
 }
 
+/// Portable snapshot of one source's retained suffix — everything a peer
+/// needs to resume this source's live stream at the session's round
+/// frontier. Produced by [`LiveSession::export_suffix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSuffix {
+    /// Grid-slot index of `values[0]` on the stream grid.
+    pub base_slot: u64,
+    /// The source's watermark (largest appended sync time + period).
+    pub watermark: Tick,
+    /// The retained sample suffix (dense, absent slots hold garbage the
+    /// presence ranges mask off).
+    pub values: Vec<f32>,
+    /// Presence ranges covering the suffix, `[start, end)` tick pairs.
+    pub ranges: Vec<(Tick, Tick)>,
+}
+
+/// Portable snapshot of a [`LiveSession`] at its current round frontier:
+/// the per-source retained suffixes plus the frontier itself.
+///
+/// This is the unit of *partition handoff*: because a polled session
+/// retires everything below `next_round - margin`
+/// ([`Executor::history_margins`]), the suffixes are O(round + margin +
+/// poll lag) — only that bounded tail ever needs to cross a machine
+/// boundary, never the stream's full history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Next round start the exporting session would have processed.
+    pub next_round: Tick,
+    /// One suffix per source, in source-index order.
+    pub sources: Vec<SourceSuffix>,
+}
+
 /// An online execution session over a compiled query.
 ///
 /// Samples are appended with [`push`](Self::push); [`poll`](Self::poll)
@@ -298,6 +330,103 @@ impl LiveSession {
         let mut collector = OutputCollector::new(arity);
         self.finish(|w| collector.absorb(w))?;
         Ok(collector)
+    }
+
+    /// Exports the session's state as a portable snapshot: per-source
+    /// retained suffixes plus the round frontier. The session itself is
+    /// left untouched and can keep running (the caller decides when to
+    /// stop feeding it).
+    ///
+    /// Combined with [`import_suffix`](Self::import_suffix) on a peer
+    /// compiled from the *same query*, this is a lossless mid-stream
+    /// handoff: samples already pushed but not yet processed are part of
+    /// the retained suffix, so nothing in flight is dropped.
+    pub fn export_suffix(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            next_round: self.next_round,
+            sources: self
+                .sources
+                .iter()
+                .map(|s| SourceSuffix {
+                    base_slot: s.base_slot as u64,
+                    watermark: s.watermark,
+                    values: (*s.values).clone(),
+                    ranges: s.presence.ranges().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Resumes a session exported by [`export_suffix`](Self::export_suffix)
+    /// on a fresh executor compiled from the same query.
+    ///
+    /// Kernel-internal state (sliding-aggregate rings, FIR taps, shift
+    /// spill) is not shipped in the snapshot; it is rebuilt by replaying
+    /// the retained suffix *with output suppressed* up to the exported
+    /// frontier. Every built-in operator's cross-round memory is bounded
+    /// by its lineage lookback — the same bound that sized the retained
+    /// suffix ([`Executor::history_margins`]) — so the rebuilt state is
+    /// identical and rounds at or beyond `next_round` emit byte-identical
+    /// output. (A user `transform` closure whose state reaches further
+    /// back than the composed lineage margin is outside that guarantee,
+    /// exactly as it is outside the compaction guarantee.)
+    ///
+    /// # Errors
+    /// Returns an error when the snapshot's source count does not match
+    /// the query, when its frontier is not round-aligned, or when the
+    /// warm-up replay fails.
+    pub fn import_suffix(
+        compiled: CompiledQuery,
+        round_ticks: Tick,
+        snapshot: SessionSnapshot,
+    ) -> Result<Self> {
+        let mut session = Self::new(compiled, round_ticks)?;
+        if snapshot.sources.len() != session.sources.len() {
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "snapshot has {} sources, query has {}",
+                    snapshot.sources.len(),
+                    session.sources.len()
+                ),
+            });
+        }
+        if snapshot.next_round < 0 || snapshot.next_round % session.round_dim != 0 {
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "snapshot frontier {} is not aligned to the {}-tick round grid",
+                    snapshot.next_round, session.round_dim
+                ),
+            });
+        }
+        for (src, suffix) in session.sources.iter_mut().zip(snapshot.sources) {
+            src.base_slot = suffix.base_slot as usize;
+            src.values = Arc::new(suffix.values);
+            src.presence = PresenceMap::new();
+            for (s, e) in suffix.ranges {
+                src.presence.add(s, e);
+            }
+            src.watermark = suffix.watermark.max(src.shape.offset());
+        }
+        // Warm-up replay: run the retained rounds below the frontier with
+        // output discarded, rebuilding kernel state from the suffix.
+        let replay_from = session
+            .sources
+            .iter()
+            .map(|s| s.base_time().div_euclid(session.round_dim) * session.round_dim)
+            .min()
+            .unwrap_or(snapshot.next_round)
+            .min(snapshot.next_round);
+        if replay_from < snapshot.next_round {
+            let datasets: Vec<SignalData> =
+                session.sources.iter().map(LiveSource::snapshot).collect();
+            session.exec.replace_sources(datasets)?;
+            session
+                .exec
+                .run_span(replay_from, snapshot.next_round, &mut |_| {})?;
+            session.exec.release_sources();
+        }
+        session.next_round = snapshot.next_round;
+        Ok(session)
     }
 
     fn run_span<F: FnMut(&FWindow)>(&mut self, to: Tick, mut on_output: F) -> Result<RunStats> {
@@ -485,6 +614,120 @@ mod tests {
             100,
             "10_000 ticks / 100-tick rounds, each executed or skipped once"
         );
+    }
+
+    #[test]
+    fn export_import_resumes_byte_identically() {
+        // Handoff fidelity: run one session straight through; run a twin
+        // that is exported mid-stream and resumed on a fresh executor
+        // (fresh kernels, warm-up replay). Outputs must be identical —
+        // including a stateful sliding aggregate whose ring state crosses
+        // the handoff point.
+        let build = || {
+            let mut qb = QueryBuilder::new();
+            let src = qb.source("s", StreamShape::new(0, 2));
+            let agg = qb.aggregate(src, AggKind::Mean, 100, 10).unwrap();
+            qb.sink(agg);
+            qb.compile().unwrap()
+        };
+        let vals: Vec<f32> = (0..800).map(|i| ((i * 37) % 97) as f32).collect();
+
+        let mut reference = LiveSession::new(build(), 100).unwrap();
+        let mut ref_out = OutputCollector::new(1);
+        for (k, &v) in vals.iter().enumerate() {
+            reference.push(0, k as Tick * 2, v).unwrap();
+            if k % 41 == 0 {
+                reference.poll(|w| ref_out.absorb(w)).unwrap();
+            }
+        }
+        reference.finish(|w| ref_out.absorb(w)).unwrap();
+
+        let mut first = LiveSession::new(build(), 100).unwrap();
+        let mut out = OutputCollector::new(1);
+        let cut = 500;
+        for (k, &v) in vals[..cut].iter().enumerate() {
+            first.push(0, k as Tick * 2, v).unwrap();
+            if k % 41 == 0 {
+                first.poll(|w| out.absorb(w)).unwrap();
+            }
+        }
+        // Export mid-stream: samples above the frontier are un-processed
+        // and must survive the handoff inside the suffix.
+        let snapshot = first.export_suffix();
+        drop(first);
+        let mut second = LiveSession::import_suffix(build(), 100, snapshot).unwrap();
+        for (k, &v) in vals.iter().enumerate().skip(cut) {
+            second.push(0, k as Tick * 2, v).unwrap();
+            if k % 41 == 0 {
+                second.poll(|w| out.absorb(w)).unwrap();
+            }
+        }
+        second.finish(|w| out.absorb(w)).unwrap();
+
+        assert_eq!(ref_out.len(), out.len());
+        assert_eq!(ref_out.checksum(), out.checksum());
+    }
+
+    #[test]
+    fn export_import_survives_shift_lookback_and_polled_frontier() {
+        // A forward shift keeps a real spill queue and a 250-tick margin;
+        // export right after a poll (frontier advanced, history retired to
+        // the margin) and resume.
+        let build = || {
+            let mut qb = QueryBuilder::new();
+            let src = qb.source("s", StreamShape::new(0, 1));
+            let sh = qb.shift(src, 250).unwrap();
+            qb.sink(sh);
+            qb.compile().unwrap()
+        };
+        let mut reference = LiveSession::new(build(), 100).unwrap();
+        let mut ref_out = OutputCollector::new(1);
+        let mut first = LiveSession::new(build(), 100).unwrap();
+        let mut out = OutputCollector::new(1);
+        for t in 0..700 {
+            reference.push(0, t, t as f32).unwrap();
+            first.push(0, t, t as f32).unwrap();
+        }
+        reference.poll(|w| ref_out.absorb(w)).unwrap();
+        first.poll(|w| out.absorb(w)).unwrap();
+        let snapshot = first.export_suffix();
+        assert!(snapshot.next_round > 0, "poll advanced the frontier");
+        drop(first);
+        let mut second = LiveSession::import_suffix(build(), 100, snapshot).unwrap();
+        for t in 700..1000 {
+            reference.push(0, t, t as f32).unwrap();
+            second.push(0, t, t as f32).unwrap();
+        }
+        reference.finish(|w| ref_out.absorb(w)).unwrap();
+        second.finish(|w| out.absorb(w)).unwrap();
+        assert_eq!(ref_out.len(), out.len());
+        assert_eq!(ref_out.checksum(), out.checksum());
+    }
+
+    #[test]
+    fn import_rejects_mismatched_snapshots() {
+        let snap = session(100).export_suffix();
+        // Wrong source count.
+        let mut qb = QueryBuilder::new();
+        let a = qb.source("a", StreamShape::new(0, 2));
+        let b = qb.source("b", StreamShape::new(0, 2));
+        let j = qb.join(a, b, crate::ops::join::JoinKind::Inner).unwrap();
+        qb.sink(j);
+        let err = LiveSession::import_suffix(qb.compile().unwrap(), 100, snap.clone())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("sources"), "err: {err}");
+        // Misaligned frontier.
+        let mut bad = snap;
+        bad.next_round = 37;
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 2));
+        let sel = qb.select_map(src, |v| v + 1.0);
+        qb.sink(sel);
+        let err = LiveSession::import_suffix(qb.compile().unwrap(), 100, bad)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("aligned"), "err: {err}");
     }
 
     #[test]

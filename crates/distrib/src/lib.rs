@@ -40,8 +40,28 @@
 //! ingest buffer as rounds complete, so resident memory follows the
 //! round size and history margin — not the feed length. The
 //! `live_throughput` bench bin quantifies the batched-vs-per-sample win
-//! and the flat long-session curve; `machines.rs` remains the *model* of
-//! cross-machine placement, with a real transport still an open item.
+//! and the flat long-session curve.
+//!
+//! Unlike the baselines above — which pay serialization at every
+//! operator hop even inside one process — serialization in this runtime
+//! appears exactly where a machine boundary does: the [`net`] fabric
+//! (re-exported here alongside [`sharded`]) puts the same ingest
+//! protocol on a versioned length-prefixed TCP wire. Pick the front end
+//! by deployment shape, not by API (all three implement
+//! [`sharded::Ingest`]):
+//!
+//! * [`sharded::LiveIngest`] — one process owns every patient; bounded
+//!   in-memory channels, no serialization at all.
+//! * [`net::RemoteIngest`] — producers and compute on different hosts;
+//!   one TCP peer, acks as backpressure, server-side drop counts
+//!   propagated back into client stats.
+//! * [`net::ClusterIngest`] — patients partitioned across a fleet of
+//!   [`net::ShardServer`] machines via the live `machines::PlacementTable`
+//!   routing table, with lossless mid-stream partition handoff
+//!   (margin-suffix state transfer) for rebalancing. The
+//!   `net_throughput` bench bin quantifies what the wire costs and what
+//!   frame batching buys back; `cluster_loopback` demonstrates (and CI
+//!   asserts) byte-identical output across all three front ends.
 
 #![warn(missing_docs)]
 // Boxing each event is the point: it reproduces the per-event heap
@@ -54,6 +74,7 @@ use crossbeam::channel;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
 
+pub use cluster_harness::net;
 pub use cluster_harness::sharded;
 
 /// One event record (what a JVM engine would hold as an object).
