@@ -90,6 +90,28 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    // A remote-vs-local ratio is only meaningful if the wire was quiet:
+    // a run that survived injected faults spent time in reconnect-and-
+    // replay, which would make a "regression" (or an improvement) an
+    // artifact of the fault schedule rather than of the transport.
+    if cur_bench == "net_throughput" {
+        match field(&current, "faults_injected") {
+            Some(n) => {
+                if n != 0.0 {
+                    eprintln!(
+                        "bench_gate: net_throughput run was not fault-free \
+                         ({n:.0} faults injected); measurement rejected"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                eprintln!("bench_gate: net_throughput run missing \"faults_injected\"");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let floor = expect * (1.0 - tolerance);
     let verdict = if got >= floor { "ok" } else { "REGRESSION" };
     println!(
@@ -132,6 +154,15 @@ mod tests {
         assert_eq!(field(DOC, "batched_vs_per_sample_speedup"), Some(3.838));
         assert_eq!(field(DOC, "host_cores"), Some(4.0));
         assert_eq!(field(DOC, "missing"), None);
+    }
+
+    #[test]
+    fn faults_injected_field_parses() {
+        let doc = r#"{"bench": "net_throughput", "faults_injected": 0,
+                      "batched_vs_per_frame_speedup": 2.0}"#;
+        assert_eq!(field(doc, "faults_injected"), Some(0.0));
+        let dirty = r#"{"bench": "net_throughput", "faults_injected": 3}"#;
+        assert_eq!(field(dirty, "faults_injected"), Some(3.0));
     }
 
     #[test]

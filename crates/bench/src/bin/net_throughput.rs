@@ -160,6 +160,7 @@ fn main() {
     let _ = writeln!(json, "  \"workload\": \"select_sliding_mean_live_tcp\",");
     let _ = writeln!(json, "  \"host_cores\": {cores},");
     let _ = writeln!(json, "  \"server_workers\": {workers},");
+    let _ = writeln!(json, "  \"faults_injected\": 0,");
     let _ = writeln!(json, "  \"patients\": {patients},");
     let _ = writeln!(json, "  \"samples_per_patient\": {samples},");
     let _ = writeln!(json, "  \"round_ticks\": {ROUND},");

@@ -28,9 +28,14 @@
 //!   same staging/backpressure surface (acks drive backpressure and
 //!   carry server-side drop counts), and a [`net::ClusterIngest`]
 //!   router that hash-partitions patients over N endpoints with
-//!   lossless mid-stream partition handoff. All three front ends
-//!   implement [`sharded::Ingest`], so deployment shape is a
-//!   constructor choice.
+//!   lossless mid-stream partition handoff. The fabric is fault
+//!   tolerant: clients reconnect-with-resume over a session handshake
+//!   and replay their un-acked window exactly once, and the router
+//!   fails a dead machine's patients over to survivors from bounded
+//!   client-side tails ([`net::chaos`] drives the deterministic
+//!   fault-injection battery that pins both properties). All three
+//!   front ends implement [`sharded::Ingest`], so deployment shape is
+//!   a constructor choice.
 //! * [`multicore`] runs *real threads* on this machine — the Fig. 10c
 //!   experiment. Its LifeStream arm is served by the sharded runtime;
 //!   the baselines keep their per-patient loops, including each one's
@@ -53,9 +58,12 @@ pub mod multicore;
 pub mod net;
 pub mod sharded;
 
-pub use machines::{ClusterModel, MachineRun, PlacementTable};
+pub use machines::{ClusterModel, MachineRun, MachineState, PlacementTable};
 pub use multicore::{run_scaling, Engine, PatientWorkload, ScalePoint};
-pub use net::{ClusterIngest, RemoteConfig, RemoteIngest, ShardServer};
+pub use net::{
+    ClusterHealth, ClusterIngest, MachineHealth, RemoteConfig, RemoteHealth, RemoteIngest,
+    ShardServer,
+};
 pub use sharded::{
     Ingest, JobOutcome, LiveIngest, PatientId, PatientReport, RuntimeStats, ShardedConfig,
     ShardedRuntime,

@@ -15,6 +15,18 @@ use std::collections::HashMap;
 
 use crate::sharded::PatientId;
 
+/// Health of one machine endpoint, as the placement table sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineState {
+    /// Serving normally.
+    Up,
+    /// Still routable, but its client has had to reconnect — a machine
+    /// to watch, and to prefer rebalancing *away from*.
+    Degraded,
+    /// Retries exhausted; no longer routable. Placement walks past it.
+    Down,
+}
+
 /// Live patient→machine routing table.
 ///
 /// The default placement hashes the patient id to a machine, using a
@@ -32,15 +44,18 @@ use crate::sharded::PatientId;
 pub struct PlacementTable {
     machines: usize,
     overrides: HashMap<PatientId, usize>,
+    states: Vec<MachineState>,
 }
 
 impl PlacementTable {
     /// A table over `machines` endpoints (min 1), hash-balanced, with no
-    /// overrides yet.
+    /// overrides yet and every machine `Up`.
     pub fn new(machines: usize) -> Self {
+        let machines = machines.max(1);
         Self {
-            machines: machines.max(1),
+            machines,
             overrides: HashMap::new(),
+            states: vec![MachineState::Up; machines],
         }
     }
 
@@ -49,12 +64,57 @@ impl PlacementTable {
         self.machines
     }
 
-    /// The machine a patient's stream routes to.
+    /// The health of one machine.
+    ///
+    /// # Panics
+    /// Panics when `machine` is out of range.
+    pub fn state(&self, machine: usize) -> MachineState {
+        self.states[machine]
+    }
+
+    /// Records a machine's health. Marking a machine `Down` reroutes its
+    /// patients on the next [`place`](Self::place) — the caller is
+    /// responsible for actually moving their sessions (failover).
+    ///
+    /// # Panics
+    /// Panics when `machine` is out of range.
+    pub fn set_state(&mut self, machine: usize, state: MachineState) {
+        assert!(
+            machine < self.machines,
+            "machine {machine} out of range ({} endpoints)",
+            self.machines
+        );
+        self.states[machine] = state;
+    }
+
+    /// Machines currently routable (`Up` or `Degraded`).
+    pub fn live_machines(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| !matches!(s, MachineState::Down))
+            .count()
+    }
+
+    /// The machine a patient's stream routes to. A `Down` machine is
+    /// never returned while any machine is live: the preferred placement
+    /// (override or hash) walks forward to the next live machine, so
+    /// every patient of a dead machine has a deterministic survivor.
     pub fn place(&self, patient: PatientId) -> usize {
-        self.overrides
+        let preferred = self
+            .overrides
             .get(&patient)
             .copied()
-            .unwrap_or_else(|| self.default_place(patient))
+            .unwrap_or_else(|| self.default_place(patient));
+        if self.states[preferred] != MachineState::Down {
+            return preferred;
+        }
+        for d in 1..self.machines {
+            let m = (preferred + d) % self.machines;
+            if self.states[m] != MachineState::Down {
+                return m;
+            }
+        }
+        preferred
     }
 
     /// The hash placement ignoring overrides (re-mixed relative to the
@@ -76,7 +136,7 @@ impl PlacementTable {
             "machine {machine} out of range ({} endpoints)",
             self.machines
         );
-        if machine == self.default_place(patient) {
+        if machine == self.default_place(patient) && self.states[machine] != MachineState::Down {
             self.overrides.remove(&patient);
         } else {
             self.overrides.insert(patient, machine);
@@ -205,6 +265,53 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn placement_rejects_unknown_machines() {
         PlacementTable::new(2).assign(1, 2);
+    }
+
+    #[test]
+    fn down_machines_are_walked_past_deterministically() {
+        let mut t = PlacementTable::new(3);
+        assert_eq!(t.live_machines(), 3);
+        // Find a patient homed on machine 1, then take machine 1 down.
+        let p = (0..1000u64).find(|&p| t.place(p) == 1).unwrap();
+        t.set_state(1, MachineState::Down);
+        assert_eq!(t.live_machines(), 2);
+        let survivor = t.place(p);
+        assert_ne!(survivor, 1, "down machine must not be routable");
+        assert_eq!(survivor, 2, "walk forward from the preferred machine");
+        assert_eq!(t.place(p), survivor, "reroute must be deterministic");
+        // An override onto a down machine also reroutes.
+        let q = (0..1000u64).find(|&q| t.place(q) == 0).unwrap();
+        t.assign(q, 1);
+        assert_ne!(t.place(q), 1);
+        // Recovery restores the preferred placement.
+        t.set_state(1, MachineState::Up);
+        assert_eq!(t.place(p), 1);
+        assert_eq!(t.place(q), 1);
+    }
+
+    #[test]
+    fn degraded_machines_stay_routable() {
+        let mut t = PlacementTable::new(2);
+        let p = (0..100u64).find(|&p| t.place(p) == 0).unwrap();
+        t.set_state(0, MachineState::Degraded);
+        assert_eq!(t.place(p), 0, "degraded is a warning, not an eviction");
+        assert_eq!(t.live_machines(), 2);
+        assert_eq!(t.state(0), MachineState::Degraded);
+    }
+
+    #[test]
+    fn assigning_home_on_a_down_machine_keeps_the_pin() {
+        let mut t = PlacementTable::new(2);
+        let p = (0..100u64).find(|&p| t.place(p) == 0).unwrap();
+        t.set_state(0, MachineState::Down);
+        // Pinning the patient to its (down) hash home must keep an
+        // explicit override so the intent survives; routing still walks
+        // to the survivor until the machine comes back.
+        t.assign(p, 0);
+        assert_eq!(t.place(p), 1);
+        assert_eq!(t.overridden(), 1);
+        t.set_state(0, MachineState::Up);
+        assert_eq!(t.place(p), 0);
     }
 
     #[test]

@@ -9,19 +9,32 @@
 //!
 //! * [`wire`] — the versioned, length-prefixed, little-endian frame
 //!   codec for the ingest command stream (batches, register/finish,
-//!   polls, partition handoffs) and its acked replies. The v1 layout is
-//!   locked by golden-byte fixtures.
+//!   polls, partition handoffs, session handshakes) and its acked
+//!   replies. The v2 layout is locked by golden-byte fixtures.
 //! * [`ShardServer`] / [`RemoteIngest`] — a TCP listener hosting the
 //!   sharded live-ingest runtime, and the client that implements the
 //!   same staging/backpressure [`Ingest`](crate::sharded::Ingest) API as
 //!   the in-process front end: a bounded window of un-acked frames makes
 //!   acks the backpressure signal, and server-side drop counts ride the
-//!   acks back into the client's stats.
+//!   acks back into the client's stats. The same window doubles as the
+//!   *replay buffer*: a client whose socket dies redials with
+//!   exponential backoff, handshakes `Hello{epoch, last_acked_seq}` ↔
+//!   `Resume{last_applied_seq}`, and re-sends exactly the un-acked
+//!   suffix; the server's per-session `last_applied_seq` deduplicates
+//!   the overlap, so every frame applies exactly once and a resumed
+//!   stream is byte-identical to an uninterrupted one.
 //! * [`ClusterIngest`] — hash-partitions patients over N endpoints via
 //!   the live [`PlacementTable`](crate::machines::PlacementTable) and
 //!   moves a patient between machines mid-stream with a cooperative
 //!   handoff (drain, margin-suffix state transfer, re-pin) that loses
-//!   zero samples.
+//!   zero samples. Each admitted patient also keeps a client-side
+//!   margin tail, so when an endpoint exhausts its reconnect budget the
+//!   machine is declared down and its patients are re-admitted on
+//!   survivors — failover rides the same suffix-import warm-up as a
+//!   planned handoff.
+//! * [`chaos`] — a deterministic in-process fault-injecting TCP proxy
+//!   (sever / delay / black-hole at seed-chosen frame boundaries) that
+//!   drives the fault-equivalence battery in `tests/fault_equiv.rs`.
 //!
 //! ## Choosing a front end
 //!
@@ -29,32 +42,76 @@
 //! |---|---|---|
 //! | [`LiveIngest`](crate::sharded::LiveIngest) | this process | one machine owns every patient |
 //! | [`RemoteIngest`] | one server | producers and compute are separate hosts |
-//! | [`ClusterIngest`] | a fleet | patients exceed one machine; rebalancing needed |
+//! | [`ClusterIngest`] | a fleet | patients exceed one machine; rebalancing + failover needed |
 //!
 //! All three implement [`Ingest`](crate::sharded::Ingest), so the choice
 //! is a constructor, not a rewrite. The `cluster_loopback` example runs
 //! the same feed through all three and asserts byte-identical output —
-//! including across a mid-stream handoff.
+//! including across a mid-stream handoff; `cluster_failover` does the
+//! same under injected faults and a hard server kill.
+//!
+//! ## Failure semantics
+//!
+//! What each failure costs, layer by layer:
+//!
+//! | Failure | Detected by | Recovery | Guaranteed loss bound |
+//! |---|---|---|---|
+//! | Transient socket death (reset, EOF, timeout) | [`wire::retryable_io`] on read/write | redial + `Hello`/`Resume` + window replay | nothing: resumed stream byte-identical |
+//! | Mid-frame EOF | `wire::WireError::ConnectionLost` (retryable) | same as above | nothing |
+//! | Malformed / hostile frame | decode error | none — `Err` reply, connection fatal | n/a (protocol error, not a fault) |
+//! | Stale epoch (superseded connection) | server epoch guard | none — old connection told to die | nothing: the new epoch owns the window |
+//! | Reconnect budget exhausted | [`RemoteIngest::is_dead`] | cluster failover: machine marked `Down`, patients re-admitted from client tails on survivors | un-acked window input is *replayed, not lost*; output rounds below the failover frontier collected only on the dead machine, plus its deferred per-sample errors |
+//! | Machine death mid-`rebalance` export | dead source endpoint | whole-machine failover (tails) | same as failover |
+//! | Machine death mid-`rebalance` import | dead destination endpoint | destination downed; exported state re-imported on the patient's new owner | nothing: the export (with collected output) was still in hand |
+//! | Every machine dead | `live_machines() == 0` | none | patients counted `patients_lost`; calls surface transport errors |
+//!
+//! The deterministic guarantee the test battery pins down: under any
+//! seed-chosen schedule of sever/delay/black-hole faults *without* a
+//! machine death, cluster output is byte-identical to the fault-free
+//! retrospective run; with a hard kill, every patient survives on
+//! another machine and output at or above the failover frontier is
+//! byte-identical to the reference.
+//!
+//! ## Wire format v1 → v2
+//!
+//! v2 (this PR) extends every command with a session sequence number
+//! and adds the resume handshake; see [`wire`] for the full grammar.
+//!
+//! * commands carry `version:u8 opcode:u8 seq:u64` (v1 had no `seq`),
+//!   where `seq` starts at 1 per session and orders the replay window;
+//! * new command `Hello{session, epoch, last_acked_seq}` (opcode 0x07)
+//!   opens every connection; new replies `Resume` (0x86) answering it
+//!   and `Admitted` (0x87) carrying the session's grid metadata so the
+//!   client can size failover tails;
+//! * `Ack` (0x83) now echoes `seq` and carries *cumulative* applied /
+//!   dropped counters, so a client can reconcile counts across lost
+//!   acks;
+//! * version byte bumped to `0x02`; v1 frames are refused with a
+//!   version error.
 
+pub mod chaos;
 mod client;
 mod cluster;
 mod server;
 pub mod wire;
 
-pub use client::{RemoteConfig, RemoteIngest};
-pub use cluster::ClusterIngest;
+pub use client::{RemoteConfig, RemoteHealth, RemoteIngest};
+pub use cluster::{ClusterHealth, ClusterIngest, MachineHealth};
 pub use server::ShardServer;
 
 #[cfg(test)]
 mod tests {
     use std::sync::Arc;
+    use std::time::Duration;
 
     use lifestream_core::ops::aggregate::AggKind;
     use lifestream_core::stream::Query;
     use lifestream_core::time::StreamShape;
 
+    use crate::machines::MachineState;
     use crate::sharded::{Ingest, IngestConfig, LiveIngest, PipelineFactory};
 
+    use super::chaos::{ChaosProxy, FaultPlan};
     use super::*;
 
     fn factory() -> PipelineFactory {
@@ -252,5 +309,103 @@ mod tests {
         assert_eq!(reply[5], 0x82, "Err reply expected");
         drop(sock);
         server.shutdown();
+    }
+
+    #[test]
+    fn severed_connections_resume_byte_identically() {
+        let (server, addr) = serve();
+        // Every connection gets severed within its first 30 frames, so
+        // the run crosses several reconnect-with-resume cycles.
+        let proxy = ChaosProxy::spawn(addr, FaultPlan::sever(0xC0FFEE, 4, 30)).unwrap();
+        let remote = RemoteIngest::connect(
+            proxy.local_addr(),
+            RemoteConfig::default()
+                .batch(8)
+                .window(4)
+                .retries(8)
+                .backoff(Duration::from_millis(2), Duration::from_millis(20)),
+        )
+        .unwrap();
+        remote.admit(3).unwrap();
+        for k in 0..600i64 {
+            remote.push(3, 0, k * 2, (k * 13 % 71) as f32);
+            if k % 97 == 0 {
+                remote.poll();
+            }
+        }
+        let out = remote.finish(3).unwrap();
+        let health = remote.health();
+        assert!(health.reconnects > 0, "chaos must have forced a resume");
+        assert!(proxy.faults_injected() > 0);
+
+        let local = LiveIngest::new(factory(), 1, 100);
+        local.admit(3).unwrap();
+        for k in 0..600i64 {
+            local.push(3, 0, k * 2, (k * 13 % 71) as f32);
+            if k % 97 == 0 {
+                local.poll();
+            }
+        }
+        let expect = local.finish(3).unwrap();
+        local.shutdown();
+        assert_eq!(out.len(), expect.len(), "resume must lose zero frames");
+        assert_eq!(out.checksum(), expect.checksum());
+        remote.shutdown();
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_server_poisons_cleanly_and_shutdown_does_not_panic() {
+        let (server, addr) = serve();
+        let remote = RemoteIngest::connect(
+            addr,
+            RemoteConfig::default()
+                .batch(2)
+                .window(2)
+                .retries(2)
+                .backoff(Duration::from_millis(1), Duration::from_millis(5)),
+        )
+        .unwrap();
+        remote.admit(1).unwrap();
+        remote.push(1, 0, 0, 1.0);
+        remote.barrier().unwrap();
+        server.kill();
+        // Pushes after the kill exhaust the reconnect budget and poison
+        // the client instead of hanging or panicking.
+        for k in 1..200i64 {
+            remote.push(1, 0, k * 2, k as f32);
+            if remote.is_dead() {
+                break;
+            }
+        }
+        assert!(remote.is_dead());
+        let err = remote.finish(1).unwrap_err();
+        assert!(err.contains("reconnect"), "err: {err}");
+        assert!(remote.last_error().is_some());
+        // Drop/shutdown with the peer gone must stay silent.
+        remote.shutdown();
+    }
+
+    #[test]
+    fn cluster_health_reports_machine_states() {
+        let (server_a, addr_a) = serve();
+        let (server_b, addr_b) = serve();
+        let cluster = ClusterIngest::connect(
+            &[addr_a, addr_b],
+            RemoteConfig::default()
+                .batch(4)
+                .window(4)
+                .retries(2)
+                .backoff(Duration::from_millis(1), Duration::from_millis(5)),
+        )
+        .unwrap();
+        let health = cluster.health();
+        assert_eq!(health.machines.len(), 2);
+        assert!(health.machines.iter().all(|m| m.state == MachineState::Up));
+        assert_eq!(health.failovers, 0);
+        cluster.shutdown();
+        server_a.shutdown();
+        server_b.shutdown();
     }
 }

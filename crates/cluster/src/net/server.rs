@@ -1,8 +1,9 @@
 //! The serving side of the shard fabric: a TCP listener in front of a
 //! sharded live-ingest runtime.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -11,23 +12,54 @@ use crate::sharded::{IngestConfig, IngestStats, LiveIngest, PipelineFactory};
 
 use super::wire::{self, WireCmd, WireReply};
 
+/// Everything the server remembers about one client session — the state
+/// that makes reconnect-with-resume exactly-once.
+///
+/// A session outlives its connections: when a socket dies and the client
+/// redials with a bumped epoch, the new connection finds this record,
+/// answers `Resume{last_applied_seq}` from it, and deduplicates every
+/// replayed window frame against `last_applied`.
+struct SessionState {
+    /// Highest Hello epoch seen; an older epoch is a zombie socket.
+    epoch: u64,
+    /// Highest command seq applied (commands apply strictly in order).
+    last_applied: u64,
+    /// Session-lifetime samples applied (rides every ack).
+    cum_samples: u64,
+    /// Session-lifetime samples dropped for unknown patients.
+    cum_dropped: u64,
+    /// The encoded reply of the newest synchronous command (admit /
+    /// finish / export / import), kept so a replayed duplicate returns
+    /// the *original* outcome — success or error — without the side
+    /// effect running twice.
+    last_sync: Option<(u64, Vec<u8>)>,
+}
+
+type Sessions = Arc<Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>>;
+
+/// Live connections: the handler thread plus a raw socket handle that
+/// [`ShardServer::kill`] can sever mid-frame.
+type ConnList = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
 /// One machine of the shard fabric: a [`LiveIngest`] (sharded worker
 /// threads, pooled sessions, bounded channels) hosted behind a TCP
 /// listener speaking the [`wire`] protocol.
 ///
-/// Each accepted connection gets a handler thread that decodes command
-/// frames, executes them against the shared ingest, and writes exactly
-/// one reply frame per command, in order. Backpressure composes: when
-/// the ingest's bounded shard channels fill, the handler blocks applying
-/// a batch, its acks stop, the client's in-flight window fills, and the
-/// remote producer's `push` blocks — the same discipline as in-process,
+/// Each accepted connection opens with a `Hello`/`Resume` handshake,
+/// then gets a handler thread that decodes command frames, executes them
+/// against the shared ingest exactly once (replayed duplicates are
+/// answered from the session record), and writes exactly one reply frame
+/// per command, in order. Backpressure composes: when the ingest's
+/// bounded shard channels fill, the handler blocks applying a batch, its
+/// acks stop, the client's in-flight window fills, and the remote
+/// producer's `push` blocks — the same discipline as in-process,
 /// stretched over TCP.
 pub struct ShardServer {
     local: SocketAddr,
     ingest: Arc<LiveIngest>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: ConnList,
 }
 
 impl ShardServer {
@@ -45,7 +77,8 @@ impl ShardServer {
         let local = listener.local_addr()?;
         let ingest = Arc::new(LiveIngest::with_config(factory, cfg));
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
+        let sessions: Sessions = Arc::new(Mutex::new(HashMap::new()));
         let accept = {
             let ingest = Arc::clone(&ingest);
             let stop = Arc::clone(&stop);
@@ -58,17 +91,21 @@ impl ShardServer {
                             break;
                         }
                         let Ok(sock) = sock else { continue };
+                        // Keep a handle on the raw socket so `kill` can
+                        // sever it mid-frame, like a machine dying would.
+                        let Ok(raw) = sock.try_clone() else { continue };
                         let ingest = Arc::clone(&ingest);
+                        let sessions = Arc::clone(&sessions);
                         let handle = std::thread::Builder::new()
                             .name("shard-conn".into())
-                            .spawn(move || serve_conn(sock, &ingest))
+                            .spawn(move || serve_conn(sock, &ingest, &sessions))
                             .expect("spawn connection handler");
                         let mut conns = conns.lock().expect("conns lock");
                         // Prune handles of connections that already
                         // ended, so a long-lived server churning through
                         // short connections does not accumulate them.
-                        conns.retain(|h: &JoinHandle<()>| !h.is_finished());
-                        conns.push(handle);
+                        conns.retain(|(h, _)| !h.is_finished());
+                        conns.push((handle, raw));
                     }
                 })
                 .expect("spawn accept loop")
@@ -97,21 +134,36 @@ impl ShardServer {
     /// still-connected client keeps its handler (and this call) alive
     /// until it closes or fails.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
+        self.stop_accepting(false);
     }
 
-    fn stop_accepting(&mut self) {
+    /// Hard-kills the machine: severs every live connection mid-frame,
+    /// closes the listener, and tears the ingest down without draining.
+    /// From a client's point of view this is indistinguishable from the
+    /// machine losing power — in-flight frames are cut, redials are
+    /// refused — which is exactly what the failover tests need.
+    pub fn kill(mut self) {
+        self.stop_accepting(true);
+    }
+
+    fn stop_accepting(&mut self, sever: bool) {
         if self.accept.is_none() {
             return;
         }
         self.stop.store(true, Ordering::Release);
+        if sever {
+            let conns = self.conns.lock().expect("conns lock");
+            for (_, sock) in conns.iter() {
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+        }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         let handles: Vec<_> = self.conns.lock().expect("conns lock").drain(..).collect();
-        for h in handles {
+        for (h, _) in handles {
             let _ = h.join();
         }
         // The ingest Arc is dropped with self; its Drop runs the
@@ -122,7 +174,7 @@ impl ShardServer {
 impl Drop for ShardServer {
     /// Dropping runs the same protocol as [`shutdown`](Self::shutdown).
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.stop_accepting(false);
     }
 }
 
@@ -134,61 +186,223 @@ impl std::fmt::Debug for ShardServer {
     }
 }
 
-/// One connection's command loop: frame in, execute, reply frame out.
-fn serve_conn(sock: TcpStream, ingest: &LiveIngest) {
+/// One connection's command loop: handshake, then frame in, execute
+/// (exactly once), reply frame out.
+fn serve_conn(sock: TcpStream, ingest: &LiveIngest, sessions: &Sessions) {
+    let raw = sock.try_clone().ok();
+    run_conn(sock, ingest, sessions);
+    // The accept loop holds another clone of this socket (for `kill`),
+    // so dropping our handles does not close the connection. Shut it
+    // down explicitly so the peer sees EOF as soon as the handler ends
+    // — e.g. right after the Err reply to a malformed frame.
+    if let Some(raw) = raw {
+        let _ = raw.shutdown(Shutdown::Both);
+    }
+}
+
+fn run_conn(sock: TcpStream, ingest: &LiveIngest, sessions: &Sessions) {
     let _ = sock.set_nodelay(true);
     let mut reader = BufReader::new(sock.try_clone().expect("clone socket"));
     let mut writer = BufWriter::new(sock);
+
+    // --- Handshake: the first frame must be Hello. -------------------
+    let Ok(Some(payload)) = wire::read_frame(&mut reader) else {
+        return;
+    };
+    let hello = match wire::decode_cmd(&payload) {
+        Ok((
+            _,
+            WireCmd::Hello {
+                session,
+                epoch,
+                last_acked_seq: _,
+            },
+        )) => Some((session, epoch)),
+        Ok(_) => None,
+        Err(e) => {
+            let _ = reply_one(
+                &mut writer,
+                &WireReply::Err(format!("malformed command: {e}")),
+            );
+            return;
+        }
+    };
+    let Some((session_id, my_epoch)) = hello else {
+        let _ = reply_one(
+            &mut writer,
+            &WireReply::Err("handshake required: first frame must be Hello".into()),
+        );
+        return;
+    };
+    let state = Arc::clone(
+        sessions
+            .lock()
+            .expect("sessions lock")
+            .entry(session_id)
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(SessionState {
+                    epoch: my_epoch,
+                    last_applied: 0,
+                    cum_samples: 0,
+                    cum_dropped: 0,
+                    last_sync: None,
+                }))
+            }),
+    );
+    {
+        let mut st = state.lock().expect("session lock");
+        if my_epoch < st.epoch {
+            // A zombie socket from a superseded connection attempt.
+            let _ = reply_one(
+                &mut writer,
+                &WireReply::Err(format!(
+                    "stale epoch {my_epoch} (session is at epoch {})",
+                    st.epoch
+                )),
+            );
+            return;
+        }
+        st.epoch = my_epoch;
+        let resume = WireReply::Resume {
+            last_applied_seq: st.last_applied,
+            cum_samples: st.cum_samples,
+            cum_dropped: st.cum_dropped,
+        };
+        if reply_one(&mut writer, &resume).is_err() {
+            return;
+        }
+    }
+
+    // --- Command loop. -----------------------------------------------
     // Clean EOF or a dead peer ends the loop either way; sessions live
     // in the shared ingest and survive the connection.
     while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
-        let reply = match wire::decode_cmd(&payload) {
-            Ok(cmd) => execute(cmd, ingest),
-            Err(e) => WireReply::Err(format!("malformed command: {e}")),
+        let decoded = wire::decode_cmd(&payload);
+        // The session lock is held across decode-check + execute +
+        // seq update, so a zombie connection can never interleave with
+        // its successor mid-command.
+        let mut st = state.lock().expect("session lock");
+        let (encoded, fatal) = match decoded {
+            Err(e) => (
+                wire::encode_reply(&WireReply::Err(format!("malformed command: {e}"))),
+                true,
+            ),
+            Ok((_, WireCmd::Hello { .. })) => (
+                wire::encode_reply(&WireReply::Err("unexpected mid-stream Hello".into())),
+                true,
+            ),
+            Ok((seq, cmd)) => {
+                if st.epoch != my_epoch {
+                    (
+                        wire::encode_reply(&WireReply::Err(format!(
+                            "connection superseded by epoch {}",
+                            st.epoch
+                        ))),
+                        true,
+                    )
+                } else if seq <= st.last_applied {
+                    // A replayed window frame the session already
+                    // applied: answer without re-executing.
+                    match replay_reply(&st, seq, &cmd) {
+                        Ok(bytes) => (bytes, false),
+                        Err(msg) => (wire::encode_reply(&WireReply::Err(msg)), true),
+                    }
+                } else if seq != st.last_applied + 1 {
+                    (
+                        wire::encode_reply(&WireReply::Err(format!(
+                            "seq gap: got {seq}, expected {}",
+                            st.last_applied + 1
+                        ))),
+                        true,
+                    )
+                } else {
+                    let bytes = apply(&mut st, seq, cmd, ingest);
+                    st.last_applied = seq;
+                    (bytes, false)
+                }
+            }
         };
-        let fatal = matches!(&reply, WireReply::Err(m) if m.starts_with("malformed"));
-        if wire::write_frame(&mut writer, &wire::encode_reply(&reply)).is_err()
-            || writer.flush().is_err()
-            || fatal
-        {
+        drop(st);
+        if wire::write_frame(&mut writer, &encoded).is_err() || writer.flush().is_err() || fatal {
             break;
         }
     }
 }
 
-/// Maps one wire command onto the hosted ingest.
-fn execute(cmd: WireCmd, ingest: &LiveIngest) -> WireReply {
+fn reply_one<W: Write>(w: &mut BufWriter<W>, reply: &WireReply) -> io::Result<()> {
+    wire::write_frame(w, &wire::encode_reply(reply))?;
+    w.flush()
+}
+
+/// Executes a fresh (never-seen) command against the ingest and returns
+/// the encoded reply, updating cumulative counters and the sync-reply
+/// cache on the way.
+fn apply(st: &mut SessionState, seq: u64, cmd: WireCmd, ingest: &LiveIngest) -> Vec<u8> {
+    let ack = |st: &SessionState| WireReply::Ack {
+        seq,
+        cum_samples: st.cum_samples,
+        cum_dropped: st.cum_dropped,
+    };
     match cmd {
-        WireCmd::Admit { patient } => match ingest.admit(patient) {
-            Ok(()) => WireReply::Ok,
-            Err(e) => WireReply::Err(e),
-        },
         WireCmd::Batch(samples) => {
             let n = samples.len() as u64;
             let dropped = ingest.ingest_batch(samples);
-            WireReply::Ack {
-                samples: n - dropped,
-                dropped_unknown: dropped,
-            }
+            st.cum_samples += n - dropped;
+            st.cum_dropped += dropped;
+            wire::encode_reply(&ack(st))
         }
         WireCmd::Poll => {
             ingest.poll();
-            WireReply::Ack {
-                samples: 0,
-                dropped_unknown: 0,
-            }
+            wire::encode_reply(&ack(st))
         }
-        WireCmd::Finish { patient } => match ingest.finish(patient) {
-            Ok(out) => WireReply::Output(out),
-            Err(e) => WireReply::Err(e),
-        },
-        WireCmd::Export { patient } => match ingest.export_patient(patient) {
-            Ok(state) => WireReply::Handoff(Box::new(state)),
-            Err(e) => WireReply::Err(e),
-        },
-        WireCmd::Import { patient, state } => match ingest.import_patient(patient, *state) {
-            Ok(()) => WireReply::Ok,
-            Err(e) => WireReply::Err(e),
+        // Synchronous commands: run once, remember the encoded outcome
+        // (including errors) so a replayed duplicate gets the original.
+        sync_cmd => {
+            let reply = match sync_cmd {
+                WireCmd::Admit { patient } => match ingest.admit_meta(patient) {
+                    Ok(meta) => WireReply::Admitted { meta },
+                    Err(e) => WireReply::Err(e),
+                },
+                WireCmd::Finish { patient } => match ingest.finish(patient) {
+                    Ok(out) => WireReply::Output(out),
+                    Err(e) => WireReply::Err(e),
+                },
+                WireCmd::Export { patient } => match ingest.export_patient(patient) {
+                    Ok(state) => WireReply::Handoff(Box::new(state)),
+                    Err(e) => WireReply::Err(e),
+                },
+                WireCmd::Import { patient, state } => {
+                    match ingest.import_patient(patient, *state) {
+                        Ok(()) => WireReply::Ok,
+                        Err(e) => WireReply::Err(e),
+                    }
+                }
+                WireCmd::Batch(_) | WireCmd::Poll | WireCmd::Hello { .. } => unreachable!(),
+            };
+            let bytes = wire::encode_reply(&reply);
+            st.last_sync = Some((seq, bytes.clone()));
+            bytes
+        }
+    }
+}
+
+/// Answers a replayed duplicate frame from the session record. Batches
+/// and polls get an ack with the current cumulative counters (the client
+/// reconciles from the totals); a synchronous command gets its cached
+/// original reply.
+fn replay_reply(st: &SessionState, seq: u64, cmd: &WireCmd) -> Result<Vec<u8>, String> {
+    match cmd {
+        WireCmd::Batch(_) | WireCmd::Poll => Ok(wire::encode_reply(&WireReply::Ack {
+            seq,
+            cum_samples: st.cum_samples,
+            cum_dropped: st.cum_dropped,
+        })),
+        _ => match &st.last_sync {
+            Some((s, bytes)) if *s == seq => Ok(bytes.clone()),
+            // A synchronous duplicate other than the newest one cannot
+            // happen inside one ack window (sync commands drain the
+            // window first); refuse rather than guess.
+            _ => Err(format!("cannot replay synchronous command seq {seq}")),
         },
     }
 }

@@ -7,7 +7,7 @@
 //! client and server built from different checkouts either interoperate
 //! bit-exactly or fail loudly on the version byte.
 //!
-//! ## Frame layout (v1)
+//! ## Frame layout (v2)
 //!
 //! Every frame is a 4-byte **little-endian** `u32` payload length
 //! followed by the payload. All multi-byte integers in the payload are
@@ -15,15 +15,20 @@
 //!
 //! ```text
 //! frame   := len:u32 payload[len]
-//! payload := version:u8 (=0x01) opcode:u8 body
+//! command := version:u8 (=0x02) opcode:u8 seq:u64 body
+//! reply   := version:u8 (=0x02) opcode:u8 body
 //!
 //! commands                         replies
 //!   0x01 Admit   patient:u64        0x81 Ok
-//!   0x02 Batch   samples:vec        0x82 Err     msg:str
-//!   0x03 Poll                       0x83 Ack     samples:u64 dropped:u64
-//!   0x04 Finish  patient:u64        0x84 Output  collector
-//!   0x05 Export  patient:u64        0x85 Handoff handoff
-//!   0x06 Import  patient:u64 handoff
+//!   0x02 Batch   samples:vec        0x82 Err      msg:str
+//!   0x03 Poll                       0x83 Ack      seq:u64 cum_samples:u64
+//!   0x04 Finish  patient:u64                      cum_dropped:u64
+//!   0x05 Export  patient:u64        0x84 Output   collector
+//!   0x06 Import  patient:u64        0x85 Handoff  handoff
+//!               handoff             0x86 Resume   last_applied_seq:u64
+//!   0x07 Hello   session:u64                      cum_samples:u64
+//!               epoch:u64                         cum_dropped:u64
+//!               last_acked_seq:u64  0x87 Admitted meta
 //!
 //! sample    := patient:u64 source:u32 t:i64 v:f32          (24 bytes)
 //! vec       := count:u32 item*
@@ -34,7 +39,32 @@
 //!              values:u32+f32* ranges:u32+(start:i64 end:i64)*
 //! snapshot  := next_round:i64 sources:u32+suffix*
 //! handoff   := snapshot collector errors:u32+str*
+//! meta      := round:i64 arity:u32
+//!              sources:u32+(offset:i64 period:i64 margin:i64)*
 //! ```
+//!
+//! ## v1 → v2 changes
+//!
+//! v1 carried no sequencing: a command payload was `version opcode body`
+//! and [`Ack`](WireReply::Ack) carried the per-command stats *delta*.
+//! v2 makes every connection resumable:
+//!
+//! * **Every command carries a session-scoped `seq`** (first frame of a
+//!   session is seq 1; [`Hello`](WireCmd::Hello) itself travels as
+//!   seq 0 because it is connection metadata, not session state).
+//! * **`Hello` / `Resume` handshake.** The first frame on every
+//!   connection is `Hello{session, epoch, last_acked_seq}`; the server
+//!   answers `Resume{last_applied_seq, ..}` so a reconnecting client
+//!   knows exactly which un-acked frames to replay. `epoch` increments
+//!   on each redial and the server refuses stale epochs, so a delayed
+//!   old socket can never resurrect a superseded connection.
+//! * **Acks are cumulative.** `Ack{seq, cum_samples, cum_dropped}`
+//!   echoes the command seq and carries session-lifetime totals, so a
+//!   client that lost acks in a sever still reconciles its counters
+//!   exactly from the next ack it sees.
+//! * **`Admit` is answered by `Admitted{meta}`** describing the
+//!   session's round, sink arity, and per-source shape + history margin
+//!   — the exact facts a failover peer needs to size replay buffers.
 //!
 //! Every `vec`/`str` count is validated against the bytes actually left
 //! in its frame before anything is allocated (and a collector's arity —
@@ -52,10 +82,10 @@ use std::io::{self, Read, Write};
 use lifestream_core::exec::OutputCollector;
 use lifestream_core::live::{SessionSnapshot, SourceSuffix};
 
-use crate::sharded::{PatientHandoff, PatientId, Sample};
+use crate::sharded::{PatientHandoff, PatientId, Sample, SessionMeta, SourceMeta};
 
 /// Wire-format version byte every payload starts with.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame payload (64 MiB): a corrupt or hostile length
 /// prefix must not become an allocation bomb.
@@ -97,6 +127,21 @@ pub enum WireCmd {
         /// The exported session state.
         state: Box<PatientHandoff>,
     },
+    /// Session handshake: the first frame on every connection.
+    ///
+    /// A fresh session sends `epoch == 0` and `last_acked_seq == 0`; a
+    /// reconnect bumps `epoch` and reports the highest seq it has seen
+    /// acknowledged, so the server's [`Resume`](WireReply::Resume) tells
+    /// it exactly which window frames to replay.
+    Hello {
+        /// Client-chosen session identity, stable across reconnects.
+        session: u64,
+        /// Connection attempt number within the session; the server
+        /// refuses Hellos with an epoch older than one it has seen.
+        epoch: u64,
+        /// Highest command seq the client knows was applied.
+        last_acked_seq: u64,
+    },
 }
 
 /// A decoded reply (server → client). Every command frame gets exactly
@@ -107,22 +152,40 @@ pub enum WireReply {
     Ok,
     /// The command failed; the message preserves the server-side error.
     Err(String),
-    /// A batch (or poll) was applied: the [`IngestStats`] delta it
-    /// caused — samples accepted and samples dropped for unknown
-    /// patients. Drop counts ride every ack so the client's counters
-    /// stay truthful without an extra round trip.
+    /// A batch (or poll) was applied. `seq` echoes the command; the
+    /// counters are **cumulative** session totals of the server's
+    /// [`IngestStats`] contributions — samples accepted and samples
+    /// dropped for unknown patients — so a client whose acks were lost
+    /// in a sever reconciles exactly from the next ack it sees.
     ///
     /// [`IngestStats`]: crate::sharded::IngestStats
     Ack {
-        /// Samples the server applied from this command.
-        samples: u64,
-        /// Samples dropped because their patient was unknown.
-        dropped_unknown: u64,
+        /// The command seq this ack answers.
+        seq: u64,
+        /// Session-lifetime samples the server has applied.
+        cum_samples: u64,
+        /// Session-lifetime samples dropped for unknown patients.
+        cum_dropped: u64,
     },
     /// A finished patient's collected output.
     Output(OutputCollector),
     /// An exported patient's handoff state.
     Handoff(Box<PatientHandoff>),
+    /// Answer to [`Hello`](WireCmd::Hello): where the session stands.
+    Resume {
+        /// Highest command seq the server has applied for this session.
+        last_applied_seq: u64,
+        /// Session-lifetime samples applied (matches the ack counters).
+        cum_samples: u64,
+        /// Session-lifetime samples dropped for unknown patients.
+        cum_dropped: u64,
+    },
+    /// Answer to [`Admit`](WireCmd::Admit): the compiled session's
+    /// shape facts a failover peer needs to size replay buffers.
+    Admitted {
+        /// Round, sink arity, and per-source shape + history margin.
+        meta: SessionMeta,
+    },
 }
 
 /// Why a payload failed to decode.
@@ -141,6 +204,21 @@ pub enum WireError {
     /// A declared length or count exceeds what its frame can hold (or a
     /// protocol ceiling such as [`MAX_FRAME`] / [`MAX_WIRE_ARITY`]).
     TooLarge(usize),
+    /// The peer vanished mid-frame — EOF inside a length prefix or a
+    /// payload. Unlike every other variant this is not a malformed
+    /// byte stream; it is a severed one, and the only retryable error.
+    ConnectionLost,
+}
+
+impl WireError {
+    /// Whether a reconnect could clear this error. Structural errors
+    /// (bad version, hostile counts, trailing bytes) are permanent —
+    /// the same bytes will fail the same way — but a severed connection
+    /// is worth redialing.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WireError::ConnectionLost)
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -156,11 +234,40 @@ impl std::fmt::Display for WireError {
             WireError::TooLarge(n) => {
                 write!(f, "declared length {n} exceeds its frame or a protocol cap")
             }
+            WireError::ConnectionLost => write!(f, "connection lost mid-frame"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Whether an I/O error is worth a reconnect attempt.
+///
+/// Errors that wrap a [`WireError`] defer to
+/// [`WireError::is_retryable`]; otherwise the error kind decides.
+/// `WouldBlock` is retryable because Unix sockets surface a read
+/// timeout as `WouldBlock`, and a timed-out read is exactly the
+/// black-holed-connection case a redial exists to fix.
+#[must_use]
+pub fn retryable_io(e: &io::Error) -> bool {
+    if let Some(inner) = e.get_ref() {
+        if let Some(w) = inner.downcast_ref::<WireError>() {
+            return w.is_retryable();
+        }
+    }
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::Interrupted
+    )
+}
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -236,37 +343,67 @@ fn put_handoff(buf: &mut Vec<u8>, h: &PatientHandoff) {
     }
 }
 
-/// Encodes a command as a v1 payload (version byte + opcode + body).
-pub fn encode_cmd(cmd: &WireCmd) -> Vec<u8> {
+fn put_meta(buf: &mut Vec<u8>, m: &SessionMeta) {
+    put_i64(buf, m.round);
+    put_u32(buf, m.arity as u32);
+    put_u32(buf, m.sources.len() as u32);
+    for s in &m.sources {
+        put_i64(buf, s.offset);
+        put_i64(buf, s.period);
+        put_i64(buf, s.margin);
+    }
+}
+
+/// Encodes a command as a v2 payload (version + opcode + seq + body).
+pub fn encode_cmd(seq: u64, cmd: &WireCmd) -> Vec<u8> {
     let mut buf = vec![WIRE_VERSION];
     match cmd {
         WireCmd::Admit { patient } => {
             buf.push(0x01);
+            put_u64(&mut buf, seq);
             put_u64(&mut buf, *patient);
         }
         WireCmd::Batch(samples) => {
             buf.push(0x02);
+            put_u64(&mut buf, seq);
             put_samples(&mut buf, samples);
         }
-        WireCmd::Poll => buf.push(0x03),
+        WireCmd::Poll => {
+            buf.push(0x03);
+            put_u64(&mut buf, seq);
+        }
         WireCmd::Finish { patient } => {
             buf.push(0x04);
+            put_u64(&mut buf, seq);
             put_u64(&mut buf, *patient);
         }
         WireCmd::Export { patient } => {
             buf.push(0x05);
+            put_u64(&mut buf, seq);
             put_u64(&mut buf, *patient);
         }
         WireCmd::Import { patient, state } => {
             buf.push(0x06);
+            put_u64(&mut buf, seq);
             put_u64(&mut buf, *patient);
             put_handoff(&mut buf, state);
+        }
+        WireCmd::Hello {
+            session,
+            epoch,
+            last_acked_seq,
+        } => {
+            buf.push(0x07);
+            put_u64(&mut buf, seq);
+            put_u64(&mut buf, *session);
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, *last_acked_seq);
         }
     }
     buf
 }
 
-/// Encodes a reply as a v1 payload.
+/// Encodes a reply as a v2 payload.
 pub fn encode_reply(reply: &WireReply) -> Vec<u8> {
     let mut buf = vec![WIRE_VERSION];
     match reply {
@@ -276,12 +413,14 @@ pub fn encode_reply(reply: &WireReply) -> Vec<u8> {
             put_str(&mut buf, msg);
         }
         WireReply::Ack {
-            samples,
-            dropped_unknown,
+            seq,
+            cum_samples,
+            cum_dropped,
         } => {
             buf.push(0x83);
-            put_u64(&mut buf, *samples);
-            put_u64(&mut buf, *dropped_unknown);
+            put_u64(&mut buf, *seq);
+            put_u64(&mut buf, *cum_samples);
+            put_u64(&mut buf, *cum_dropped);
         }
         WireReply::Output(c) => {
             buf.push(0x84);
@@ -290,6 +429,20 @@ pub fn encode_reply(reply: &WireReply) -> Vec<u8> {
         WireReply::Handoff(h) => {
             buf.push(0x85);
             put_handoff(&mut buf, h);
+        }
+        WireReply::Resume {
+            last_applied_seq,
+            cum_samples,
+            cum_dropped,
+        } => {
+            buf.push(0x86);
+            put_u64(&mut buf, *last_applied_seq);
+            put_u64(&mut buf, *cum_samples);
+            put_u64(&mut buf, *cum_dropped);
+        }
+        WireReply::Admitted { meta } => {
+            buf.push(0x87);
+            put_meta(&mut buf, meta);
         }
     }
     buf
@@ -452,6 +605,31 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn meta(&mut self) -> Result<SessionMeta, WireError> {
+        let round = self.i64()?;
+        let arity = self.u32()? as usize;
+        if arity > MAX_WIRE_ARITY {
+            return Err(WireError::TooLarge(arity));
+        }
+        let nsources = self.count(24)?;
+        let mut sources = Vec::with_capacity(nsources);
+        for _ in 0..nsources {
+            let offset = self.i64()?;
+            let period = self.i64()?;
+            let margin = self.i64()?;
+            sources.push(SourceMeta {
+                offset,
+                period,
+                margin,
+            });
+        }
+        Ok(SessionMeta {
+            round,
+            arity,
+            sources,
+        })
+    }
+
     fn finish(self) -> Result<(), WireError> {
         let rest = self.buf.len() - self.at;
         if rest != 0 {
@@ -474,13 +652,14 @@ fn open(payload: &[u8]) -> Result<(Cursor<'_>, u8), WireError> {
     Ok((cur, opcode))
 }
 
-/// Decodes a command payload.
+/// Decodes a command payload into its session seq and command.
 ///
 /// # Errors
 /// Returns a [`WireError`] on any structural mismatch — wrong version,
 /// unknown opcode, short or over-long body.
-pub fn decode_cmd(payload: &[u8]) -> Result<WireCmd, WireError> {
+pub fn decode_cmd(payload: &[u8]) -> Result<(u64, WireCmd), WireError> {
     let (mut cur, opcode) = open(payload)?;
+    let seq = cur.u64()?;
     let cmd = match opcode {
         0x01 => WireCmd::Admit {
             patient: cur.u64()?,
@@ -497,10 +676,15 @@ pub fn decode_cmd(payload: &[u8]) -> Result<WireCmd, WireError> {
             patient: cur.u64()?,
             state: Box::new(cur.handoff()?),
         },
+        0x07 => WireCmd::Hello {
+            session: cur.u64()?,
+            epoch: cur.u64()?,
+            last_acked_seq: cur.u64()?,
+        },
         op => return Err(WireError::Opcode(op)),
     };
     cur.finish()?;
-    Ok(cmd)
+    Ok((seq, cmd))
 }
 
 /// Decodes a reply payload.
@@ -513,11 +697,18 @@ pub fn decode_reply(payload: &[u8]) -> Result<WireReply, WireError> {
         0x81 => WireReply::Ok,
         0x82 => WireReply::Err(cur.str()?),
         0x83 => WireReply::Ack {
-            samples: cur.u64()?,
-            dropped_unknown: cur.u64()?,
+            seq: cur.u64()?,
+            cum_samples: cur.u64()?,
+            cum_dropped: cur.u64()?,
         },
         0x84 => WireReply::Output(cur.collector()?),
         0x85 => WireReply::Handoff(Box::new(cur.handoff()?)),
+        0x86 => WireReply::Resume {
+            last_applied_seq: cur.u64()?,
+            cum_samples: cur.u64()?,
+            cum_dropped: cur.u64()?,
+        },
+        0x87 => WireReply::Admitted { meta: cur.meta()? },
         op => return Err(WireError::Opcode(op)),
     };
     cur.finish()?;
@@ -543,9 +734,16 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.write_all(payload)
 }
 
+fn lost() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, WireError::ConnectionLost)
+}
+
 /// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
 /// a frame boundary (the peer closed the stream between frames); EOF
-/// mid-frame is an error.
+/// mid-frame — inside the length prefix or the payload — surfaces as
+/// `UnexpectedEof` wrapping [`WireError::ConnectionLost`], so callers
+/// can tell a severed peer (retryable) from a malformed stream (fatal)
+/// via [`retryable_io`].
 ///
 /// # Errors
 /// Propagates I/O errors; refuses length prefixes over [`MAX_FRAME`].
@@ -555,12 +753,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     while at < 4 {
         match r.read(&mut len[at..]) {
             Ok(0) if at == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "EOF inside a frame length prefix",
-                ))
-            }
+            Ok(0) => return Err(lost()),
             Ok(n) => at += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -574,6 +767,14 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    let mut at = 0;
+    while at < len {
+        match r.read(&mut payload[at..]) {
+            Ok(0) => return Err(lost()),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     Ok(Some(payload))
 }

@@ -115,7 +115,7 @@ pub trait Ingest {
 /// and the errors deferred to `finish`. Produced by
 /// [`LiveIngest::export_patient`], consumed by
 /// [`LiveIngest::import_patient`] — locally or across the wire.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PatientHandoff {
     /// The live session's retained-suffix snapshot.
     pub snapshot: SessionSnapshot,
@@ -123,6 +123,32 @@ pub struct PatientHandoff {
     pub output: OutputCollector,
     /// Deferred push/poll errors accumulated so far.
     pub errors: Vec<String>,
+}
+
+/// Shape facts of one admitted session: everything a remote peer needs
+/// to size and align a bounded replay buffer for failover. Produced by
+/// [`LiveIngest::admit_meta`] and shipped in the wire `Admitted` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// Processing-round length in ticks.
+    pub round: Tick,
+    /// Payload arity of the session's single sink.
+    pub arity: usize,
+    /// Per-source grid shape and history margin, in source order.
+    pub sources: Vec<SourceMeta>,
+}
+
+/// One source's grid shape and lineage history margin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceMeta {
+    /// Grid offset (first on-grid tick).
+    pub offset: Tick,
+    /// Grid period in ticks.
+    pub period: Tick,
+    /// Ticks below the round frontier this source must keep buffered —
+    /// exactly what `Executor::history_margins` reports, and exactly how
+    /// deep a failover replay buffer must reach.
+    pub margin: Tick,
 }
 
 /// Ingest front-end knobs.
@@ -189,7 +215,7 @@ struct Counters {
 enum Cmd {
     Admit {
         patient: PatientId,
-        reply: Sender<Result<(), String>>,
+        reply: Sender<Result<SessionMeta, String>>,
     },
     /// A staged run of samples, applied in order on the shard.
     SampleBatch(Vec<Sample>),
@@ -303,6 +329,18 @@ impl LiveIngest {
     /// Returns the compile error message, or a complaint when the patient
     /// is already admitted.
     pub fn admit(&self, patient: PatientId) -> Result<(), String> {
+        self.admit_meta(patient).map(|_| ())
+    }
+
+    /// Like [`admit`](Self::admit), but returns the compiled session's
+    /// shape facts — round length, sink arity, per-source shape + history
+    /// margin — so a remote front end can size its failover replay
+    /// buffers without a second round trip.
+    ///
+    /// # Errors
+    /// Returns the compile error message, or a complaint when the patient
+    /// is already admitted.
+    pub fn admit_meta(&self, patient: PatientId) -> Result<SessionMeta, String> {
         let shard = self.shard_of(patient);
         // Flush staged samples first so a re-admission after finish sees
         // commands in push order.
@@ -532,14 +570,14 @@ fn ingest_loop(
                         })
                         .map_err(UserFailure::into_message)
                         .and_then(|live| {
-                            let arity = live.sink_arity().map_err(|e| e.to_string())?;
+                            let meta = session_meta(&live)?;
                             slot.insert(Session {
+                                out: OutputCollector::new(meta.arity),
                                 live,
-                                out: OutputCollector::new(arity),
                                 errors: Vec::new(),
                                 poisoned: false,
                             });
-                            Ok(())
+                            Ok(meta)
                         })
                     }
                 };
@@ -655,13 +693,23 @@ fn ingest_loop(
                             })
                         })
                         .map_err(UserFailure::into_message)
-                        .map(|live| {
+                        .and_then(|live| {
+                            // A failover peer ships an *empty* collector
+                            // it could not size; align it to the sink so
+                            // the first absorb doesn't panic on arity.
+                            let out = if output.is_empty() {
+                                let arity = live.sink_arity().map_err(|e| e.to_string())?;
+                                OutputCollector::new(arity)
+                            } else {
+                                output
+                            };
                             slot.insert(Session {
                                 live,
-                                out: output,
+                                out,
                                 errors,
                                 poisoned: false,
                             });
+                            Ok(())
                         })
                     }
                 };
@@ -670,6 +718,29 @@ fn ingest_loop(
             Cmd::Shutdown => break,
         }
     }
+}
+
+/// Extracts the shape facts of a freshly opened session for the admit
+/// reply.
+fn session_meta(live: &LiveSession) -> Result<SessionMeta, String> {
+    let arity = live.sink_arity().map_err(|e| e.to_string())?;
+    let sources = live
+        .source_shapes()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Ok(SourceMeta {
+                offset: s.offset(),
+                period: s.period(),
+                margin: live.history_margin(i).map_err(|e| e.to_string())?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SessionMeta {
+        round: live.round_dim(),
+        arity,
+        sources,
+    })
 }
 
 /// Applies one batch of samples to a shard's sessions, counting drops

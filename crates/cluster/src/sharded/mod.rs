@@ -66,7 +66,9 @@ use lifestream_core::exec::ExecOptions;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
 
-pub use ingest::{Ingest, IngestConfig, IngestStats, LiveIngest, PatientHandoff, Sample};
+pub use ingest::{
+    Ingest, IngestConfig, IngestStats, LiveIngest, PatientHandoff, Sample, SessionMeta, SourceMeta,
+};
 pub use pool::{ExecutorPool, PipelineFactory, PoolRun, PoolStats};
 
 use shard::{worker_loop, Job, SharedState};

@@ -1,0 +1,408 @@
+//! Fault equivalence of the cluster fabric.
+//!
+//! Two guarantees, each pinned by a deterministic schedule:
+//!
+//! * **Fault transparency** — under any seed-chosen schedule of
+//!   sever / delay / black-hole faults *without* a machine death, the
+//!   reconnect-with-resume protocol makes cluster output byte-identical
+//!   to the fault-free retrospective run. Exercised across 50+ explicit
+//!   sever schedules and a proptest battery that also varies the
+//!   pipeline, batching, window, and fault palette.
+//! * **Failover containment** — a hard kill of one of two servers
+//!   (mid-batch or mid-handoff) ends with every patient live on the
+//!   survivor; output at or above the failover frontier is
+//!   byte-identical to the reference, nothing is duplicated, and the
+//!   client-side tails mean no acked input frame is lost.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cluster_harness::machines::MachineState;
+use cluster_harness::net::chaos::{ChaosProxy, Fault, FaultPlan};
+use cluster_harness::net::{ClusterIngest, RemoteConfig, RemoteIngest, ShardServer};
+use cluster_harness::sharded::{IngestConfig, LiveIngest, PipelineFactory};
+use lifestream_core::exec::OutputCollector;
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::stream::Query;
+use lifestream_core::time::{StreamShape, Tick};
+use proptest::prelude::*;
+
+const ROUND: Tick = 200;
+const PERIOD: Tick = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pipe {
+    Select,
+    SlidingMean,
+    Shift,
+}
+
+fn factory(pipe: Pipe) -> PipelineFactory {
+    Arc::new(move || {
+        let q = Query::new();
+        let s = q.source("s", StreamShape::new(0, PERIOD));
+        match pipe {
+            Pipe::Select => s.select(1, |i, o| o[0] = i[0] * 2.0 - 3.0)?.sink(),
+            Pipe::SlidingMean => s.aggregate(AggKind::Mean, 20 * PERIOD, 2 * PERIOD)?.sink(),
+            Pipe::Shift => s.shift(7 * PERIOD)?.sink(),
+        }
+        q.compile()
+    })
+}
+
+fn wave(k: i64, p: u64) -> f32 {
+    (((k * 37 + p as i64 * 101) % 997) as f32) / 7.0
+}
+
+fn chaotic_config() -> RemoteConfig {
+    RemoteConfig::default()
+        .batch(8)
+        .window(4)
+        .retries(10)
+        .backoff(Duration::from_millis(2), Duration::from_millis(20))
+        .read_timeout(Duration::from_millis(250))
+}
+
+/// Reference run: the same feed through one in-process front end.
+fn reference(pipe: Pipe, patients: &[u64], samples: i64, poll_every: i64) -> Vec<OutputCollector> {
+    let local = LiveIngest::new(factory(pipe), 1, ROUND);
+    for &p in patients {
+        local.admit(p).expect("admit");
+    }
+    for k in 0..samples {
+        for &p in patients {
+            local.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            local.poll();
+        }
+    }
+    let out = patients
+        .iter()
+        .map(|&p| local.finish(p).expect("finish"))
+        .collect();
+    local.shutdown();
+    out
+}
+
+fn fingerprint(out: &OutputCollector) -> (usize, u64) {
+    (out.len(), out.checksum())
+}
+
+/// The rows of a collector at or above `from` — the part of the output
+/// a failover is required to preserve.
+fn suffix_of(out: &OutputCollector, from: Tick) -> OutputCollector {
+    let mut s = OutputCollector::new(out.arity().max(1));
+    for i in 0..out.len() {
+        let t = out.times()[i];
+        if t >= from {
+            let vals: Vec<f32> = (0..out.arity()).map(|f| out.values(f)[i]).collect();
+            s.push(t, out.durations()[i], &vals);
+        }
+    }
+    s
+}
+
+/// One full remote run through a chaos proxy; returns per-patient
+/// fingerprints plus the client health counters.
+fn run_through_chaos(
+    pipe: Pipe,
+    plan: FaultPlan,
+    patients: &[u64],
+    samples: i64,
+    poll_every: i64,
+    cfg: RemoteConfig,
+) -> (Vec<(usize, u64)>, u64, u64) {
+    let server = ShardServer::bind(factory(pipe), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+        .expect("bind server");
+    let proxy = ChaosProxy::spawn(server.local_addr(), plan).expect("spawn proxy");
+    let remote = RemoteIngest::connect(proxy.local_addr(), cfg).expect("connect");
+    for &p in patients {
+        remote.admit(p).expect("admit");
+    }
+    for k in 0..samples {
+        for &p in patients {
+            remote.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            remote.poll();
+        }
+    }
+    let out: Vec<(usize, u64)> = patients
+        .iter()
+        .map(|&p| fingerprint(&remote.finish(p).expect("finish")))
+        .collect();
+    let health = remote.health();
+    let injected = proxy.faults_injected();
+    remote.shutdown();
+    proxy.shutdown();
+    server.shutdown();
+    (out, health.reconnects, injected)
+}
+
+/// The acceptance gate: 50 distinct seeded sever schedules, every one
+/// byte-identical to the fault-free run.
+#[test]
+fn fifty_sever_schedules_resume_byte_identically() {
+    let patients = [3u64, 8];
+    let (samples, poll_every) = (400i64, 67i64);
+    let expect: Vec<(usize, u64)> = reference(Pipe::SlidingMean, &patients, samples, poll_every)
+        .iter()
+        .map(fingerprint)
+        .collect();
+    let mut total_reconnects = 0u64;
+    let mut total_injected = 0u64;
+    for seed in 0..50u64 {
+        let plan = FaultPlan::sever(seed, 2, 40);
+        let (got, reconnects, injected) = run_through_chaos(
+            Pipe::SlidingMean,
+            plan,
+            &patients,
+            samples,
+            poll_every,
+            chaotic_config(),
+        );
+        assert_eq!(got, expect, "seed {seed} diverged from the fault-free run");
+        total_reconnects += reconnects;
+        total_injected += injected;
+    }
+    assert!(total_injected >= 50, "the schedules must actually fire");
+    assert!(total_reconnects >= 50, "every sever must force a resume");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural variation on top of the 50-seed gate: pipeline kind,
+    /// batch/window, poll cadence, and a mixed fault palette including
+    /// black holes (detected only by the read timeout) and delays.
+    #[test]
+    fn any_fault_schedule_is_output_transparent(
+        seed in 0u64..u64::MAX / 2,
+        pipe in prop::sample::select(vec![Pipe::Select, Pipe::SlidingMean, Pipe::Shift]),
+        batch in prop::sample::select(vec![1usize, 8, 64]),
+        window in prop::sample::select(vec![2usize, 4, 16]),
+        poll_every in prop::sample::select(vec![43i64, 111]),
+        min_frame in 0u64..8,
+        span in 4u64..48,
+        palette in prop::sample::select(vec![
+            vec![Fault::Sever],
+            vec![Fault::Sever, Fault::Delay(15)],
+            vec![Fault::Sever, Fault::BlackHole],
+            vec![Fault::Sever, Fault::Delay(5), Fault::BlackHole],
+        ]),
+    ) {
+        let patients = [5u64, 13];
+        let samples = 300i64;
+        let expect: Vec<(usize, u64)> = reference(pipe, &patients, samples, poll_every)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let plan = FaultPlan {
+            seed,
+            min_frame,
+            max_frame: min_frame + span,
+            faults: palette,
+        };
+        let cfg = RemoteConfig::default()
+            .batch(batch)
+            .window(window)
+            .retries(10)
+            .backoff(Duration::from_millis(2), Duration::from_millis(20))
+            .read_timeout(Duration::from_millis(150));
+        let (got, _, _) = run_through_chaos(pipe, plan, &patients, samples, poll_every, cfg);
+        prop_assert_eq!(got, expect, "fault schedule leaked into output");
+    }
+}
+
+/// Hard kill mid-batch: one of two servers dies between a barrier and
+/// the next pushes. Every patient must keep streaming on the survivor,
+/// and output at or above the failover frontier must be byte-identical
+/// to the reference — zero duplicated rows, zero lost acked input.
+#[test]
+fn hard_kill_mid_batch_fails_over_without_losing_a_patient() {
+    let patients = [3u64, 8, 21, 34];
+    let (samples, poll_every, cut) = (500i64, 50i64, 250i64);
+    let pipe = Pipe::SlidingMean;
+
+    let server_a = ShardServer::bind(factory(pipe), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+        .expect("bind a");
+    let server_b = ShardServer::bind(factory(pipe), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+        .expect("bind b");
+    let cluster = ClusterIngest::connect(
+        &[server_a.local_addr(), server_b.local_addr()],
+        RemoteConfig::default()
+            .batch(8)
+            .window(4)
+            .retries(2)
+            .backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    )
+    .expect("connect");
+
+    for &p in &patients {
+        cluster.admit(p).expect("admit");
+    }
+    // Both machines must own someone for the kill to mean anything.
+    let on_a: Vec<u64> = patients
+        .iter()
+        .copied()
+        .filter(|&p| cluster.machine_of(p) == 0)
+        .collect();
+    assert!(!on_a.is_empty() && on_a.len() < patients.len());
+
+    for k in 0..cut {
+        for &p in &patients {
+            cluster.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            cluster.poll();
+        }
+    }
+    // Poll + barrier: acks drained, every complete round processed, so
+    // the failover frontier is exactly known.
+    cluster.poll();
+    cluster.barrier().expect("barrier");
+    let frontier = ((cut * PERIOD) / ROUND) * ROUND;
+
+    server_a.kill();
+
+    for k in cut..samples {
+        for &p in &patients {
+            cluster.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            cluster.poll();
+        }
+    }
+
+    let reference_out = reference(pipe, &patients, samples, poll_every);
+    for (i, &p) in patients.iter().enumerate() {
+        let out = cluster.finish(p).expect("patient lost in failover");
+        if on_a.contains(&p) {
+            // Failed-over patient: the survivor re-emits from the
+            // frontier; everything at or above it matches the reference.
+            let expect = suffix_of(&reference_out[i], frontier);
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&expect),
+                "patient {p} suffix diverged after failover"
+            );
+        } else {
+            // Untouched patient: full byte-identity.
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&reference_out[i]),
+                "patient {p} on the survivor must be untouched"
+            );
+        }
+    }
+
+    let health = cluster.health();
+    assert_eq!(health.machines[0].state, MachineState::Down);
+    assert_ne!(health.machines[1].state, MachineState::Down);
+    assert!(health.failovers >= 1);
+    assert_eq!(health.patients_failed_over, on_a.len() as u64);
+    assert_eq!(health.patients_lost, 0);
+
+    cluster.shutdown();
+    server_b.shutdown();
+}
+
+/// Hard kill mid-handoff, destination side: the rebalance import's
+/// target dies. The exported state is still in hand, so the patient
+/// lands back on a live machine with its collected output intact —
+/// full byte-identity, not just the suffix.
+#[test]
+fn hard_kill_mid_handoff_recovers_the_exported_patient() {
+    let patients = [3u64, 8, 21, 34];
+    let (samples, poll_every, cut) = (400i64, 50i64, 200i64);
+    let pipe = Pipe::SlidingMean;
+
+    let server_a = ShardServer::bind(factory(pipe), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+        .expect("bind a");
+    let server_b = ShardServer::bind(factory(pipe), IngestConfig::new(2, ROUND), "127.0.0.1:0")
+        .expect("bind b");
+    let cluster = ClusterIngest::connect(
+        &[server_a.local_addr(), server_b.local_addr()],
+        RemoteConfig::default()
+            .batch(8)
+            .window(4)
+            .retries(2)
+            .backoff(Duration::from_millis(1), Duration::from_millis(5)),
+    )
+    .expect("connect");
+
+    for &p in &patients {
+        cluster.admit(p).expect("admit");
+    }
+    let home: Vec<usize> = patients.iter().map(|&p| cluster.machine_of(p)).collect();
+    assert!(
+        home.contains(&0) && home.contains(&1),
+        "both machines must own someone"
+    );
+    let mover = patients[home.iter().position(|&m| m == 1).unwrap()];
+
+    for k in 0..cut {
+        for &p in &patients {
+            cluster.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            cluster.poll();
+        }
+    }
+    cluster.poll();
+    cluster.barrier().expect("barrier");
+
+    // Kill the destination, then ask for a handoff onto it. The export
+    // succeeds on the live source; the import finds the corpse; the
+    // recovery path must land the patient back on a live machine with
+    // zero loss.
+    server_a.kill();
+    cluster.rebalance(mover, 0).expect("mid-handoff recovery");
+    assert_ne!(
+        cluster.machine_of(mover),
+        0,
+        "patient must not be routed at a corpse"
+    );
+
+    for k in cut..samples {
+        for &p in &patients {
+            cluster.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % poll_every == 0 {
+            cluster.poll();
+        }
+    }
+
+    let frontier = ((cut * PERIOD) / ROUND) * ROUND;
+    let reference_out = reference(pipe, &patients, samples, poll_every);
+    for (i, &p) in patients.iter().enumerate() {
+        let out = cluster.finish(p).expect("patient lost mid-handoff");
+        if p == mover || home[i] == 1 {
+            // The mover's collected output crossed inside the exported
+            // handoff, and machine-1 patients never moved: full
+            // identity for both.
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&reference_out[i]),
+                "mid-handoff recovery lost output for patient {p}"
+            );
+        } else {
+            // Patients that lived on the killed machine resumed from
+            // their client tails: suffix identity.
+            let expect = suffix_of(&reference_out[i], frontier);
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&expect),
+                "patient {p} suffix diverged after failover"
+            );
+        }
+    }
+
+    let health = cluster.health();
+    assert_eq!(health.machines[0].state, MachineState::Down);
+    assert_eq!(health.patients_lost, 0);
+
+    cluster.shutdown();
+    server_b.shutdown();
+}

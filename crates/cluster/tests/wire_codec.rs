@@ -5,15 +5,15 @@
 //! * **Round-trip properties** — arbitrary command/reply values survive
 //!   `encode → decode → encode` with bit-identical bytes (floats travel
 //!   as bit patterns, so NaN payloads and negative zero are preserved).
-//! * **Golden-byte fixtures** — the v1 layout of every opcode is written
+//! * **Golden-byte fixtures** — the v2 layout of every opcode is written
 //!   out by hand. Any codec change that moves a byte fails here first,
 //!   instead of on a live peer speaking yesterday's build.
 
 use cluster_harness::net::wire::{
-    decode_cmd, decode_reply, encode_cmd, encode_reply, read_frame, write_frame, WireCmd,
-    WireError, WireReply, MAX_FRAME, WIRE_VERSION,
+    decode_cmd, decode_reply, encode_cmd, encode_reply, read_frame, retryable_io, write_frame,
+    WireCmd, WireError, WireReply, MAX_FRAME, WIRE_VERSION,
 };
-use cluster_harness::sharded::{PatientHandoff, Sample};
+use cluster_harness::sharded::{PatientHandoff, Sample, SessionMeta, SourceMeta};
 use lifestream_core::exec::OutputCollector;
 use lifestream_core::live::{SessionSnapshot, SourceSuffix};
 use proptest::prelude::*;
@@ -23,7 +23,8 @@ use proptest::prelude::*;
 // ---------------------------------------------------------------------
 
 fn reencode_cmd(bytes: &[u8]) -> Vec<u8> {
-    encode_cmd(&decode_cmd(bytes).expect("golden decode"))
+    let (seq, cmd) = decode_cmd(bytes).expect("golden decode");
+    encode_cmd(seq, &cmd)
 }
 
 fn reencode_reply(bytes: &[u8]) -> Vec<u8> {
@@ -71,9 +72,10 @@ proptest! {
 
     #[test]
     fn commands_roundtrip_bit_exactly(
+        seq in 0u64..=u64::MAX - 1,
         patient in 0u64..=u64::MAX - 1,
         raw in prop::collection::vec(((0u64..1 << 48, 0usize..64), (-(1i64 << 40)..1 << 40, 0u32..=u32::MAX - 1)), 0..200),
-        opcode in prop::sample::select(vec!["admit", "batch", "poll", "finish", "export"]),
+        opcode in prop::sample::select(vec!["admit", "batch", "poll", "finish", "export", "hello"]),
     ) {
         let samples: Vec<Sample> = raw
             .iter()
@@ -84,15 +86,24 @@ proptest! {
             "batch" => WireCmd::Batch(samples),
             "poll" => WireCmd::Poll,
             "finish" => WireCmd::Finish { patient },
-            _ => WireCmd::Export { patient },
+            "export" => WireCmd::Export { patient },
+            _ => WireCmd::Hello {
+                session: patient.rotate_left(17),
+                epoch: seq % 1000,
+                last_acked_seq: seq,
+            },
         };
-        let bytes = encode_cmd(&cmd);
+        let bytes = encode_cmd(seq, &cmd);
         prop_assert_eq!(bytes[0], WIRE_VERSION);
-        prop_assert_eq!(reencode_cmd(&bytes), bytes);
+        prop_assert_eq!(reencode_cmd(&bytes), bytes.clone());
+        // The seq travels with every command.
+        let (got_seq, _) = decode_cmd(&bytes).unwrap();
+        prop_assert_eq!(got_seq, seq);
     }
 
     #[test]
     fn import_and_handoff_roundtrip_bit_exactly(
+        seq in 0u64..1 << 50,
         patient in 0u64..1 << 50,
         next_round in (0i64..1 << 30),
         raw_sources in prop::collection::vec(
@@ -111,11 +122,11 @@ proptest! {
     ) {
         let state = handoff_from(next_round, &raw_sources, &rows, errors);
         let cmd = WireCmd::Import { patient, state: Box::new(state) };
-        let bytes = encode_cmd(&cmd);
+        let bytes = encode_cmd(seq, &cmd);
         prop_assert_eq!(reencode_cmd(&bytes), bytes.clone());
 
         // The same handoff body must also survive as an Export reply.
-        let WireCmd::Import { state, .. } = decode_cmd(&bytes).unwrap() else {
+        let (_, WireCmd::Import { state, .. }) = decode_cmd(&bytes).unwrap() else {
             panic!("import decoded as something else");
         };
         let reply_bytes = encode_reply(&WireReply::Handoff(state));
@@ -124,21 +135,37 @@ proptest! {
 
     #[test]
     fn replies_roundtrip_bit_exactly(
+        seq in 0u64..1 << 40,
         samples in 0u64..1 << 40,
         dropped in 0u64..1 << 40,
         msg in prop::sample::select(vec![String::new(), "engine error; joined".to_string()]),
         rows in prop::collection::vec((-(1i64 << 32)..1 << 32, 0i64..1 << 16, 0u32..=u32::MAX - 1), 0..200),
         arity in 1usize..4,
-        kind in prop::sample::select(vec!["ok", "err", "ack", "output"]),
+        round in 1i64..1 << 30,
+        metas in prop::collection::vec((0i64..1 << 30, 1i64..1 << 20, 0i64..1 << 20), 0..6),
+        kind in prop::sample::select(vec!["ok", "err", "ack", "output", "resume", "admitted"]),
     ) {
         let reply = match kind {
             "ok" => WireReply::Ok,
             "err" => WireReply::Err(msg),
-            "ack" => WireReply::Ack { samples, dropped_unknown: dropped },
+            "ack" => WireReply::Ack { seq, cum_samples: samples, cum_dropped: dropped },
+            "resume" => WireReply::Resume {
+                last_applied_seq: seq,
+                cum_samples: samples,
+                cum_dropped: dropped,
+            },
+            "admitted" => WireReply::Admitted {
+                meta: SessionMeta {
+                    round,
+                    arity,
+                    sources: metas
+                        .iter()
+                        .map(|&(offset, period, margin)| SourceMeta { offset, period, margin })
+                        .collect(),
+                },
+            },
             _ => {
                 let mut c = OutputCollector::new(arity);
-                let row: Vec<f32> = Vec::new();
-                let _ = row;
                 for &(t, d, bits) in &rows {
                     let vals: Vec<f32> = (0..arity)
                         .map(|f| f32::from_bits(bits.rotate_left(f as u32)))
@@ -155,33 +182,38 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// Golden bytes: the v1 layout, written out by hand
+// Golden bytes: the v2 layout, written out by hand
 // ---------------------------------------------------------------------
 
 #[test]
-fn golden_admit_v1() {
-    let bytes = encode_cmd(&WireCmd::Admit {
-        patient: 0x0102_0304_0506_0708,
-    });
+fn golden_admit_v2() {
+    let bytes = encode_cmd(
+        0x1122_3344_5566_7788,
+        &WireCmd::Admit {
+            patient: 0x0102_0304_0506_0708,
+        },
+    );
     assert_eq!(
         bytes,
         [
-            0x01, // version
+            0x02, // version
             0x01, // opcode Admit
+            0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // seq u64 LE
             0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // patient u64 LE
         ]
     );
 }
 
 #[test]
-fn golden_batch_v1() {
+fn golden_batch_v2() {
     // One sample: patient 1, source 2, t 3, v 1.5 (bits 0x3FC00000).
-    let bytes = encode_cmd(&WireCmd::Batch(vec![(1, 2, 3, 1.5)]));
+    let bytes = encode_cmd(9, &WireCmd::Batch(vec![(1, 2, 3, 1.5)]));
     assert_eq!(
         bytes,
         [
-            0x01, // version
+            0x02, // version
             0x02, // opcode Batch
+            0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // seq u64 LE
             0x01, 0x00, 0x00, 0x00, // count u32 LE
             0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // patient u64 LE
             0x02, 0x00, 0x00, 0x00, // source u32 LE
@@ -192,34 +224,63 @@ fn golden_batch_v1() {
 }
 
 #[test]
-fn golden_poll_finish_export_v1() {
-    assert_eq!(encode_cmd(&WireCmd::Poll), [0x01, 0x03]);
+fn golden_poll_finish_export_v2() {
     assert_eq!(
-        encode_cmd(&WireCmd::Finish { patient: 7 }),
-        [0x01, 0x04, 0x07, 0, 0, 0, 0, 0, 0, 0]
+        encode_cmd(2, &WireCmd::Poll),
+        [0x02, 0x03, 0x02, 0, 0, 0, 0, 0, 0, 0]
     );
     assert_eq!(
-        encode_cmd(&WireCmd::Export { patient: 7 }),
-        [0x01, 0x05, 0x07, 0, 0, 0, 0, 0, 0, 0]
+        encode_cmd(3, &WireCmd::Finish { patient: 7 }),
+        [0x02, 0x04, 0x03, 0, 0, 0, 0, 0, 0, 0, 0x07, 0, 0, 0, 0, 0, 0, 0]
+    );
+    assert_eq!(
+        encode_cmd(4, &WireCmd::Export { patient: 7 }),
+        [0x02, 0x05, 0x04, 0, 0, 0, 0, 0, 0, 0, 0x07, 0, 0, 0, 0, 0, 0, 0]
     );
 }
 
 #[test]
-fn golden_replies_v1() {
-    assert_eq!(encode_reply(&WireReply::Ok), [0x01, 0x81]);
+fn golden_hello_v2() {
+    // Hello travels as seq 0: it opens the session, it is not in it.
+    let bytes = encode_cmd(
+        0,
+        &WireCmd::Hello {
+            session: 0xAABB,
+            epoch: 3,
+            last_acked_seq: 17,
+        },
+    );
+    assert_eq!(
+        bytes,
+        [
+            0x02, // version
+            0x07, // opcode Hello
+            0x00, 0, 0, 0, 0, 0, 0, 0, // seq u64 LE (always 0)
+            0xBB, 0xAA, 0, 0, 0, 0, 0, 0, // session u64 LE
+            0x03, 0, 0, 0, 0, 0, 0, 0, // epoch u64 LE
+            0x11, 0, 0, 0, 0, 0, 0, 0, // last_acked_seq u64 LE
+        ]
+    );
+}
+
+#[test]
+fn golden_replies_v2() {
+    assert_eq!(encode_reply(&WireReply::Ok), [0x02, 0x81]);
     assert_eq!(
         encode_reply(&WireReply::Err("no".into())),
-        [0x01, 0x82, 0x02, 0x00, 0x00, 0x00, b'n', b'o']
+        [0x02, 0x82, 0x02, 0x00, 0x00, 0x00, b'n', b'o']
     );
     assert_eq!(
         encode_reply(&WireReply::Ack {
-            samples: 5,
-            dropped_unknown: 2
+            seq: 9,
+            cum_samples: 5,
+            cum_dropped: 2
         }),
         [
-            0x01, 0x83, //
-            0x05, 0, 0, 0, 0, 0, 0, 0, // samples u64 LE
-            0x02, 0, 0, 0, 0, 0, 0, 0, // dropped u64 LE
+            0x02, 0x83, //
+            0x09, 0, 0, 0, 0, 0, 0, 0, // seq u64 LE
+            0x05, 0, 0, 0, 0, 0, 0, 0, // cum_samples u64 LE
+            0x02, 0, 0, 0, 0, 0, 0, 0, // cum_dropped u64 LE
         ]
     );
     // Output: arity 1, one event (t 7, duration 2, value 2.5).
@@ -228,7 +289,7 @@ fn golden_replies_v1() {
     assert_eq!(
         encode_reply(&WireReply::Output(c)),
         [
-            0x01, 0x84, //
+            0x02, 0x84, //
             0x01, 0x00, 0x00, 0x00, // arity u32 LE
             0x01, 0x00, 0x00, 0x00, // len u32 LE
             0x07, 0, 0, 0, 0, 0, 0, 0, // time i64 LE
@@ -236,10 +297,45 @@ fn golden_replies_v1() {
             0x00, 0x00, 0x20, 0x40, // 2.5f32 bits LE
         ]
     );
+    assert_eq!(
+        encode_reply(&WireReply::Resume {
+            last_applied_seq: 12,
+            cum_samples: 300,
+            cum_dropped: 1,
+        }),
+        [
+            0x02, 0x86, //
+            0x0C, 0, 0, 0, 0, 0, 0, 0, // last_applied_seq u64 LE
+            0x2C, 0x01, 0, 0, 0, 0, 0, 0, // cum_samples u64 LE (300)
+            0x01, 0, 0, 0, 0, 0, 0, 0, // cum_dropped u64 LE
+        ]
+    );
+    assert_eq!(
+        encode_reply(&WireReply::Admitted {
+            meta: SessionMeta {
+                round: 100,
+                arity: 1,
+                sources: vec![SourceMeta {
+                    offset: 0,
+                    period: 2,
+                    margin: 40,
+                }],
+            },
+        }),
+        [
+            0x02, 0x87, //
+            0x64, 0, 0, 0, 0, 0, 0, 0, // round i64 LE (100)
+            0x01, 0x00, 0x00, 0x00, // arity u32 LE
+            0x01, 0x00, 0x00, 0x00, // source count u32 LE
+            0x00, 0, 0, 0, 0, 0, 0, 0, // offset i64 LE
+            0x02, 0, 0, 0, 0, 0, 0, 0, // period i64 LE
+            0x28, 0, 0, 0, 0, 0, 0, 0, // margin i64 LE (40)
+        ]
+    );
 }
 
 #[test]
-fn golden_import_v1() {
+fn golden_import_v2() {
     // next_round 100; one source (base_slot 5, watermark 110, one value
     // -1.0, one range [10, 110)); empty collector of arity 1; one error
     // "x".
@@ -249,14 +345,18 @@ fn golden_import_v1() {
         &[],
         vec!["x".into()],
     );
-    let bytes = encode_cmd(&WireCmd::Import {
-        patient: 9,
-        state: Box::new(state),
-    });
+    let bytes = encode_cmd(
+        6,
+        &WireCmd::Import {
+            patient: 9,
+            state: Box::new(state),
+        },
+    );
     assert_eq!(
         bytes,
         [
-            0x01, 0x06, // version, opcode Import
+            0x02, 0x06, // version, opcode Import
+            0x06, 0, 0, 0, 0, 0, 0, 0, // seq u64 LE
             0x09, 0, 0, 0, 0, 0, 0, 0, // patient u64 LE
             0x64, 0, 0, 0, 0, 0, 0, 0, // next_round i64 LE (100)
             0x01, 0x00, 0x00, 0x00, // source count u32 LE
@@ -284,36 +384,41 @@ fn golden_import_v1() {
 #[test]
 fn rejects_wrong_version_unknown_opcode_truncation_trailing() {
     assert_eq!(
-        decode_cmd(&[0x02, 0x03]).unwrap_err(),
-        WireError::Version(2)
+        decode_cmd(&[0x09, 0x03]).unwrap_err(),
+        WireError::Version(9)
     );
     assert_eq!(
-        decode_cmd(&[0x01, 0x7F]).unwrap_err(),
+        decode_cmd(&[0x01, 0x03]).unwrap_err(),
+        WireError::Version(1),
+        "v1 frames are refused, not half-understood"
+    );
+    assert_eq!(
+        decode_cmd(&[0x02, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err(),
         WireError::Opcode(0x7F)
     );
     assert_eq!(
-        decode_reply(&[0x01, 0x01]).unwrap_err(),
+        decode_reply(&[0x02, 0x01]).unwrap_err(),
         WireError::Opcode(0x01),
         "command opcodes are not reply opcodes"
     );
     assert_eq!(
-        decode_cmd(&[0x01, 0x01, 0x07]).unwrap_err(),
+        decode_cmd(&[0x02, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0x07]).unwrap_err(),
         WireError::Truncated
     );
     assert_eq!(decode_cmd(&[]).unwrap_err(), WireError::Truncated);
-    let mut admit = encode_cmd(&WireCmd::Admit { patient: 1 });
+    let mut admit = encode_cmd(1, &WireCmd::Admit { patient: 1 });
     admit.push(0xAA);
     assert_eq!(decode_cmd(&admit).unwrap_err(), WireError::Trailing(1));
     // A declared count far beyond the frame cap is refused before any
     // allocation, not trusted.
-    let mut batch = vec![0x01, 0x02];
+    let mut batch = vec![0x02, 0x02, 0, 0, 0, 0, 0, 0, 0, 0];
     batch.extend_from_slice(&u32::MAX.to_le_bytes());
     assert_eq!(
         decode_cmd(&batch).unwrap_err(),
         WireError::TooLarge(u32::MAX as usize)
     );
     // Invalid UTF-8 in an error string.
-    let err = [0x01, 0x82, 0x02, 0x00, 0x00, 0x00, 0xFF, 0xFE];
+    let err = [0x02, 0x82, 0x02, 0x00, 0x00, 0x00, 0xFF, 0xFE];
     assert_eq!(decode_reply(&err).unwrap_err(), WireError::Utf8);
 }
 
@@ -322,7 +427,7 @@ fn hostile_counts_are_refused_before_any_allocation() {
     // A tiny Output reply declaring a gigantic arity with len 0: arity
     // columns occupy zero payload bytes, so only the explicit cap can
     // stop this from allocating arity-many vectors.
-    let mut bomb = vec![0x01, 0x84];
+    let mut bomb = vec![0x02, 0x84];
     bomb.extend_from_slice(&0x0400_0000u32.to_le_bytes()); // arity = 67M
     bomb.extend_from_slice(&0u32.to_le_bytes()); // len = 0
     assert_eq!(
@@ -336,11 +441,20 @@ fn hostile_counts_are_refused_before_any_allocation() {
     // A handoff declaring more sources than its frame could possibly
     // hold is refused by the remaining-bytes rule, not trusted into a
     // giant Vec::with_capacity.
-    let mut handoff = vec![0x01, 0x85];
+    let mut handoff = vec![0x02, 0x85];
     handoff.extend_from_slice(&0i64.to_le_bytes()); // next_round
     handoff.extend_from_slice(&0x00FF_FFFFu32.to_le_bytes()); // nsources
     assert_eq!(
         decode_reply(&handoff).unwrap_err(),
+        WireError::TooLarge(0x00FF_FFFF)
+    );
+    // Same rule for an Admitted reply's source-meta count.
+    let mut admitted = vec![0x02, 0x87];
+    admitted.extend_from_slice(&100i64.to_le_bytes()); // round
+    admitted.extend_from_slice(&1u32.to_le_bytes()); // arity
+    admitted.extend_from_slice(&0x00FF_FFFFu32.to_le_bytes()); // nsources
+    assert_eq!(
+        decode_reply(&admitted).unwrap_err(),
         WireError::TooLarge(0x00FF_FFFF)
     );
 }
@@ -361,18 +475,6 @@ fn frames_roundtrip_and_eof_is_clean_only_at_boundaries() {
     assert_eq!(read_frame(&mut r).unwrap(), Some(vec![9; 1000]));
     assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at boundary");
 
-    // EOF inside the length prefix.
-    let mut r = &buf[..2];
-    assert_eq!(
-        read_frame(&mut r).unwrap_err().kind(),
-        std::io::ErrorKind::UnexpectedEof
-    );
-    // EOF inside the payload.
-    let mut r = &buf[..5];
-    assert_eq!(
-        read_frame(&mut r).unwrap_err().kind(),
-        std::io::ErrorKind::UnexpectedEof
-    );
     // A hostile length prefix is refused before allocating.
     let mut bomb = Vec::new();
     bomb.extend_from_slice(&((MAX_FRAME + 1) as u32).to_le_bytes());
@@ -381,4 +483,45 @@ fn frames_roundtrip_and_eof_is_clean_only_at_boundaries() {
         read_frame(&mut r).unwrap_err().kind(),
         std::io::ErrorKind::InvalidData
     );
+}
+
+#[test]
+fn mid_frame_eof_is_connection_lost_and_retryable() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &[1, 2, 3]).unwrap();
+
+    // EOF inside the length prefix.
+    let mut r = &buf[..2];
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    let wire_err = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<WireError>())
+        .expect("wraps a WireError");
+    assert_eq!(*wire_err, WireError::ConnectionLost);
+    assert!(wire_err.is_retryable());
+    assert!(retryable_io(&err), "a severed peer is worth a redial");
+
+    // EOF inside the payload.
+    let mut r = &buf[..5];
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(retryable_io(&err));
+
+    // Structural errors are NOT retryable: redialing cannot fix them.
+    assert!(!WireError::Version(9).is_retryable());
+    assert!(!WireError::TooLarge(1 << 30).is_retryable());
+    assert!(!WireError::Trailing(4).is_retryable());
+    let fatal = std::io::Error::new(std::io::ErrorKind::InvalidData, WireError::Version(9));
+    assert!(!retryable_io(&fatal));
+    // Plain kinds: resets and timeouts retry, data corruption does not.
+    assert!(retryable_io(&std::io::Error::from(
+        std::io::ErrorKind::ConnectionReset
+    )));
+    assert!(retryable_io(&std::io::Error::from(
+        std::io::ErrorKind::WouldBlock
+    )));
+    assert!(!retryable_io(&std::io::Error::from(
+        std::io::ErrorKind::InvalidData
+    )));
 }

@@ -240,6 +240,12 @@ impl LiveSession {
         self.round_dim
     }
 
+    /// The grid shape (offset, period) of every source, in source order —
+    /// what a remote peer needs to size and align a replay buffer.
+    pub fn source_shapes(&self) -> Vec<StreamShape> {
+        self.sources.iter().map(|s| s.shape).collect()
+    }
+
     /// Payload arity of the single sink (what an output collector needs).
     ///
     /// # Errors
