@@ -6,11 +6,12 @@
 //! 1-core box that produced a baseline legitimately disagree — so the
 //! gate checks only the ratios the bench JSONs were designed around:
 //!
-//! | bench             | gated metric                       |
-//! |-------------------|------------------------------------|
-//! | `sharded_scaling` | `pooled_vs_cold_speedup_1_worker`  |
-//! | `live_throughput` | `batched_vs_per_sample_speedup`    |
-//! | `net_throughput`  | `batched_vs_per_frame_speedup`     |
+//! | bench                | gated metric                       |
+//! |----------------------|------------------------------------|
+//! | `sharded_scaling`    | `pooled_vs_cold_speedup_1_worker`  |
+//! | `live_throughput`    | `batched_vs_per_sample_speedup`    |
+//! | `net_throughput`     | `batched_vs_per_frame_speedup`     |
+//! | `history_throughput` | `spill_vs_no_store_ratio`          |
 //!
 //! Usage: `bench_gate <baseline.json> <current.json>`
 //!
@@ -41,6 +42,7 @@ fn metric_for(bench: &str) -> Option<&'static str> {
         "sharded_scaling" => Some("pooled_vs_cold_speedup_1_worker"),
         "live_throughput" => Some("batched_vs_per_sample_speedup"),
         "net_throughput" => Some("batched_vs_per_frame_speedup"),
+        "history_throughput" => Some("spill_vs_no_store_ratio"),
         _ => None,
     }
 }
@@ -167,7 +169,12 @@ mod tests {
 
     #[test]
     fn every_gated_bench_has_a_metric() {
-        for b in ["sharded_scaling", "live_throughput", "net_throughput"] {
+        for b in [
+            "sharded_scaling",
+            "live_throughput",
+            "net_throughput",
+            "history_throughput",
+        ] {
             assert!(metric_for(b).is_some());
         }
         assert!(metric_for("fig2").is_none());

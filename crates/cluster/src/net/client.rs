@@ -387,6 +387,24 @@ impl RemoteIngest {
         }
     }
 
+    /// Re-runs a patient's pipeline over its full durable history on the
+    /// server (segments + write buffer + live suffix) and returns the
+    /// collected output. The live session keeps ingesting; the query
+    /// runs over a stitched copy. Synchronous: drains the in-flight
+    /// window first, so every pushed sample is reflected.
+    ///
+    /// # Errors
+    /// Returns the server's error when no store is attached or the
+    /// patient has no history, or the transport error.
+    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let mut c = self.conn.lock().expect("conn lock");
+        match self.roundtrip(&mut c, &WireCmd::HistoryQuery { patient })? {
+            WireReply::Output(out) => Ok(out),
+            WireReply::Err(e) => Err(e),
+            _ => Err(self.poison(&mut c, "protocol: unexpected reply to HistoryQuery")),
+        }
+    }
+
     /// Synchronization point: flushes staged samples and waits for every
     /// outstanding ack, making [`stats`](Self::stats) (including
     /// server-side drop counts) exact.

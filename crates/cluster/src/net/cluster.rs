@@ -2,15 +2,17 @@
 //! with live partition handoff between them and automatic patient
 //! failover when a machine dies.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::net::ToSocketAddrs;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use lifestream_core::exec::OutputCollector;
 use lifestream_core::live::{SessionSnapshot, SourceSuffix};
 use lifestream_core::time::Tick;
+use lifestream_store::HistoryReader;
 
 use crate::machines::{MachineState, PlacementTable};
 use crate::sharded::{Ingest, IngestStats, PatientHandoff, PatientId, SessionMeta, SourceMeta};
@@ -162,6 +164,90 @@ impl SourceTail {
     }
 }
 
+/// Builds one source's failover suffix, preferring durable segment
+/// history over the client-side replay tail: the store's densified
+/// history and the tail are merged sample-by-sample (the tail wins on
+/// overlap — it is at least as fresh), then clipped to the retained
+/// window `[align_down(frontier - margin), …)` — the same window the
+/// dead machine's live session held. A tail that lost samples (a client
+/// mirror truncated by a crash or restart) is thereby healed from the
+/// segments, as long as every retired span reached the store.
+fn suffix_with_store(
+    meta: SourceMeta,
+    history: Option<&lifestream_store::DenseHistory>,
+    tail: &VecDeque<(Tick, f32)>,
+    watermark: Tick,
+    frontier: Tick,
+) -> SourceSuffix {
+    let SourceMeta {
+        offset,
+        period,
+        margin,
+    } = meta;
+    if period <= 0 {
+        return SourceSuffix {
+            base_slot: 0,
+            watermark,
+            values: Vec::new(),
+            ranges: Vec::new(),
+        };
+    }
+    let cutoff = {
+        let c = frontier.saturating_sub(margin).max(offset);
+        offset + (c - offset).div_euclid(period) * period
+    };
+    let mut samples: BTreeMap<Tick, f32> = BTreeMap::new();
+    if let Some((values, ranges)) = history {
+        for &(s, e) in ranges {
+            // Segment presence ranges start on the grid and the cutoff
+            // is grid-aligned, so their max is on the grid too.
+            let mut t = s.max(cutoff);
+            while t < e {
+                if let Some(&v) = values.get(((t - offset) / period) as usize) {
+                    samples.insert(t, v);
+                }
+                t += period;
+            }
+        }
+    }
+    for &(t, v) in tail {
+        if t >= cutoff {
+            samples.insert(t, v);
+        }
+    }
+    if let (Some((&t0, _)), Some((&tn, _))) = (samples.first_key_value(), samples.last_key_value())
+    {
+        let base_slot = ((t0 - offset) / period) as u64;
+        let nslots = ((tn - t0) / period) as usize + 1;
+        let mut values = vec![0.0_f32; nslots];
+        let mut ranges: Vec<(Tick, Tick)> = Vec::new();
+        let mut wm = watermark;
+        for (&t, &v) in &samples {
+            values[((t - t0) / period) as usize] = v;
+            match ranges.last_mut() {
+                Some(r) if r.1 == t => r.1 = t + period,
+                _ => ranges.push((t, t + period)),
+            }
+            wm = wm.max(t + period);
+        }
+        SourceSuffix {
+            base_slot,
+            watermark: wm,
+            values,
+            ranges,
+        }
+    } else {
+        let start = frontier.max(offset);
+        let base_slot = ((start - offset) + period - 1).div_euclid(period) as u64;
+        SourceSuffix {
+            base_slot,
+            watermark,
+            values: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+}
+
 /// Client-side mirror of one patient's live session: enough bounded
 /// state (`O(round + margin + poll lag)` per source) to re-admit the
 /// patient on a survivor if its machine dies.
@@ -201,19 +287,35 @@ impl PatientState {
         }
     }
 
-    /// Builds a re-admission handoff from the tails: margin suffix plus
-    /// the frontier, with an empty output collector (output collected on
-    /// the dead machine is gone; the survivor re-emits from the
-    /// frontier).
-    fn handoff(&self) -> PatientHandoff {
+    /// Builds a re-admission handoff: margin suffix plus the frontier,
+    /// with an empty output collector (output collected on the dead
+    /// machine is gone; the survivor re-emits from the frontier). With a
+    /// store attached, each source's suffix is rebuilt from the durable
+    /// segments overlaid with the replay tail ([`suffix_with_store`])
+    /// instead of the tail alone.
+    fn handoff(&self, store: Option<(&HistoryReader, PatientId)>) -> PatientHandoff {
+        let sources = self
+            .sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match store {
+                Some((reader, patient)) => {
+                    let history = reader.source_history(patient, i).and_then(Result::ok);
+                    suffix_with_store(
+                        s.meta,
+                        history.as_ref(),
+                        &s.tail,
+                        s.watermark,
+                        self.frontier,
+                    )
+                }
+                None => s.suffix(self.frontier),
+            })
+            .collect();
         PatientHandoff {
             snapshot: SessionSnapshot {
                 next_round: self.frontier,
-                sources: self
-                    .sources
-                    .iter()
-                    .map(|s| s.suffix(self.frontier))
-                    .collect(),
+                sources,
             },
             output: OutputCollector::new(self.arity),
             errors: Vec::new(),
@@ -252,8 +354,20 @@ impl PatientState {
 /// therefore never loses a patient; what *is* lost is bounded: output
 /// rounds below the failover frontier that were only collected on the
 /// dead machine, and its sessions' deferred per-sample errors.
+///
+/// With a shared tiered store attached
+/// ([`connect_with_store`](Self::connect_with_store)), failover prefers
+/// **segment rebuild** over the replay tail alone: each re-admitted
+/// source suffix is stitched from the durable segments the dead machine
+/// spilled, overlaid with the client tail — a truncated tail is healed
+/// from disk — and [`query_history`](Self::query_history) re-runs any
+/// patient's pipeline over its full durable history on whichever machine
+/// currently owns it.
 pub struct ClusterIngest {
     endpoints: Vec<RemoteIngest>,
+    /// Shared tiered-store directory, when every machine spills to the
+    /// same storage; read at failover to rebuild sessions from segments.
+    store_dir: Option<PathBuf>,
     /// The routing table. Readers (push/admit/finish) share the lock so
     /// endpoints ingest in parallel; a handoff or failover takes the
     /// write lock, so a concurrent push cannot race a patient to its old
@@ -278,6 +392,31 @@ impl ClusterIngest {
     /// Propagates the first connection failure; requires at least one
     /// endpoint.
     pub fn connect<A: ToSocketAddrs>(addrs: &[A], cfg: RemoteConfig) -> io::Result<Self> {
+        Self::connect_inner(addrs, cfg, None)
+    }
+
+    /// Like [`connect`](Self::connect), for a fleet whose machines all
+    /// spill to the tiered store at `store_dir` (shared storage). The
+    /// path enables segment-preferred failover rebuilds; retrospective
+    /// queries ([`query_history`](Self::query_history)) work either way,
+    /// since they run server-side.
+    ///
+    /// # Errors
+    /// Propagates the first connection failure; requires at least one
+    /// endpoint.
+    pub fn connect_with_store<A: ToSocketAddrs>(
+        addrs: &[A],
+        cfg: RemoteConfig,
+        store_dir: impl Into<PathBuf>,
+    ) -> io::Result<Self> {
+        Self::connect_inner(addrs, cfg, Some(store_dir.into()))
+    }
+
+    fn connect_inner<A: ToSocketAddrs>(
+        addrs: &[A],
+        cfg: RemoteConfig,
+        store_dir: Option<PathBuf>,
+    ) -> io::Result<Self> {
         if addrs.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -291,6 +430,7 @@ impl ClusterIngest {
         let table = RwLock::new(PlacementTable::new(endpoints.len()));
         Ok(Self {
             endpoints,
+            store_dir,
             table,
             patients: RwLock::new(HashMap::new()),
             samples_pushed: AtomicU64::new(0),
@@ -581,6 +721,40 @@ impl ClusterIngest {
         Ok(out)
     }
 
+    /// Re-runs a patient's pipeline over its full durable history
+    /// (segments + write buffer + live suffix) on the machine currently
+    /// owning it, and returns the collected output; live ingest on that
+    /// patient continues. If the owner is dead, fails over first — the
+    /// store directory is shared, so the survivor sees the same segments
+    /// — and retries on the new owner.
+    ///
+    /// # Errors
+    /// Returns the owning server's error (no store attached, unknown
+    /// patient) or the transport error when no survivor remains.
+    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let machine = {
+            let table = self.table.read().expect("table lock");
+            let m = table.place(patient);
+            match self.endpoints[m].query_history(patient) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    if !self.endpoints[m].is_dead() {
+                        return Err(e);
+                    }
+                    m
+                }
+            }
+        };
+        self.failover(machine);
+        let survivor = self.table.read().expect("table lock").place(patient);
+        if survivor == machine {
+            return Err(format!(
+                "patient {patient}: no live machine left to answer the history query"
+            ));
+        }
+        self.endpoints[survivor].query_history(patient)
+    }
+
     /// Closes every endpoint connection. Equivalent to dropping.
     pub fn shutdown(self) {}
 
@@ -611,6 +785,12 @@ impl ClusterIngest {
     /// left, remaining patients are counted lost and every subsequent
     /// call surfaces the transport error.
     fn failover_locked(&self, table: &mut PlacementTable, machine: usize) {
+        // Fresh view of the shared segments: everything the dead machine
+        // flushed is durable and preferred over the replay tails.
+        let reader = self
+            .store_dir
+            .as_ref()
+            .and_then(|d| HistoryReader::open(d).ok());
         let mut pending: Vec<PatientId> = Vec::new();
         let mut to_down = vec![machine];
         while let Some(m) = to_down.pop() {
@@ -640,7 +820,10 @@ impl ClusterIngest {
                 let handoff = {
                     let patients = self.patients.read().expect("patients lock");
                     match patients.get(&p) {
-                        Some(ps) => ps.lock().expect("patient state").handoff(),
+                        Some(ps) => ps
+                            .lock()
+                            .expect("patient state")
+                            .handoff(reader.as_ref().map(|r| (r, p))),
                         None => continue,
                     }
                 };
@@ -720,5 +903,69 @@ impl std::fmt::Debug for ClusterIngest {
             .field("live", &table.live_machines())
             .field("overridden", &table.overridden())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> SourceMeta {
+        SourceMeta {
+            offset: 0,
+            period: 2,
+            margin: 10,
+        }
+    }
+
+    fn dense_history(n: usize) -> (Vec<f32>, Vec<(Tick, Tick)>) {
+        ((0..n).map(|i| i as f32).collect(), vec![(0, 2 * n as Tick)])
+    }
+
+    #[test]
+    fn store_heals_a_truncated_tail() {
+        // The dead machine retained [frontier - margin, ..) = [90, ..),
+        // but the client tail lost everything below t = 96 (a restarted
+        // mirror). The store's densified history covers slots 0..50
+        // (t < 100): the rebuilt suffix must splice store samples over
+        // the hole and keep the fresher tail beyond it.
+        let tail: VecDeque<(Tick, f32)> = vec![(96, -1.0), (98, -2.0), (100, -3.0)].into();
+        let (values, ranges) = dense_history(50);
+        let s = suffix_with_store(meta(), Some(&(values, ranges)), &tail, 102, 100);
+        // Window starts at 100 - 10 = 90 → slot 45.
+        assert_eq!(s.base_slot, 45);
+        assert_eq!(s.ranges, vec![(90, 102)]);
+        // 90..96 from the store (values 45, 46, 47), 96.. from the tail.
+        assert_eq!(s.values, vec![45.0, 46.0, 47.0, -1.0, -2.0, -3.0]);
+        assert_eq!(s.watermark, 102);
+    }
+
+    #[test]
+    fn tail_wins_over_store_on_overlap() {
+        let tail: VecDeque<(Tick, f32)> = vec![(94, 7.0)].into();
+        let (values, ranges) = dense_history(50);
+        let s = suffix_with_store(meta(), Some(&(values, ranges)), &tail, 100, 100);
+        let slot_94 = ((94 - s.base_slot as Tick * 2) / 2) as usize;
+        assert_eq!(s.values[slot_94], 7.0, "tail sample must shadow the store");
+    }
+
+    #[test]
+    fn no_store_history_degrades_to_the_tail() {
+        let tail: VecDeque<(Tick, f32)> = vec![(92, 1.0), (94, 2.0)].into();
+        let s = suffix_with_store(meta(), None, &tail, 96, 100);
+        assert_eq!(s.base_slot, 46);
+        assert_eq!(s.values, vec![1.0, 2.0]);
+        assert_eq!(s.ranges, vec![(92, 96)]);
+    }
+
+    #[test]
+    fn history_below_the_window_is_clipped() {
+        // Everything durable ends before the retained window: the suffix
+        // must come out empty with its base parked at the frontier, not
+        // drag the whole history into the import replay.
+        let (values, ranges) = dense_history(10); // t < 20
+        let s = suffix_with_store(meta(), Some(&(values, ranges)), &VecDeque::new(), 20, 100);
+        assert!(s.values.is_empty() && s.ranges.is_empty());
+        assert_eq!(s.base_slot, 50);
     }
 }

@@ -72,6 +72,39 @@
 //! another machine and output at or above the failover frontier is
 //! byte-identical to the reference.
 //!
+//! ## The durable tier changes the loss bounds
+//!
+//! Everything above describes the store-less fabric, where history
+//! below the compaction horizon exists nowhere once it leaves memory.
+//! Attaching the tiered store re-prices two rows of the table:
+//!
+//! * **Server side** — [`ShardServer::bind_with_store`] spills every
+//!   compacted span to append-only segment files before it leaves
+//!   memory, and answers the v2 `HistoryQuery` command (opcode `0x08`)
+//!   by stitching segments + write buffer + live suffix back into a
+//!   full retrospective run, byte-identical to the cold batch run,
+//!   while ingest continues. Several servers may share one directory
+//!   (writer-nonced segment names never collide) — that shared
+//!   directory is what makes cross-machine rebuild possible.
+//! * **Client side** — [`ClusterIngest::connect_with_store`] points the
+//!   coordinator at the same directory. On failover it prefers
+//!   *segment rebuild* over tail replay: the dead machine's durable
+//!   history is merged under the client margin tail (the tail wins on
+//!   overlap), so the survivor's warm-up suffix is complete even where
+//!   the tail was truncated, and `query_history` on the survivor still
+//!   reconstructs the patient's entire feed. The "output rounds below
+//!   the failover frontier" caveat disappears: they are recomputable on
+//!   demand.
+//!
+//! The residual loss window on a hard kill is exactly the store's
+//! unflushed write buffer (`StoreConfig::flush_batch` samples per
+//! session; `flush_batch(0)` flushes every spill and shrinks the
+//! window to zero, which is how the kill tests in
+//! `tests/history_equiv.rs` pin "zero history lost"). Durability of a
+//! flushed segment is the filesystem's: files are written
+//! tmp + fsync + rename, so a torn write never corrupts the store —
+//! readers skip truncated tails and checksum-reject damaged records.
+//!
 //! ## Wire format v1 → v2
 //!
 //! v2 (this PR) extends every command with a session sequence number
@@ -86,6 +119,10 @@
 //! * `Ack` (0x83) now echoes `seq` and carries *cumulative* applied /
 //!   dropped counters, so a client can reconcile counts across lost
 //!   acks;
+//! * new command `HistoryQuery{patient}` (opcode 0x08) runs a
+//!   retrospective query over the server's tiered store and answers
+//!   with an `Output` reply — additive, so store-less servers simply
+//!   reject it;
 //! * version byte bumped to `0x02`; v1 frames are refused with a
 //!   version error.
 

@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use lifestream_store::StoreConfig;
+
 use crate::sharded::{IngestConfig, IngestStats, LiveIngest, PipelineFactory};
 
 use super::wire::{self, WireCmd, WireReply};
@@ -73,9 +75,32 @@ impl ShardServer {
         cfg: IngestConfig,
         addr: A,
     ) -> io::Result<Self> {
+        Self::bind_ingest(LiveIngest::with_config(factory, cfg), addr)
+    }
+
+    /// Like [`bind`](Self::bind), but the hosted ingest spills every
+    /// compacted span to the tiered store described by `store_cfg`, and
+    /// the server answers [`HistoryQuery`](WireCmd::HistoryQuery)
+    /// commands with retrospective re-runs over the durable history.
+    /// Several servers may share one store directory (e.g. a failover
+    /// pair on shared storage): segment filenames carry a per-writer
+    /// nonce, so concurrent writers never collide.
+    ///
+    /// # Errors
+    /// Propagates bind failures and store-directory creation failures.
+    pub fn bind_with_store<A: ToSocketAddrs>(
+        factory: PipelineFactory,
+        cfg: IngestConfig,
+        store_cfg: StoreConfig,
+        addr: A,
+    ) -> io::Result<Self> {
+        Self::bind_ingest(LiveIngest::with_store(factory, cfg, store_cfg)?, addr)
+    }
+
+    fn bind_ingest<A: ToSocketAddrs>(ingest: LiveIngest, addr: A) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let ingest = Arc::new(LiveIngest::with_config(factory, cfg));
+        let ingest = Arc::new(ingest);
         let stop = Arc::new(AtomicBool::new(false));
         let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
         let sessions: Sessions = Arc::new(Mutex::new(HashMap::new()));
@@ -377,6 +402,10 @@ fn apply(st: &mut SessionState, seq: u64, cmd: WireCmd, ingest: &LiveIngest) -> 
                         Err(e) => WireReply::Err(e),
                     }
                 }
+                WireCmd::HistoryQuery { patient } => match ingest.query_history(patient) {
+                    Ok(out) => WireReply::Output(out),
+                    Err(e) => WireReply::Err(e),
+                },
                 WireCmd::Batch(_) | WireCmd::Poll | WireCmd::Hello { .. } => unreachable!(),
             };
             let bytes = wire::encode_reply(&reply);

@@ -29,6 +29,7 @@
 //!   0x07 Hello   session:u64                      cum_samples:u64
 //!               epoch:u64                         cum_dropped:u64
 //!               last_acked_seq:u64  0x87 Admitted meta
+//!   0x08 HistoryQuery patient:u64
 //!
 //! sample    := patient:u64 source:u32 t:i64 v:f32          (24 bytes)
 //! vec       := count:u32 item*
@@ -141,6 +142,15 @@ pub enum WireCmd {
         epoch: u64,
         /// Highest command seq the client knows was applied.
         last_acked_seq: u64,
+    },
+    /// Retrospective query: re-run the patient's pipeline over its full
+    /// durable history (segments + write buffer + live suffix) and
+    /// return the collected output. Requires a server-side tiered store;
+    /// the live session, if any, keeps ingesting — the query runs on a
+    /// stitched copy. Answered by [`Output`](WireReply::Output).
+    HistoryQuery {
+        /// Patient whose history to re-run.
+        patient: PatientId,
     },
 }
 
@@ -398,6 +408,11 @@ pub fn encode_cmd(seq: u64, cmd: &WireCmd) -> Vec<u8> {
             put_u64(&mut buf, *session);
             put_u64(&mut buf, *epoch);
             put_u64(&mut buf, *last_acked_seq);
+        }
+        WireCmd::HistoryQuery { patient } => {
+            buf.push(0x08);
+            put_u64(&mut buf, seq);
+            put_u64(&mut buf, *patient);
         }
     }
     buf
@@ -680,6 +695,9 @@ pub fn decode_cmd(payload: &[u8]) -> Result<(u64, WireCmd), WireError> {
             session: cur.u64()?,
             epoch: cur.u64()?,
             last_acked_seq: cur.u64()?,
+        },
+        0x08 => WireCmd::HistoryQuery {
+            patient: cur.u64()?,
         },
         op => return Err(WireError::Opcode(op)),
     };

@@ -60,9 +60,10 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use lifestream_core::exec::OutputCollector;
+use lifestream_core::exec::{ExecOptions, OutputCollector};
 use lifestream_core::live::{LiveSession, SessionSnapshot};
-use lifestream_core::time::Tick;
+use lifestream_core::time::{StreamShape, Tick};
+use lifestream_store::{HistoryReader, SharedStore, StoreConfig};
 
 use super::pool::PipelineFactory;
 use super::PatientId;
@@ -243,6 +244,13 @@ enum Cmd {
         state: Box<PatientHandoff>,
         reply: Sender<Result<(), String>>,
     },
+    /// Non-destructive peek: the session's current suffix snapshot plus
+    /// its source shapes, leaving the session running. The read half of a
+    /// retrospective query over a live patient.
+    Snapshot {
+        patient: PatientId,
+        reply: Sender<Result<(SessionSnapshot, Vec<StreamShape>), String>>,
+    },
     Shutdown,
 }
 
@@ -267,6 +275,14 @@ pub struct LiveIngest {
     staged: Vec<Mutex<Vec<Sample>>>,
     batch: usize,
     counters: Arc<Counters>,
+    /// A second factory clone for retrospective re-runs
+    /// ([`query_history`](Self::query_history) compiles a fresh pipeline
+    /// on the caller's thread, off the shard loops).
+    factory: PipelineFactory,
+    round_ticks: Tick,
+    /// The tiered history store, when attached: every session's retired
+    /// spans spill here, and retrospective queries stitch from here.
+    store: Option<SharedStore>,
 }
 
 impl LiveIngest {
@@ -277,8 +293,43 @@ impl LiveIngest {
         Self::with_config(factory, IngestConfig::new(workers, round_ticks))
     }
 
-    /// Spawns the ingest shards described by `cfg`.
+    /// Spawns the ingest shards described by `cfg` (no history store:
+    /// retired spans are dropped, as the bounded data plane always did).
     pub fn with_config(factory: PipelineFactory, cfg: IngestConfig) -> Self {
+        Self::spawn(factory, cfg, None)
+    }
+
+    /// Spawns the ingest shards with a tiered history store attached:
+    /// every admitted (or imported) session spills its retired spans into
+    /// segments under `store_cfg.dir`, and
+    /// [`query_history`](Self::query_history) can re-run the pipeline over
+    /// any patient's full history while its live stream continues.
+    ///
+    /// # Errors
+    /// Fails when the store directory cannot be created.
+    pub fn with_store(
+        factory: PipelineFactory,
+        cfg: IngestConfig,
+        store_cfg: StoreConfig,
+    ) -> std::io::Result<Self> {
+        Ok(Self::spawn(
+            factory,
+            cfg,
+            Some(SharedStore::open(store_cfg)?),
+        ))
+    }
+
+    /// Like [`with_store`](Self::with_store) but sharing an already-open
+    /// store handle (e.g. several ingests spilling to one directory).
+    pub fn with_shared_store(
+        factory: PipelineFactory,
+        cfg: IngestConfig,
+        store: SharedStore,
+    ) -> Self {
+        Self::spawn(factory, cfg, Some(store))
+    }
+
+    fn spawn(factory: PipelineFactory, cfg: IngestConfig, store: Option<SharedStore>) -> Self {
         let workers = cfg.workers.max(1);
         let counters = Arc::new(Counters::default());
         let mut txs = Vec::with_capacity(workers);
@@ -287,9 +338,10 @@ impl LiveIngest {
             let (tx, rx) = sync_channel::<Cmd>(cfg.channel_cap.max(1));
             let factory = PipelineFactory::clone(&factory);
             let counters = Arc::clone(&counters);
+            let store = store.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("ingest-{me}"))
-                .spawn(move || ingest_loop(rx, factory, cfg.round_ticks, counters))
+                .spawn(move || ingest_loop(rx, factory, cfg.round_ticks, counters, store))
                 .expect("spawn ingest worker");
             txs.push(tx);
             handles.push(handle);
@@ -300,7 +352,15 @@ impl LiveIngest {
             staged: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             batch: cfg.batch.max(1),
             counters,
+            factory,
+            round_ticks: cfg.round_ticks,
+            store,
         }
+    }
+
+    /// The attached history store, if any.
+    pub fn store(&self) -> Option<&SharedStore> {
+        self.store.as_ref()
     }
 
     /// Ingest shard count.
@@ -466,6 +526,55 @@ impl LiveIngest {
         ack.recv().map_err(|_| "ingest shard gone".to_string())?
     }
 
+    /// Answers a retrospective query over `patient`'s *full* history —
+    /// durable segments, the store's write buffer, and the live session's
+    /// in-memory suffix stitched into one dataset, then re-run through a
+    /// freshly compiled pipeline. The live session is only paused long
+    /// enough to snapshot its suffix (an `Arc`-clone-sized copy); ingest
+    /// on the same patient continues while the query executes here on the
+    /// caller's thread. Output is byte-identical to the cold batch run
+    /// over everything ever pushed — including data older than the
+    /// compaction horizon, which only the store still has.
+    ///
+    /// A patient that has already `finish`ed (or lives on another
+    /// machine) is served from segments alone.
+    ///
+    /// # Errors
+    /// Fails when no store is attached, when the patient is unknown to
+    /// both the sessions and the store, or when the store/pipeline fails.
+    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| "no history store attached to this ingest".to_string())?;
+        let shard = self.shard_of(patient);
+        self.flush_shard(shard);
+        let (reply, ack) = channel();
+        let _ = self.txs[shard].send(Cmd::Snapshot { patient, reply });
+        let live = ack.recv().map_err(|_| "ingest shard gone".to_string())?;
+        let records = store
+            .records_for(patient)
+            .map_err(|e| format!("history store read failed: {e}"))?;
+        let reader = HistoryReader::from_records(records);
+        let (snapshot, shapes) = match live {
+            Ok((snap, shapes)) => (Some(snap), shapes),
+            // Not live here: segments alone can still answer, if any.
+            Err(e) => match reader.shapes_for(patient) {
+                Some(shapes) => (None, shapes),
+                None => return Err(e),
+            },
+        };
+        let datasets = reader.stitch(patient, &shapes, snapshot.as_ref())?;
+        let compiled = catch_user(|| (self.factory)()).map_err(UserFailure::into_message)?;
+        let mut exec = compiled
+            .executor_with(
+                datasets,
+                ExecOptions::default().with_round_ticks(self.round_ticks),
+            )
+            .map_err(|e| e.to_string())?;
+        catch_user(|| exec.run_collect()).map_err(UserFailure::into_message)
+    }
+
     /// Closes every session and joins the shard threads. Equivalent to
     /// dropping the ingest; kept for explicit call sites.
     pub fn shutdown(mut self) {
@@ -554,6 +663,7 @@ fn ingest_loop(
     factory: PipelineFactory,
     round_ticks: Tick,
     counters: Arc<Counters>,
+    store: Option<SharedStore>,
 ) {
     let mut sessions: HashMap<PatientId, Session> = HashMap::new();
     for cmd in rx.iter() {
@@ -569,8 +679,11 @@ fn ingest_loop(
                             factory().and_then(|compiled| LiveSession::new(compiled, round_ticks))
                         })
                         .map_err(UserFailure::into_message)
-                        .and_then(|live| {
+                        .and_then(|mut live| {
                             let meta = session_meta(&live)?;
+                            if let Some(store) = &store {
+                                live.set_retire_sink(store.sink_for(patient));
+                            }
                             slot.insert(Session {
                                 out: OutputCollector::new(meta.arity),
                                 live,
@@ -693,7 +806,10 @@ fn ingest_loop(
                             })
                         })
                         .map_err(UserFailure::into_message)
-                        .and_then(|live| {
+                        .and_then(|mut live| {
+                            if let Some(store) = &store {
+                                live.set_retire_sink(store.sink_for(patient));
+                            }
                             // A failover peer ships an *empty* collector
                             // it could not size; align it to the sink so
                             // the first absorb doesn't panic on arity.
@@ -712,6 +828,17 @@ fn ingest_loop(
                             Ok(())
                         })
                     }
+                };
+                let _ = reply.send(outcome);
+            }
+            Cmd::Snapshot { patient, reply } => {
+                let outcome = match sessions.get(&patient) {
+                    Some(s) if !s.poisoned => Ok((s.live.export_suffix(), s.live.source_shapes())),
+                    Some(s) => Err(format!(
+                        "patient {patient} session is poisoned: {}",
+                        s.errors.join("; ")
+                    )),
+                    None => Err(format!("patient {patient} not admitted")),
                 };
                 let _ = reply.send(outcome);
             }

@@ -69,7 +69,7 @@ use lifestream_core::time::Tick;
 pub use ingest::{
     Ingest, IngestConfig, IngestStats, LiveIngest, PatientHandoff, Sample, SessionMeta, SourceMeta,
 };
-pub use pool::{ExecutorPool, PipelineFactory, PoolRun, PoolStats};
+pub use pool::{ExecutorPool, PipelineFactory, PoolRun, PoolStats, ShapeFactory};
 
 use shard::{worker_loop, Job, SharedState};
 
@@ -238,6 +238,14 @@ impl ShardedRuntime {
     /// Spawns `cfg.workers` shards, each with an empty executor pool fed
     /// by `factory` on first use.
     pub fn new(factory: PipelineFactory, cfg: ShardedConfig) -> Self {
+        Self::new_per_shape(pool::shape_oblivious(factory), cfg)
+    }
+
+    /// Like [`new`](Self::new), but the factory sees each job's source
+    /// shapes and may build a different pipeline per shape signature —
+    /// the shape-adaptive workload that actually exercises the pools'
+    /// LRU eviction ([`ShardedConfig::pool_cap`]).
+    pub fn new_per_shape(factory: ShapeFactory, cfg: ShardedConfig) -> Self {
         let workers = cfg.workers.max(1);
         let mut opts = ExecOptions::default();
         if let Some(t) = cfg.round_ticks {
@@ -264,8 +272,13 @@ impl ShardedRuntime {
                 std::thread::Builder::new()
                     .name(format!("shard-{me}"))
                     .spawn(move || {
-                        let make_pool =
-                            || ExecutorPool::with_cap(Arc::clone(&factory), opts, cfg.pool_cap);
+                        let make_pool = || {
+                            ExecutorPool::with_shape_factory(
+                                Arc::clone(&factory),
+                                opts,
+                                cfg.pool_cap,
+                            )
+                        };
                         worker_loop(
                             me,
                             shared,
@@ -586,6 +599,47 @@ mod tests {
         assert_eq!(stats.completed, 6);
         assert_eq!(stats.evictions, 0);
         assert_eq!(stats.compiles, 1);
+    }
+
+    #[test]
+    fn shape_adaptive_workload_evicts_under_pool_cap() {
+        // A per-shape factory builds a distinct pipeline for each source
+        // period; one worker with pool_cap 2 fed six distinct shapes must
+        // evict prepared executors — the LRU path is actually exercised,
+        // not just wired.
+        let factory: ShapeFactory = Arc::new(|shapes: &[StreamShape]| {
+            let q = Query::new();
+            q.source("s", shapes[0])
+                .select(1, |i, o| o[0] = i[0] + 0.5)?
+                .sink();
+            q.compile()
+        });
+        let rt = ShardedRuntime::new_per_shape(
+            factory,
+            ShardedConfig::with_workers(1).pool_cap(2).collecting(),
+        );
+        for round in 0..2 {
+            for period in 1..=6i64 {
+                let shape = StreamShape::new(0, period);
+                let data = SignalData::dense(shape, vec![round as f32; 40]);
+                rt.submit(period as u64, vec![data]);
+            }
+        }
+        let reports = rt.drain(12);
+        assert!(reports.iter().all(|r| r.outcome == JobOutcome::Ok));
+        for r in &reports {
+            // Each shape got its own pipeline: output = input + 0.5.
+            let c = r.collected.as_ref().unwrap();
+            assert_eq!(c.len(), 40);
+            assert!(c.iter().all(|&(_, v)| v.fract() == 0.5));
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 12);
+        assert!(
+            stats.evictions > 0,
+            "six shapes through a cap-2 pool must evict (got {:?})",
+            stats
+        );
     }
 
     #[test]

@@ -25,6 +25,20 @@ use lifestream_core::time::{StreamShape, Tick};
 pub type PipelineFactory =
     Arc<dyn Fn() -> lifestream_core::error::Result<CompiledQuery> + Send + Sync>;
 
+/// A shape-adaptive pipeline factory: receives the submitted job's
+/// source-shape signature and builds a query *for those shapes*. This is
+/// what makes the pool's LRU cap real — a ward mixing monitor models
+/// (different grid periods per device) compiles one pipeline per shape,
+/// and the per-worker warm set must evict, not grow unboundedly.
+pub type ShapeFactory =
+    Arc<dyn Fn(&[StreamShape]) -> lifestream_core::error::Result<CompiledQuery> + Send + Sync>;
+
+/// Adapts a shape-oblivious [`PipelineFactory`] to the shape-receiving
+/// interface the pool stores internally.
+pub(crate) fn shape_oblivious(factory: PipelineFactory) -> ShapeFactory {
+    Arc::new(move |_shapes: &[StreamShape]| factory())
+}
+
 /// Pool hit/miss counters (exposed through the runtime's aggregate
 /// stats so scaling runs can prove the compile-once property).
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,7 +84,7 @@ pub enum PoolRun {
 /// sources' shape signature and optionally capped (LRU) so arbitrarily
 /// many distinct shapes cannot pin unbounded static plans.
 pub struct ExecutorPool {
-    factory: PipelineFactory,
+    factory: ShapeFactory,
     opts: ExecOptions,
     slots: HashMap<Vec<StreamShape>, Slot>,
     /// Static-plan footprint per shape signature, remembered even after
@@ -94,6 +108,17 @@ impl ExecutorPool {
     /// Creates an empty pool that keeps at most `cap` prepared executors
     /// warm, evicting the least recently used shape beyond that.
     pub fn with_cap(factory: PipelineFactory, opts: ExecOptions, cap: Option<usize>) -> Self {
+        Self::with_shape_factory(shape_oblivious(factory), opts, cap)
+    }
+
+    /// Like [`with_cap`](Self::with_cap), but the factory receives each
+    /// job's source-shape signature — the shape-adaptive form a mixed
+    /// ward of monitor models needs.
+    pub fn with_shape_factory(
+        factory: ShapeFactory,
+        opts: ExecOptions,
+        cap: Option<usize>,
+    ) -> Self {
         Self {
             factory,
             opts,
@@ -182,7 +207,7 @@ impl ExecutorPool {
             slot.last_used = now;
             self.stats.recycles += 1;
         } else {
-            let compiled = (self.factory)().map_err(|e| e.to_string())?;
+            let compiled = (self.factory)(&key).map_err(|e| e.to_string())?;
             let exec = compiled
                 .executor_with(sources, self.opts)
                 .map_err(|e| e.to_string())?;
@@ -308,24 +333,24 @@ mod tests {
         assert_eq!(warm, fresh);
     }
 
-    #[test]
-    fn lru_cap_evicts_least_recently_used_shape() {
-        use std::sync::atomic::{AtomicI64, Ordering};
-        // A factory that follows the submitted shape (via a shared knob),
-        // so one pool can accumulate distinct shape signatures.
-        let period = Arc::new(AtomicI64::new(1));
-        let knob = Arc::clone(&period);
-        let fac: PipelineFactory = Arc::new(move || {
+    /// A shape-adaptive factory: the pipeline is built for whatever grid
+    /// the submitted job actually has.
+    fn per_shape_factory() -> ShapeFactory {
+        Arc::new(|shapes: &[StreamShape]| {
             let q = Query::new();
-            q.source("s", StreamShape::new(0, knob.load(Ordering::Relaxed)))
+            q.source("s", shapes[0])
                 .select(1, |i, o| o[0] = i[0])?
                 .sink();
             q.compile()
-        });
-        let mut pool = ExecutorPool::with_cap(fac, ExecOptions::default(), Some(2));
+        })
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used_shape() {
+        let mut pool =
+            ExecutorPool::with_shape_factory(per_shape_factory(), ExecOptions::default(), Some(2));
         let data = |p: i64| SignalData::dense(StreamShape::new(0, p), vec![1.0; 16]);
         for p in [1, 2, 4] {
-            period.store(p, Ordering::Relaxed);
             assert!(matches!(
                 pool.run(vec![data(p)], false, None).unwrap(),
                 PoolRun::Done { .. }
@@ -336,11 +361,9 @@ mod tests {
         assert_eq!(pool.stats().evictions, 1);
         assert_eq!(pool.stats().compiles, 3);
         // p=2 survived and is still warm.
-        period.store(2, Ordering::Relaxed);
         pool.run(vec![data(2)], false, None).unwrap();
         assert_eq!(pool.stats().recycles, 1);
         // The evicted shape recompiles, evicting the new LRU (p=4).
-        period.store(1, Ordering::Relaxed);
         pool.run(vec![data(1)], false, None).unwrap();
         assert_eq!(pool.stats().compiles, 4);
         assert_eq!(pool.stats().evictions, 2);

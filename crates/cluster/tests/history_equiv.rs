@@ -1,0 +1,285 @@
+//! Retrospective equivalence of the tiered history store, through every
+//! layer of the stack:
+//!
+//! * **In-process** — a [`LiveIngest`] with an attached store answers a
+//!   retrospective query over data *older than the compaction horizon*
+//!   byte-identically to the equivalent cold batch run, while live
+//!   ingest on the same patient continues (the query must not disturb
+//!   the stream: finishing afterwards still matches the full reference).
+//! * **Over the wire** — the same guarantee through a
+//!   [`ShardServer`]/[`RemoteIngest`] pair speaking the v2 protocol's
+//!   `HistoryQuery` command.
+//! * **Across a machine death** — two servers spilling to one shared
+//!   store directory; one is hard-killed mid-stream. Failover rebuilds
+//!   its patients from segments + the margin suffix, and a history
+//!   query on the survivor still reconstructs *every* patient's full
+//!   feed byte-identically: zero history lost.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cluster_harness::machines::MachineState;
+use cluster_harness::net::{ClusterIngest, RemoteConfig, RemoteIngest, ShardServer};
+use cluster_harness::sharded::{IngestConfig, LiveIngest, PipelineFactory};
+use lifestream_core::exec::{ExecOptions, OutputCollector};
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::source::SignalData;
+use lifestream_core::stream::Query;
+use lifestream_core::time::{StreamShape, Tick};
+use lifestream_store::StoreConfig;
+
+const ROUND: Tick = 200;
+const PERIOD: Tick = 2;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "lss-hist-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn factory() -> PipelineFactory {
+    Arc::new(|| {
+        let q = Query::new();
+        q.source("s", StreamShape::new(0, PERIOD))
+            .aggregate(AggKind::Mean, 10 * PERIOD, 2 * PERIOD)?
+            .sink();
+        q.compile()
+    })
+}
+
+fn wave(k: i64, p: u64) -> f32 {
+    (((k * 37 + p as i64 * 101) % 997) as f32) / 7.0
+}
+
+/// Cold batch run over patient `p`'s first `samples` feed values — the
+/// reference every retrospective query must match byte-for-byte.
+fn cold_reference(p: u64, samples: i64) -> OutputCollector {
+    let data = SignalData::dense(
+        StreamShape::new(0, PERIOD),
+        (0..samples).map(|k| wave(k, p)).collect(),
+    );
+    let mut exec = (factory())()
+        .unwrap()
+        .executor_with(vec![data], ExecOptions::default().with_round_ticks(ROUND))
+        .unwrap();
+    exec.run_collect().unwrap()
+}
+
+fn assert_same(label: &str, a: &OutputCollector, b: &OutputCollector) {
+    assert_eq!(a.len(), b.len(), "{label}: event count");
+    assert_eq!(a.checksum(), b.checksum(), "{label}: checksum");
+}
+
+/// The tentpole acceptance criterion, in-process: with a store attached,
+/// a mid-stream retrospective query over data already compacted away
+/// from memory equals the cold batch run over the same prefix — and the
+/// live stream is undisturbed by the query.
+#[test]
+fn retrospective_query_matches_cold_run_while_ingest_continues() {
+    let dir = tmp_dir("live");
+    let p = 3u64;
+    let ingest = LiveIngest::with_store(
+        factory(),
+        IngestConfig::new(2, ROUND),
+        StoreConfig::new(&dir).flush_batch(0),
+    )
+    .unwrap();
+    ingest.admit(p).unwrap();
+
+    let mid = 2_000i64;
+    let total = 3_000i64;
+    for k in 0..mid {
+        ingest.push(p, 0, k * PERIOD, wave(k, p));
+        if k % 64 == 0 {
+            ingest.poll();
+        }
+    }
+    ingest.poll();
+    let store = ingest.store().expect("store attached").clone();
+    assert!(
+        store.stats().spilled_samples > 0,
+        "nothing crossed the compaction horizon — the query would not \
+         exercise the durable tier"
+    );
+
+    // Mid-stream retrospective query: data below the horizon comes from
+    // segments, the rest from the live suffix.
+    let retro = ingest.query_history(p).unwrap();
+    assert_same("mid-stream query", &cold_reference(p, mid), &retro);
+    assert!(!retro.is_empty(), "empty comparison proves nothing");
+
+    // Ingest continues on the same patient; the query must not have
+    // perturbed the live session.
+    for k in mid..total {
+        ingest.push(p, 0, k * PERIOD, wave(k, p));
+        if k % 64 == 0 {
+            ingest.poll();
+        }
+    }
+    let final_retro = ingest.query_history(p).unwrap();
+    assert_same("final query", &cold_reference(p, total), &final_retro);
+    let out = ingest.finish(p).unwrap();
+    assert_same("live output", &cold_reference(p, total), &out);
+
+    // Finished patients stay queryable from segments alone.
+    let after = ingest.query_history(p).unwrap();
+    assert_same("post-finish query", &cold_reference(p, total), &after);
+    ingest.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A patient the ingest never admitted (or no store at all) is an
+/// error, not a panic or an empty answer.
+#[test]
+fn query_errors_are_descriptive() {
+    let no_store = LiveIngest::new(factory(), 1, ROUND);
+    let err = no_store.query_history(1).unwrap_err();
+    assert!(err.contains("store"), "err: {err}");
+    no_store.shutdown();
+
+    let dir = tmp_dir("err");
+    let with_store = LiveIngest::with_store(
+        factory(),
+        IngestConfig::new(1, ROUND),
+        StoreConfig::new(&dir),
+    )
+    .unwrap();
+    let err = with_store.query_history(42).unwrap_err();
+    assert!(err.contains("42"), "err: {err}");
+    with_store.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same acceptance criterion through the wire: `HistoryQuery` on a
+/// loopback server answers byte-identically to the cold run.
+#[test]
+fn history_query_over_the_wire_matches_cold_run() {
+    let dir = tmp_dir("wire");
+    let p = 11u64;
+    let server = ShardServer::bind_with_store(
+        factory(),
+        IngestConfig::new(2, ROUND),
+        StoreConfig::new(&dir).flush_batch(0),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let remote = RemoteIngest::connect(server.local_addr(), RemoteConfig::default()).unwrap();
+    remote.admit(p).unwrap();
+
+    let mid = 1_500i64;
+    for k in 0..mid {
+        remote.push(p, 0, k * PERIOD, wave(k, p));
+        if k % 64 == 0 {
+            remote.poll();
+        }
+    }
+    let retro = remote.query_history(p).unwrap();
+    assert_same("wire query", &cold_reference(p, mid), &retro);
+
+    // The stream continues over the same connection.
+    for k in mid..2_000 {
+        remote.push(p, 0, k * PERIOD, wave(k, p));
+    }
+    let out = remote.finish(p).unwrap();
+    assert_same("wire output", &cold_reference(p, 2_000), &out);
+    remote.shutdown();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The fault-equivalence gate for the durable tier: two machines share
+/// one store directory; one is hard-killed mid-stream. Every patient —
+/// including the dead machine's — is rebuilt from segments + margin
+/// suffix, keeps streaming, and a history query on the survivor
+/// reconstructs its *entire* feed byte-identically. Zero history lost.
+#[test]
+fn killed_machine_patients_rebuild_from_segments_with_zero_history_lost() {
+    let dir = tmp_dir("kill");
+    let bind = |_: usize| {
+        ShardServer::bind_with_store(
+            factory(),
+            IngestConfig::new(2, ROUND),
+            StoreConfig::new(&dir).flush_batch(0),
+            "127.0.0.1:0",
+        )
+        .unwrap()
+    };
+    let server_a = bind(0);
+    let server_b = bind(1);
+    let cluster = ClusterIngest::connect_with_store(
+        &[server_a.local_addr(), server_b.local_addr()],
+        RemoteConfig::default()
+            .batch(16)
+            .window(4)
+            .retries(2)
+            .backoff(Duration::from_millis(1), Duration::from_millis(5))
+            .read_timeout(Duration::from_millis(250)),
+        &dir,
+    )
+    .unwrap();
+
+    let patients: Vec<u64> = (0..6).collect();
+    for &p in &patients {
+        cluster.admit(p).unwrap();
+    }
+    // Both machines must own someone, or the kill proves nothing.
+    let machine_of: Vec<usize> = patients.iter().map(|&p| cluster.machine_of(p)).collect();
+    assert!(machine_of.contains(&0) && machine_of.contains(&1));
+
+    let mid = 1_200i64;
+    let total = 1_800i64;
+    for k in 0..mid {
+        for &p in &patients {
+            cluster.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % 32 == 0 {
+            cluster.poll();
+        }
+    }
+    cluster.barrier().unwrap();
+    cluster.poll();
+
+    // Hard-kill machine 0: sockets severed mid-frame, ingest torn down.
+    server_a.kill();
+    for k in mid..total {
+        for &p in &patients {
+            cluster.push(p, 0, k * PERIOD, wave(k, p));
+        }
+        if k % 32 == 0 {
+            cluster.poll();
+        }
+    }
+    cluster.barrier().ok();
+
+    let health = cluster.health();
+    assert_eq!(health.machines[0].state, MachineState::Down);
+    assert!(health.failovers >= 1);
+    assert_eq!(health.patients_lost, 0, "no patient may be lost");
+
+    // The whole point: every patient's full history — including spans
+    // only ever held by the dead machine — reconstructs byte-identically
+    // on the survivor, while its live session keeps running.
+    for &p in &patients {
+        let retro = cluster.query_history(p).unwrap();
+        assert_same(
+            &format!("patient {p} history"),
+            &cold_reference(p, total),
+            &retro,
+        );
+    }
+    for &p in &patients {
+        let out = cluster.finish(p);
+        assert!(out.is_ok(), "patient {p} must finish on the survivor");
+    }
+    cluster.shutdown();
+    server_b.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -75,7 +75,7 @@ proptest! {
         seq in 0u64..=u64::MAX - 1,
         patient in 0u64..=u64::MAX - 1,
         raw in prop::collection::vec(((0u64..1 << 48, 0usize..64), (-(1i64 << 40)..1 << 40, 0u32..=u32::MAX - 1)), 0..200),
-        opcode in prop::sample::select(vec!["admit", "batch", "poll", "finish", "export", "hello"]),
+        opcode in prop::sample::select(vec!["admit", "batch", "poll", "finish", "export", "hello", "history"]),
     ) {
         let samples: Vec<Sample> = raw
             .iter()
@@ -87,6 +87,7 @@ proptest! {
             "poll" => WireCmd::Poll,
             "finish" => WireCmd::Finish { patient },
             "export" => WireCmd::Export { patient },
+            "history" => WireCmd::HistoryQuery { patient },
             _ => WireCmd::Hello {
                 session: patient.rotate_left(17),
                 epoch: seq % 1000,
@@ -236,6 +237,14 @@ fn golden_poll_finish_export_v2() {
     assert_eq!(
         encode_cmd(4, &WireCmd::Export { patient: 7 }),
         [0x02, 0x05, 0x04, 0, 0, 0, 0, 0, 0, 0, 0x07, 0, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn golden_history_query_v2() {
+    assert_eq!(
+        encode_cmd(5, &WireCmd::HistoryQuery { patient: 7 }),
+        [0x02, 0x08, 0x05, 0, 0, 0, 0, 0, 0, 0, 0x07, 0, 0, 0, 0, 0, 0, 0]
     );
 }
 

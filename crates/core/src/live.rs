@@ -38,6 +38,32 @@ use crate::source::SignalData;
 use crate::stats::RunStats;
 use crate::time::{StreamShape, Tick};
 
+/// One compacted sample span leaving a [`LiveSession`]'s retained buffer.
+///
+/// When a retire sink is attached ([`LiveSession::set_retire_sink`]), every
+/// suffix compaction hands the dropped prefix to the sink as one of these
+/// instead of discarding it — the hook a tiered history store uses to spill
+/// retired data to durable segments. The span is self-describing: `values`
+/// is the dense slot array starting at grid slot `base_slot` of `shape`,
+/// and `ranges` are the half-open presence intervals (absent slots hold
+/// garbage the ranges mask off), exactly the `SignalData` conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetiredSpan {
+    /// Source index within the session.
+    pub source: usize,
+    /// The source's grid shape (offset, period).
+    pub shape: StreamShape,
+    /// Grid-slot index of `values[0]` on the stream grid.
+    pub base_slot: u64,
+    /// The dense retired prefix (covers `[base_slot, base_slot + len)`).
+    pub values: Vec<f32>,
+    /// Presence ranges within the span, `[start, end)` tick pairs.
+    pub ranges: Vec<(Tick, Tick)>,
+}
+
+/// Callback receiving compacted spans before they are dropped.
+pub type RetireSink = Box<dyn FnMut(RetiredSpan) + Send>;
+
 /// Compacting per-source ingest buffer.
 ///
 /// Samples land in an `Arc`-shared dense array whose first slot is
@@ -119,21 +145,57 @@ impl LiveSource {
     /// clamped to the stream offset): drops the dead sample prefix and the
     /// presence ranges covering it. After this, `push` rejects times below
     /// the new horizon.
-    fn retire_below(&mut self, cutoff: Tick) {
+    ///
+    /// With `capture` set, the dropped prefix is returned as a
+    /// [`RetiredSpan`] (with `source` left 0 for the caller to fill in)
+    /// instead of vanishing; a span with no present samples returns `None`
+    /// either way. Presence coverage never exceeds the materialized slots
+    /// (`push` resizes `values` through the sample's slot), so the drained
+    /// values always cover the clipped ranges.
+    fn retire_below(&mut self, cutoff: Tick, capture: bool) -> Option<RetiredSpan> {
         let cutoff = self.shape.align_down(cutoff.max(self.shape.offset()));
         let new_base = ((cutoff - self.shape.offset()) / self.shape.period()) as usize;
         if new_base <= self.base_slot {
-            return;
+            return None;
         }
+        let old_base = self.base_slot;
         let drop = new_base - self.base_slot;
         let values = Arc::make_mut(&mut self.values);
-        if drop >= values.len() {
-            values.clear();
+        let span = if capture {
+            // Clip presence to the retired interval *before* `retire`
+            // clamps it away.
+            let ranges: Vec<(Tick, Tick)> = self
+                .presence
+                .ranges()
+                .iter()
+                .filter_map(|&(s, e)| {
+                    let e = e.min(cutoff);
+                    (e > s).then_some((s, e))
+                })
+                .collect();
+            let drained: Vec<f32> = if drop >= values.len() {
+                std::mem::take(values)
+            } else {
+                values.drain(..drop).collect()
+            };
+            (!ranges.is_empty()).then_some(RetiredSpan {
+                source: 0,
+                shape: self.shape,
+                base_slot: old_base as u64,
+                values: drained,
+                ranges,
+            })
         } else {
-            values.drain(..drop);
-        }
+            if drop >= values.len() {
+                values.clear();
+            } else {
+                values.drain(..drop);
+            }
+            None
+        };
         self.base_slot = new_base;
         self.presence.retire(cutoff);
+        span
     }
 
     /// Currently buffered grid slots (the retained suffix length).
@@ -200,6 +262,8 @@ pub struct LiveSession {
     /// Per-source retirement margins (ticks below `next_round` a future
     /// round may still consult), fixed by the compiled lineage.
     margins: Vec<Tick>,
+    /// Optional recipient of compacted spans (tiered history store).
+    retire_sink: Option<RetireSink>,
     stats: RunStats,
 }
 
@@ -231,8 +295,23 @@ impl LiveSession {
             round_dim,
             next_round: 0,
             margins,
+            retire_sink: None,
             stats: RunStats::new(),
         })
+    }
+
+    /// Attaches a retire sink: from now on every compacted span is handed
+    /// to `sink` (as a [`RetiredSpan`]) instead of being dropped. This is
+    /// the interception point a tiered history store uses to make the
+    /// session's past durable while the live suffix stays bounded.
+    pub fn set_retire_sink(&mut self, sink: RetireSink) {
+        self.retire_sink = Some(sink);
+    }
+
+    /// Detaches the retire sink, if any; subsequent compactions discard
+    /// retired spans again.
+    pub fn clear_retire_sink(&mut self) -> Option<RetireSink> {
+        self.retire_sink.take()
     }
 
     /// The processing-window length in effect.
@@ -287,13 +366,30 @@ impl LiveSession {
     /// Appends one sample to source `source` at grid time `t`.
     ///
     /// # Errors
-    /// Returns an error for an unknown source, an off-grid timestamp, or
-    /// an out-of-order duplicate.
+    /// Returns an error for an unknown source, an off-grid timestamp, a
+    /// sample below the compaction horizon (the error names the horizon,
+    /// the round frontier, and the source's history margin), or an
+    /// out-of-order duplicate.
     pub fn push(&mut self, source: usize, t: Tick, v: f32) -> Result<()> {
-        self.sources
+        let src = self
+            .sources
             .get_mut(source)
-            .ok_or(Error::InvalidHandle { node: source })?
-            .push(t, v)
+            .ok_or(Error::InvalidHandle { node: source })?;
+        if src.shape.on_grid(t) && t >= src.shape.offset() && t < src.base_time() {
+            // The source-level check would fire too, but only the session
+            // knows *why* the horizon sits where it does — say so.
+            let margin = self.margins.get(source).copied().unwrap_or(0);
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "sample time {t} is below the compaction horizon {}: rounds \
+                     below the frontier {} are already processed, and source \
+                     {source} retains a history margin of {margin} ticks below it",
+                    src.base_time(),
+                    self.next_round,
+                ),
+            });
+        }
+        src.push(t, v)
     }
 
     /// Processes every round fully below all sources' watermarks, calling
@@ -449,9 +545,16 @@ impl LiveSession {
         self.exec.release_sources();
         self.next_round = to;
         // Compact: rounds below `to` are done, so each source only needs
-        // its lineage margin of history below the new frontier.
-        for (src, &margin) in self.sources.iter_mut().zip(&self.margins) {
-            src.retire_below(to.saturating_sub(margin));
+        // its lineage margin of history below the new frontier. With a
+        // retire sink attached the dropped prefixes are spilled, not lost.
+        let capture = self.retire_sink.is_some();
+        for (i, (src, &margin)) in self.sources.iter_mut().zip(&self.margins).enumerate() {
+            if let Some(mut span) = src.retire_below(to.saturating_sub(margin), capture) {
+                span.source = i;
+                if let Some(sink) = self.retire_sink.as_mut() {
+                    sink(span);
+                }
+            }
         }
         self.stats.merge(&stats);
         Ok(stats)
@@ -571,7 +674,7 @@ mod tests {
         assert_eq!(s.retained_slots(0).unwrap(), 0);
         // A sample below the retired horizon is rejected explicitly.
         let err = s.push(0, 4, 1.0).unwrap_err().to_string();
-        assert!(err.contains("retained horizon"), "err: {err}");
+        assert!(err.contains("compaction horizon"), "err: {err}");
         // The frontier keeps accepting and producing.
         for k in 500..600 {
             s.push(0, k * 2, k as f32).unwrap();
@@ -734,6 +837,88 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("aligned"), "err: {err}");
+    }
+
+    #[test]
+    fn horizon_rejection_names_round_and_margin() {
+        // Satellite regression: the below-horizon error must name the
+        // horizon itself, the round frontier, and the source's history
+        // margin so an operator can see *why* the push was refused.
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 1));
+        let sh = qb.shift(src, 250).unwrap();
+        qb.sink(sh);
+        let mut s = LiveSession::new(qb.compile().unwrap(), 100).unwrap();
+        for t in 0..1000 {
+            s.push(0, t, t as f32).unwrap();
+        }
+        s.poll(|_| {}).unwrap();
+        // Frontier 1000, margin 250 -> horizon 750.
+        let err = s.push(0, 10, 1.0).unwrap_err().to_string();
+        assert!(err.contains("compaction horizon 750"), "err: {err}");
+        assert!(err.contains("frontier 1000"), "err: {err}");
+        assert!(err.contains("history margin of 250 ticks"), "err: {err}");
+    }
+
+    #[test]
+    fn retire_sink_receives_every_compacted_sample() {
+        use std::sync::Mutex;
+        // Attach a sink, stream with interleaved polls, and check the
+        // spilled spans plus the retained suffix reconstruct the full
+        // history exactly — nothing lost, nothing duplicated.
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", StreamShape::new(0, 2));
+        let sel = qb.select_map(src, |v| v + 1.0);
+        qb.sink(sel);
+        let mut s = LiveSession::new(qb.compile().unwrap(), 100).unwrap();
+        let spilled: Arc<Mutex<Vec<RetiredSpan>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_ref = Arc::clone(&spilled);
+        s.set_retire_sink(Box::new(move |span| sink_ref.lock().unwrap().push(span)));
+
+        let vals: Vec<f32> = (0..700).map(|i| (i * 13 % 101) as f32).collect();
+        for (k, &v) in vals.iter().enumerate() {
+            if k % 3 != 2 {
+                s.push(0, k as Tick * 2, v).unwrap(); // gap-y feed
+            }
+            if k % 97 == 0 {
+                s.poll(|_| {}).unwrap();
+            }
+        }
+        s.poll(|_| {}).unwrap();
+
+        let spans = spilled.lock().unwrap();
+        assert!(!spans.is_empty(), "compaction produced spans");
+        // Rebuild a dense view from the spans + the live suffix.
+        let mut rebuilt = vec![None; vals.len()];
+        let mut mark = |base_slot: u64, values: &[f32], ranges: &[(Tick, Tick)]| {
+            for &(rs, re) in ranges {
+                let mut t = rs;
+                while t < re {
+                    let slot = (t / 2) as usize;
+                    let v = values[slot - base_slot as usize];
+                    assert!(rebuilt[slot].is_none(), "slot {slot} spilled twice");
+                    rebuilt[slot] = Some(v);
+                    t += 2;
+                }
+            }
+        };
+        for span in spans.iter() {
+            assert_eq!(span.source, 0);
+            mark(span.base_slot, &span.values, &span.ranges);
+        }
+        let tail = s.export_suffix();
+        mark(
+            tail.sources[0].base_slot,
+            &tail.sources[0].values,
+            &tail.sources[0].ranges,
+        );
+        for (k, &v) in vals.iter().enumerate() {
+            if k % 3 != 2 {
+                assert_eq!(rebuilt[k], Some(v), "slot {k}");
+            } else {
+                assert_eq!(rebuilt[k], None, "slot {k} never pushed");
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,39 @@
 //!   `net_throughput` bench bin quantifies what the wire costs and what
 //!   frame batching buys back; `cluster_loopback` demonstrates (and CI
 //!   asserts) byte-identical output across all three front ends.
+//!
+//! ## Durability: what survives a machine death
+//!
+//! The JVM engines buy fault tolerance with the same machinery that
+//! costs them their throughput above — Spark recomputes from lineage,
+//! Storm acks per record, Flink snapshots channel state into
+//! checkpoints. This runtime prices durability separately, in two
+//! tiers, so the live path never pays for history it isn't asked to
+//! keep:
+//!
+//! * **Store-less** (the default): each cluster client keeps a margin
+//!   tail per patient — exactly the `history_margin` suffix a pipeline
+//!   needs to warm up. A killed machine's patients fail over onto
+//!   survivors from those tails with zero *sample* loss, but output
+//!   rounds already collected on the dead machine, and all history
+//!   below the compaction horizon, are gone. Retention bound = the
+//!   margin; everything older exists nowhere.
+//! * **Tiered store attached** (`lifestream_store`, via
+//!   `ShardServer::bind_with_store` + `net::ClusterIngest`'s
+//!   `connect_with_store` on a shared segment directory): every suffix
+//!   the compactor retires is spilled to append-only, checksummed
+//!   segment files *before* leaving memory. Failover then rebuilds the
+//!   dead machine's patients from segments + margin tail, and any
+//!   patient's full feed stays answerable retrospectively
+//!   (`query_history`, wire opcode `HistoryQuery`) byte-identically to
+//!   the cold batch run — while live ingest continues. Retention bound
+//!   = `StoreConfig::retention` ticks of durable history (unbounded by
+//!   default); the crash-loss window = the unflushed write buffer
+//!   (`flush_batch`, zero if every spill is flushed).
+//!
+//! The `history_throughput` bench bin prices the spill path against
+//! store-less ingest; `crates/cluster/tests/history_equiv.rs` pins the
+//! kill-and-rebuild guarantee.
 
 #![warn(missing_docs)]
 // Boxing each event is the point: it reproduces the per-event heap

@@ -1,0 +1,466 @@
+//! Tiered history store: durable segments under a bounded live suffix.
+//!
+//! # Why a storage tier
+//!
+//! The live data plane keeps each patient's buffer *bounded*: once a round
+//! is processed, [`LiveSession`](lifestream_core::live::LiveSession)
+//! retires everything below `frontier - history_margin`. That bound is what
+//! makes million-patient ingest possible — but without this crate the
+//! retired prefix is simply dropped, so a live patient's past is
+//! unrecoverable and a dead machine's history dies with it. The paper's
+//! deployment story (§2: retrospective development, seamless live
+//! deployment) wants the opposite: any prepared pipeline should be able to
+//! run over any patient's *full* history while ingest continues.
+//!
+//! # Architecture: three tiers
+//!
+//! ```text
+//!            push()                    retire_below()            flush()
+//!  monitors ───────► live suffix ───────────────────► write buffer ────► segments
+//!                    (in-memory,       RetiredSpan     (bounded,          (append-only,
+//!                     O(round+margin))                  StoreConfig::      immutable,
+//!                                                       flush_batch)      checksummed)
+//!
+//!  retrospective query:  HistoryReader::stitch(segments ∪ write buffer ∪ live suffix)
+//!                        ──► SignalData ──► any compiled Executor
+//! ```
+//!
+//! 1. **Live suffix** — the session's own compacting buffer, unchanged.
+//!    It answers the *present*.
+//! 2. **Recent tier** — [`SegmentStore`]'s in-memory write buffer. A
+//!    [`RetireSink`](lifestream_core::live::RetireSink) built by
+//!    [`SharedStore::sink_for`] intercepts every compacted span; spans
+//!    accumulate until [`StoreConfig::flush_batch`] samples are pending,
+//!    then flush to a segment in one atomic write. `flush_batch = 0`
+//!    flushes on every retirement (maximum durability, one file per
+//!    compaction).
+//! 3. **Segment tier** — immutable files in [`StoreConfig::dir`]
+//!    ([`segment`] documents the golden-locked format). Readers validate
+//!    checksums and never observe torn writes (tmp + rename).
+//!
+//! [`HistoryReader`] runs the tiers in reverse: it stitches every durable
+//! span (plus, optionally, a live [`SessionSnapshot`]
+//! (lifestream_core::live::SessionSnapshot) exported from the running
+//! session) back into dense [`SignalData`] — byte-identical input to what
+//! a cold batch run over the original feed would have seen, so any
+//! existing executor can answer a retrospective query mid-ingest.
+//!
+//! # Durability and retention bounds
+//!
+//! * History below the compaction horizon survives process death **once
+//!   flushed**: the loss window is exactly the unflushed write buffer, at
+//!   most `flush_batch` samples per store. With `flush_batch = 0` the
+//!   window is empty and a hard kill loses nothing below the horizon
+//!   (the suffix above it is the cluster replay tail's job).
+//! * [`StoreConfig::retention`] bounds disk: on flush, segment files whose
+//!   every span ends more than `retention` ticks below the newest spilled
+//!   tick are deleted whole. Retention is a *coverage* promise — queries
+//!   reach back exactly `retention` ticks from the spill frontier, older
+//!   history is gone by design. `None` keeps everything.
+//! * Multiple writers (e.g. two shard servers after a failover) may share
+//!   one directory: file names embed a per-writer nonce, and overlapping
+//!   spans re-spilled across a handoff carry identical samples, so
+//!   stitching is idempotent.
+
+#![warn(missing_docs)]
+
+pub mod reader;
+pub mod segment;
+
+pub use reader::{DenseHistory, HistoryReader};
+pub use segment::{SegmentRecord, SEGMENT_MAGIC, SEGMENT_VERSION};
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use lifestream_core::live::{RetireSink, RetiredSpan};
+use lifestream_core::time::Tick;
+
+/// Configuration for a [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the segment files (created if missing).
+    pub dir: PathBuf,
+    /// Present samples buffered in the recent tier before an automatic
+    /// flush; `0` flushes on every spilled span.
+    pub flush_batch: usize,
+    /// Keep only segments whose spans end within this many ticks of the
+    /// newest spilled tick; `None` keeps all history.
+    pub retention: Option<Tick>,
+}
+
+impl StoreConfig {
+    /// Config with a 4096-sample flush batch and unbounded retention.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            flush_batch: 4096,
+            retention: None,
+        }
+    }
+
+    /// Sets the flush batch (`0` = flush every spill).
+    pub fn flush_batch(mut self, samples: usize) -> Self {
+        self.flush_batch = samples;
+        self
+    }
+
+    /// Sets the retention bound in ticks.
+    pub fn retention(mut self, ticks: Tick) -> Self {
+        self.retention = Some(ticks);
+        self
+    }
+}
+
+/// Counters describing a store's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Spans handed to the store by retire sinks.
+    pub spilled_spans: u64,
+    /// Present samples across those spans.
+    pub spilled_samples: u64,
+    /// Segment files written.
+    pub segments_written: u64,
+    /// Segment files deleted by retention pruning.
+    pub segments_pruned: u64,
+    /// Flushes performed (each writes at most one segment).
+    pub flushes: u64,
+    /// I/O failures (flush or prune); the failing spans stay buffered.
+    pub io_errors: u64,
+}
+
+/// The durable tier: a bounded write buffer over append-only segments.
+///
+/// Not thread-safe by itself — wrap in [`SharedStore`] to share across
+/// ingest shards.
+#[derive(Debug)]
+pub struct SegmentStore {
+    cfg: StoreConfig,
+    /// Per-writer nonce embedded in file names so concurrent writers
+    /// (shard servers sharing a directory) never collide.
+    writer: u64,
+    next_seq: u64,
+    pending: Vec<SegmentRecord>,
+    pending_samples: usize,
+    /// Newest tick ever spilled — the frontier retention prunes against.
+    max_end: Tick,
+    stats: StoreStats,
+    last_error: Option<String>,
+}
+
+static WRITER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn writer_nonce() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = WRITER_COUNTER.fetch_add(1, Ordering::Relaxed);
+    nanos ^ ((std::process::id() as u64) << 32) ^ count.rotate_left(17)
+}
+
+impl SegmentStore {
+    /// Opens (creating if needed) a store over `cfg.dir`.
+    ///
+    /// # Errors
+    /// Fails when the directory cannot be created.
+    pub fn open(cfg: StoreConfig) -> io::Result<Self> {
+        fs::create_dir_all(&cfg.dir)?;
+        Ok(Self {
+            cfg,
+            writer: writer_nonce(),
+            next_seq: 0,
+            pending: Vec::new(),
+            pending_samples: 0,
+            max_end: Tick::MIN,
+            stats: StoreStats::default(),
+            last_error: None,
+        })
+    }
+
+    /// Buffers one retired span; flushes automatically once
+    /// [`StoreConfig::flush_batch`] present samples are pending. Flush
+    /// failures are recorded ([`Self::last_error`], `io_errors`) rather
+    /// than propagated — retire sinks have no error channel — and the
+    /// spans stay buffered for the next attempt.
+    pub fn spill(&mut self, patient: u64, span: RetiredSpan) {
+        let record = SegmentRecord {
+            patient,
+            source: span.source as u32,
+            shape: span.shape,
+            base_slot: span.base_slot,
+            values: span.values,
+            ranges: span.ranges,
+        };
+        self.stats.spilled_spans += 1;
+        let samples = record.present_samples();
+        self.stats.spilled_samples += samples as u64;
+        self.max_end = self.max_end.max(record.end_tick());
+        self.pending.push(record);
+        self.pending_samples += samples;
+        if self.pending_samples >= self.cfg.flush_batch.max(1) || self.cfg.flush_batch == 0 {
+            if let Err(e) = self.flush() {
+                self.stats.io_errors += 1;
+                self.last_error = Some(e.to_string());
+            }
+        }
+    }
+
+    /// Writes all pending spans to one new segment, then applies the
+    /// retention bound. No-op when nothing is pending.
+    ///
+    /// # Errors
+    /// The pending buffer is left intact when the write fails.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let name = format!("seg-{:016x}-{:08}.lss", self.writer, self.next_seq);
+        segment::write_segment(&self.cfg.dir.join(name), &self.pending)?;
+        self.next_seq += 1;
+        self.pending.clear();
+        self.pending_samples = 0;
+        self.stats.segments_written += 1;
+        self.stats.flushes += 1;
+        self.prune();
+        Ok(())
+    }
+
+    /// Deletes segment files wholly older than the retention window.
+    fn prune(&mut self) {
+        let Some(retention) = self.cfg.retention else {
+            return;
+        };
+        if self.max_end == Tick::MIN {
+            return;
+        }
+        let cutoff = self.max_end.saturating_sub(retention);
+        for path in match self.segment_paths() {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.io_errors += 1;
+                self.last_error = Some(e.to_string());
+                return;
+            }
+        } {
+            let dead = match segment::read_segment(&path) {
+                Ok(records) => records.iter().all(|r| r.end_tick() <= cutoff),
+                Err(_) => false, // never prune what we cannot read
+            };
+            if dead {
+                match fs::remove_file(&path) {
+                    Ok(()) => self.stats.segments_pruned += 1,
+                    Err(e) => {
+                        self.stats.io_errors += 1;
+                        self.last_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    fn segment_paths(&self) -> io::Result<Vec<PathBuf>> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.cfg.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "lss"))
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// Every durable + pending span for `patient`, oldest file first.
+    /// Pending (unflushed) spans are included, so a query never misses
+    /// recently retired data.
+    ///
+    /// # Errors
+    /// Propagates read failures; a corrupt segment fails the whole query
+    /// rather than silently dropping history.
+    pub fn records_for(&self, patient: u64) -> io::Result<Vec<SegmentRecord>> {
+        let mut out = Vec::new();
+        for path in self.segment_paths()? {
+            out.extend(
+                segment::read_segment(&path)?
+                    .into_iter()
+                    .filter(|r| r.patient == patient),
+            );
+        }
+        out.extend(
+            self.pending
+                .iter()
+                .filter(|r| r.patient == patient)
+                .cloned(),
+        );
+        Ok(out)
+    }
+
+    /// Every durable + pending span, for whole-store inspection.
+    ///
+    /// # Errors
+    /// Propagates read failures.
+    pub fn all_records(&self) -> io::Result<Vec<SegmentRecord>> {
+        let mut out = Vec::new();
+        for path in self.segment_paths()? {
+            out.extend(segment::read_segment(&path)?);
+        }
+        out.extend(self.pending.iter().cloned());
+        Ok(out)
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Present samples currently buffered (the at-risk loss window).
+    pub fn pending_samples(&self) -> usize {
+        self.pending_samples
+    }
+
+    /// Most recent recorded I/O failure, if any.
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.cfg.dir
+    }
+}
+
+/// Cloneable, thread-safe handle over a [`SegmentStore`] — what ingest
+/// shards and query paths share.
+#[derive(Debug, Clone)]
+pub struct SharedStore(Arc<Mutex<SegmentStore>>);
+
+impl SharedStore {
+    /// Opens a store and wraps it for sharing.
+    ///
+    /// # Errors
+    /// Fails when the directory cannot be created.
+    pub fn open(cfg: StoreConfig) -> io::Result<Self> {
+        Ok(Self(Arc::new(Mutex::new(SegmentStore::open(cfg)?))))
+    }
+
+    /// Builds a retire sink that spills `patient`'s compacted spans into
+    /// this store — attach with
+    /// [`LiveSession::set_retire_sink`](lifestream_core::live::LiveSession::set_retire_sink).
+    pub fn sink_for(&self, patient: u64) -> RetireSink {
+        let handle = self.clone();
+        Box::new(move |span: RetiredSpan| handle.0.lock().expect("store lock").spill(patient, span))
+    }
+
+    /// Runs `f` with the store locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SegmentStore) -> R) -> R {
+        f(&mut self.0.lock().expect("store lock"))
+    }
+
+    /// Flushes the write buffer. See [`SegmentStore::flush`].
+    ///
+    /// # Errors
+    /// Propagates the underlying write failure.
+    pub fn flush(&self) -> io::Result<()> {
+        self.with(SegmentStore::flush)
+    }
+
+    /// Every durable + pending span for `patient`.
+    ///
+    /// # Errors
+    /// Propagates read failures.
+    pub fn records_for(&self, patient: u64) -> io::Result<Vec<SegmentRecord>> {
+        self.with(|s| s.records_for(patient))
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.with(|s| s.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifestream_core::time::StreamShape;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lss-store-{tag}-{}", writer_nonce()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn span(base_slot: u64, values: Vec<f32>, ranges: Vec<(Tick, Tick)>) -> RetiredSpan {
+        RetiredSpan {
+            source: 0,
+            shape: StreamShape::new(0, 1),
+            base_slot,
+            values,
+            ranges,
+        }
+    }
+
+    #[test]
+    fn spill_flush_reopen() {
+        let dir = tmp_dir("reopen");
+        let mut store = SegmentStore::open(StoreConfig::new(&dir).flush_batch(0)).unwrap();
+        store.spill(1, span(0, vec![1.0, 2.0], vec![(0, 2)]));
+        store.spill(2, span(0, vec![9.0], vec![(0, 1)]));
+        assert_eq!(store.stats().segments_written, 2);
+        drop(store);
+        // A fresh store (new writer nonce) sees the durable spans.
+        let store = SegmentStore::open(StoreConfig::new(&dir)).unwrap();
+        let got = store.records_for(1).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].values, vec![1.0, 2.0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_flush_and_pending_visibility() {
+        let dir = tmp_dir("batch");
+        let mut store = SegmentStore::open(StoreConfig::new(&dir).flush_batch(100)).unwrap();
+        store.spill(1, span(0, vec![1.0; 10], vec![(0, 10)]));
+        assert_eq!(store.stats().segments_written, 0, "below the batch");
+        // Queries still see the pending span.
+        assert_eq!(store.records_for(1).unwrap().len(), 1);
+        store.spill(1, span(10, vec![2.0; 95], vec![(10, 105)]));
+        assert_eq!(store.stats().segments_written, 1, "batch crossed");
+        assert_eq!(store.pending_samples(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_old_segments() {
+        let dir = tmp_dir("retain");
+        let mut store =
+            SegmentStore::open(StoreConfig::new(&dir).flush_batch(0).retention(100)).unwrap();
+        store.spill(1, span(0, vec![1.0; 50], vec![(0, 50)]));
+        store.spill(1, span(50, vec![2.0; 50], vec![(50, 100)]));
+        // Frontier 100: nothing is >100 ticks old yet.
+        assert_eq!(store.stats().segments_pruned, 0);
+        store.spill(1, span(200, vec![3.0; 50], vec![(200, 250)]));
+        // Frontier 250, cutoff 150: both early segments are wholly older.
+        assert_eq!(store.stats().segments_pruned, 2);
+        let got = store.records_for(1).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got.iter().all(|r| r.end_tick() > 150));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_collide() {
+        let dir = tmp_dir("multi");
+        let a = SharedStore::open(StoreConfig::new(&dir).flush_batch(0)).unwrap();
+        let b = SharedStore::open(StoreConfig::new(&dir).flush_batch(0)).unwrap();
+        let mut sink_a = a.sink_for(1);
+        let mut sink_b = b.sink_for(1);
+        sink_a(span(0, vec![1.0], vec![(0, 1)]));
+        sink_b(span(1, vec![2.0], vec![(1, 2)]));
+        let got = a.records_for(1).unwrap();
+        assert_eq!(got.len(), 2, "both writers' segments visible");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

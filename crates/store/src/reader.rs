@@ -1,0 +1,271 @@
+//! Retrospective reads: stitching segments back into executor-ready data.
+//!
+//! [`HistoryReader`] is the query half of the tiered store. It loads every
+//! span relevant to a patient — durable segments plus, optionally, the
+//! live session's exported suffix — and densifies them into one
+//! [`SignalData`] per source, base slot 0, exactly the layout a cold batch
+//! run over the original feed would have produced. Any compiled pipeline
+//! can then execute over the result: retrospective queries need no special
+//! engine, just reconstructed inputs.
+
+use std::io;
+use std::path::Path;
+
+use lifestream_core::live::SessionSnapshot;
+use lifestream_core::prelude::PresenceMap;
+use lifestream_core::time::{StreamShape, Tick};
+use lifestream_core::SignalData;
+
+use crate::segment::{read_segment, SegmentRecord};
+
+/// A loaded view over a set of segment records.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryReader {
+    records: Vec<SegmentRecord>,
+}
+
+/// One source's densified durable history: values from slot 0 upward plus
+/// the presence ranges masking absent slots — the return shape of
+/// [`HistoryReader::source_history`].
+pub type DenseHistory = (Vec<f32>, Vec<(Tick, Tick)>);
+
+/// One source's densified history while stitching.
+struct Stitched {
+    values: Vec<f32>,
+    presence: PresenceMap,
+}
+
+impl Stitched {
+    fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            presence: PresenceMap::new(),
+        }
+    }
+
+    /// Copies one span (dense values starting at `base_slot`, presence
+    /// ranges masking the absent slots) into the slot-0-based history.
+    fn overlay(
+        &mut self,
+        shape: StreamShape,
+        base_slot: u64,
+        values: &[f32],
+        ranges: &[(Tick, Tick)],
+    ) -> Result<(), String> {
+        for &(start, end) in ranges {
+            if !shape.on_grid(start) || start < shape.offset() {
+                return Err(format!("presence range start {start} off the {shape} grid"));
+            }
+            let first = ((start - shape.offset()) / shape.period()) as usize;
+            let n = ((end - start) / shape.period()) as usize;
+            let from = first
+                .checked_sub(base_slot as usize)
+                .ok_or_else(|| format!("presence range [{start}, {end}) below the span base"))?;
+            if from + n > values.len() {
+                return Err(format!(
+                    "presence range [{start}, {end}) beyond the span's {} values",
+                    values.len()
+                ));
+            }
+            if first + n > self.values.len() {
+                self.values.resize(first + n, 0.0);
+            }
+            self.values[first..first + n].copy_from_slice(&values[from..from + n]);
+            self.presence.add(start, end);
+        }
+        Ok(())
+    }
+}
+
+impl HistoryReader {
+    /// Loads every segment in `dir` (non-recursive, `*.lss`).
+    ///
+    /// # Errors
+    /// Propagates I/O failures; a corrupt segment rejects the whole load.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "lss"))
+            .collect();
+        paths.sort();
+        let mut records = Vec::new();
+        for p in paths {
+            records.extend(read_segment(&p)?);
+        }
+        Ok(Self { records })
+    }
+
+    /// Wraps records already in memory (e.g. from
+    /// [`SegmentStore::records_for`](crate::SegmentStore::records_for),
+    /// which includes the unflushed write buffer).
+    pub fn from_records(records: Vec<SegmentRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Number of loaded spans.
+    pub fn span_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Patients with at least one span, ascending.
+    pub fn patients(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.records.iter().map(|r| r.patient).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Source shapes recorded for `patient` (indexed by source), or `None`
+    /// when the patient has no spans or its source indices have holes.
+    pub fn shapes_for(&self, patient: u64) -> Option<Vec<StreamShape>> {
+        let max = self
+            .records
+            .iter()
+            .filter(|r| r.patient == patient)
+            .map(|r| r.source)
+            .max()?;
+        let mut shapes: Vec<Option<StreamShape>> = vec![None; max as usize + 1];
+        for r in self.records.iter().filter(|r| r.patient == patient) {
+            shapes[r.source as usize] = Some(r.shape);
+        }
+        shapes.into_iter().collect()
+    }
+
+    /// Densifies one source's durable history from slot 0 upward.
+    /// Returns `(values, presence ranges)`, or `None` when the patient
+    /// has no spans for that source.
+    pub fn source_history(
+        &self,
+        patient: u64,
+        source: usize,
+    ) -> Option<Result<DenseHistory, String>> {
+        let spans: Vec<&SegmentRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.patient == patient && r.source as usize == source)
+            .collect();
+        let first = spans.first()?;
+        let shape = first.shape;
+        let mut st = Stitched::new();
+        for r in &spans {
+            if r.shape != shape {
+                return Some(Err(format!(
+                    "patient {patient} source {source} has spans on both {shape} and {}",
+                    r.shape
+                )));
+            }
+            if let Err(e) = st.overlay(shape, r.base_slot, &r.values, &r.ranges) {
+                return Some(Err(e));
+            }
+        }
+        Some(Ok((st.values, st.presence.ranges().to_vec())))
+    }
+
+    /// Reconstructs `patient`'s full history as one [`SignalData`] per
+    /// source: durable spans overlaid with the live suffix (when given),
+    /// densified from slot 0 — byte-identical input to a cold batch run
+    /// over the original feed. Overlapping spans must agree (re-spills
+    /// across a failover carry identical samples); later spans win.
+    ///
+    /// # Errors
+    /// Fails when a span's shape disagrees with `shapes`, when the live
+    /// snapshot's source count differs, or when a span is malformed.
+    pub fn stitch(
+        &self,
+        patient: u64,
+        shapes: &[StreamShape],
+        live: Option<&SessionSnapshot>,
+    ) -> Result<Vec<SignalData>, String> {
+        if let Some(snap) = live {
+            if snap.sources.len() != shapes.len() {
+                return Err(format!(
+                    "live snapshot has {} sources, expected {}",
+                    snap.sources.len(),
+                    shapes.len()
+                ));
+            }
+        }
+        let mut out = Vec::with_capacity(shapes.len());
+        for (i, &shape) in shapes.iter().enumerate() {
+            let mut st = Stitched::new();
+            for r in self
+                .records
+                .iter()
+                .filter(|r| r.patient == patient && r.source as usize == i)
+            {
+                if r.shape != shape {
+                    return Err(format!(
+                        "patient {patient} source {i}: segment span on {} but the query expects {shape}",
+                        r.shape
+                    ));
+                }
+                st.overlay(shape, r.base_slot, &r.values, &r.ranges)?;
+            }
+            if let Some(snap) = live {
+                let suffix = &snap.sources[i];
+                st.overlay(shape, suffix.base_slot, &suffix.values, &suffix.ranges)?;
+            }
+            out.push(SignalData::with_presence(shape, st.values, st.presence));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        patient: u64,
+        source: u32,
+        base_slot: u64,
+        values: Vec<f32>,
+        ranges: Vec<(Tick, Tick)>,
+    ) -> SegmentRecord {
+        SegmentRecord {
+            patient,
+            source,
+            shape: StreamShape::new(0, 2),
+            base_slot,
+            values,
+            ranges,
+        }
+    }
+
+    #[test]
+    fn stitch_densifies_spans_with_gaps() {
+        let reader = HistoryReader::from_records(vec![
+            rec(1, 0, 0, vec![1.0, 2.0], vec![(0, 4)]),
+            // A hole at slots 2..5, then a second span.
+            rec(1, 0, 5, vec![6.0, 7.0], vec![(10, 14)]),
+        ]);
+        let data = reader
+            .stitch(1, &[StreamShape::new(0, 2)], None)
+            .unwrap()
+            .remove(0);
+        assert_eq!(data.len(), 7);
+        assert_eq!(data.present_samples().count(), 4);
+        assert!(data.presence().covers(0, 4));
+        assert!(!data.presence().contains(4));
+        assert!(data.presence().covers(10, 14));
+    }
+
+    #[test]
+    fn stitch_rejects_shape_mismatch() {
+        let reader = HistoryReader::from_records(vec![rec(1, 0, 0, vec![1.0], vec![(0, 2)])]);
+        let err = reader
+            .stitch(1, &[StreamShape::new(0, 4)], None)
+            .unwrap_err();
+        assert!(err.contains("expects"), "err: {err}");
+    }
+
+    #[test]
+    fn shapes_for_requires_contiguous_sources() {
+        let mut r1 = rec(1, 0, 0, vec![1.0], vec![(0, 2)]);
+        r1.source = 1; // hole at source 0
+        let reader = HistoryReader::from_records(vec![r1]);
+        assert!(reader.shapes_for(1).is_none());
+        assert!(reader.shapes_for(2).is_none());
+    }
+}

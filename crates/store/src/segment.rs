@@ -1,0 +1,368 @@
+//! The on-disk segment format.
+//!
+//! A segment is an append-only, immutable file holding one or more
+//! *records*, each a retired `(patient, source, time-range)` sample span.
+//! Like the cluster wire codec, everything is length-prefixed
+//! little-endian, hostile-input-guarded, and locked by golden-byte
+//! fixtures (`tests/golden.rs`) — the format is a compatibility surface,
+//! not an implementation detail.
+//!
+//! ```text
+//! file    := magic "LSSG" | version u8 (=1) | record*
+//! record  := len u32 | payload[len]           -- len covers the payload
+//! payload := patient u64
+//!            source  u32
+//!            offset  i64 | period i64         -- the stream grid (shape)
+//!            base_slot u64                    -- grid slot of values[0]
+//!            n_values u32 | f32 × n_values    -- IEEE-754 bit patterns
+//!            n_ranges u32 | (i64, i64) × n_ranges -- presence [start, end)
+//!            crc u32                          -- CRC-32/IEEE of payload[..len-4]
+//! ```
+//!
+//! Records are self-describing (they carry their own shape), so a reader
+//! needs no external schema, and the dense-values + presence-ranges layout
+//! is exactly [`SignalData`](lifestream_core::SignalData)'s convention —
+//! stitching segments back into an executor-ready dataset is a copy, not
+//! a transformation.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use lifestream_core::time::{StreamShape, Tick};
+
+/// File magic: first four bytes of every segment.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"LSSG";
+/// Current (and only) format version.
+pub const SEGMENT_VERSION: u8 = 1;
+/// Hard cap on a single record's payload — a hostile length prefix cannot
+/// make the reader allocate more than this.
+pub const MAX_RECORD: usize = 64 * 1024 * 1024;
+
+/// One retired sample span as stored in a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRecord {
+    /// Owning patient.
+    pub patient: u64,
+    /// Source index within the patient's pipeline.
+    pub source: u32,
+    /// The source's grid shape (offset, period).
+    pub shape: StreamShape,
+    /// Grid-slot index of `values[0]` on the stream grid.
+    pub base_slot: u64,
+    /// Dense sample span (absent slots hold garbage masked by `ranges`).
+    pub values: Vec<f32>,
+    /// Presence ranges, `[start, end)` tick pairs on the grid.
+    pub ranges: Vec<(Tick, Tick)>,
+}
+
+impl SegmentRecord {
+    /// Number of present samples in the span.
+    pub fn present_samples(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|&(s, e)| ((e - s) / self.shape.period()) as usize)
+            .sum()
+    }
+
+    /// Largest presence end tick, or the grid offset when empty.
+    pub fn end_tick(&self) -> Tick {
+        self.ranges
+            .iter()
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap_or(self.shape.offset())
+    }
+}
+
+/// CRC-32/IEEE (reflected, poly `0xEDB88320`) — the same checksum zlib and
+/// Ethernet use; hand-rolled because the build environment is offline.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes one record as its length-prefixed on-disk form.
+pub fn encode_record(r: &SegmentRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(44 + r.values.len() * 4 + r.ranges.len() * 16);
+    put_u64(&mut payload, r.patient);
+    put_u32(&mut payload, r.source);
+    put_i64(&mut payload, r.shape.offset());
+    put_i64(&mut payload, r.shape.period());
+    put_u64(&mut payload, r.base_slot);
+    put_u32(&mut payload, r.values.len() as u32);
+    for &v in &r.values {
+        put_u32(&mut payload, v.to_bits());
+    }
+    put_u32(&mut payload, r.ranges.len() as u32);
+    for &(s, e) in &r.ranges {
+        put_i64(&mut payload, s);
+        put_i64(&mut payload, e);
+    }
+    let crc = crc32(&payload);
+    put_u32(&mut payload, crc);
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Bounds-checked little-endian reader over a record payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err("segment record truncated".into());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Hostile-count guard: a claimed element count must fit in the bytes
+    /// actually remaining, or a forged prefix could demand a huge
+    /// allocation before the decode fails.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n * min_elem_bytes > self.buf.len() - self.pos {
+            return Err(format!(
+                "segment record claims {n} elements but is too short"
+            ));
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decodes one record payload (the bytes after the length prefix),
+/// verifying the trailing CRC.
+pub fn decode_record(payload: &[u8]) -> Result<SegmentRecord, String> {
+    if payload.len() < 4 {
+        return Err("segment record shorter than its checksum".into());
+    }
+    let (body, crc_bytes) = payload.split_at(payload.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let got = crc32(body);
+    if want != got {
+        return Err(format!(
+            "segment record checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+        ));
+    }
+    let mut c = Cursor::new(body);
+    let patient = c.u64()?;
+    let source = c.u32()?;
+    let offset = c.i64()?;
+    let period = c.i64()?;
+    if period <= 0 {
+        return Err(format!("segment record has non-positive period {period}"));
+    }
+    let base_slot = c.u64()?;
+    let n_values = c.count(4)?;
+    let mut values = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        values.push(f32::from_bits(c.u32()?));
+    }
+    let n_ranges = c.count(16)?;
+    let mut ranges = Vec::with_capacity(n_ranges);
+    for _ in 0..n_ranges {
+        let s = c.i64()?;
+        let e = c.i64()?;
+        if e <= s {
+            return Err(format!(
+                "segment record has empty presence range [{s}, {e})"
+            ));
+        }
+        ranges.push((s, e));
+    }
+    if !c.done() {
+        return Err("segment record has trailing bytes".into());
+    }
+    Ok(SegmentRecord {
+        patient,
+        source,
+        shape: StreamShape::new(offset, period),
+        base_slot,
+        values,
+        ranges,
+    })
+}
+
+/// Writes a complete segment file atomically: encode to a `.tmp` sibling,
+/// fsync, then rename into place. Readers never observe a torn segment.
+pub fn write_segment(path: &Path, records: &[SegmentRecord]) -> io::Result<()> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SEGMENT_MAGIC);
+    bytes.push(SEGMENT_VERSION);
+    for r in records {
+        bytes.extend_from_slice(&encode_record(r));
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads and fully validates a segment file.
+///
+/// # Errors
+/// Any structural problem — bad magic, unknown version, truncated or
+/// oversized record, checksum mismatch — is an `InvalidData` error; a
+/// segment is either wholly valid or rejected.
+pub fn read_segment(path: &Path) -> io::Result<Vec<SegmentRecord>> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    parse_segment(&bytes).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Parses a whole segment image (exposed for golden-byte tests).
+pub fn parse_segment(bytes: &[u8]) -> Result<Vec<SegmentRecord>, String> {
+    if bytes.len() < 5 {
+        return Err("segment shorter than its header".into());
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err("bad segment magic".into());
+    }
+    if bytes[4] != SEGMENT_VERSION {
+        return Err(format!("unsupported segment version {}", bytes[4]));
+    }
+    let mut records = Vec::new();
+    let mut pos = 5;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 4 {
+            return Err("trailing bytes where a record length was expected".into());
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if len > MAX_RECORD {
+            return Err(format!(
+                "record length {len} exceeds the {MAX_RECORD}-byte cap"
+            ));
+        }
+        if bytes.len() - pos < len {
+            return Err("segment ends mid-record".into());
+        }
+        records.push(decode_record(&bytes[pos..pos + len])?);
+        pos += len;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> SegmentRecord {
+        SegmentRecord {
+            patient: 7,
+            source: 1,
+            shape: StreamShape::new(0, 2),
+            base_slot: 5,
+            values: vec![1.5, -2.0, 0.0, 3.25],
+            ranges: vec![(10, 14), (16, 18)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = sample_record();
+        let bytes = encode_record(&r);
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(decode_record(&bytes[4..]).unwrap(), r);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let bytes = encode_record(&sample_record());
+        for flip in [4usize, 12, bytes.len() - 5] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x01;
+            let err = decode_record(&bad[4..]).unwrap_err();
+            assert!(err.contains("checksum"), "flip at {flip}: {err}");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected() {
+        let r = sample_record();
+        let mut bytes = encode_record(&r);
+        // Forge the value count (payload offset 4 + 36) to something huge,
+        // then re-seal the CRC so only the count guard can object.
+        let n_off = 4 + 36;
+        bytes[n_off..n_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[4..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode_record(&bytes[4..]).unwrap_err();
+        assert!(err.contains("too short"), "err: {err}");
+    }
+
+    #[test]
+    fn file_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("lss-seg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.lss");
+        let records = vec![sample_record(), {
+            let mut r = sample_record();
+            r.patient = 9;
+            r
+        }];
+        write_segment(&path, &records).unwrap();
+        assert_eq!(read_segment(&path).unwrap(), records);
+        // Truncate mid-record: reader rejects the whole file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden-byte fixtures for the segment file format.
+//!
+//! The segment format is a durability surface: bytes written today must
+//! decode forever. These fixtures hard-code the exact encoding of a known
+//! record and a known file image; any codec change that re-arranges bytes
+//! breaks them loudly instead of silently orphaning old stores.
+
+use lifestream_core::time::StreamShape;
+use lifestream_store::segment::{crc32, encode_record, parse_segment, SegmentRecord, MAX_RECORD};
+use lifestream_store::{SEGMENT_MAGIC, SEGMENT_VERSION};
+
+fn golden_record() -> SegmentRecord {
+    SegmentRecord {
+        patient: 1,
+        source: 0,
+        shape: StreamShape::new(0, 2),
+        base_slot: 0,
+        values: vec![1.0, 2.5],
+        ranges: vec![(0, 4)],
+    }
+}
+
+/// `golden_record()`'s exact on-disk form: u32 length prefix, then
+/// patient/source/offset/period/base_slot, the two sample bit patterns,
+/// one presence range, and the CRC-32 seal — all little-endian.
+const GOLDEN_RECORD: [u8; 76] = [
+    0x48, 0x00, 0x00, 0x00, // len = 72
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // patient = 1
+    0x00, 0x00, 0x00, 0x00, // source = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // offset = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // period = 2
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // base_slot = 0
+    0x02, 0x00, 0x00, 0x00, // n_values = 2
+    0x00, 0x00, 0x80, 0x3f, // 1.0f32
+    0x00, 0x00, 0x20, 0x40, // 2.5f32
+    0x01, 0x00, 0x00, 0x00, // n_ranges = 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // range start = 0
+    0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // range end = 4
+    0x06, 0x06, 0xb8, 0xf3, // crc32 = 0xf3b80606
+];
+
+#[test]
+fn record_encoding_is_locked() {
+    assert_eq!(encode_record(&golden_record()), GOLDEN_RECORD.to_vec());
+}
+
+#[test]
+fn file_image_is_locked_and_parses() {
+    let mut image = Vec::new();
+    image.extend_from_slice(&SEGMENT_MAGIC);
+    image.push(SEGMENT_VERSION);
+    image.extend_from_slice(&GOLDEN_RECORD);
+    assert_eq!(&image[..5], b"LSSG\x01");
+    let records = parse_segment(&image).unwrap();
+    assert_eq!(records, vec![golden_record()]);
+}
+
+#[test]
+fn crc32_is_ieee() {
+    // The classic check value: CRC-32/IEEE of "123456789".
+    assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    assert_eq!(crc32(b""), 0);
+}
+
+#[test]
+fn hostile_images_are_rejected() {
+    let good = {
+        let mut v = Vec::new();
+        v.extend_from_slice(&SEGMENT_MAGIC);
+        v.push(SEGMENT_VERSION);
+        v.extend_from_slice(&GOLDEN_RECORD);
+        v
+    };
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    assert!(parse_segment(&bad).unwrap_err().contains("magic"));
+    // Unknown version.
+    let mut bad = good.clone();
+    bad[4] = 99;
+    assert!(parse_segment(&bad).unwrap_err().contains("version"));
+    // Oversized length prefix.
+    let mut bad = good.clone();
+    bad[5..9].copy_from_slice(&((MAX_RECORD as u32) + 1).to_le_bytes());
+    assert!(parse_segment(&bad).unwrap_err().contains("cap"));
+    // Flipped payload byte: checksum catches it.
+    let mut bad = good.clone();
+    bad[20] ^= 0x40;
+    assert!(parse_segment(&bad).unwrap_err().contains("checksum"));
+    // Truncation mid-record.
+    assert!(parse_segment(&good[..good.len() - 2]).is_err());
+}

@@ -46,6 +46,7 @@ pub mod engine;
 pub use distrib_baseline as distrib;
 pub use lifestream_core as core;
 pub use lifestream_signal as signal;
+pub use lifestream_store as store;
 pub use llc_sim as cache_sim;
 pub use numlib_baseline as numlib;
 pub use trill_baseline as trill;
