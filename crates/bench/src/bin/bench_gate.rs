@@ -12,6 +12,7 @@
 //! | `live_throughput`    | `batched_vs_per_sample_speedup`    |
 //! | `net_throughput`     | `batched_vs_per_frame_speedup`     |
 //! | `history_throughput` | `spill_vs_no_store_ratio`          |
+//! | `kernel_bench`       | `fused_vs_staged_ratio`            |
 //!
 //! Usage: `bench_gate <baseline.json> <current.json>`
 //!
@@ -43,6 +44,7 @@ fn metric_for(bench: &str) -> Option<&'static str> {
         "live_throughput" => Some("batched_vs_per_sample_speedup"),
         "net_throughput" => Some("batched_vs_per_frame_speedup"),
         "history_throughput" => Some("spill_vs_no_store_ratio"),
+        "kernel_bench" => Some("fused_vs_staged_ratio"),
         _ => None,
     }
 }
@@ -174,6 +176,7 @@ mod tests {
             "live_throughput",
             "net_throughput",
             "history_throughput",
+            "kernel_bench",
         ] {
             assert!(metric_for(b).is_some());
         }

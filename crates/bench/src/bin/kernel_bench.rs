@@ -1,0 +1,332 @@
+//! Operator-kernel microbenchmarks: staged vs fused execution.
+//!
+//! The fusion pass ([`lifestream_core::fuse`]) compiles chains of
+//! unit-scale operators into one kernel making a single pass over each
+//! presence run, with intermediates in scratch instead of per-stage
+//! FWindows. This bench pins the claim down:
+//!
+//! 1. **Per-operator throughput.** Each kernel runs alone (nothing to
+//!    fuse) — the Mev/s floor of the staged machinery, for context.
+//! 2. **Chain throughput, staged vs fused.** The chain the issue names —
+//!    select → normalize → pass_filter(8 taps) → sliding mean — runs
+//!    with fusion off and on over the same gap-bearing signal. Outputs
+//!    are asserted *checksum-identical* before throughput is compared;
+//!    `fused_vs_staged_ratio` is the portable, machine-independent
+//!    number the bench-regression gate checks (absolute Mev/s is not).
+//!
+//! Environment knobs:
+//! * `LS_SCALE` — workload scale factor (shared with every bench).
+//! * `LS_JSON_OUT` — also write the JSON to this path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lifestream_bench::{scale, Table};
+use lifestream_core::exec::ExecOptions;
+use lifestream_core::ops::aggregate::AggKind;
+use lifestream_core::ops::transform::TransformCtx;
+use lifestream_core::query::CompiledQuery;
+use lifestream_core::source::SignalData;
+use lifestream_core::stream::{Query, Stream};
+use lifestream_core::time::{StreamShape, Tick};
+
+const ROUND: Tick = 1_000;
+const PERIOD: Tick = 1;
+const FIR_TAPS: usize = 8;
+const SLIDING_WINDOW: Tick = 16;
+const NORM_WINDOW: Tick = 200;
+
+/// A mostly-dense waveform with a few dropouts, so fused execution pays
+/// for real run segmentation rather than one giant dense run.
+fn signal(samples: usize) -> SignalData {
+    let vals: Vec<f32> = (0..samples)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            ((x >> 40) % 997) as f32 / 7.0 - 50.0
+        })
+        .collect();
+    let mut data = SignalData::dense(StreamShape::new(0, PERIOD), vals);
+    let n = samples as Tick * PERIOD;
+    data.punch_gap(n / 5, n / 5 + 40 * PERIOD);
+    data.punch_gap(n / 2, n / 2 + 3 * ROUND);
+    data.punch_gap(4 * n / 5, 4 * n / 5 + 7 * PERIOD);
+    data
+}
+
+fn normalize() -> impl FnMut(TransformCtx<'_>) + Send + 'static {
+    |ctx: TransformCtx<'_>| {
+        let mut sum = 0.0f32;
+        let mut n = 0u32;
+        for (i, &p) in ctx.present.iter().enumerate() {
+            if p {
+                sum += ctx.input[i];
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        let mean = sum / n as f32;
+        let mut var = 0.0f32;
+        for (i, &p) in ctx.present.iter().enumerate() {
+            if p {
+                let d = ctx.input[i] - mean;
+                var += d * d;
+            }
+        }
+        let sd = (var / n as f32).sqrt().max(1e-6);
+        for (i, &p) in ctx.present.iter().enumerate() {
+            if p {
+                ctx.output[i] = (ctx.input[i] - mean) / sd;
+                ctx.out_present[i] = true;
+            }
+        }
+    }
+}
+
+fn fir_taps() -> Vec<f32> {
+    (0..FIR_TAPS).map(|k| 1.0 / (k as f32 + 2.0)).collect()
+}
+
+type Builder = fn(Stream<'_>) -> Stream<'_>;
+
+fn op_select(s: Stream<'_>) -> Stream<'_> {
+    s.map(|v| v * 1.25 - 3.0).unwrap()
+}
+
+fn op_where(s: Stream<'_>) -> Stream<'_> {
+    s.where_(|v| v[0] > -20.0).unwrap()
+}
+
+fn op_normalize(s: Stream<'_>) -> Stream<'_> {
+    s.transform(NORM_WINDOW * PERIOD, normalize()).unwrap()
+}
+
+fn op_fir(s: Stream<'_>) -> Stream<'_> {
+    s.pass_filter(fir_taps()).unwrap()
+}
+
+fn op_sliding_mean(s: Stream<'_>) -> Stream<'_> {
+    s.aggregate(AggKind::Mean, SLIDING_WINDOW * PERIOD, PERIOD)
+        .unwrap()
+}
+
+/// The single-operator microbenchmark set.
+fn per_op_builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("select", op_select as Builder),
+        ("where", op_where),
+        ("normalize", op_normalize),
+        ("pass_filter8", op_fir),
+        ("sliding_mean", op_sliding_mean),
+    ]
+}
+
+/// The issue's chain-heavy workload: every stage unit-scale, so the
+/// whole thing fuses into one kernel.
+fn chain(s: Stream<'_>) -> Stream<'_> {
+    s.map(|v| v * 1.25 - 3.0)
+        .unwrap()
+        .transform(NORM_WINDOW * PERIOD, normalize())
+        .unwrap()
+        .pass_filter(fir_taps())
+        .unwrap()
+        .aggregate(AggKind::Mean, SLIDING_WINDOW * PERIOD, PERIOD)
+        .unwrap()
+}
+
+fn compile(build: Builder) -> CompiledQuery {
+    let q = Query::new();
+    let s = q.source("sig", StreamShape::new(0, PERIOD));
+    build(s).sink();
+    q.compile().expect("compile")
+}
+
+struct Measurement {
+    best_s: f64,
+    mev_per_s: f64,
+    checksum: u64,
+    plan_bytes: usize,
+    fused_groups: usize,
+}
+
+/// Best-of-`iters` wall time for one full run over `data`; the checksum
+/// comes from a separate collecting run so timing excludes collection.
+fn measure(build: Builder, data: &SignalData, opts: ExecOptions, iters: u32) -> Measurement {
+    let mut exec = compile(build)
+        .executor_with(vec![data.clone()], opts)
+        .expect("executor");
+    let plan_bytes = exec.planned_bytes();
+    let fused_groups = exec.fusion_groups().len();
+    let checksum = exec.run_collect().expect("collect").checksum();
+    let samples = data.present_events() as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        exec.recycle(vec![data.clone()]).expect("recycle");
+        let t0 = Instant::now();
+        exec.run().expect("run");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Measurement {
+        best_s: best,
+        mev_per_s: samples / best / 1e6,
+        checksum,
+        plan_bytes,
+        fused_groups,
+    }
+}
+
+/// Measures two plans of the same query with their timed iterations
+/// interleaved (A, B, A, B, …), so a noisy stretch on the host hits both
+/// arms equally instead of skewing whichever happened to run during it.
+/// The gated ratio comes from this, not from two back-to-back [`measure`]
+/// blocks.
+fn measure_interleaved(
+    build: Builder,
+    data: &SignalData,
+    opts_a: ExecOptions,
+    opts_b: ExecOptions,
+    iters: u32,
+) -> (Measurement, Measurement) {
+    let mut execs = [opts_a, opts_b].map(|opts| {
+        compile(build)
+            .executor_with(vec![data.clone()], opts)
+            .expect("executor")
+    });
+    let samples = data.present_events() as f64;
+    let meta: Vec<(usize, usize, u64)> = execs
+        .iter_mut()
+        .map(|exec| {
+            (
+                exec.planned_bytes(),
+                exec.fusion_groups().len(),
+                exec.run_collect().expect("collect").checksum(),
+            )
+        })
+        .collect();
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..iters {
+        for (i, exec) in execs.iter_mut().enumerate() {
+            exec.recycle(vec![data.clone()]).expect("recycle");
+            let t0 = Instant::now();
+            exec.run().expect("run");
+            best[i] = best[i].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let mut out =
+        meta.into_iter()
+            .zip(best)
+            .map(
+                |((plan_bytes, fused_groups, checksum), best_s)| Measurement {
+                    best_s,
+                    mev_per_s: samples / best_s / 1e6,
+                    checksum,
+                    plan_bytes,
+                    fused_groups,
+                },
+            );
+    let a = out.next().unwrap();
+    let b = out.next().unwrap();
+    (a, b)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let samples: usize = ((1_000_000.0 * scale()) as usize).max(100_000);
+    let iters = 7;
+    let data = signal(samples);
+    println!(
+        "Operator-kernel throughput — {samples} samples, round {ROUND} ticks, \
+         best of {iters}, {cores} host cores\n"
+    );
+
+    let staged_opts = || {
+        ExecOptions::default()
+            .with_round_ticks(ROUND)
+            .without_fusion()
+    };
+    let fused_opts = || ExecOptions::default().with_round_ticks(ROUND);
+
+    // -----------------------------------------------------------------
+    // Per-operator floors (single kernel; nothing fuses).
+    // -----------------------------------------------------------------
+    let mut ops: Vec<(&'static str, Measurement)> = Vec::new();
+    let mut table = Table::new(&["op", "Mev/s"]);
+    for (name, build) in per_op_builders() {
+        let m = measure(build, &data, staged_opts(), iters);
+        table.row(&[name.to_string(), format!("{:.3}", m.mev_per_s)]);
+        ops.push((name, m));
+    }
+    println!("{}", table.render());
+
+    // -----------------------------------------------------------------
+    // The chain, staged vs fused.
+    // -----------------------------------------------------------------
+    let (staged, fused) = measure_interleaved(chain, &data, staged_opts(), fused_opts(), iters);
+    assert_eq!(staged.fused_groups, 0, "staged arm must not fuse");
+    assert_eq!(fused.fused_groups, 1, "the chain must fuse into one group");
+    assert_eq!(
+        fused.checksum, staged.checksum,
+        "fusion leaked into the results"
+    );
+    assert!(
+        fused.plan_bytes < staged.plan_bytes,
+        "fusion must shrink the static plan"
+    );
+    let ratio = fused.mev_per_s / staged.mev_per_s.max(1e-12);
+    let mut ctable = Table::new(&["plan", "Mev/s", "plan bytes"]);
+    ctable.row(&[
+        "staged".into(),
+        format!("{:.3}", staged.mev_per_s),
+        staged.plan_bytes.to_string(),
+    ]);
+    ctable.row(&[
+        "fused".into(),
+        format!("{:.3}", fused.mev_per_s),
+        fused.plan_bytes.to_string(),
+    ]);
+    println!(
+        "select -> normalize -> pass_filter({FIR_TAPS}) -> sliding mean chain:\n{}",
+        ctable.render()
+    );
+    println!("fused vs staged: {ratio:.2}x\n");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"select_normalize_fir{FIR_TAPS}_slidingmean_chain\","
+    );
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"round_ticks\": {ROUND},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"fused_vs_staged_ratio\": {ratio:.3},");
+    let _ = writeln!(json, "  \"staged\": {{");
+    let _ = writeln!(json, "    \"elapsed_s\": {:.4},", staged.best_s);
+    let _ = writeln!(json, "    \"mev_per_s\": {:.4},", staged.mev_per_s);
+    let _ = writeln!(json, "    \"plan_bytes\": {}", staged.plan_bytes);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fused\": {{");
+    let _ = writeln!(json, "    \"elapsed_s\": {:.4},", fused.best_s);
+    let _ = writeln!(json, "    \"mev_per_s\": {:.4},", fused.mev_per_s);
+    let _ = writeln!(json, "    \"plan_bytes\": {}", fused.plan_bytes);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"ops\": [");
+    for (i, (name, m)) in ops.iter().enumerate() {
+        let comma = if i + 1 < ops.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{name}\", \"mev_per_s\": {:.4}}}{comma}",
+            m.mev_per_s
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    println!("{json}");
+    if let Ok(path) = std::env::var("LS_JSON_OUT") {
+        std::fs::write(&path, &json).expect("write JSON output");
+        println!("wrote {path}");
+    }
+}

@@ -76,6 +76,86 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors proptest's
+    /// `Strategy::prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy for heterogeneous sets (used by [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `options`; each generate picks one uniformly.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof of empty set");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+/// Picks uniformly among strategies that share a value type (mirrors
+/// proptest's `prop_oneof!`; equal weights only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
 }
 
 macro_rules! range_strategies {
@@ -306,7 +386,9 @@ macro_rules! proptest {
 
 /// Common imports, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]
@@ -327,6 +409,16 @@ mod tests {
         #[test]
         fn select_picks_members(p in prop::sample::select(vec![1i64, 2, 4, 5, 8])) {
             prop_assert!([1i64, 2, 4, 5, 8].contains(&p));
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            v in prop_oneof![
+                (0i64..10).prop_map(|x| x * 2),
+                prop::sample::select(vec![100i64, 200]),
+            ],
+        ) {
+            prop_assert!((v % 2 == 0 && v < 20) || v == 100 || v == 200);
         }
 
         #[test]

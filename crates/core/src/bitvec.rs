@@ -160,6 +160,16 @@ impl BitVec {
         self.words.copy_from_slice(&other.words);
     }
 
+    /// Iterator over maximal runs of consecutive set bits, as
+    /// half-open `(lo, hi)` index ranges.
+    ///
+    /// This is the presence-run walk the fused executor is built
+    /// around: one `(lo, hi)` per contiguous present range, so inner
+    /// loops can iterate flat slices with no per-slot presence branch.
+    pub fn iter_runs(&self) -> IterRuns<'_> {
+        IterRuns { bv: self, pos: 0 }
+    }
+
     /// Iterator over the indices of set bits.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
@@ -211,6 +221,59 @@ impl Iterator for IterOnes<'_> {
             }
             self.cur = self.bv.words[self.word_idx];
         }
+    }
+}
+
+/// Iterator over `(lo, hi)` runs of set bits, produced by
+/// [`BitVec::iter_runs`].
+#[derive(Debug)]
+pub struct IterRuns<'a> {
+    bv: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for IterRuns<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let words = &self.bv.words;
+        let len = self.bv.len;
+        // Scan word-wise for the next set bit at or after `pos`.
+        let mut lo = self.pos;
+        loop {
+            if lo >= len {
+                return None;
+            }
+            let w = words[lo / 64] >> (lo % 64);
+            if w == 0 {
+                lo = (lo / 64 + 1) * 64;
+                continue;
+            }
+            lo += w.trailing_zeros() as usize;
+            break;
+        }
+        if lo >= len {
+            return None;
+        }
+        // Scan for the end of the run: the next clear bit after `lo`.
+        let mut hi = lo;
+        loop {
+            if hi >= len {
+                hi = len;
+                break;
+            }
+            // Invert so clear bits become set; shift out bits below hi.
+            let w = !(words[hi / 64]) >> (hi % 64);
+            if w == 0 {
+                hi = (hi / 64 + 1) * 64;
+                continue;
+            }
+            hi += w.trailing_zeros() as usize;
+            break;
+        }
+        let hi = hi.min(len);
+        self.pos = hi + 1; // hi is clear (or == len); resume past it
+        Some((lo, hi))
     }
 }
 
@@ -288,6 +351,31 @@ mod tests {
         assert!(b.is_empty());
         assert!(!b.any());
         assert_eq!(b.iter_ones().count(), 0);
+        assert_eq!(b.iter_runs().count(), 0);
+    }
+
+    #[test]
+    fn iter_runs_matches_iter_ones() {
+        // Runs across word boundaries, at both ends, and singletons.
+        let mut b = BitVec::new(200);
+        for (lo, hi) in [(0, 3), (62, 66), (127, 128), (130, 193), (199, 200)] {
+            b.set_range(lo, hi);
+        }
+        let runs: Vec<(usize, usize)> = b.iter_runs().collect();
+        assert_eq!(
+            runs,
+            vec![(0, 3), (62, 66), (127, 128), (130, 193), (199, 200)]
+        );
+        let from_runs: Vec<usize> = runs.iter().flat_map(|&(lo, hi)| lo..hi).collect();
+        assert_eq!(from_runs, b.iter_ones().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_runs_all_set_and_all_clear() {
+        let b = BitVec::all_set(130);
+        assert_eq!(b.iter_runs().collect::<Vec<_>>(), vec![(0, 130)]);
+        let c = BitVec::new(130);
+        assert_eq!(c.iter_runs().count(), 0);
     }
 
     // debug_assert-backed: the bounds check (and therefore the panic)

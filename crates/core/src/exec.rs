@@ -14,8 +14,23 @@
 //! round can produce output at all (inner joins require *both* sides).
 //! Rounds that cannot are skipped wholesale — on gap-riddled physiological
 //! data this prunes the bulk of the compute-heavy transformations.
+//!
+//! **Operator fusion** ([`fuse`](crate::fuse)): at executor construction,
+//! maximal chains of unit-scale single-consumer operators (select / where /
+//! transform / FIR / sliding aggregates on the input grid) are collapsed
+//! into one [`FusedKernel`](crate::fuse::FusedKernel) placed at the chain's
+//! tail. Interior nodes lose their FWindows (the memory plan skips them, so
+//! [`planned_bytes`](Executor::planned_bytes) shrinks) and are skipped by
+//! the round loop; intermediates live in two flat scratch columns that stay
+//! cache-resident across the whole chain. Fusion is a pure execution-plan
+//! rewrite — the graph, lineage maps, targeted skipping, and
+//! [`history_margins`](Executor::history_margins) are untouched, and fused
+//! output is bit-identical to staged output (see the [`fuse`](crate::fuse)
+//! module docs for the eligibility rules and what breaks a group).
+//! [`ExecOptions::without_fusion`] disables the pass for A/B comparison.
 
 use crate::error::{Error, Result};
+use crate::fuse::{self, FusionGroup, FusionPlan, Role};
 use crate::fwindow::FWindow;
 use crate::graph::{Graph, JoinKindTag, NodeId, OpKind};
 use crate::memory::MemoryPlan;
@@ -38,6 +53,10 @@ pub struct ExecOptions {
     /// of the traced dimension. The paper's evaluation default is one
     /// minute (60 000 ticks). `None` uses the minimal traced dimension.
     pub round_ticks: Option<Tick>,
+    /// Fuse chains of unit-scale operators into single-pass kernels (see
+    /// [`fuse`](crate::fuse)). Output is bit-identical either way; staged
+    /// execution is kept for A/B comparison and benchmarks. Default true.
+    pub fuse: bool,
 }
 
 impl Default for ExecOptions {
@@ -46,6 +65,7 @@ impl Default for ExecOptions {
             targeted: true,
             static_memory: true,
             round_ticks: None,
+            fuse: true,
         }
     }
 }
@@ -74,6 +94,13 @@ impl ExecOptions {
     /// Disables targeted query processing.
     pub fn without_targeting(mut self) -> Self {
         self.targeted = false;
+        self
+    }
+
+    /// Disables operator fusion (every node keeps its own window and
+    /// kernel — the staged execution model).
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
         self
     }
 }
@@ -182,6 +209,7 @@ pub struct Executor {
     windows: Vec<Option<FWindow>>,
     sources: Vec<SignalData>,
     opts: ExecOptions,
+    fusion: FusionPlan,
     round_dim: Tick,
     start: Tick,
     end: Tick,
@@ -191,12 +219,24 @@ pub struct Executor {
 impl Executor {
     pub(crate) fn new(
         graph: Graph,
-        kernels: Vec<Option<Box<dyn Kernel>>>,
+        mut kernels: Vec<Option<Box<dyn Kernel>>>,
         sources: Vec<SignalData>,
         opts: ExecOptions,
         round_dim: Tick,
     ) -> Result<Self> {
-        let plan = MemoryPlan::allocate(&graph);
+        let fusion = if opts.fuse {
+            fuse::install(&graph, &mut kernels)
+        } else {
+            FusionPlan::unfused(&graph)
+        };
+        // Fused interiors need no FWindow — the whole point of fusion's
+        // footprint reduction — so the memory plan skips them.
+        let skip: Vec<bool> = fusion
+            .roles
+            .iter()
+            .map(|r| matches!(r, Role::FusedInterior))
+            .collect();
+        let plan = MemoryPlan::allocate_skipping(&graph, &skip);
         let plan_bytes = plan.total_bytes();
         let start = sources
             .iter()
@@ -220,11 +260,18 @@ impl Executor {
             windows: plan.windows,
             sources,
             opts,
+            fusion,
             round_dim,
             start,
             end,
             plan_bytes,
         })
+    }
+
+    /// The fused chains of this plan (empty when fusion is disabled or
+    /// nothing qualified). Introspection for tests and diagnostics.
+    pub fn fusion_groups(&self) -> &[FusionGroup] {
+        &self.fusion.groups
     }
 
     /// The round (processing window) length in ticks.
@@ -323,9 +370,12 @@ impl Executor {
                 continue;
             }
             if !self.opts.static_memory {
-                // Ablation mode: conventional per-round allocation.
+                // Ablation mode: conventional per-round allocation. Fused
+                // interiors have no window in either mode.
                 for n in &self.graph.nodes {
-                    if !matches!(n.kind, OpKind::Sink) {
+                    if !matches!(n.kind, OpKind::Sink)
+                        && !matches!(self.fusion.roles[n.id], Role::FusedInterior)
+                    {
                         self.windows[n.id] = Some(FWindow::new(n.shape, n.dim, n.arity));
                         stats.steady_state_allocs += 1;
                     }
@@ -472,23 +522,35 @@ impl Executor {
                     on_output(w);
                 }
                 _ => {
+                    // Fused interiors have no window and no kernel; the
+                    // group's FusedKernel runs at the tail node, reading
+                    // the group head's producer window directly.
+                    let fused_input = match self.fusion.roles[id] {
+                        Role::FusedInterior => continue,
+                        Role::FusedTail { input } => Some(input),
+                        Role::Normal => None,
+                    };
                     let (before, after) = self.windows.split_at_mut(id);
                     let out = after[0].as_mut().expect("operator window");
                     out.slide_to(a);
                     let node = &self.graph.nodes[id];
                     let kernel = self.kernels[id].as_mut().expect("operator kernel");
                     stats.kernel_invocations += 1;
-                    match node.inputs.len() {
-                        1 => {
+                    match (fused_input, node.inputs.len()) {
+                        (Some(inp), _) => {
+                            let i0 = before[inp].as_ref().expect("fused input window");
+                            kernel.process(&[i0], out);
+                        }
+                        (None, 1) => {
                             let i0 = before[node.inputs[0]].as_ref().expect("input window");
                             kernel.process(&[i0], out);
                         }
-                        2 => {
+                        (None, 2) => {
                             let i0 = before[node.inputs[0]].as_ref().expect("input window");
                             let i1 = before[node.inputs[1]].as_ref().expect("input window");
                             kernel.process(&[i0, i1], out);
                         }
-                        n => unreachable!("operators take 1 or 2 inputs, got {n}"),
+                        (None, n) => unreachable!("operators take 1 or 2 inputs, got {n}"),
                     }
                 }
             }
@@ -857,6 +919,109 @@ mod tests {
             .unwrap();
         let stats = exec.run().unwrap();
         assert_eq!(stats.steady_state_allocs, 0);
+    }
+
+    /// select → select → where chain over gappy data; fusible end to end.
+    fn fusible_chain() -> (crate::query::CompiledQuery, SignalData) {
+        let s = StreamShape::new(0, 1);
+        let mut data = ramp(s, 4000);
+        data.punch_gap(500, 700);
+        data.punch_gap(1203, 1207);
+        let mut qb = QueryBuilder::new();
+        let src = qb.source("s", s);
+        let a = qb.select_map(src, |v| v * 2.0);
+        let b = qb.select_map(a, |v| v + 1.0);
+        let c = qb.where_(b, |v| v[0] as i64 % 3 != 0).unwrap();
+        qb.sink(c);
+        (qb.compile().unwrap(), data)
+    }
+
+    #[test]
+    fn fusion_collapses_chain_and_matches_staged() {
+        let (q1, d1) = fusible_chain();
+        let (q2, d2) = fusible_chain();
+        let mut fused = q1
+            .executor_with(vec![d1], ExecOptions::default().with_round_ticks(256))
+            .unwrap();
+        let mut staged = q2
+            .executor_with(
+                vec![d2],
+                ExecOptions::default()
+                    .with_round_ticks(256)
+                    .without_fusion(),
+            )
+            .unwrap();
+        assert_eq!(fused.fusion_groups().len(), 1);
+        assert_eq!(fused.fusion_groups()[0].members.len(), 3);
+        assert!(staged.fusion_groups().is_empty());
+        let of = fused.run_collect().unwrap();
+        let os = staged.run_collect().unwrap();
+        assert_eq!(of.len(), os.len());
+        assert_eq!(of.checksum(), os.checksum());
+        assert_eq!(of.durations(), os.durations());
+    }
+
+    #[test]
+    fn fused_plan_allocates_strictly_fewer_bytes() {
+        let (q1, d1) = fusible_chain();
+        let (q2, d2) = fusible_chain();
+        let fused = q1.executor(vec![d1]).unwrap();
+        let staged = q2
+            .executor_with(vec![d2], ExecOptions::default().without_fusion())
+            .unwrap();
+        // Two interior windows disappear: head's and middle's. With the
+        // uniform dim and arity 1 each interior window costs the same, so
+        // the fused footprint is the staged one minus two windows.
+        assert!(
+            fused.planned_bytes() < staged.planned_bytes(),
+            "fused {} !< staged {}",
+            fused.planned_bytes(),
+            staged.planned_bytes()
+        );
+        let per_window = staged.planned_bytes() / 4; // src + 3 ops, same shape
+        assert_eq!(
+            staged.planned_bytes() - fused.planned_bytes(),
+            2 * per_window
+        );
+    }
+
+    #[test]
+    fn fusion_with_dynamic_memory_allocates_fewer_windows() {
+        let (q1, d1) = fusible_chain();
+        let (q2, d2) = fusible_chain();
+        let opts = ExecOptions::default()
+            .with_round_ticks(256)
+            .with_dynamic_memory();
+        let mut fused = q1.executor_with(vec![d1], opts).unwrap();
+        let mut staged = q2.executor_with(vec![d2], opts.without_fusion()).unwrap();
+        let sf = fused.run().unwrap();
+        let ss = staged.run().unwrap();
+        assert_eq!(sf.output_events, ss.output_events);
+        assert!(sf.steady_state_allocs < ss.steady_state_allocs);
+    }
+
+    #[test]
+    fn multicast_fan_out_breaks_fusion_group() {
+        let s = StreamShape::new(0, 1);
+        let mk = || {
+            let mut qb = QueryBuilder::new();
+            let src = qb.source("s", s);
+            let a = qb.select_map(src, |v| v * 2.0);
+            let b = qb.select_map(a, |v| v + 1.0);
+            // `a` feeds both `b` and the join: its window must survive.
+            let j = qb.join(b, a, crate::ops::join::JoinKind::Inner).unwrap();
+            qb.sink(j);
+            qb.compile().unwrap()
+        };
+        let fused = mk().executor(vec![ramp(s, 100)]).unwrap();
+        // No chain of >= 2 exclusive members exists, so nothing fuses.
+        assert!(fused.fusion_groups().is_empty());
+        let out = mk()
+            .executor(vec![ramp(s, 100)])
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        assert_eq!(out.len(), 100);
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Operator fusion: single-pass execution of element-wise / unit-scale
+//! operator chains over presence runs.
+//!
+//! # What fuses
+//!
+//! A *fusion group* is a maximal straight-line chain of nodes that all
+//! satisfy, per node:
+//!
+//! * **Unit-scale, same-grid**: exactly one input, and the node's
+//!   [`StreamShape`](crate::time::StreamShape) equals its input's shape —
+//!   slot `i` of the output window corresponds to slot `i` of the input
+//!   window. `Select`, `Where`, `Transform`, `Fir` (the first-class FIR
+//!   `pass_filter`), and *sliding* aggregates whose stride equals the
+//!   input period all qualify.
+//! * **Single-field**: arity 1 in and out. The fused scratch carries one
+//!   `f32` column; multi-field selects stay staged.
+//! * **Interior exclusivity**: every member except the tail has exactly
+//!   one consumer. A multicast fan-out (two consumers of the same node)
+//!   or a join reading the node keeps it materialized, because some other
+//!   part of the plan needs its `FWindow`.
+//!
+//! # What breaks a group
+//!
+//! Anything that changes the time grid or reads more than one stream:
+//! tumbling aggregates (`window == stride` re-grids output to the stride),
+//! `AlterPeriod` / resample, `Chop`, `Shift`, joins, `WhereShape` (carries
+//! cross-round DTW state against the raw window layout), multi-field
+//! selects, and fan-out as above. The chain simply ends at the offending
+//! node; fusion never reorders operators.
+//!
+//! # Execution model
+//!
+//! At plan time ([`install`]) each group's member kernels are converted
+//! into [`FusedStage`]s and replaced by a single [`FusedKernel`] placed at
+//! the group's *tail* node. Interior nodes get **no FWindow at all** — the
+//! memory plan skips them, which is where the reduced
+//! [`planned_bytes`](crate::exec::Executor::planned_bytes) footprint comes
+//! from — and the executor skips them in the round loop. The fused kernel
+//! reads the group head's input window and writes the tail's window; the
+//! intermediate values live in two flat scratch columns that ping-pong
+//! between stages, staying cache-resident for the whole chain.
+//!
+//! Stage inner loops iterate contiguous presence runs as flat slices
+//! (`(lo, hi)` ranges from [`BitVec::iter_runs`](
+//! crate::bitvec::BitVec::iter_runs)) with no per-slot presence branch
+//! inside a run, so the compiler can unroll and autovectorize the dense
+//! interiors — the FIR stage in particular keeps a fixed-trip-count tap
+//! loop over independent output positions.
+//!
+//! # Lineage and margins
+//!
+//! Fusion is a pure execution-plan rewrite: the graph, its per-node
+//! [`LineageMap`](crate::lineage::LineageMap)s, targeted round skipping
+//! ([`round_active`]-style walks), and
+//! [`history_margins`](crate::exec::Executor::history_margins) all operate
+//! on the *unfused* node list, unchanged. That is sound because every
+//! fusible stage is unit-scale — lineage margins compose across a fused
+//! group exactly as they composed across the staged chain (lookbacks and
+//! lookaheads add), and stage-internal history (FIR taps, sliding rings)
+//! is carried in stage state across rounds, never re-read from buffers,
+//! exactly like the staged kernels it replaces. The executor's skip path
+//! forwards `on_skip` to every stage, so gap-driven state resets are
+//! byte-identical to staged execution.
+//!
+//! # Bit-identity
+//!
+//! Fused execution must be *bit-identical* to staged execution (the
+//! differential battery diffs the two). Stages therefore replicate the
+//! staged kernels' exact arithmetic: the same closure invocation order
+//! over present slots, the same [`AggKind::fold`] accumulation order over
+//! the same item sequence, and one shared FIR accumulation helper
+//! ([`ops::fir`](crate::ops::fir)) used by both the staged kernel and the
+//! fused stage. Fast paths are only taken where they provably execute the
+//! same floating-point operation sequence.
+//!
+//! [`round_active`]: crate::exec::Executor
+//! [`AggKind::fold`]: crate::ops::aggregate::AggKind::fold
+
+use crate::fwindow::FWindow;
+use crate::graph::{Graph, NodeId, OpKind};
+use crate::ops::Kernel;
+use crate::time::Tick;
+
+/// One stage's view of the round during fused execution.
+///
+/// Slot `i` of every slice corresponds to sync time `base + i * period`;
+/// all slices share one length (the round's slot count on the group's
+/// grid). `out_present` arrives pre-cleared; `out_vals` holds stale bytes
+/// at slots the stage does not write (the same contract staged kernels
+/// have against their output windows — absent slots are garbage).
+#[derive(Debug)]
+pub struct StageIo<'a> {
+    /// Sync time of slot 0.
+    pub base: Tick,
+    /// Grid period shared by input and output.
+    pub period: Tick,
+    /// Input values (including stale bytes at absent slots).
+    pub vals: &'a [f32],
+    /// Input presence flags.
+    pub present: &'a [bool],
+    /// Output values to fill.
+    pub out_vals: &'a mut [f32],
+    /// Output presence to fill (pre-cleared).
+    pub out_present: &'a mut [bool],
+}
+
+/// One operator of a fused chain, converted from its staged kernel by
+/// [`Kernel::take_stage`].
+pub trait FusedStage: Send {
+    /// Processes one round: reads `io.vals`/`io.present`, fills
+    /// `io.out_vals`/`io.out_present`. Must not allocate.
+    fn apply(&mut self, io: StageIo<'_>);
+
+    /// Skipped-round notification; mirrors [`Kernel::on_skip`].
+    fn on_skip(&mut self) {}
+
+    /// Full state reset; mirrors [`Kernel::reset`].
+    fn reset(&mut self) {}
+
+    /// True when the stage rewrites event durations to the grid period
+    /// (transforms, aggregates, FIR); false for pass-through stages
+    /// (select, where). Decides how the fused kernel writes the tail
+    /// window's durations.
+    fn resets_durations(&self) -> bool {
+        false
+    }
+}
+
+/// Calls `f(lo, hi)` for each maximal run of `true` flags — the stage-side
+/// counterpart of [`BitVec::iter_runs`](crate::bitvec::BitVec::iter_runs).
+#[inline]
+pub fn for_each_run(flags: &[bool], mut f: impl FnMut(usize, usize)) {
+    let mut i = 0usize;
+    while i < flags.len() {
+        if !flags[i] {
+            i += 1;
+            continue;
+        }
+        let lo = i;
+        while i < flags.len() && flags[i] {
+            i += 1;
+        }
+        f(lo, i);
+    }
+}
+
+/// A fusion group: the member node ids of one fused chain, in topological
+/// (head-to-tail) order. `members.last()` is the tail whose window stays
+/// materialized; all earlier members lose their windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// Chain members, head first.
+    pub members: Vec<NodeId>,
+}
+
+impl FusionGroup {
+    /// The node whose window receives the fused output.
+    pub fn tail(&self) -> NodeId {
+        *self.members.last().expect("groups have >= 2 members")
+    }
+
+    /// The node the fused kernel reads: the head member's single input.
+    pub fn input(&self, graph: &Graph) -> NodeId {
+        graph.nodes[self.members[0]].inputs[0]
+    }
+}
+
+/// Is `id` fusible as a chain stage, purely by graph shape?
+fn eligible(graph: &Graph, id: NodeId) -> bool {
+    let n = &graph.nodes[id];
+    if n.inputs.len() != 1 || n.arity != 1 {
+        return false;
+    }
+    let input = &graph.nodes[n.inputs[0]];
+    if input.arity != 1 || n.shape != input.shape {
+        return false;
+    }
+    match n.kind {
+        OpKind::Select | OpKind::Where | OpKind::Transform { .. } | OpKind::Fir { .. } => true,
+        // Sliding aggregates are unit-scale only when the output grid is
+        // the input grid; tumbling windows (w == stride) re-grid.
+        OpKind::Aggregate { window, stride } => window > stride && stride == input.shape.period(),
+        _ => false,
+    }
+}
+
+/// Finds all fusion groups in `graph` (see module docs for the rules).
+/// Pure analysis — no kernel state is touched, so this is also the
+/// introspection surface tests use to assert what fused.
+pub fn find_groups(graph: &Graph) -> Vec<FusionGroup> {
+    let consumers = graph.consumers();
+    let mut grouped = vec![false; graph.nodes.len()];
+    let mut groups = Vec::new();
+    for id in 0..graph.nodes.len() {
+        if grouped[id] || !eligible(graph, id) {
+            continue;
+        }
+        let mut members = vec![id];
+        let mut tail = id;
+        loop {
+            // Extend only through exclusive edges: a second consumer
+            // (multicast alias, join, second sink) pins `tail`'s window.
+            let cons = &consumers[tail];
+            if cons.len() != 1 {
+                break;
+            }
+            let next = cons[0];
+            if grouped[next] || !eligible(graph, next) || graph.nodes[next].inputs != [tail] {
+                break;
+            }
+            members.push(next);
+            tail = next;
+        }
+        if members.len() >= 2 {
+            for &m in &members {
+                grouped[m] = true;
+            }
+            groups.push(FusionGroup { members });
+        }
+    }
+    groups
+}
+
+/// Per-node execution role after fusion planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Runs its own kernel against its own window (or is a source/sink).
+    Normal,
+    /// Interior member of a fused group: no window, no kernel invocation.
+    FusedInterior,
+    /// Tail of a fused group: runs the group's [`FusedKernel`], reading
+    /// the window of node `input` (the group head's producer).
+    FusedTail {
+        /// The materialized window the fused kernel reads.
+        input: NodeId,
+    },
+}
+
+/// The fusion plan for one executor: groups plus per-node roles.
+#[derive(Debug)]
+pub struct FusionPlan {
+    /// All fused chains, in discovery (topological) order.
+    pub groups: Vec<FusionGroup>,
+    /// Role of every node, indexed by [`NodeId`].
+    pub roles: Vec<Role>,
+}
+
+impl FusionPlan {
+    /// A plan with no fusion (every node [`Role::Normal`]).
+    pub fn unfused(graph: &Graph) -> Self {
+        Self {
+            groups: Vec::new(),
+            roles: vec![Role::Normal; graph.nodes.len()],
+        }
+    }
+}
+
+/// Plans fusion for `graph` and rewrites `kernels` in place: each group's
+/// member kernels are converted to stages and replaced by one
+/// [`FusedKernel`] stored at the tail slot (interior slots become `None`).
+///
+/// A group is only converted when *every* member kernel reports
+/// [`Kernel::supports_fusion`]; a probe failure (e.g. a multi-field select
+/// that slipped past the graph check) leaves the whole chain staged rather
+/// than half-converted.
+pub fn install(graph: &Graph, kernels: &mut [Option<Box<dyn Kernel>>]) -> FusionPlan {
+    let mut plan = FusionPlan::unfused(graph);
+    let groups = find_groups(graph);
+    for group in groups {
+        let convertible = group
+            .members
+            .iter()
+            .all(|&m| kernels[m].as_ref().is_some_and(|k| k.supports_fusion()));
+        if !convertible {
+            continue;
+        }
+        let stages: Vec<Box<dyn FusedStage>> = group
+            .members
+            .iter()
+            .map(|&m| {
+                let mut k = kernels[m].take().expect("probed kernel present");
+                k.take_stage()
+                    .expect("supports_fusion implies take_stage succeeds")
+            })
+            .collect();
+        let tail = group.tail();
+        let capacity = graph.nodes[tail].capacity();
+        kernels[tail] = Some(Box::new(FusedKernel::new(stages, capacity)));
+        for &m in &group.members {
+            plan.roles[m] = Role::FusedInterior;
+        }
+        plan.roles[tail] = Role::FusedTail {
+            input: group.input(graph),
+        };
+        plan.groups.push(group);
+    }
+    plan
+}
+
+/// A whole fused chain as one [`Kernel`]: reads the group head's input
+/// window, runs every stage over flat scratch columns, writes the tail
+/// window. All scratch is sized at construction — `process` never
+/// allocates, preserving the static-memory guarantee.
+pub struct FusedKernel {
+    stages: Vec<Box<dyn FusedStage>>,
+    /// Input presence unpacked to flags (stage boundary representation).
+    in_flags: Vec<bool>,
+    /// Ping-pong scratch: stages read `a`, write `b`, then the pair swaps.
+    a_vals: Vec<f32>,
+    a_flags: Vec<bool>,
+    b_vals: Vec<f32>,
+    b_flags: Vec<bool>,
+    /// True when no stage resets durations: the tail copies the input
+    /// window's per-slot durations through.
+    pass_through_durations: bool,
+}
+
+impl FusedKernel {
+    /// Builds a fused kernel over `stages` with scratch for `capacity`
+    /// slots per round.
+    pub fn new(stages: Vec<Box<dyn FusedStage>>, capacity: usize) -> Self {
+        let pass_through = stages.iter().all(|s| !s.resets_durations());
+        Self {
+            stages,
+            in_flags: vec![false; capacity],
+            a_vals: vec![0.0; capacity],
+            a_flags: vec![false; capacity],
+            b_vals: vec![0.0; capacity],
+            b_flags: vec![false; capacity],
+            pass_through_durations: pass_through,
+        }
+    }
+
+    /// Number of stages in the chain.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Kernel for FusedKernel {
+    fn process(&mut self, inputs: &[&FWindow], out: &mut FWindow) {
+        let input = inputs[0];
+        let len = input.len();
+        debug_assert_eq!(len, out.len(), "fused group grids must align");
+        if len == 0 {
+            return;
+        }
+        let base = input.slot_time(0);
+        let period = input.shape().period();
+
+        // Unpack input presence into flags and values into scratch `a` —
+        // run-wise, so dense inputs are two bulk copies.
+        self.in_flags[..len].fill(false);
+        for (lo, hi) in input.presence().iter_runs() {
+            self.in_flags[lo..hi].fill(true);
+        }
+        self.a_vals[..len].copy_from_slice(&input.field(0)[..len]);
+        self.a_flags[..len].copy_from_slice(&self.in_flags[..len]);
+
+        for stage in &mut self.stages {
+            self.b_flags[..len].fill(false);
+            stage.apply(StageIo {
+                base,
+                period,
+                vals: &self.a_vals[..len],
+                present: &self.a_flags[..len],
+                out_vals: &mut self.b_vals[..len],
+                out_present: &mut self.b_flags[..len],
+            });
+            std::mem::swap(&mut self.a_vals, &mut self.b_vals);
+            std::mem::swap(&mut self.a_flags, &mut self.b_flags);
+        }
+
+        // Bulk-write surviving runs into the tail window.
+        for_each_run(&self.a_flags[..len], |lo, hi| {
+            if self.pass_through_durations {
+                out.fill_from_slice_with_durations(
+                    lo,
+                    &self.a_vals[lo..hi],
+                    &input.durations()[lo..hi],
+                );
+            } else {
+                out.fill_from_slice(lo, &self.a_vals[lo..hi], period);
+            }
+        });
+    }
+
+    fn on_skip(&mut self) {
+        for s in &mut self.stages {
+            s.on_skip();
+        }
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.stages {
+            s.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for FusedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusedKernel")
+            .field("stages", &self.stages.len())
+            .field("pass_through_durations", &self.pass_through_durations)
+            .finish()
+    }
+}

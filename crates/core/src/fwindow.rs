@@ -243,6 +243,33 @@ impl FWindow {
         self.present.set_range(start_slot, end);
     }
 
+    /// Bulk-writes a contiguous run with per-slot durations (single-field
+    /// windows only) — the fused-kernel output path for operator chains
+    /// that pass input durations through unchanged.
+    ///
+    /// # Panics
+    /// Panics for multi-field windows, mismatched slice lengths, or a run
+    /// past the window's current length.
+    pub fn fill_from_slice_with_durations(
+        &mut self,
+        start_slot: usize,
+        values: &[f32],
+        durations: &[Tick],
+    ) {
+        assert_eq!(self.arity, 1, "bulk fill requires single-field windows");
+        assert_eq!(values.len(), durations.len(), "values/durations length");
+        let end = start_slot + values.len();
+        assert!(end <= self.len, "bulk fill run exceeds window");
+        self.cols[0][start_slot..end].copy_from_slice(values);
+        self.durations[start_slot..end].copy_from_slice(durations);
+        self.present.set_range(start_slot, end);
+    }
+
+    /// Per-slot event durations for the window's current length.
+    pub fn durations(&self) -> &[Tick] {
+        &self.durations[..self.len]
+    }
+
     /// Reads the payload of slot `i` into `out` (must be `arity` long).
     #[inline]
     pub fn read(&self, i: usize, out: &mut [f32]) {

@@ -84,6 +84,12 @@ pub enum OpKind {
         /// Sub-window size in ticks.
         window: Tick,
     },
+    /// FIR filter over present runs (`taps` coefficients, newest-first);
+    /// the first-class form of `pass_filter`. Gaps reset the filter.
+    Fir {
+        /// Number of filter coefficients.
+        taps: usize,
+    },
     /// Query output.
     Sink,
 }
@@ -104,6 +110,7 @@ impl OpKind {
             OpKind::AlterPeriod { .. } => "AlterPeriod",
             OpKind::AlterDuration { .. } => "AlterDuration",
             OpKind::Transform { .. } => "Transform",
+            OpKind::Fir { .. } => "Fir",
             OpKind::Sink => "Sink",
         }
     }

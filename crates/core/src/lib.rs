@@ -67,6 +67,7 @@ pub mod bitvec;
 pub mod dtw;
 pub mod error;
 pub mod exec;
+pub mod fuse;
 pub mod fwindow;
 pub mod graph;
 pub mod lineage;

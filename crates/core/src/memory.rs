@@ -39,11 +39,22 @@ impl MemoryPlan {
     /// # Panics
     /// Panics if the graph has not been traced (`dim == 0` somewhere).
     pub fn allocate(graph: &Graph) -> Self {
+        Self::allocate_skipping(graph, &[])
+    }
+
+    /// Like [`allocate`](Self::allocate), but nodes with `skip[id] == true`
+    /// get no FWindow and contribute nothing to the footprint — how
+    /// operator fusion ([`fuse`](crate::fuse)) removes the interior
+    /// buffers of a fused chain. An empty `skip` skips nothing.
+    ///
+    /// # Panics
+    /// Panics if the graph has not been traced (`dim == 0` somewhere).
+    pub fn allocate_skipping(graph: &Graph, skip: &[bool]) -> Self {
         let mut windows = Vec::with_capacity(graph.nodes.len());
         let mut footprints = Vec::new();
         for n in &graph.nodes {
             assert!(n.dim > 0, "graph must be traced before allocation");
-            if matches!(n.kind, OpKind::Sink) {
+            if matches!(n.kind, OpKind::Sink) || skip.get(n.id).copied().unwrap_or(false) {
                 windows.push(None);
                 continue;
             }

@@ -12,6 +12,7 @@
 //! input slots across rounds and emits, at every output grid point `t`, the
 //! aggregate of input events in `(t - w, t]` — trailing-window semantics.
 
+use crate::fuse::{FusedStage, StageIo};
 use crate::fwindow::FWindow;
 use crate::ops::Kernel;
 use crate::time::Tick;
@@ -193,6 +194,127 @@ impl Kernel for SlidingAggKernel {
 
     fn reset(&mut self) {
         self.ring.clear();
+    }
+
+    fn supports_fusion(&self) -> bool {
+        // Fusion eligibility (stride == input period, same grid) is
+        // decided graph-side; any sliding kernel can run as a stage.
+        true
+    }
+
+    fn take_stage(&mut self) -> Option<Box<dyn FusedStage>> {
+        let mut ring = std::collections::VecDeque::with_capacity(self.ring_len + 1);
+        ring.extend(self.ring.drain(..));
+        Some(Box::new(FusedSlidingStage {
+            kind: self.kind,
+            window: self.window,
+            ring,
+            ring_len: self.ring_len,
+        }))
+    }
+}
+
+/// Fused-stage form of [`SlidingAggKernel`], valid only on same-grid
+/// chains (output stride == input period), which the fusion pass
+/// guarantees. Steady-state slots — where the whole trailing window lies
+/// inside the current round — fold a flat slice directly, skipping the
+/// ring entirely; the item sequence and [`AggKind::fold`] accumulation
+/// order are identical to the staged ring walk, so results are
+/// bit-identical. Only the first `ring_len - 1` slots of a round (window
+/// reaching back into the previous round) go through the carried ring.
+struct FusedSlidingStage {
+    kind: AggKind,
+    window: Tick,
+    ring: std::collections::VecDeque<(Tick, f32, bool)>,
+    ring_len: usize,
+}
+
+impl FusedSlidingStage {
+    fn push(&mut self, t: Tick, v: f32, present: bool) {
+        if self.ring.len() == self.ring_len {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((t, v, present));
+    }
+}
+
+impl FusedStage for FusedSlidingStage {
+    fn apply(&mut self, io: StageIo<'_>) {
+        let StageIo {
+            base,
+            period,
+            vals,
+            present,
+            out_vals,
+            out_present,
+            ..
+        } = io;
+        let len = vals.len();
+        let rl = self.ring_len;
+        let kind = self.kind;
+        // Present-slot count of the trailing window, maintained in O(1)
+        // per slot; picks a branch-free fold over the flat value slice
+        // when the window is fully present (the overwhelmingly common
+        // case on dense stretches). `fold` visits the same items in the
+        // same order either way, so results stay bit-identical.
+        let mut live = 0usize;
+        for o in 0..len {
+            live += usize::from(present[o]);
+            if o >= rl {
+                live -= usize::from(present[o - rl]);
+            }
+            let t = base + o as Tick * period;
+            let folded = if o + 1 >= rl {
+                // Flat path: the trailing window (t - w, t] is exactly
+                // input slots (o - rl, o]; carried ring items are all at
+                // or before t - w, so the staged filter would drop them.
+                let lo = o + 1 - rl;
+                if live == rl {
+                    kind.fold(vals[lo..=o].iter().copied())
+                } else if live == 0 {
+                    None
+                } else {
+                    kind.fold((lo..=o).filter(|&i| present[i]).map(|i| vals[i]))
+                }
+            } else {
+                // Round head: the window reaches into the carried ring.
+                // Same push-then-filter walk as the staged kernel.
+                self.push(t, vals[o], present[o]);
+                let w = self.window;
+                kind.fold(
+                    self.ring
+                        .iter()
+                        .filter(|&&(ti, _, p)| p && ti > t - w && ti <= t)
+                        .map(|&(_, v, _)| v),
+                )
+            };
+            if let Some(v) = folded {
+                out_vals[o] = v;
+                out_present[o] = true;
+            }
+        }
+        // Carry the last `ring_len` slots into the next round. When the
+        // round was shorter than the ring, the head path above already
+        // pushed every slot on top of the older carried items.
+        if len >= rl {
+            self.ring.clear();
+            for i in len - rl..len {
+                self.ring
+                    .push_back((base + i as Tick * period, vals[i], present[i]));
+            }
+        }
+    }
+
+    fn on_skip(&mut self) {
+        self.ring.clear();
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+    }
+
+    fn resets_durations(&self) -> bool {
+        true
     }
 }
 

@@ -10,9 +10,11 @@
 //! state across rounds — the bounded-memory-footprint property guarantees
 //! the state never grows with the data.
 
+use crate::fuse::FusedStage;
 use crate::fwindow::FWindow;
 
 pub mod aggregate;
+pub mod fir;
 pub mod join;
 pub mod reshape;
 pub mod select;
@@ -41,6 +43,23 @@ pub trait Kernel: Send {
 
     /// Clears all state, returning the kernel to its initial condition.
     fn reset(&mut self) {}
+
+    /// True when [`take_stage`](Kernel::take_stage) will succeed: the
+    /// kernel can run as one stage of a fused chain (unit-scale, single
+    /// field in and out). The fusion pass probes every member of a
+    /// candidate group before converting any of them.
+    fn supports_fusion(&self) -> bool {
+        false
+    }
+
+    /// Moves the kernel's internals into a [`FusedStage`] for single-pass
+    /// fused execution, leaving this kernel an unusable husk (the planner
+    /// discards it). Returns `None` for kernels that do not fuse; must
+    /// return `Some` whenever [`supports_fusion`](Kernel::supports_fusion)
+    /// is true.
+    fn take_stage(&mut self) -> Option<Box<dyn FusedStage>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! `Select` (payload projection) and `Where` (predicate filter) kernels —
 //! the stateless elementwise operators.
 
+use crate::fuse::{for_each_run, FusedStage, StageIo};
 use crate::fwindow::{FWindow, MAX_ARITY};
 use crate::ops::Kernel;
 
@@ -46,6 +47,53 @@ impl Kernel for SelectKernel {
             );
             out.write(i, &self.out_buf[..self.out_arity], input.duration(i));
         }
+    }
+
+    fn supports_fusion(&self) -> bool {
+        // The fused scratch is single-field; arity-changing selects stay
+        // staged.
+        self.in_arity == 1 && self.out_arity == 1
+    }
+
+    fn take_stage(&mut self) -> Option<Box<dyn FusedStage>> {
+        if !self.supports_fusion() {
+            return None;
+        }
+        Some(Box::new(FusedSelectStage {
+            f: std::mem::replace(&mut self.f, Box::new(|_, _| {})),
+            in_buf: self.in_buf,
+            out_buf: self.out_buf,
+        }))
+    }
+}
+
+/// Fused-stage form of a single-field [`SelectKernel`]: same closure, same
+/// per-present-slot invocation order, but over flat scratch runs. The
+/// `out_buf` persists across calls exactly like the staged kernel's, so
+/// closures that leave outputs unwritten observe identical values.
+struct FusedSelectStage {
+    f: SelectFn,
+    in_buf: [f32; MAX_ARITY],
+    out_buf: [f32; MAX_ARITY],
+}
+
+impl FusedStage for FusedSelectStage {
+    fn apply(&mut self, io: StageIo<'_>) {
+        let StageIo {
+            vals,
+            present,
+            out_vals,
+            out_present,
+            ..
+        } = io;
+        for_each_run(present, |lo, hi| {
+            for i in lo..hi {
+                self.in_buf[0] = vals[i];
+                (self.f)(&self.in_buf[..1], &mut self.out_buf[..1]);
+                out_vals[i] = self.out_buf[0];
+            }
+            out_present[lo..hi].fill(true);
+        });
     }
 }
 
@@ -94,6 +142,49 @@ impl Kernel for WhereKernel {
                 out.write(i, &self.buf[..self.arity], input.duration(i));
             }
         }
+    }
+
+    fn supports_fusion(&self) -> bool {
+        self.arity == 1
+    }
+
+    fn take_stage(&mut self) -> Option<Box<dyn FusedStage>> {
+        if !self.supports_fusion() {
+            return None;
+        }
+        Some(Box::new(FusedWhereStage {
+            pred: std::mem::replace(&mut self.pred, Box::new(|_| false)),
+            buf: self.buf,
+        }))
+    }
+}
+
+/// Fused-stage form of a single-field [`WhereKernel`]: the same predicate
+/// called in the same order, with surviving values copied through the same
+/// staging buffer.
+struct FusedWhereStage {
+    pred: WhereFn,
+    buf: [f32; MAX_ARITY],
+}
+
+impl FusedStage for FusedWhereStage {
+    fn apply(&mut self, io: StageIo<'_>) {
+        let StageIo {
+            vals,
+            present,
+            out_vals,
+            out_present,
+            ..
+        } = io;
+        for_each_run(present, |lo, hi| {
+            for i in lo..hi {
+                self.buf[0] = vals[i];
+                if (self.pred)(&self.buf[..1]) {
+                    out_vals[i] = self.buf[0];
+                    out_present[i] = true;
+                }
+            }
+        });
     }
 }
 

@@ -2,6 +2,7 @@
 //! escape hatch that lets third-party numeric code (FIR filters,
 //! interpolation, imputation) run inside the streaming pipeline (§6.1).
 
+use crate::fuse::{FusedStage, StageIo};
 use crate::fwindow::FWindow;
 use crate::ops::Kernel;
 use crate::time::Tick;
@@ -104,6 +105,74 @@ impl Kernel for TransformKernel {
 
     fn reset(&mut self) {
         self.fresh = true;
+    }
+
+    fn supports_fusion(&self) -> bool {
+        true
+    }
+
+    fn take_stage(&mut self) -> Option<Box<dyn FusedStage>> {
+        Some(Box::new(FusedTransformStage {
+            window: self.window,
+            f: std::mem::replace(&mut self.f, Box::new(|_| {})),
+            fresh: self.fresh,
+        }))
+    }
+}
+
+/// Fused-stage form of [`TransformKernel`]: the identical sub-window loop
+/// (same `TransformCtx` slices, same zeroed output scratch, same `fresh`
+/// transitions), but reading/writing the fused chain's flat columns
+/// instead of copying into kernel-private scratch.
+struct FusedTransformStage {
+    window: Tick,
+    f: TransformFn,
+    fresh: bool,
+}
+
+impl FusedStage for FusedTransformStage {
+    fn apply(&mut self, io: StageIo<'_>) {
+        let StageIo {
+            base,
+            period,
+            vals,
+            present,
+            out_vals,
+            out_present,
+        } = io;
+        let sub = (self.window / period) as usize;
+        debug_assert!(sub > 0);
+        let len = vals.len();
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + sub).min(len);
+            // Staged kernels zero their output scratch per sub-window;
+            // closures that set presence without writing must see 0.0.
+            out_vals[start..end].fill(0.0);
+            (self.f)(TransformCtx {
+                base: base + start as Tick * period,
+                period,
+                fresh: self.fresh,
+                input: &vals[start..end],
+                present: &present[start..end],
+                output: &mut out_vals[start..end],
+                out_present: &mut out_present[start..end],
+            });
+            self.fresh = false;
+            start = end;
+        }
+    }
+
+    fn on_skip(&mut self) {
+        self.fresh = true;
+    }
+
+    fn reset(&mut self) {
+        self.fresh = true;
+    }
+
+    fn resets_durations(&self) -> bool {
+        true
     }
 }
 

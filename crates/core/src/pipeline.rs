@@ -86,81 +86,33 @@ pub fn normalize(input: Stream<'_>, window: Tick) -> Result<Stream<'_>> {
 }
 
 /// `PassFilter`: finite-impulse-response frequency filtering (the SciPy
-/// benchmark of Table 3). The closure carries the last `taps-1` samples
-/// across sub-windows so the convolution is seamless; a time discontinuity
-/// (skipped rounds) resets the history.
+/// benchmark of Table 3), built on the first-class `Fir` operator so
+/// chains containing it fuse into single-pass kernels. Within each
+/// maximal run of present samples, `y[t] = Σₖ taps[k]·x[t−k·period]`;
+/// gaps reset the filter. On dense data this matches the historical
+/// `Transform`-closure implementation exactly.
+///
+/// `window` is kept for API compatibility with the other Table-3
+/// building blocks and validated the same way (positive multiple of the
+/// period); the run-based filter no longer slices on it.
 ///
 /// # Errors
-/// Propagates transform validation errors; rejects an empty tap vector.
+/// Rejects an empty tap vector, an invalid window, or multi-field input.
 pub fn pass_filter(input: Stream<'_>, window: Tick, taps: Vec<f32>) -> Result<Stream<'_>> {
     if taps.is_empty() {
         return Err(Error::InvalidParameter {
             message: "pass_filter requires at least one tap".into(),
         });
     }
-    let hist_len = taps.len() - 1;
-    let mut history: Vec<f32> = Vec::with_capacity(hist_len.max(1));
-    let mut expected_base: Option<Tick> = None;
-    input.transform(window, move |ctx: TransformCtx<'_>| {
-        if ctx.fresh || expected_base != Some(ctx.base) {
-            history.clear(); // discontinuity: reset filter state
-        }
-        let n = ctx.input.len();
-        for i in 0..n {
-            if !ctx.present[i] {
-                history.clear();
-                continue;
-            }
-            // y[i] = sum_k taps[k] * x[i - k], history feeds x[i-k] for
-            // samples before the sub-window.
-            let mut acc = 0.0f32;
-            for (k, &t) in taps.iter().enumerate() {
-                let idx = i as isize - k as isize;
-                let x = if idx >= 0 {
-                    if !ctx.present[idx as usize] {
-                        continue;
-                    }
-                    ctx.input[idx as usize]
-                } else {
-                    let h = history.len() as isize + idx;
-                    if h < 0 {
-                        continue;
-                    }
-                    history[h as usize]
-                };
-                acc += t * x;
-            }
-            ctx.output[i] = acc;
-            ctx.out_present[i] = true;
-        }
-        // Carry the tail into the next sub-window — but only the run of
-        // *present* trailing samples. Absent slots hold whatever the
-        // window buffer last contained (stale values under static
-        // memory, zeros under dynamic), so carrying them would leak the
-        // allocation strategy into the convolution output; and a gap in
-        // the tail separates the next window from anything older.
-        if hist_len > 0 {
-            let max_take = n.min(hist_len);
-            let mut run = 0usize;
-            while run < max_take && ctx.present[n - 1 - run] {
-                run += 1;
-            }
-            let mut next: Vec<f32> = Vec::with_capacity(hist_len);
-            if run == max_take {
-                // Fully-present carry span: top up from older history.
-                let needed_old = hist_len - run;
-                let old_start = history.len().saturating_sub(needed_old);
-                next.extend_from_slice(&history[old_start..]);
-            }
-            next.extend_from_slice(&ctx.input[n - run..]);
-            history = next;
-        }
-        expected_base = Some(ctx.base + window_of(&ctx));
-    })
-}
-
-fn window_of(ctx: &TransformCtx<'_>) -> Tick {
-    ctx.input.len() as Tick * ctx.period
+    let period = input.shape()?.period();
+    if window <= 0 || window % period != 0 {
+        return Err(Error::InvalidParameter {
+            message: format!(
+                "pass_filter window {window} must be a positive multiple of period {period}"
+            ),
+        });
+    }
+    input.pass_filter(taps)
 }
 
 /// `FillConst`: fills gaps smaller than the sub-window with a constant

@@ -32,6 +32,7 @@ use crate::fwindow::MAX_ARITY;
 use crate::graph::{Graph, JoinKindTag, Node, NodeId, OpKind};
 use crate::lineage::LineageMap;
 use crate::ops::aggregate::{AggKind, SlidingAggKernel, TumblingAggKernel};
+use crate::ops::fir::FirKernel;
 use crate::ops::join::{ClipJoinKernel, JoinKernel, JoinKind, JoinMapFn};
 use crate::ops::reshape::{AlterDurationKernel, AlterPeriodKernel, ChopKernel, ShiftKernel};
 use crate::ops::select::{SelectKernel, WhereKernel};
@@ -578,6 +579,48 @@ impl QueryBuilder {
             shape,
             1,
             vec![LineageMap::window(window)],
+            Some(factory),
+        ))
+    }
+
+    /// `PassFilter`: FIR-filters the stream with `taps` coefficients
+    /// (newest sample first): `y[t] = Σₖ taps[k] · x[t − k·period]` within
+    /// each maximal present run; gaps reset the filter. Presence passes
+    /// through unchanged; durations are rewritten to the grid period.
+    ///
+    /// This is the first-class form of the old `Transform`-closure
+    /// `pass_filter` — same results on dense data, but fusible and
+    /// vectorizable. Lineage carries a `(taps−1)·period` lookback margin
+    /// so targeted skipping and live suffix replay see the warm-up
+    /// samples.
+    ///
+    /// # Errors
+    /// Returns an error for a multi-field input or empty taps.
+    pub fn pass_filter(&mut self, input: StreamHandle, taps: Vec<f32>) -> Result<StreamHandle> {
+        let n = self.node(input)?;
+        if n.arity != 1 {
+            return Err(Error::ArityMismatch {
+                expected: 1,
+                actual: n.arity,
+            });
+        }
+        if taps.is_empty() {
+            return Err(Error::InvalidParameter {
+                message: "pass_filter taps must be non-empty".into(),
+            });
+        }
+        let shape = n.shape;
+        let lookback = (taps.len() as Tick - 1) * shape.period();
+        let n_taps = taps.len();
+        let factory: KernelFactory =
+            Box::new(move |node: &Node| Box::new(FirKernel::new(taps, node.capacity())));
+        Ok(self.push(
+            format!("Fir({n_taps})"),
+            OpKind::Fir { taps: n_taps },
+            vec![input.node],
+            shape,
+            1,
+            vec![LineageMap::with_margins(lookback, 0)],
             Some(factory),
         ))
     }

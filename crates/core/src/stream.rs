@@ -353,6 +353,17 @@ impl<'q> Stream<'q> {
         self.wrap(h)
     }
 
+    /// `PassFilter`: FIR-filters the stream with `taps` coefficients
+    /// (newest sample first). Gaps in the data reset the filter; presence
+    /// passes through unchanged.
+    ///
+    /// # Errors
+    /// Returns an error for a multi-field input or empty taps.
+    pub fn pass_filter(self, taps: Vec<f32>) -> Result<Stream<'q>> {
+        let h = self.query.inner.borrow_mut().pass_filter(self.handle, taps);
+        self.wrap(h)
+    }
+
     /// `Multicast`: forks the stream so multiple subqueries can read it.
     ///
     /// The engine's graph supports fan-out natively — every operator that

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Profile-guided-optimization recipe for the bench/hot-path bins.
+#
+# Three phases, exactly the classic rustc PGO loop:
+#   1. build the bench bins with `-Cprofile-generate`;
+#   2. replay the committed bench workloads (`live_throughput` and
+#      `kernel_bench` — the data-plane and kernel hot paths) to collect
+#      profiles;
+#   3. merge with llvm-profdata and rebuild with `-Cprofile-use`, then
+#      re-run both benches A/B against the plain release build.
+#
+# The merge step needs an llvm-profdata whose LLVM major matches the
+# rustc that produced the .profraw files. The rustup `llvm-tools`
+# component ships one in the sysroot; a distro llvm-profdata only works
+# if its LLVM is new enough (an LLVM-14 profdata cannot read LLVM-22
+# profraws — the script detects this and says so rather than failing
+# cryptically).
+#
+# Knobs: LS_PGO_SCALE (default 0.5) scales the replayed workloads.
+#
+# Results land in target/pgo/: plain.json + pgo.json per bench, with the
+# throughput numbers side by side on stdout at the end.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=${LS_PGO_SCALE:-0.5}
+PGO=target/pgo
+PROFILES=$PGO/profiles
+BINS=(kernel_bench live_throughput)
+
+host=$(rustc -vV | sed -n 's/^host: //p')
+sysroot=$(rustc --print sysroot)
+
+# Prefer the toolchain's own llvm-profdata (always format-compatible).
+PROFDATA="$sysroot/lib/rustlib/$host/bin/llvm-profdata"
+if [ ! -x "$PROFDATA" ]; then
+    PROFDATA=$(command -v llvm-profdata || true)
+fi
+if [ -z "${PROFDATA:-}" ]; then
+    echo "pgo: no llvm-profdata found; install the rustup llvm-tools component" >&2
+    exit 1
+fi
+
+rm -rf "$PROFILES"
+mkdir -p "$PROFILES"
+
+echo "== phase 1: instrumented build (-Cprofile-generate)"
+RUSTFLAGS="-Cprofile-generate=$(pwd)/$PROFILES" \
+    cargo build --release -p lifestream_bench \
+    $(printf -- '--bin %s ' "${BINS[@]}") --target-dir "$PGO/gen"
+
+echo "== phase 2: replay bench workloads (LS_SCALE=$SCALE)"
+for bin in "${BINS[@]}"; do
+    LS_SCALE=$SCALE LS_WORKERS=2 "$PGO/gen/release/$bin" > /dev/null
+done
+
+echo "== phase 3: merge profiles + rebuild (-Cprofile-use)"
+if ! "$PROFDATA" merge -o "$PGO/merged.profdata" "$PROFILES"/*.profraw; then
+    echo "pgo: profile merge failed — $PROFDATA cannot read the profraw format" >&2
+    echo "pgo: rustc's LLVM is $(rustc -vV | sed -n 's/^LLVM version: //p'); use the" >&2
+    echo "pgo: rustup llvm-tools component (or a matching distro LLVM) and re-run." >&2
+    exit 1
+fi
+RUSTFLAGS="-Cprofile-use=$(pwd)/$PGO/merged.profdata" \
+    cargo build --release -p lifestream_bench \
+    $(printf -- '--bin %s ' "${BINS[@]}") --target-dir "$PGO/use"
+
+echo "== A/B: plain release vs PGO build"
+cargo build --release -p lifestream_bench $(printf -- '--bin %s ' "${BINS[@]}")
+for bin in "${BINS[@]}"; do
+    LS_SCALE=$SCALE LS_WORKERS=2 LS_JSON_OUT="$PGO/$bin.plain.json" \
+        "target/release/$bin" > /dev/null
+    LS_SCALE=$SCALE LS_WORKERS=2 LS_JSON_OUT="$PGO/$bin.pgo.json" \
+        "$PGO/use/release/$bin" > /dev/null
+done
+
+echo
+echo "bench, metric, plain, pgo:"
+for bin in "${BINS[@]}"; do
+    for key in mev_per_s batched_vs_per_sample_speedup fused_vs_staged_ratio; do
+        plain=$(sed -n 's/.*"'"$key"'":[[:space:]]*\([-0-9.eE]*\).*/\1/p' "$PGO/$bin.plain.json" | head -n 1)
+        pgo=$(sed -n 's/.*"'"$key"'":[[:space:]]*\([-0-9.eE]*\).*/\1/p' "$PGO/$bin.pgo.json" | head -n 1)
+        [ -n "$plain" ] && [ -n "$pgo" ] && echo "  $bin, $key, $plain, $pgo"
+    done
+done
+echo "JSONs in $PGO/; promote with scripts/promote_baseline.sh if desired."

@@ -320,13 +320,18 @@ pub trait EnginePipeline {
 /// All engines that implement the shared [`Engine`] surface: the paper's
 /// three in comparison order, then the sharded runtime serving the
 /// LifeStream engine (added by this repo's scale-up work — semantically
-/// identical to LifeStream, so it rides every cross-engine check).
+/// identical to LifeStream, so it rides every cross-engine check), then
+/// the LifeStream engine with operator fusion disabled — the staged
+/// execution model — so every agreement check also locks "fusion changes
+/// nothing about the answer" (fused vs. staged must be *byte-identical*,
+/// not merely close).
 pub fn all_engines() -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(LifeStreamEngine),
         Box::new(TrillEngine),
         Box::new(NumLibEngine),
         Box::new(ShardedEngine::default()),
+        Box::new(StagedLifeStreamEngine),
     ]
 }
 
@@ -379,11 +384,39 @@ fn lifestream_query(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LifeStreamEngine;
 
+/// The LifeStream engine with operator fusion disabled
+/// ([`ExecOptions::without_fusion`]): every node keeps its own FWindow and
+/// staged kernel. Exists as the differential battery's fused-vs-staged
+/// arm — its output must be byte-identical to [`LifeStreamEngine`]'s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StagedLifeStreamEngine;
+
 struct LifeStreamPrepared {
     compiled: Option<CompiledQuery>,
     shapes: Vec<StreamShape>,
     exec_opts: ExecOptions,
     collect: bool,
+}
+
+fn prepare_lifestream(
+    engine_name: &'static str,
+    workload: &Workload,
+    shapes: &[StreamShape],
+    opts: &EngineOptions,
+    exec_opts: ExecOptions,
+) -> Result<Box<dyn EnginePipeline>, EngineError> {
+    require_arity(engine_name, workload, shapes.len())?;
+    let q = lifestream_query(workload, shapes).map_err(fail)?;
+    let mut exec_opts = exec_opts;
+    if let Some(t) = opts.round_ticks {
+        exec_opts = exec_opts.with_round_ticks(t);
+    }
+    Ok(Box::new(LifeStreamPrepared {
+        compiled: Some(q.compile().map_err(fail)?),
+        shapes: shapes.to_vec(),
+        exec_opts,
+        collect: opts.collect,
+    }))
 }
 
 impl Engine for LifeStreamEngine {
@@ -401,18 +434,32 @@ impl Engine for LifeStreamEngine {
         shapes: &[StreamShape],
         opts: &EngineOptions,
     ) -> Result<Box<dyn EnginePipeline>, EngineError> {
-        require_arity(self.name(), workload, shapes.len())?;
-        let q = lifestream_query(workload, shapes).map_err(fail)?;
-        let mut exec_opts = ExecOptions::default();
-        if let Some(t) = opts.round_ticks {
-            exec_opts = exec_opts.with_round_ticks(t);
-        }
-        Ok(Box::new(LifeStreamPrepared {
-            compiled: Some(q.compile().map_err(fail)?),
-            shapes: shapes.to_vec(),
-            exec_opts,
-            collect: opts.collect,
-        }))
+        prepare_lifestream(self.name(), workload, shapes, opts, ExecOptions::default())
+    }
+}
+
+impl Engine for StagedLifeStreamEngine {
+    fn name(&self) -> &'static str {
+        "LifeStream(staged)"
+    }
+
+    fn supports(&self, _workload: &Workload) -> bool {
+        true
+    }
+
+    fn prepare(
+        &self,
+        workload: &Workload,
+        shapes: &[StreamShape],
+        opts: &EngineOptions,
+    ) -> Result<Box<dyn EnginePipeline>, EngineError> {
+        prepare_lifestream(
+            self.name(),
+            workload,
+            shapes,
+            opts,
+            ExecOptions::default().without_fusion(),
+        )
     }
 }
 

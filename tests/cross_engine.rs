@@ -9,7 +9,7 @@ use lifestream::core::ops::aggregate::AggKind;
 use lifestream::core::prelude::*;
 use lifestream::engine::{
     all_engines, Engine, EngineError, EngineOptions, LifeStreamEngine, RunOutcome, ShardedEngine,
-    TableOp, TrillEngine, Workload,
+    StagedLifeStreamEngine, TableOp, TrillEngine, Workload,
 };
 use lifestream::signal::dataset::{DatasetBuilder, SignalKind};
 
@@ -48,7 +48,7 @@ fn select_agrees_between_engines() {
         &[data],
         &EngineOptions::default().collecting(),
     );
-    assert_eq!(results.len(), 4, "all engines support Select");
+    assert_eq!(results.len(), 5, "all engines support Select");
     let reference = results[0].1.collected.as_ref().unwrap();
     assert_eq!(reference.len(), 10_000);
     for (name, outcome) in &results[1..] {
@@ -105,7 +105,7 @@ fn join_counts_agree_with_gaps() {
         &[a, b],
         &EngineOptions::default().with_round_ticks(1000),
     );
-    assert_eq!(results.len(), 4, "all engines support Join");
+    assert_eq!(results.len(), 5, "all engines support Join");
     let reference = results[0].1.output_events;
     assert!(reference > 0);
     for (name, outcome) in &results {
@@ -127,7 +127,7 @@ fn fig3_outputs_close_across_engines() {
         &[ecg, abp],
         &EngineOptions::default(),
     );
-    assert_eq!(results.len(), 4, "all engines support Fig3");
+    assert_eq!(results.len(), 5, "all engines support Fig3");
     let reference = results[0].1.output_events;
     let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / a.max(1) as f64;
     for (name, outcome) in &results {
@@ -151,7 +151,7 @@ fn engines_run_as_trait_objects_and_report_support() {
     let temporal = Workload::ClipJoin;
 
     let engines: Vec<Box<dyn Engine>> = all_engines();
-    assert_eq!(engines.len(), 4);
+    assert_eq!(engines.len(), 5);
     for engine in &engines {
         // Every engine handles the windowed workload through the one
         // shared definition.
@@ -315,6 +315,70 @@ fn sharded_runtime_is_transparent_to_query_semantics() {
             direct.collected,
             sharded.collected,
             "{} collected events",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn fused_and_staged_lifestream_agree_bitwise() {
+    // Operator fusion is an execution-plan rewrite; the fused engine's
+    // output must be *byte-identical* to staged execution — times,
+    // values, and event counts — on every chain-heavy workload, gaps
+    // included. `assert_eq!` on f32 payloads is deliberate: "close" is
+    // not good enough here.
+    let shape = StreamShape::new(0, 2);
+    let mut data = ramp(shape, 20_000);
+    data.punch_gap(4_000, 6_000);
+    data.punch_gap(17_002, 17_010);
+    let workloads = vec![
+        Workload::Select {
+            mul: 3.0,
+            add: -1.0,
+        },
+        Workload::WhereGt { threshold: 300.0 },
+        Workload::Operation {
+            op: TableOp::Normalize,
+            window: 500,
+        },
+        Workload::Operation {
+            op: TableOp::PassFilter {
+                taps: vec![0.25, 0.5, 0.25],
+            },
+            window: 500,
+        },
+        Workload::Operation {
+            op: TableOp::FillMean,
+            window: 200,
+        },
+        Workload::Fig3 { window: 1000 },
+    ];
+    for workload in &workloads {
+        let opts = EngineOptions::default().with_round_ticks(512);
+        let opts = if workload.arity() == 1 {
+            opts.collecting()
+        } else {
+            opts // Fig3 collects nothing; counts still must match
+        };
+        let inputs: Vec<SignalData> = if workload.arity() == 2 {
+            vec![data.clone(), ramp(StreamShape::new(0, 8), 5_000)]
+        } else {
+            vec![data.clone()]
+        };
+        let fused = LifeStreamEngine
+            .run(workload, inputs.clone(), &opts)
+            .unwrap();
+        let staged = StagedLifeStreamEngine.run(workload, inputs, &opts).unwrap();
+        assert_eq!(
+            fused.output_events,
+            staged.output_events,
+            "{} event count",
+            workload.name()
+        );
+        assert_eq!(
+            fused.collected,
+            staged.collected,
+            "{} collected events (fused vs staged)",
             workload.name()
         );
     }
