@@ -6,13 +6,15 @@
 //! 1-core box that produced a baseline legitimately disagree — so the
 //! gate checks only the ratios the bench JSONs were designed around:
 //!
-//! | bench                | gated metric                       |
-//! |----------------------|------------------------------------|
-//! | `sharded_scaling`    | `pooled_vs_cold_speedup_1_worker`  |
-//! | `live_throughput`    | `batched_vs_per_sample_speedup`    |
-//! | `net_throughput`     | `batched_vs_per_frame_speedup`     |
-//! | `history_throughput` | `spill_vs_no_store_ratio`          |
-//! | `kernel_bench`       | `fused_vs_staged_ratio`            |
+//! | bench                | gated metrics                                    |
+//! |----------------------|--------------------------------------------------|
+//! | `sharded_scaling`    | `pooled_vs_cold_speedup_1_worker`                |
+//! | `live_throughput`    | `batched_vs_per_sample_speedup`                  |
+//! | `net_throughput`     | `batched_vs_per_frame_speedup`                   |
+//! | `history_throughput` | `spill_vs_no_store_ratio`, `range_prune_speedup` |
+//! | `kernel_bench`       | `fused_vs_staged_ratio`                          |
+//!
+//! A bench may gate several ratios; every one must clear its floor.
 //!
 //! Usage: `bench_gate <baseline.json> <current.json>`
 //!
@@ -37,15 +39,15 @@ fn field(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// The gated metric for a bench id, or `None` for benches without one.
-fn metric_for(bench: &str) -> Option<&'static str> {
+/// The gated metrics for a bench id — empty for benches without any.
+fn metrics_for(bench: &str) -> &'static [&'static str] {
     match bench {
-        "sharded_scaling" => Some("pooled_vs_cold_speedup_1_worker"),
-        "live_throughput" => Some("batched_vs_per_sample_speedup"),
-        "net_throughput" => Some("batched_vs_per_frame_speedup"),
-        "history_throughput" => Some("spill_vs_no_store_ratio"),
-        "kernel_bench" => Some("fused_vs_staged_ratio"),
-        _ => None,
+        "sharded_scaling" => &["pooled_vs_cold_speedup_1_worker"],
+        "live_throughput" => &["batched_vs_per_sample_speedup"],
+        "net_throughput" => &["batched_vs_per_frame_speedup"],
+        "history_throughput" => &["spill_vs_no_store_ratio", "range_prune_speedup"],
+        "kernel_bench" => &["fused_vs_staged_ratio"],
+        _ => &[],
     }
 }
 
@@ -85,14 +87,11 @@ fn main() -> ExitCode {
         eprintln!("bench_gate: comparing {base_bench} baseline against {cur_bench} run");
         return ExitCode::FAILURE;
     }
-    let Some(metric) = metric_for(&base_bench) else {
+    let metrics = metrics_for(&base_bench);
+    if metrics.is_empty() {
         eprintln!("bench_gate: no gated metric for bench {base_bench}");
         return ExitCode::FAILURE;
-    };
-    let (Some(expect), Some(got)) = (field(&baseline, metric), field(&current, metric)) else {
-        eprintln!("bench_gate: metric {metric} missing from one of the files");
-        return ExitCode::FAILURE;
-    };
+    }
 
     // A remote-vs-local ratio is only meaningful if the wire was quiet:
     // a run that survived injected faults spent time in reconnect-and-
@@ -116,13 +115,27 @@ fn main() -> ExitCode {
         }
     }
 
-    let floor = expect * (1.0 - tolerance);
-    let verdict = if got >= floor { "ok" } else { "REGRESSION" };
-    println!(
-        "{base_bench}: {metric} = {got:.3} (baseline {expect:.3}, floor {floor:.3}, \
-         tolerance {:.0}%) ... {verdict}",
-        tolerance * 100.0
-    );
+    let mut failed = false;
+    for metric in metrics {
+        let (Some(expect), Some(got)) = (field(&baseline, metric), field(&current, metric)) else {
+            eprintln!("bench_gate: metric {metric} missing from one of the files");
+            return ExitCode::FAILURE;
+        };
+        let floor = expect * (1.0 - tolerance);
+        let verdict = if got >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "{base_bench}: {metric} = {got:.3} (baseline {expect:.3}, floor {floor:.3}, \
+             tolerance {:.0}%) ... {verdict}",
+            tolerance * 100.0
+        );
+        if got < floor {
+            eprintln!(
+                "bench_gate: {metric} regressed more than {:.0}% ({got:.3} < {floor:.3})",
+                tolerance * 100.0
+            );
+            failed = true;
+        }
+    }
     // Context for the log: cores the two measurements ran on.
     if let (Some(bc), Some(cc)) = (
         field(&baseline, "host_cores"),
@@ -130,14 +143,10 @@ fn main() -> ExitCode {
     ) {
         println!("  host_cores: baseline {bc:.0}, current {cc:.0}");
     }
-    if got >= floor {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "bench_gate: {metric} regressed more than {:.0}% ({got:.3} < {floor:.3})",
-            tolerance * 100.0
-        );
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -178,8 +187,13 @@ mod tests {
             "history_throughput",
             "kernel_bench",
         ] {
-            assert!(metric_for(b).is_some());
+            assert!(!metrics_for(b).is_empty());
         }
-        assert!(metric_for("fig2").is_none());
+        assert!(metrics_for("fig2").is_empty());
+        assert_eq!(
+            metrics_for("history_throughput"),
+            ["spill_vs_no_store_ratio", "range_prune_speedup"],
+            "the prune speedup must stay gated"
+        );
     }
 }

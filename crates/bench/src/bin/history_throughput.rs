@@ -12,9 +12,17 @@
 //!    a bounded, near-constant fraction of ingest throughput, not a
 //!    multiple. Outputs are asserted byte-identical first.
 //! 2. **Retrospective scans are fast.** After the spill run, each
-//!    patient's full history is re-run via `query_history` (stitch
-//!    segments + suffix, compile, execute); the scan rate is reported in
-//!    reconstructed input samples per second.
+//!    patient's full history is re-run via `HistoryQueryApi::history_one`
+//!    (stitch segments + suffix, compile, execute); the scan rate is
+//!    reported in reconstructed input samples per second.
+//! 3. **Range pruning pays.** The same patients are then queried over a
+//!    narrow `[t0, t1)` window (10% of the span) via
+//!    `HistoryQuery::range`. The file-name tick-range index lets the
+//!    store skip every non-overlapping segment unopened
+//!    (`segments_skipped` is asserted to move), so the narrow scan runs
+//!    a large multiple faster than the full one. The second gated
+//!    metric `range_prune_speedup` is (full-scan elapsed) / (narrow-scan
+//!    elapsed) — a portable ratio like the spill ratio.
 //!
 //! Environment knobs:
 //! * `LS_SCALE` — workload scale factor (shared with every bench).
@@ -30,6 +38,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cluster_harness::sharded::{IngestConfig, LiveIngest, PipelineFactory};
+use cluster_harness::HistoryQuery;
 use lifestream_bench::{scale, Table};
 use lifestream_core::ops::aggregate::AggKind;
 use lifestream_core::stream::Query;
@@ -64,15 +73,25 @@ struct RunResult {
     segments_written: u64,
 }
 
+/// Full-scan rate, narrow-range rate, prune speedup, and how many
+/// segment files the narrow scans skipped unopened.
+struct ScanResult {
+    full_mev_per_s: f64,
+    range_mev_per_s: f64,
+    range_prune_speedup: f64,
+    segments_skipped: u64,
+}
+
 /// Streams the feed through an ingest, optionally with a store attached,
 /// querying nothing — pure ingest-path cost. With a store, patients are
-/// history-queried (timed separately) before finishing.
+/// history-queried (timed separately) before finishing: once over the
+/// full range, once over a narrow pruned window.
 fn run_mode(
     workers: usize,
     patients: u64,
     samples: i64,
     store_dir: Option<&std::path::Path>,
-) -> (RunResult, Option<f64>) {
+) -> (RunResult, Option<ScanResult>) {
     let cfg = IngestConfig::new(workers, ROUND).batch(256).channel_cap(64);
     let ingest = match store_dir {
         Some(dir) => {
@@ -97,15 +116,49 @@ fn run_mode(
     ingest.poll();
     let elapsed = start.elapsed().as_secs_f64();
 
-    // Retrospective scan over every patient's full durable history.
-    let scan_mev = store_dir.map(|_| {
-        let t0 = Instant::now();
+    // Retrospective scan over every patient's full durable history,
+    // then over a narrow range the segment index can prune around.
+    let scan = store_dir.map(|_| {
+        let full_start = Instant::now();
         for p in 0..patients {
-            let out = ingest.query_history(p).expect("history query");
+            let out = ingest.history_one(p).expect("history query");
             assert!(!out.is_empty(), "empty retrospective run");
         }
+        let full_elapsed = full_start.elapsed().as_secs_f64();
         let scanned = patients as f64 * samples as f64;
-        scanned / t0.elapsed().as_secs_f64() / 1e6
+
+        // Narrow window: the middle 10% of the recorded span.
+        let span = samples * PERIOD;
+        let (t0, t1) = (span * 45 / 100, span * 55 / 100);
+        let skipped_before = ingest
+            .store()
+            .map(|s| s.stats().segments_skipped)
+            .unwrap_or(0);
+        let range_start = Instant::now();
+        for p in 0..patients {
+            let out = ingest
+                .history(HistoryQuery::new().patient(p).range(t0, t1))
+                .expect("range query")
+                .into_single()
+                .expect("single patient");
+            assert!(!out.is_empty(), "empty range run");
+        }
+        let range_elapsed = range_start.elapsed().as_secs_f64();
+        let segments_skipped = ingest
+            .store()
+            .map(|s| s.stats().segments_skipped)
+            .unwrap_or(0)
+            - skipped_before;
+        assert!(
+            segments_skipped > 0,
+            "narrow range pruned no segments — the range index is dead"
+        );
+        ScanResult {
+            full_mev_per_s: scanned / full_elapsed / 1e6,
+            range_mev_per_s: (patients as f64 * ((t1 - t0) / PERIOD) as f64) / range_elapsed / 1e6,
+            range_prune_speedup: full_elapsed / range_elapsed.max(1e-12),
+            segments_skipped,
+        }
     });
 
     let mut checksum = 0u64;
@@ -130,7 +183,7 @@ fn run_mode(
             spilled_samples,
             segments_written,
         },
-        scan_mev,
+        scan,
     )
 }
 
@@ -151,8 +204,8 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create store dir");
 
     let (plain, _) = run_mode(workers, patients, samples, None);
-    let (spill, scan_mev) = run_mode(workers, patients, samples, Some(&dir));
-    let scan_mev = scan_mev.expect("store run scans");
+    let (spill, scan) = run_mode(workers, patients, samples, Some(&dir));
+    let scan = scan.expect("store run scans");
     assert_eq!(
         plain.checksum, spill.checksum,
         "the store leaked into live output"
@@ -177,7 +230,14 @@ fn main() {
     ]);
     println!("{}", table.render());
     println!("spill vs no-store ingest ratio: {ratio:.3}");
-    println!("retrospective scan rate: {scan_mev:.3} Mev/s\n");
+    println!(
+        "retrospective scan rate: {:.3} Mev/s (full), {:.3} Mev/s (10% range)",
+        scan.full_mev_per_s, scan.range_mev_per_s
+    );
+    println!(
+        "range prune speedup: {:.3}x ({} segments skipped unopened)\n",
+        scan.range_prune_speedup, scan.segments_skipped
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -193,7 +253,22 @@ fn main() {
     let _ = writeln!(json, "  \"spill_vs_no_store_ratio\": {ratio:.3},");
     let _ = writeln!(json, "  \"no_store_mev_per_s\": {:.4},", plain.mev_per_s);
     let _ = writeln!(json, "  \"spill_mev_per_s\": {:.4},", spill.mev_per_s);
-    let _ = writeln!(json, "  \"retro_scan_mev_per_s\": {scan_mev:.4},");
+    let _ = writeln!(
+        json,
+        "  \"retro_scan_mev_per_s\": {:.4},",
+        scan.full_mev_per_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"range_scan_mev_per_s\": {:.4},",
+        scan.range_mev_per_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"range_prune_speedup\": {:.3},",
+        scan.range_prune_speedup
+    );
+    let _ = writeln!(json, "  \"segments_skipped\": {},", scan.segments_skipped);
     let _ = writeln!(json, "  \"spilled_samples\": {},", spill.spilled_samples);
     let _ = writeln!(json, "  \"segments_written\": {}", spill.segments_written);
     let _ = writeln!(json, "}}");

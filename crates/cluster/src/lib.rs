@@ -53,11 +53,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod history;
 pub mod machines;
 pub mod multicore;
 pub mod net;
 pub mod sharded;
 
+pub use history::{CohortReport, HistoryError, HistoryQuery, HistoryQueryApi, PipelineSpec};
 pub use machines::{ClusterModel, MachineRun, MachineState, PlacementTable};
 pub use multicore::{run_scaling, Engine, PatientWorkload, ScalePoint};
 pub use net::{

@@ -12,6 +12,7 @@ use std::time::Duration;
 use lifestream_core::exec::OutputCollector;
 use lifestream_core::time::Tick;
 
+use crate::history::{CohortReport, HistoryError, HistoryQuery, HistoryQueryApi, PipelineSpec};
 use crate::sharded::{Ingest, IngestStats, PatientHandoff, PatientId, Sample, SessionMeta};
 
 use super::wire::{self, WireCmd, WireReply};
@@ -387,22 +388,52 @@ impl RemoteIngest {
         }
     }
 
-    /// Re-runs a patient's pipeline over its full durable history on the
-    /// server (segments + write buffer + live suffix) and returns the
-    /// collected output. The live session keeps ingesting; the query
-    /// runs over a stitched copy. Synchronous: drains the in-flight
-    /// window first, so every pushed sample is reflected.
+    /// Low-level single-patient retrospective roundtrip: re-runs the
+    /// server-side pipeline named by registry id `pipeline` (`0` = the
+    /// live pipeline) over `patient`'s durable history clipped to
+    /// `[t0, t1)` (use `(i64::MIN, i64::MAX)` for everything) and
+    /// returns the collected output. The live session keeps ingesting;
+    /// the query runs over a stitched copy. Synchronous: drains the
+    /// in-flight window first, so every pushed sample is reflected.
+    /// Most callers want the typed
+    /// [`HistoryQueryApi`](crate::history::HistoryQueryApi) surface
+    /// instead.
     ///
     /// # Errors
-    /// Returns the server's error when no store is attached or the
-    /// patient has no history, or the transport error.
-    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+    /// Returns the server's error (no store, bad range, unknown
+    /// patient, unregistered pipeline) as its display message, or the
+    /// transport error.
+    pub fn history_query(
+        &self,
+        patient: PatientId,
+        t0: Tick,
+        t1: Tick,
+        warmup: Tick,
+        pipeline: u32,
+    ) -> Result<OutputCollector, String> {
         let mut c = self.conn.lock().expect("conn lock");
-        match self.roundtrip(&mut c, &WireCmd::HistoryQuery { patient })? {
+        let cmd = WireCmd::HistoryQuery {
+            patient,
+            t0,
+            t1,
+            warmup,
+            pipeline,
+        };
+        match self.roundtrip(&mut c, &cmd)? {
             WireReply::Output(out) => Ok(out),
             WireReply::Err(e) => Err(e),
             _ => Err(self.poison(&mut c, "protocol: unexpected reply to HistoryQuery")),
         }
+    }
+
+    /// Pre-query surface kept for one release: full-history, stringly
+    /// errors.
+    ///
+    /// # Errors
+    /// As [`history_query`](Self::history_query).
+    #[deprecated(note = "use HistoryQueryApi::history / history_one")]
+    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        self.history_query(patient, Tick::MIN, Tick::MAX, 0, 0)
     }
 
     /// Synchronization point: flushes staged samples and waits for every
@@ -828,6 +859,41 @@ impl Ingest for RemoteIngest {
 
     fn stats(&self) -> IngestStats {
         RemoteIngest::stats(self)
+    }
+}
+
+impl HistoryQueryApi for RemoteIngest {
+    /// Runs the query over the wire, one synchronous roundtrip per
+    /// cohort patient. Only transport-expressible pipelines work here:
+    /// [`PipelineSpec::Live`] travels as registry id `0` and
+    /// [`PipelineSpec::Registered`] as its id; a locally compiled plan
+    /// or factory cannot cross the wire — register it on the server
+    /// and query by id.
+    fn history(&self, query: HistoryQuery) -> Result<CohortReport, HistoryError> {
+        let (range, patients, warmup, spec) = query.into_parts();
+        if patients.is_empty() {
+            return Err(HistoryError::NoPatients);
+        }
+        HistoryQuery::validate_range(range.0, range.1)?;
+        let pipeline = match spec {
+            PipelineSpec::Live => 0,
+            PipelineSpec::Registered(id) => id,
+            PipelineSpec::Compiled(_) | PipelineSpec::Factory(_) => {
+                return Err(HistoryError::Remote(
+                    "a compiled pipeline cannot travel over the wire; \
+                     register it on the server and query by id"
+                        .into(),
+                ))
+            }
+        };
+        let mut outputs = Vec::with_capacity(patients.len());
+        for &p in &patients {
+            let out = self
+                .history_query(p, range.0, range.1, warmup, pipeline)
+                .map_err(HistoryError::Remote)?;
+            outputs.push((p, out));
+        }
+        Ok(CohortReport::new(range, outputs))
     }
 }
 

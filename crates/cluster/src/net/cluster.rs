@@ -14,6 +14,7 @@ use lifestream_core::live::{SessionSnapshot, SourceSuffix};
 use lifestream_core::time::Tick;
 use lifestream_store::HistoryReader;
 
+use crate::history::{CohortReport, HistoryError, HistoryQuery, HistoryQueryApi, PipelineSpec};
 use crate::machines::{MachineState, PlacementTable};
 use crate::sharded::{Ingest, IngestStats, PatientHandoff, PatientId, SessionMeta, SourceMeta};
 
@@ -360,7 +361,7 @@ impl PatientState {
 /// **segment rebuild** over the replay tail alone: each re-admitted
 /// source suffix is stitched from the durable segments the dead machine
 /// spilled, overlaid with the client tail — a truncated tail is healed
-/// from disk — and [`query_history`](Self::query_history) re-runs any
+/// from disk — and [`history_query`](Self::history_query) re-runs any
 /// patient's pipeline over its full durable history on whichever machine
 /// currently owns it.
 pub struct ClusterIngest {
@@ -398,7 +399,7 @@ impl ClusterIngest {
     /// Like [`connect`](Self::connect), for a fleet whose machines all
     /// spill to the tiered store at `store_dir` (shared storage). The
     /// path enables segment-preferred failover rebuilds; retrospective
-    /// queries ([`query_history`](Self::query_history)) work either way,
+    /// queries ([`history_query`](Self::history_query)) work either way,
     /// since they run server-side.
     ///
     /// # Errors
@@ -721,21 +722,33 @@ impl ClusterIngest {
         Ok(out)
     }
 
-    /// Re-runs a patient's pipeline over its full durable history
-    /// (segments + write buffer + live suffix) on the machine currently
-    /// owning it, and returns the collected output; live ingest on that
-    /// patient continues. If the owner is dead, fails over first — the
-    /// store directory is shared, so the survivor sees the same segments
-    /// — and retries on the new owner.
+    /// Re-runs a pipeline over a patient's durable history (segments +
+    /// write buffer + live suffix), clipped to `[t0, t1)`, on the
+    /// machine currently owning the patient; live ingest on that
+    /// patient continues. `pipeline` names a server-side registry id
+    /// (`0` = the live pipeline). If the owner is dead — including dying
+    /// *mid-query* — it fails over first (the store directory is shared,
+    /// so the survivor sees the same segments) and retries on the new
+    /// owner. Most callers want the typed
+    /// [`HistoryQueryApi`](crate::history::HistoryQueryApi) surface
+    /// instead.
     ///
     /// # Errors
-    /// Returns the owning server's error (no store attached, unknown
-    /// patient) or the transport error when no survivor remains.
-    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+    /// Returns the owning server's error (no store attached, bad range,
+    /// unknown patient, unregistered pipeline) or the transport error
+    /// when no survivor remains.
+    pub fn history_query(
+        &self,
+        patient: PatientId,
+        t0: Tick,
+        t1: Tick,
+        warmup: Tick,
+        pipeline: u32,
+    ) -> Result<OutputCollector, String> {
         let machine = {
             let table = self.table.read().expect("table lock");
             let m = table.place(patient);
-            match self.endpoints[m].query_history(patient) {
+            match self.endpoints[m].history_query(patient, t0, t1, warmup, pipeline) {
                 Ok(out) => return Ok(out),
                 Err(e) => {
                     if !self.endpoints[m].is_dead() {
@@ -752,7 +765,17 @@ impl ClusterIngest {
                 "patient {patient}: no live machine left to answer the history query"
             ));
         }
-        self.endpoints[survivor].query_history(patient)
+        self.endpoints[survivor].history_query(patient, t0, t1, warmup, pipeline)
+    }
+
+    /// Pre-query surface kept for one release: full-history, stringly
+    /// errors.
+    ///
+    /// # Errors
+    /// As [`history_query`](Self::history_query).
+    #[deprecated(note = "use HistoryQueryApi::history / history_one")]
+    pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
+        self.history_query(patient, Tick::MIN, Tick::MAX, 0, 0)
     }
 
     /// Closes every endpoint connection. Equivalent to dropping.
@@ -870,6 +893,42 @@ impl ClusterIngest {
                 table.set_state(m, MachineState::Degraded);
             }
         }
+    }
+}
+
+impl HistoryQueryApi for ClusterIngest {
+    /// Routes each cohort patient's query to the machine owning it,
+    /// with the same failover-and-retry the rest of the router applies:
+    /// an owner dying mid-query downs the machine, re-homes its
+    /// patients, and re-asks the survivor. Per-patient results come
+    /// back in the order the cohort named them. Transport limits match
+    /// [`RemoteIngest`]: only [`PipelineSpec::Live`] (id `0`) and
+    /// [`PipelineSpec::Registered`] pipelines can cross the wire.
+    fn history(&self, query: HistoryQuery) -> Result<CohortReport, HistoryError> {
+        let (range, patients, warmup, spec) = query.into_parts();
+        if patients.is_empty() {
+            return Err(HistoryError::NoPatients);
+        }
+        HistoryQuery::validate_range(range.0, range.1)?;
+        let pipeline = match spec {
+            PipelineSpec::Live => 0,
+            PipelineSpec::Registered(id) => id,
+            PipelineSpec::Compiled(_) | PipelineSpec::Factory(_) => {
+                return Err(HistoryError::Remote(
+                    "a compiled pipeline cannot travel over the wire; \
+                     register it on the servers and query by id"
+                        .into(),
+                ))
+            }
+        };
+        let mut outputs = Vec::with_capacity(patients.len());
+        for &p in &patients {
+            let out = self
+                .history_query(p, range.0, range.1, warmup, pipeline)
+                .map_err(HistoryError::Remote)?;
+            outputs.push((p, out));
+        }
+        Ok(CohortReport::new(range, outputs))
     }
 }
 

@@ -91,10 +91,19 @@
 //!   *segment rebuild* over tail replay: the dead machine's durable
 //!   history is merged under the client margin tail (the tail wins on
 //!   overlap), so the survivor's warm-up suffix is complete even where
-//!   the tail was truncated, and `query_history` on the survivor still
+//!   the tail was truncated, and a history query on the survivor still
 //!   reconstructs the patient's entire feed. The "output rounds below
 //!   the failover frontier" caveat disappears: they are recomputable on
 //!   demand.
+//!
+//! Retrospective access to the durable tier goes through one typed
+//! surface: [`HistoryQueryApi`](crate::history::HistoryQueryApi),
+//! implemented by all three front ends. A
+//! [`HistoryQuery`](crate::history::HistoryQuery) names a time range, a
+//! patient cohort, and a pipeline; range-bounded queries prune whole
+//! segment files by the tick-range index in their names, and the wire
+//! front ends ship the range plus a server-side pipeline-registry id in
+//! the `HistoryQuery` command below.
 //!
 //! The residual loss window on a hard kill is exactly the store's
 //! unflushed write buffer (`StoreConfig::flush_batch` samples per
@@ -119,10 +128,12 @@
 //! * `Ack` (0x83) now echoes `seq` and carries *cumulative* applied /
 //!   dropped counters, so a client can reconcile counts across lost
 //!   acks;
-//! * new command `HistoryQuery{patient}` (opcode 0x08) runs a
-//!   retrospective query over the server's tiered store and answers
-//!   with an `Output` reply — additive, so store-less servers simply
-//!   reject it;
+//! * new command `HistoryQuery{patient, t0, t1, warmup, pipeline}`
+//!   (opcode 0x08) runs a retrospective query over the server's tiered
+//!   store — clipped to `[t0, t1)` with `(i64::MIN, i64::MAX)` as the
+//!   full-range sentinel, through the registry pipeline named by
+//!   `pipeline` (`0` = the live pipeline) — and answers with an
+//!   `Output` reply; additive, so store-less servers simply reject it;
 //! * version byte bumped to `0x02`; v1 frames are refused with a
 //!   version error.
 

@@ -154,6 +154,17 @@ impl ShardServer {
         self.ingest.stats()
     }
 
+    /// Registers a retrospective pipeline under `id` on the hosted
+    /// ingest, so wire clients can run it by naming the id in a
+    /// [`HistoryQuery`](WireCmd::HistoryQuery) (`0` always means the
+    /// live pipeline).
+    ///
+    /// # Errors
+    /// Rejects the reserved id `0`.
+    pub fn register_pipeline(&self, id: u32, factory: PipelineFactory) -> Result<(), String> {
+        self.ingest.register_pipeline(id, factory)
+    }
+
     /// Stops accepting, joins every connection handler, and shuts the
     /// hosted ingest down. Call after clients have disconnected — a
     /// still-connected client keeps its handler (and this call) alive
@@ -402,7 +413,13 @@ fn apply(st: &mut SessionState, seq: u64, cmd: WireCmd, ingest: &LiveIngest) -> 
                         Err(e) => WireReply::Err(e),
                     }
                 }
-                WireCmd::HistoryQuery { patient } => match ingest.query_history(patient) {
+                WireCmd::HistoryQuery {
+                    patient,
+                    t0,
+                    t1,
+                    warmup,
+                    pipeline,
+                } => match ingest.history_remote(patient, t0, t1, warmup, pipeline) {
                     Ok(out) => WireReply::Output(out),
                     Err(e) => WireReply::Err(e),
                 },

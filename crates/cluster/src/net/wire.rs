@@ -30,6 +30,9 @@
 //!               epoch:u64                         cum_dropped:u64
 //!               last_acked_seq:u64  0x87 Admitted meta
 //!   0x08 HistoryQuery patient:u64
+//!                t0:i64 t1:i64
+//!                warmup:i64
+//!                pipeline:u32
 //!
 //! sample    := patient:u64 source:u32 t:i64 v:f32          (24 bytes)
 //! vec       := count:u32 item*
@@ -143,14 +146,25 @@ pub enum WireCmd {
         /// Highest command seq the client knows was applied.
         last_acked_seq: u64,
     },
-    /// Retrospective query: re-run the patient's pipeline over its full
-    /// durable history (segments + write buffer + live suffix) and
-    /// return the collected output. Requires a server-side tiered store;
-    /// the live session, if any, keeps ingesting — the query runs on a
-    /// stitched copy. Answered by [`Output`](WireReply::Output).
+    /// Retrospective query: re-run a pipeline over the patient's durable
+    /// history (segments + write buffer + live suffix), clipped to
+    /// `[t0, t1)`, and return the collected output. Requires a
+    /// server-side tiered store; the live session, if any, keeps
+    /// ingesting — the query runs on a stitched copy. Range-bounded
+    /// queries only read segment files overlapping the window, and the
+    /// full-range sentinel `(i64::MIN, i64::MAX)` means "everything".
+    /// Answered by [`Output`](WireReply::Output).
     HistoryQuery {
         /// Patient whose history to re-run.
         patient: PatientId,
+        /// Inclusive start of the query range (`i64::MIN` = open).
+        t0: i64,
+        /// Exclusive end of the query range (`i64::MAX` = open).
+        t1: i64,
+        /// Extra pre-roll ticks for stateful user transforms.
+        warmup: i64,
+        /// Server-side pipeline registry id (`0` = the live pipeline).
+        pipeline: u32,
     },
 }
 
@@ -409,10 +423,20 @@ pub fn encode_cmd(seq: u64, cmd: &WireCmd) -> Vec<u8> {
             put_u64(&mut buf, *epoch);
             put_u64(&mut buf, *last_acked_seq);
         }
-        WireCmd::HistoryQuery { patient } => {
+        WireCmd::HistoryQuery {
+            patient,
+            t0,
+            t1,
+            warmup,
+            pipeline,
+        } => {
             buf.push(0x08);
             put_u64(&mut buf, seq);
             put_u64(&mut buf, *patient);
+            put_i64(&mut buf, *t0);
+            put_i64(&mut buf, *t1);
+            put_i64(&mut buf, *warmup);
+            put_u32(&mut buf, *pipeline);
         }
     }
     buf
@@ -698,6 +722,10 @@ pub fn decode_cmd(payload: &[u8]) -> Result<(u64, WireCmd), WireError> {
         },
         0x08 => WireCmd::HistoryQuery {
             patient: cur.u64()?,
+            t0: cur.i64()?,
+            t1: cur.i64()?,
+            warmup: cur.i64()?,
+            pipeline: cur.u32()?,
         },
         op => return Err(WireError::Opcode(op)),
     };

@@ -62,8 +62,15 @@ use std::thread::JoinHandle;
 
 use lifestream_core::exec::{ExecOptions, OutputCollector};
 use lifestream_core::live::{LiveSession, SessionSnapshot};
+use lifestream_core::query::CompiledQuery;
+use lifestream_core::source::SignalData;
 use lifestream_core::time::{StreamShape, Tick};
-use lifestream_store::{HistoryReader, SharedStore, StoreConfig};
+use lifestream_store::query::run_patient_on;
+use lifestream_store::{
+    CohortReport, HistoryError, HistoryQuery, LiveOverlay, PipelineSpec, SharedStore, StoreConfig,
+};
+
+use crate::history::HistoryQueryApi;
 
 use super::pool::PipelineFactory;
 use super::PatientId;
@@ -276,9 +283,13 @@ pub struct LiveIngest {
     batch: usize,
     counters: Arc<Counters>,
     /// A second factory clone for retrospective re-runs
-    /// ([`query_history`](Self::query_history) compiles a fresh pipeline
-    /// on the caller's thread, off the shard loops).
+    /// ([`history`](Self::history) compiles a fresh pipeline on the
+    /// caller's thread, off the shard loops).
     factory: PipelineFactory,
+    /// Extra retrospective pipelines, addressable by id so wire front
+    /// ends can name them without shipping a plan. Id `0` is reserved
+    /// for the ingest's own live pipeline.
+    registry: Mutex<HashMap<u32, PipelineFactory>>,
     round_ticks: Tick,
     /// The tiered history store, when attached: every session's retired
     /// spans spill here, and retrospective queries stitch from here.
@@ -301,9 +312,10 @@ impl LiveIngest {
 
     /// Spawns the ingest shards with a tiered history store attached:
     /// every admitted (or imported) session spills its retired spans into
-    /// segments under `store_cfg.dir`, and
-    /// [`query_history`](Self::query_history) can re-run the pipeline over
-    /// any patient's full history while its live stream continues.
+    /// segments under `store_cfg.dir`, and [`history`](Self::history) /
+    /// [`history_one`](Self::history_one) can re-run a pipeline over any
+    /// patient's history — full or range-bounded — while its live
+    /// stream continues.
     ///
     /// # Errors
     /// Fails when the store directory cannot be created.
@@ -353,9 +365,27 @@ impl LiveIngest {
             batch: cfg.batch.max(1),
             counters,
             factory,
+            registry: Mutex::new(HashMap::new()),
             round_ticks: cfg.round_ticks,
             store,
         }
+    }
+
+    /// Registers a retrospective pipeline under `id`, so wire clients
+    /// can run it with [`HistoryQuery::pipeline_id`]. Id `0` always
+    /// means the ingest's own live pipeline and cannot be re-bound.
+    ///
+    /// # Errors
+    /// Rejects the reserved id `0`.
+    pub fn register_pipeline(&self, id: u32, factory: PipelineFactory) -> Result<(), String> {
+        if id == 0 {
+            return Err("pipeline id 0 is reserved for the live pipeline".to_string());
+        }
+        self.registry
+            .lock()
+            .expect("pipeline registry lock")
+            .insert(id, factory);
+        Ok(())
     }
 
     /// The attached history store, if any.
@@ -526,53 +556,229 @@ impl LiveIngest {
         ack.recv().map_err(|_| "ingest shard gone".to_string())?
     }
 
-    /// Answers a retrospective query over `patient`'s *full* history —
-    /// durable segments, the store's write buffer, and the live session's
-    /// in-memory suffix stitched into one dataset, then re-run through a
-    /// freshly compiled pipeline. The live session is only paused long
-    /// enough to snapshot its suffix (an `Arc`-clone-sized copy); ingest
-    /// on the same patient continues while the query executes here on the
-    /// caller's thread. Output is byte-identical to the cold batch run
-    /// over everything ever pushed — including data older than the
-    /// compaction horizon, which only the store still has.
+    /// Answers a retrospective [`HistoryQuery`] — durable segments, the
+    /// store's write buffer, and each named patient's live in-memory
+    /// suffix stitched into one dataset, then re-run through a freshly
+    /// compiled pipeline and clipped to the query's range. Each live
+    /// session is only paused long enough to snapshot its suffix (an
+    /// `Arc`-clone-sized copy); ingest on the same patients continues
+    /// while the query executes on the caller's thread. A full-range
+    /// query's output is byte-identical to the cold batch run over
+    /// everything ever pushed; a range-bounded query's output is
+    /// byte-identical to that run clipped to `[t0, t1)`, and only reads
+    /// the segment files whose tick ranges overlap the query.
+    ///
+    /// Cohort queries naming several patients fan out across up to
+    /// [`workers`](Self::workers) threads when the pipeline is given as
+    /// a factory (each lane compiles its own executor); a
+    /// [`PipelineSpec::Compiled`] plan is not cloneable and runs the
+    /// cohort sequentially on one executor.
     ///
     /// A patient that has already `finish`ed (or lives on another
     /// machine) is served from segments alone.
     ///
     /// # Errors
-    /// Fails when no store is attached, when the patient is unknown to
-    /// both the sessions and the store, or when the store/pipeline fails.
+    /// [`HistoryError::NoStore`] without a store,
+    /// [`HistoryError::InvalidRange`] / [`BelowRetention`](HistoryError::BelowRetention)
+    /// for bad ranges, [`HistoryError::UnknownPatient`] when a patient is
+    /// unknown to both the sessions and the store, and pipeline/store
+    /// failures otherwise.
+    pub fn history(&self, query: HistoryQuery) -> Result<CohortReport, HistoryError> {
+        let store = self.store.clone().ok_or(HistoryError::NoStore)?;
+        let (range, patients, warmup, spec) = query.into_parts();
+        if patients.is_empty() {
+            return Err(HistoryError::NoPatients);
+        }
+        HistoryQuery::validate_against(&store, range.0, range.1)?;
+        // Snapshot every live suffix up front: each session pauses only
+        // for the Arc-clone-sized export, then its ingest continues
+        // while the executors below run.
+        let overlays: Vec<Option<LiveOverlay>> =
+            patients.iter().map(|&p| self.live_overlay(p)).collect();
+        let factory = match spec {
+            PipelineSpec::Live => PipelineFactory::clone(&self.factory),
+            PipelineSpec::Registered(0) => PipelineFactory::clone(&self.factory),
+            PipelineSpec::Registered(id) => self
+                .registry
+                .lock()
+                .expect("pipeline registry lock")
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| {
+                    HistoryError::Pipeline(format!("no pipeline registered under id {id}"))
+                })?,
+            PipelineSpec::Factory(f) => f,
+            PipelineSpec::Compiled(compiled) => {
+                // A pre-compiled plan cannot be re-compiled per lane:
+                // run the cohort sequentially on its one executor.
+                return self
+                    .run_cohort_sequential(&store, compiled, range, &patients, warmup, &overlays);
+            }
+        };
+        let lanes = patients.len().min(self.workers()).max(1);
+        let round_ticks = self.round_ticks;
+        let mut outputs: Vec<Option<OutputCollector>> = vec![None; patients.len()];
+        let mut first_err: Option<HistoryError> = None;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(lanes);
+            for lane in 0..lanes {
+                let factory = PipelineFactory::clone(&factory);
+                let patients = &patients;
+                let overlays = &overlays;
+                let store = &store;
+                handles.push(s.spawn(move || {
+                    let compiled = catch_user(|| factory())
+                        .map_err(|f| HistoryError::Pipeline(f.into_message()))?;
+                    let shapes = compiled.source_shapes();
+                    let mut exec = Self::empty_executor(compiled, &shapes, round_ticks)?;
+                    let mut done = Vec::new();
+                    for i in (lane..patients.len()).step_by(lanes) {
+                        let out = run_patient_on(
+                            &mut exec,
+                            store,
+                            patients[i],
+                            &shapes,
+                            range,
+                            warmup,
+                            overlays[i].as_ref(),
+                        )?;
+                        done.push((i, out));
+                    }
+                    Ok::<_, HistoryError>(done)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(done)) => {
+                        for (i, out) in done {
+                            outputs[i] = Some(out);
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(payload) => {
+                        first_err.get_or_insert(HistoryError::Execution(super::panic_msg(
+                            payload.as_ref(),
+                        )));
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let outputs = patients
+            .into_iter()
+            .zip(outputs)
+            .map(|(p, out)| (p, out.expect("every cohort lane reported")))
+            .collect();
+        Ok(CohortReport::new(range, outputs))
+    }
+
+    /// Single-patient, full-range convenience over [`history`](Self::history).
+    ///
+    /// # Errors
+    /// As [`history`](Self::history).
+    pub fn history_one(&self, patient: PatientId) -> Result<OutputCollector, HistoryError> {
+        self.history(HistoryQuery::new().patient(patient))?
+            .into_single()
+    }
+
+    /// Pre-query surface kept for one release: full-history, stringly
+    /// errors.
+    ///
+    /// # Errors
+    /// The [`HistoryError`] rendered to its display message.
+    #[deprecated(note = "use HistoryQueryApi::history / history_one")]
     pub fn query_history(&self, patient: PatientId) -> Result<OutputCollector, String> {
-        let store = self
-            .store
-            .as_ref()
-            .ok_or_else(|| "no history store attached to this ingest".to_string())?;
+        self.history_one(patient).map_err(|e| e.to_string())
+    }
+
+    /// Serves a wire-side [`HistoryQuery`] (see
+    /// [`WireCmd::HistoryQuery`](crate::net::WireCmd::HistoryQuery)):
+    /// one patient, range-bounded, pipeline named by registry id.
+    ///
+    /// # Errors
+    /// As [`history`](Self::history), rendered to the display message
+    /// the wire reply carries.
+    pub fn history_remote(
+        &self,
+        patient: PatientId,
+        t0: Tick,
+        t1: Tick,
+        warmup: Tick,
+        pipeline: u32,
+    ) -> Result<OutputCollector, String> {
+        self.history(
+            HistoryQuery::new()
+                .patient(patient)
+                .range(t0, t1)
+                .warmup(warmup)
+                .pipeline_id(pipeline),
+        )
+        .and_then(CohortReport::into_single)
+        .map_err(|e| e.to_string())
+    }
+
+    /// Pauses `patient`'s session just long enough to snapshot its
+    /// in-memory suffix. `None` when the patient is not live on this
+    /// ingest (finished, on another machine, or poisoned) — the query
+    /// then runs from durable segments alone.
+    fn live_overlay(&self, patient: PatientId) -> Option<LiveOverlay> {
         let shard = self.shard_of(patient);
         self.flush_shard(shard);
         let (reply, ack) = channel();
         let _ = self.txs[shard].send(Cmd::Snapshot { patient, reply });
-        let live = ack.recv().map_err(|_| "ingest shard gone".to_string())?;
-        let records = store
-            .records_for(patient)
-            .map_err(|e| format!("history store read failed: {e}"))?;
-        let reader = HistoryReader::from_records(records);
-        let (snapshot, shapes) = match live {
-            Ok((snap, shapes)) => (Some(snap), shapes),
-            // Not live here: segments alone can still answer, if any.
-            Err(e) => match reader.shapes_for(patient) {
-                Some(shapes) => (None, shapes),
-                None => return Err(e),
-            },
-        };
-        let datasets = reader.stitch(patient, &shapes, snapshot.as_ref())?;
-        let compiled = catch_user(|| (self.factory)()).map_err(UserFailure::into_message)?;
-        let mut exec = compiled
-            .executor_with(
-                datasets,
-                ExecOptions::default().with_round_ticks(self.round_ticks),
-            )
-            .map_err(|e| e.to_string())?;
-        catch_user(|| exec.run_collect()).map_err(UserFailure::into_message)
+        match ack.recv() {
+            Ok(Ok((snapshot, shapes))) => Some(LiveOverlay { snapshot, shapes }),
+            _ => None,
+        }
+    }
+
+    /// Builds a reusable executor over empty, correctly-shaped sources;
+    /// [`run_patient_on`] recycles it with each patient's stitched data.
+    fn empty_executor(
+        compiled: CompiledQuery,
+        shapes: &[StreamShape],
+        round_ticks: Tick,
+    ) -> Result<lifestream_core::exec::Executor, HistoryError> {
+        let empty: Vec<SignalData> = shapes
+            .iter()
+            .map(|&s| SignalData::dense(s, Vec::new()))
+            .collect();
+        compiled
+            .executor_with(empty, ExecOptions::default().with_round_ticks(round_ticks))
+            .map_err(|e| HistoryError::Pipeline(e.to_string()))
+    }
+
+    /// Cohort loop for a [`PipelineSpec::Compiled`] plan: one executor,
+    /// patients in order.
+    fn run_cohort_sequential(
+        &self,
+        store: &SharedStore,
+        compiled: CompiledQuery,
+        range: (Tick, Tick),
+        patients: &[PatientId],
+        warmup: Tick,
+        overlays: &[Option<LiveOverlay>],
+    ) -> Result<CohortReport, HistoryError> {
+        let shapes = compiled.source_shapes();
+        let mut exec = Self::empty_executor(compiled, &shapes, self.round_ticks)?;
+        let mut outputs = Vec::with_capacity(patients.len());
+        for (i, &p) in patients.iter().enumerate() {
+            let out = run_patient_on(
+                &mut exec,
+                store,
+                p,
+                &shapes,
+                range,
+                warmup,
+                overlays[i].as_ref(),
+            )?;
+            outputs.push((p, out));
+        }
+        Ok(CohortReport::new(range, outputs))
     }
 
     /// Closes every session and joins the shard threads. Equivalent to
@@ -637,6 +843,12 @@ impl Ingest for LiveIngest {
 
     fn stats(&self) -> IngestStats {
         LiveIngest::stats(self)
+    }
+}
+
+impl HistoryQueryApi for LiveIngest {
+    fn history(&self, query: HistoryQuery) -> Result<CohortReport, HistoryError> {
+        LiveIngest::history(self, query)
     }
 }
 

@@ -87,7 +87,13 @@ proptest! {
             "poll" => WireCmd::Poll,
             "finish" => WireCmd::Finish { patient },
             "export" => WireCmd::Export { patient },
-            "history" => WireCmd::HistoryQuery { patient },
+            "history" => WireCmd::HistoryQuery {
+                patient,
+                t0: (seq as i64).rotate_left(13),
+                t1: (patient as i64).rotate_left(29),
+                warmup: (seq % 7) as i64 * 100,
+                pipeline: (patient % 5) as u32,
+            },
             _ => WireCmd::Hello {
                 session: patient.rotate_left(17),
                 epoch: seq % 1000,
@@ -242,10 +248,46 @@ fn golden_poll_finish_export_v2() {
 
 #[test]
 fn golden_history_query_v2() {
-    assert_eq!(
-        encode_cmd(5, &WireCmd::HistoryQuery { patient: 7 }),
-        [0x02, 0x08, 0x05, 0, 0, 0, 0, 0, 0, 0, 0x07, 0, 0, 0, 0, 0, 0, 0]
+    // Range [100, 300), warmup 40, registry pipeline 2.
+    let bytes = encode_cmd(
+        5,
+        &WireCmd::HistoryQuery {
+            patient: 7,
+            t0: 100,
+            t1: 300,
+            warmup: 40,
+            pipeline: 2,
+        },
     );
+    assert_eq!(
+        bytes,
+        [
+            0x02, 0x08, // version, opcode HistoryQuery
+            0x05, 0, 0, 0, 0, 0, 0, 0, // seq u64 LE
+            0x07, 0, 0, 0, 0, 0, 0, 0, // patient u64 LE
+            0x64, 0, 0, 0, 0, 0, 0, 0, // t0 i64 LE (100)
+            0x2C, 0x01, 0, 0, 0, 0, 0, 0, // t1 i64 LE (300)
+            0x28, 0, 0, 0, 0, 0, 0, 0, // warmup i64 LE (40)
+            0x02, 0x00, 0x00, 0x00, // pipeline u32 LE
+        ]
+    );
+    // The full-range sentinel travels as i64::MIN / i64::MAX.
+    let full = encode_cmd(
+        6,
+        &WireCmd::HistoryQuery {
+            patient: 7,
+            t0: i64::MIN,
+            t1: i64::MAX,
+            warmup: 0,
+            pipeline: 0,
+        },
+    );
+    assert_eq!(&full[18..26], &[0, 0, 0, 0, 0, 0, 0, 0x80]); // t0 = MIN
+    assert_eq!(
+        &full[26..34],
+        &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F] // t1 = MAX
+    );
+    assert_eq!(reencode_cmd(&bytes), bytes);
 }
 
 #[test]

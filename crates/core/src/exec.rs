@@ -184,6 +184,26 @@ impl OutputCollector {
         }
     }
 
+    /// A copy restricted to events whose sync time lies in `[t0, t1)`,
+    /// preserving order — the output-side counterpart of
+    /// [`SignalData::clipped`](crate::source::SignalData::clipped) for
+    /// range-bounded retrospective queries: run the pipeline over a
+    /// margin-padded input window, then clip the collected output to the
+    /// requested range.
+    pub fn clipped(&self, t0: Tick, t1: Tick) -> Self {
+        let mut out = Self::new(self.arity);
+        for (i, &t) in self.times.iter().enumerate() {
+            if t >= t0 && t < t1 {
+                out.times.push(t);
+                out.durations.push(self.durations[i]);
+                for f in 0..self.arity {
+                    out.fields[f].push(self.fields[f][i]);
+                }
+            }
+        }
+        out
+    }
+
     /// Order-sensitive checksum over times and values — used by tests to
     /// compare targeted and untargeted runs bit-for-bit.
     pub fn checksum(&self) -> u64 {
@@ -621,6 +641,68 @@ impl Executor {
                 ((-lo).max(0) + p - 1) / p * p
             })
             .collect()
+    }
+
+    /// Per-source *forward* margins — the mirror of
+    /// [`history_margins`](Self::history_margins) on the high side of the
+    /// lineage maps.
+    ///
+    /// For source `i`, the returned margin is the number of ticks *at or
+    /// above* a query range's end tick `t1` that producing every sink
+    /// event strictly below `t1` can still consult: window lookaheads
+    /// (tumbling/sliding aggregates read `[t, t+w)` to emit at `t`) and
+    /// negative shifts pull future input into past output. A
+    /// range-bounded retrospective query must therefore feed the pipeline
+    /// input up to `t1 + margin` before clipping output to `[t0, t1)`.
+    /// Margins are rounded up to whole source periods; a non-unit-scale
+    /// lineage map makes the margin effectively unbounded (read to the
+    /// end of history rather than risk truncation).
+    pub fn future_margins(&self) -> Vec<Tick> {
+        /// Sentinel "read everything" high for non-unit-scale lineage.
+        const UNBOUNDED: Tick = 1 << 40;
+        let mut node_his: Vec<Option<Tick>> = vec![None; self.graph.nodes.len()];
+        // Only sinks root this walk: shift-spill events absorbed from
+        // inputs below `t1` surface at-or-after `t1`, outside the clip
+        // window, so they cannot affect the clipped output.
+        for &s in &self.graph.sinks {
+            self.max_source_his(s, 1, &mut node_his, UNBOUNDED);
+        }
+        let mut his: Vec<Tick> = vec![1; self.sources.len()];
+        for n in &self.graph.nodes {
+            if let OpKind::Source { index } = n.kind {
+                his[index] = node_his[n.id].unwrap_or(1).max(1);
+            }
+        }
+        his.iter()
+            .zip(&self.sources)
+            .map(|(&hi, src)| {
+                let p = src.shape().period();
+                // Signed div_ceil is unstable; operands are non-negative.
+                ((hi - 1).max(0) + p - 1) / p * p
+            })
+            .collect()
+    }
+
+    /// Walks lineage edges from `id` down to the sources, recording per
+    /// node the highest input tick (exclusive, relative to a round ending
+    /// at 1) it can be asked about — the forward mirror of
+    /// [`min_source_lows`](Self::min_source_lows). For unit-scale maps
+    /// the high side of `map_interval` depends only on the interval end,
+    /// so mapping `[hi-1, hi)` composes exactly.
+    fn max_source_his(&self, id: NodeId, hi: Tick, node_his: &mut [Option<Tick>], unbounded: Tick) {
+        match node_his[id] {
+            Some(prev) if prev >= hi => return,
+            _ => node_his[id] = Some(hi),
+        }
+        let node = &self.graph.nodes[id];
+        for (&inp, lin) in node.inputs.iter().zip(&node.lineage) {
+            let ib = if lin.is_unit_scale() {
+                lin.map_interval(hi - 1, hi).1
+            } else {
+                unbounded
+            };
+            self.max_source_his(inp, ib, node_his, unbounded);
+        }
     }
 
     /// Walks lineage edges from `id` down to the sources, recording per

@@ -208,6 +208,21 @@ impl SignalData {
             presence,
         }
     }
+
+    /// Zero-copy restriction of this signal to the time range `[t0, t1)`:
+    /// the sample buffer stays Arc-shared, only the presence map is
+    /// intersected with the window. Events outside the range become
+    /// absent exactly as if they were never recorded, which is what a
+    /// range-bounded retrospective query needs. An empty or inverted
+    /// range yields an all-absent signal.
+    pub fn clipped(&self, t0: Tick, t1: Tick) -> Self {
+        let window = if t1 > t0 {
+            PresenceMap::full(t0, t1)
+        } else {
+            PresenceMap::new()
+        };
+        self.with_new_presence(self.presence.intersect(&window))
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +298,21 @@ mod tests {
         let clone = d.clone();
         assert_eq!(Arc::strong_count(&values), 3);
         assert_eq!(clone.value_at(210), Some(105.0));
+    }
+
+    #[test]
+    fn clipped_restricts_presence_without_copying() {
+        let d = SignalData::dense(StreamShape::new(0, 2), (0..100).map(|i| i as f32).collect());
+        let mid = d.clipped(20, 60);
+        assert_eq!(mid.values().len(), 100, "samples stay shared");
+        assert_eq!(mid.present_events(), 20);
+        assert_eq!(mid.value_at(18), None);
+        assert_eq!(mid.value_at(20), Some(10.0));
+        assert_eq!(mid.value_at(58), Some(29.0));
+        assert_eq!(mid.value_at(60), None);
+        // Inverted and empty ranges yield an all-absent signal.
+        assert_eq!(d.clipped(60, 20).present_events(), 0);
+        assert_eq!(d.clipped(30, 30).present_events(), 0);
     }
 
     #[test]

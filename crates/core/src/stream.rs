@@ -18,6 +18,19 @@
 //!   fluent layer adds no nodes of its own, so both surfaces compile to
 //!   identical plans.
 //!
+//! One plan, every execution mode: the [`CompiledQuery`] that
+//! [`Query::compile`] produces is the *only* logical-plan artifact in
+//! the system. The same compiled plan deploys live (a `LiveSession` or
+//! sharded ingest), runs cold over recorded
+//! [`SignalData`](crate::source::SignalData) (`executor_with`), and
+//! replays retrospectively over the tiered
+//! history store — the store crate's `HistoryQuery` hands exactly this
+//! type (or a factory producing it) to its `pipeline(...)` builder.
+//! There is no second query language for history: write the pipeline
+//! once with this fluent surface, and range-bounded replays of durable
+//! segments are byte-identical to what the live run produced over the
+//! same window.
+//!
 //! The paper's Listing 1 in fluent form:
 //!
 //! ```

@@ -85,15 +85,29 @@
 //!   the compactor retires is spilled to append-only, checksummed
 //!   segment files *before* leaving memory. Failover then rebuilds the
 //!   dead machine's patients from segments + margin tail, and any
-//!   patient's full feed stays answerable retrospectively
-//!   (`query_history`, wire opcode `HistoryQuery`) byte-identically to
-//!   the cold batch run — while live ingest continues. Retention bound
-//!   = `StoreConfig::retention` ticks of durable history (unbounded by
-//!   default); the crash-loss window = the unflushed write buffer
-//!   (`flush_batch`, zero if every spill is flushed).
+//!   patient's feed stays answerable retrospectively byte-identically
+//!   to the cold batch run — while live ingest continues. Retention
+//!   bound = `StoreConfig::retention` ticks of durable history
+//!   (unbounded by default); the crash-loss window = the unflushed
+//!   write buffer (`flush_batch`, zero if every spill is flushed).
+//!
+//! Retrospective access to the durable tier is one typed API across
+//! every front end: [`history::HistoryQueryApi`], answering a
+//! [`history::HistoryQuery`] — a `[t0, t1)` time range, a patient
+//! cohort, a pipeline — with per-patient outputs in a
+//! [`history::CohortReport`]. Range-bounded queries *prune*: segment
+//! file names carry a tick-range index, so files entirely outside the
+//! (margin-padded) window are never opened, and the answer is
+//! byte-identical to the full-history run clipped to the range. Over
+//! the wire the query travels as opcode `HistoryQuery{patient, t0, t1,
+//! warmup, pipeline}`, naming a server-registered pipeline by id
+//! (`0` = the live pipeline); errors are typed
+//! ([`history::HistoryError`]) with locked messages for the named
+//! range errors.
 //!
 //! The `history_throughput` bench bin prices the spill path against
-//! store-less ingest; `crates/cluster/tests/history_equiv.rs` pins the
+//! store-less ingest (and the pruned narrow-range scan against the
+//! full scan); `crates/cluster/tests/history_equiv.rs` pins the
 //! kill-and-rebuild guarantee.
 
 #![warn(missing_docs)]
@@ -107,6 +121,7 @@ use crossbeam::channel;
 use lifestream_core::source::SignalData;
 use lifestream_core::time::Tick;
 
+pub use cluster_harness::history;
 pub use cluster_harness::net;
 pub use cluster_harness::sharded;
 

@@ -38,12 +38,50 @@
 //!    ([`segment`] documents the golden-locked format). Readers validate
 //!    checksums and never observe torn writes (tmp + rename).
 //!
+//! # The retrospective query surface
+//!
 //! [`HistoryReader`] runs the tiers in reverse: it stitches every durable
 //! span (plus, optionally, a live [`SessionSnapshot`]
 //! (lifestream_core::live::SessionSnapshot) exported from the running
 //! session) back into dense [`SignalData`] — byte-identical input to what
 //! a cold batch run over the original feed would have seen, so any
 //! existing executor can answer a retrospective query mid-ingest.
+//!
+//! [`HistoryQuery`] is the one query description on top of that
+//! machinery, shared by every front end (in-process, wire, cluster):
+//!
+//! ```text
+//! HistoryQuery::new()
+//!     .range(t0, t1)          // run over [t0, t1) instead of the full feed
+//!     .patients([7, 9, 11])   // a cohort, each patient's history its own run
+//!     .pipeline(compiled)     // any fluent-API pipeline, not just the live one
+//! ```
+//!
+//! The same fluent [`Query`](lifestream_core::stream::Query) builder that
+//! describes a live pipeline is the *only* logical-plan layer here too:
+//! compile once, hand the [`CompiledQuery`](lifestream_core::query::CompiledQuery)
+//! to [`HistoryQuery::pipeline`], and execution reconstructs inputs,
+//! replays, and clips — there is no second retrospective dialect.
+//!
+//! Range-bounded runs are where the segment tier earns its layout:
+//!
+//! * **File-name range index.** Every flushed segment advertises its tick
+//!   coverage in its name (`seg-<writer>-<seq>-<min>-<max>.lss`). A
+//!   range-bounded query skips non-overlapping files *without opening
+//!   them* ([`StoreStats::segments_skipped`] counts the wins), and clips
+//!   partially-overlapping ones after the read. Files written before the
+//!   index existed simply fall back to being read.
+//! * **Lineage-exact margins.** Operators look back (and, for forward
+//!   windows, ahead) of the requested range; execution widens the read
+//!   window by each source's
+//!   [`history_margins`](lifestream_core::exec::Executor::history_margins)
+//!   / [`future_margins`](lifestream_core::exec::Executor::future_margins)
+//!   so the clipped output is byte-identical to the full-history run —
+//!   pruning is an optimization, never a semantics change.
+//! * **Compaction.** [`SegmentStore::compact`] merges many small
+//!   segments into one, shrinking the file population that pruning and
+//!   stitching walk. Reads before and after compaction are
+//!   byte-identical (spans are immutable; overlaps are idempotent).
 //!
 //! # Durability and retention bounds
 //!
@@ -56,17 +94,24 @@
 //!   every span ends more than `retention` ticks below the newest spilled
 //!   tick are deleted whole. Retention is a *coverage* promise — queries
 //!   reach back exactly `retention` ticks from the spill frontier, older
-//!   history is gone by design. `None` keeps everything.
+//!   history is gone by design (a range wholly below the earliest
+//!   retained tick is a typed [`HistoryError::BelowRetention`], not an
+//!   empty result). `None` keeps everything.
 //! * Multiple writers (e.g. two shard servers after a failover) may share
 //!   one directory: file names embed a per-writer nonce, and overlapping
 //!   spans re-spilled across a handoff carry identical samples, so
-//!   stitching is idempotent.
+//!   stitching is idempotent — this is also what makes compaction safe to
+//!   interrupt at any point.
 
 #![warn(missing_docs)]
 
+pub mod query;
 pub mod reader;
 pub mod segment;
 
+pub use query::{
+    CohortReport, HistoryError, HistoryQuery, LiveOverlay, PipelineSpec, QueryFactory,
+};
 pub use reader::{DenseHistory, HistoryReader};
 pub use segment::{SegmentRecord, SEGMENT_MAGIC, SEGMENT_VERSION};
 
@@ -127,6 +172,11 @@ pub struct StoreStats {
     pub segments_written: u64,
     /// Segment files deleted by retention pruning.
     pub segments_pruned: u64,
+    /// Segment files a range-bounded read skipped without opening, thanks
+    /// to the file-name range index.
+    pub segments_skipped: u64,
+    /// Segment files merged away by [`SegmentStore::compact`].
+    pub segments_compacted: u64,
     /// Flushes performed (each writes at most one segment).
     pub flushes: u64,
     /// I/O failures (flush or prune); the failing spans stay buffered.
@@ -153,6 +203,50 @@ pub struct SegmentStore {
 }
 
 static WRITER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Builds a segment file name carrying the range index: per-writer nonce,
+/// per-writer sequence, then the records' combined `[min, max)` tick
+/// coverage as fixed-width hex (i64 bit patterns, so negative ticks
+/// round-trip). The range trails the sequence, keeping lexicographic
+/// order == write order per writer, which `HistoryReader::open` and
+/// stitching rely on.
+fn segment_name(writer: u64, seq: u64, records: &[SegmentRecord]) -> String {
+    let lo = records
+        .iter()
+        .map(SegmentRecord::start_tick)
+        .min()
+        .unwrap_or(0);
+    let hi = records
+        .iter()
+        .map(SegmentRecord::end_tick)
+        .max()
+        .unwrap_or(0);
+    format!(
+        "seg-{:016x}-{:08}-{:016x}-{:016x}.lss",
+        writer, seq, lo as u64, hi as u64
+    )
+}
+
+/// Recovers the `[min, max)` tick coverage a segment file advertises in
+/// its name. `None` for pre-index names (`seg-<writer>-<seq>.lss`) or
+/// anything else unrecognized — those files must be opened to learn what
+/// they cover, so an unparseable name degrades to a read, never to a
+/// wrong skip.
+fn parse_segment_range(path: &std::path::Path) -> Option<(Tick, Tick)> {
+    let stem = path.file_stem()?.to_str()?;
+    let mut parts = stem.split('-');
+    if parts.next()? != "seg" {
+        return None;
+    }
+    let _writer = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let _seq: u64 = parts.next()?.parse().ok()?;
+    let lo = u64::from_str_radix(parts.next()?, 16).ok()? as Tick;
+    let hi = u64::from_str_radix(parts.next()?, 16).ok()? as Tick;
+    if parts.next().is_some() || hi < lo {
+        return None;
+    }
+    Some((lo, hi))
+}
 
 fn writer_nonce() -> u64 {
     let nanos = SystemTime::now()
@@ -219,7 +313,7 @@ impl SegmentStore {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let name = format!("seg-{:016x}-{:08}.lss", self.writer, self.next_seq);
+        let name = segment_name(self.writer, self.next_seq, &self.pending);
         segment::write_segment(&self.cfg.dir.join(name), &self.pending)?;
         self.next_seq += 1;
         self.pending.clear();
@@ -247,9 +341,14 @@ impl SegmentStore {
                 return;
             }
         } {
-            let dead = match segment::read_segment(&path) {
-                Ok(records) => records.iter().all(|r| r.end_tick() <= cutoff),
-                Err(_) => false, // never prune what we cannot read
+            // The file-name range index answers "wholly expired?" without
+            // opening the file; pre-index names fall back to a full read.
+            let dead = match parse_segment_range(&path) {
+                Some((_, hi)) => hi <= cutoff,
+                None => match segment::read_segment(&path) {
+                    Ok(records) => records.iter().all(|r| r.end_tick() <= cutoff),
+                    Err(_) => false, // never prune what we cannot read
+                },
             };
             if dead {
                 match fs::remove_file(&path) {
@@ -296,6 +395,111 @@ impl SegmentStore {
                 .cloned(),
         );
         Ok(out)
+    }
+
+    /// Every durable + pending span for `patient` whose coverage overlaps
+    /// `[t0, t1)`, oldest file first. The file-name range index lets
+    /// non-overlapping segment files be skipped *without being opened*
+    /// ([`StoreStats::segments_skipped`] counts them); records inside an
+    /// overlapping file are still filtered span-by-span. Pass
+    /// `(Tick::MIN, Tick::MAX)` for an unpruned full read.
+    ///
+    /// # Errors
+    /// Propagates read failures; a corrupt overlapping segment fails the
+    /// whole query rather than silently dropping history.
+    pub fn records_for_range(
+        &mut self,
+        patient: u64,
+        t0: Tick,
+        t1: Tick,
+    ) -> io::Result<Vec<SegmentRecord>> {
+        let mut out = Vec::new();
+        for path in self.segment_paths()? {
+            if let Some((lo, hi)) = parse_segment_range(&path) {
+                if hi <= t0 || lo >= t1 {
+                    self.stats.segments_skipped += 1;
+                    continue;
+                }
+            }
+            out.extend(
+                segment::read_segment(&path)?
+                    .into_iter()
+                    .filter(|r| r.patient == patient && r.overlaps(t0, t1)),
+            );
+        }
+        out.extend(
+            self.pending
+                .iter()
+                .filter(|r| r.patient == patient && r.overlaps(t0, t1))
+                .cloned(),
+        );
+        Ok(out)
+    }
+
+    /// The earliest tick any retained span (durable or pending) covers,
+    /// or `None` when the store holds nothing. This is the retention
+    /// floor a range query is validated against.
+    ///
+    /// # Errors
+    /// Propagates read failures on pre-index files (indexed names answer
+    /// from the name alone).
+    pub fn earliest_tick(&self) -> io::Result<Option<Tick>> {
+        let mut earliest: Option<Tick> = None;
+        let mut fold = |t: Tick| earliest = Some(earliest.map_or(t, |e| e.min(t)));
+        for path in self.segment_paths()? {
+            match parse_segment_range(&path) {
+                Some((lo, _)) => fold(lo),
+                None => {
+                    for r in segment::read_segment(&path)? {
+                        fold(r.start_tick());
+                    }
+                }
+            }
+        }
+        for r in &self.pending {
+            fold(r.start_tick());
+        }
+        Ok(earliest)
+    }
+
+    /// Merges every durable segment file into one, returning how many
+    /// files were merged away (0 when there was nothing to merge). Spans
+    /// are immutable and overlapping re-spills idempotent, so reads
+    /// before and after compaction are byte-identical; the merged file
+    /// carries the combined range index, so a fragmented store regains
+    /// cheap pruning. All originals are read and the replacement fully
+    /// written (tmp + fsync + rename) before any original is deleted —
+    /// a crash mid-compaction leaves duplicates, never losses.
+    ///
+    /// # Errors
+    /// An unreadable segment aborts the pass with nothing deleted.
+    pub fn compact(&mut self) -> io::Result<usize> {
+        let paths = self.segment_paths()?;
+        if paths.len() < 2 {
+            return Ok(0);
+        }
+        let mut merged = Vec::new();
+        for path in &paths {
+            merged.extend(segment::read_segment(path)?);
+        }
+        let name = segment_name(self.writer, self.next_seq, &merged);
+        segment::write_segment(&self.cfg.dir.join(name), &merged)?;
+        self.next_seq += 1;
+        self.stats.segments_written += 1;
+        for path in &paths {
+            match fs::remove_file(path) {
+                Ok(()) => self.stats.segments_compacted += 1,
+                // A concurrent writer's retention pass got there first.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    self.stats.segments_compacted += 1;
+                }
+                Err(e) => {
+                    self.stats.io_errors += 1;
+                    self.last_error = Some(e.to_string());
+                }
+            }
+        }
+        Ok(paths.len())
     }
 
     /// Every durable + pending span, for whole-store inspection.
@@ -375,6 +579,37 @@ impl SharedStore {
         self.with(|s| s.records_for(patient))
     }
 
+    /// Every durable + pending span for `patient` overlapping `[t0, t1)`,
+    /// pruning by the file-name range index. See
+    /// [`SegmentStore::records_for_range`].
+    ///
+    /// # Errors
+    /// Propagates read failures.
+    pub fn records_for_range(
+        &self,
+        patient: u64,
+        t0: Tick,
+        t1: Tick,
+    ) -> io::Result<Vec<SegmentRecord>> {
+        self.with(|s| s.records_for_range(patient, t0, t1))
+    }
+
+    /// The earliest retained tick. See [`SegmentStore::earliest_tick`].
+    ///
+    /// # Errors
+    /// Propagates read failures.
+    pub fn earliest_tick(&self) -> io::Result<Option<Tick>> {
+        self.with(|s| s.earliest_tick())
+    }
+
+    /// Merges all durable segments into one. See [`SegmentStore::compact`].
+    ///
+    /// # Errors
+    /// Propagates read/write failures; nothing is deleted on error.
+    pub fn compact(&self) -> io::Result<usize> {
+        self.with(|s| s.compact())
+    }
+
     /// Activity counters so far.
     pub fn stats(&self) -> StoreStats {
         self.with(|s| s.stats())
@@ -447,6 +682,82 @@ mod tests {
         let got = store.records_for(1).unwrap();
         assert_eq!(got.len(), 1);
         assert!(got.iter().all(|r| r.end_tick() > 150));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_reads_skip_nonoverlapping_files_by_name() {
+        let dir = tmp_dir("range");
+        let mut store = SegmentStore::open(StoreConfig::new(&dir).flush_batch(0)).unwrap();
+        store.spill(1, span(0, vec![1.0; 50], vec![(0, 50)]));
+        store.spill(1, span(50, vec![2.0; 50], vec![(50, 100)]));
+        store.spill(1, span(100, vec![3.0; 50], vec![(100, 150)]));
+        let got = store.records_for_range(1, 60, 90).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].values, vec![2.0; 50]);
+        assert_eq!(store.stats().segments_skipped, 2, "two files never opened");
+        // A full-range read skips nothing and sees everything.
+        let all = store.records_for_range(1, Tick::MIN, Tick::MAX).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(store.stats().segments_skipped, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_file_names_fall_back_to_reads() {
+        let dir = tmp_dir("legacy");
+        let mut store = SegmentStore::open(StoreConfig::new(&dir).flush_batch(0)).unwrap();
+        store.spill(1, span(0, vec![1.0; 10], vec![(0, 10)]));
+        // Strip the range suffix off the file, as a pre-index writer
+        // would have named it.
+        let path = store.segment_paths().unwrap().remove(0);
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let legacy: String = stem.split('-').take(3).collect::<Vec<_>>().join("-");
+        fs::rename(&path, dir.join(format!("{legacy}.lss"))).unwrap();
+        // Out-of-range query: the file cannot be skipped (no index), but
+        // span-level filtering still excludes its records.
+        let got = store.records_for_range(1, 500, 600).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(store.stats().segments_skipped, 0);
+        // And its coverage is still discoverable the slow way.
+        assert_eq!(store.earliest_tick().unwrap(), Some(0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn earliest_tick_tracks_retention() {
+        let dir = tmp_dir("earliest");
+        let mut store =
+            SegmentStore::open(StoreConfig::new(&dir).flush_batch(0).retention(100)).unwrap();
+        assert_eq!(store.earliest_tick().unwrap(), None);
+        store.spill(1, span(0, vec![1.0; 50], vec![(0, 50)]));
+        assert_eq!(store.earliest_tick().unwrap(), Some(0));
+        store.spill(1, span(200, vec![3.0; 50], vec![(200, 250)]));
+        // The first segment is wholly below the cutoff and was pruned.
+        assert_eq!(store.stats().segments_pruned, 1);
+        assert_eq!(store.earliest_tick().unwrap(), Some(200));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_merges_files_and_preserves_records() {
+        let dir = tmp_dir("compact");
+        let mut store = SegmentStore::open(StoreConfig::new(&dir).flush_batch(0)).unwrap();
+        for i in 0..5u64 {
+            let t = i as Tick * 10;
+            store.spill(1, span(i * 10, vec![i as f32; 10], vec![(t, t + 10)]));
+        }
+        let before = store.records_for(1).unwrap();
+        assert_eq!(store.segment_paths().unwrap().len(), 5);
+        assert_eq!(store.compact().unwrap(), 5);
+        assert_eq!(store.segment_paths().unwrap().len(), 1);
+        assert_eq!(store.stats().segments_compacted, 5);
+        assert_eq!(store.records_for(1).unwrap(), before, "byte-identical");
+        // The merged file carries the combined range index.
+        let merged = store.segment_paths().unwrap().remove(0);
+        assert_eq!(parse_segment_range(&merged), Some((0, 50)));
+        // Nothing left to merge.
+        assert_eq!(store.compact().unwrap(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

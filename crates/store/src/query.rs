@@ -1,0 +1,539 @@
+//! The retrospective query engine: one [`HistoryQuery`] description,
+//! executed over the tiered store.
+//!
+//! A query names a time range, a patient cohort, and a pipeline:
+//!
+//! ```text
+//! HistoryQuery::new().range(t0, t1).patients([7, 9]).pipeline(compiled)
+//! ```
+//!
+//! Execution reconstructs each patient's inputs from the store (pruning
+//! segment files by the file-name range index), overlays the live suffix
+//! when one is supplied, replays the pipeline, and clips the output to
+//! `[t0, t1)`. The contract is *byte identity*: a range-bounded run
+//! produces exactly the full-history run's output restricted to the
+//! range. That holds because the read window is widened by the
+//! pipeline's lineage margins
+//! ([`Executor::history_margins`]/[`Executor::future_margins`]) before
+//! clipping — every stateful operator sees the same warm-up data it
+//! would have seen in the full run. Round alignment is absolute
+//! (`div_euclid` of the round length), so a run starting mid-history
+//! shares the full run's round grid.
+//!
+//! The one semantics hole is user state *outside* the lineage system: a
+//! `transform` closure carrying unbounded history (e.g. a running
+//! normalizer over the entire past) cannot be reconstructed from a
+//! bounded window. [`HistoryQuery::warmup`] widens the replay window by
+//! a caller-chosen number of ticks for exactly that case.
+//!
+//! This module is front-end-agnostic: it resolves only
+//! [`PipelineSpec::Compiled`] and [`PipelineSpec::Factory`]. The
+//! `Live`/`Registered` variants are resolved by the ingest front ends
+//! (which own a live pipeline factory and a pipeline registry) before
+//! the query reaches [`HistoryQuery::run_with`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use lifestream_core::exec::{ExecOptions, Executor, OutputCollector};
+use lifestream_core::live::SessionSnapshot;
+use lifestream_core::query::CompiledQuery;
+use lifestream_core::source::SignalData;
+use lifestream_core::time::{StreamShape, Tick};
+
+use crate::reader::HistoryReader;
+use crate::SharedStore;
+
+/// Builds a compiled pipeline on demand — the form a parallel cohort
+/// fan-out needs (each worker builds its own executor). Identical to the
+/// cluster crate's `PipelineFactory`.
+pub type QueryFactory =
+    Arc<dyn Fn() -> lifestream_core::error::Result<CompiledQuery> + Send + Sync>;
+
+/// Which pipeline a [`HistoryQuery`] replays.
+pub enum PipelineSpec {
+    /// The front end's own live pipeline (the default). Resolved by the
+    /// ingest layer; meaningless to the store-level engine.
+    Live,
+    /// A compiled fluent-API pipeline, handed over directly. The one
+    /// logical-plan layer serves both live and retrospective runs — there
+    /// is no separate retrospective query dialect.
+    Compiled(CompiledQuery),
+    /// A pipeline factory, for cohort scans that build one executor per
+    /// worker.
+    Factory(QueryFactory),
+    /// A pipeline registered on the serving side under a small id — the
+    /// only form that travels over the wire. Id `0` always means the
+    /// live pipeline.
+    Registered(u32),
+}
+
+impl std::fmt::Debug for PipelineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Live => write!(f, "Live"),
+            Self::Compiled(_) => write!(f, "Compiled(..)"),
+            Self::Factory(_) => write!(f, "Factory(..)"),
+            Self::Registered(id) => write!(f, "Registered({id})"),
+        }
+    }
+}
+
+/// What a retrospective query can fail with — the typed replacement for
+/// the stringly-typed `query_history` errors. `Display` messages are
+/// compatibility surfaces locked by regression tests; change them like
+/// you would change a wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// The requested range is empty or inverted (`t1 <= t0`).
+    InvalidRange {
+        /// Requested range start.
+        t0: Tick,
+        /// Requested range end.
+        t1: Tick,
+    },
+    /// The range ends at or below the earliest tick the store still
+    /// retains — that history was pruned by the retention bound, so an
+    /// empty result would be a silent lie.
+    BelowRetention {
+        /// Requested range end.
+        t1: Tick,
+        /// Earliest retained tick.
+        earliest: Tick,
+    },
+    /// The front end has no history store attached.
+    NoStore,
+    /// The patient has no stored history and no live session.
+    UnknownPatient(u64),
+    /// The query names no patients.
+    NoPatients,
+    /// The pipeline could not be built or resolved (compile failure,
+    /// unknown registered id, a spec the surface cannot express).
+    Pipeline(String),
+    /// Reconstruction or replay failed (stitch mismatch, executor error,
+    /// a panicking user closure).
+    Execution(String),
+    /// The store itself failed (I/O, corrupt segment).
+    Store(String),
+    /// The remote side failed or the transport broke.
+    Remote(String),
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRange { t0, t1 } => {
+                write!(
+                    f,
+                    "invalid history range [{t0}, {t1}): t1 must be greater than t0"
+                )
+            }
+            Self::BelowRetention { t1, earliest } => write!(
+                f,
+                "history range ends at {t1}, at or below the earliest retained tick \
+                 {earliest}; that history has been pruned"
+            ),
+            Self::NoStore => write!(f, "no history store attached to this ingest"),
+            Self::UnknownPatient(p) => {
+                write!(f, "patient {p} is not admitted and has no stored history")
+            }
+            Self::NoPatients => write!(f, "history query names no patients"),
+            Self::Pipeline(m) => write!(f, "history pipeline failed to build: {m}"),
+            Self::Execution(m) => write!(f, "history query execution failed: {m}"),
+            Self::Store(m) => write!(f, "history store read failed: {m}"),
+            Self::Remote(m) => write!(f, "remote history query failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<std::io::Error> for HistoryError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Store(e.to_string())
+    }
+}
+
+/// A patient's live tail, overlaid on the durable tiers so a query sees
+/// data newer than the last spill. Front ends produce these from their
+/// running sessions; store-level callers pass `None`.
+#[derive(Debug, Clone)]
+pub struct LiveOverlay {
+    /// The session's exported suffix.
+    pub snapshot: SessionSnapshot,
+    /// The live pipeline's source shapes (indexed by source).
+    pub shapes: Vec<StreamShape>,
+}
+
+/// One retrospective run: range + cohort + pipeline, built fluently and
+/// executed by any front end implementing the `HistoryQueryApi` trait
+/// (cluster crate), or directly against a [`SharedStore`] via
+/// [`run_with`](Self::run_with).
+#[derive(Debug)]
+pub struct HistoryQuery {
+    range: (Tick, Tick),
+    patients: Vec<u64>,
+    warmup: Tick,
+    spec: PipelineSpec,
+}
+
+impl Default for HistoryQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryQuery {
+    /// A full-range query of the front end's live pipeline over no
+    /// patients yet — add patients, and optionally a range and pipeline.
+    pub fn new() -> Self {
+        Self {
+            range: (Tick::MIN, Tick::MAX),
+            patients: Vec::new(),
+            warmup: 0,
+            spec: PipelineSpec::Live,
+        }
+    }
+
+    /// Restricts the run to `[t0, t1)`. Segment files not overlapping the
+    /// (margin-widened) range are skipped unopened; output is clipped to
+    /// exactly the range. An inverted range fails execution with
+    /// [`HistoryError::InvalidRange`].
+    pub fn range(mut self, t0: Tick, t1: Tick) -> Self {
+        self.range = (t0, t1);
+        self
+    }
+
+    /// Adds one patient to the cohort.
+    pub fn patient(mut self, patient: u64) -> Self {
+        self.patients.push(patient);
+        self
+    }
+
+    /// Adds patients to the cohort; results come back in this order.
+    pub fn patients(mut self, patients: impl IntoIterator<Item = u64>) -> Self {
+        self.patients.extend(patients);
+        self
+    }
+
+    /// Replays this compiled pipeline instead of the live one. The same
+    /// fluent `Query` builder and `compile()` used for live deployment is
+    /// the whole logical-plan layer here too.
+    pub fn pipeline(mut self, compiled: CompiledQuery) -> Self {
+        self.spec = PipelineSpec::Compiled(compiled);
+        self
+    }
+
+    /// Like [`pipeline`](Self::pipeline), but hands a factory so a
+    /// parallel cohort fan-out can build one executor per worker.
+    pub fn pipeline_factory(mut self, factory: QueryFactory) -> Self {
+        self.spec = PipelineSpec::Factory(factory);
+        self
+    }
+
+    /// Replays the pipeline registered on the serving side under `id`
+    /// (`0` = the live pipeline) — the only pipeline form expressible
+    /// over the wire.
+    pub fn pipeline_id(mut self, id: u32) -> Self {
+        self.spec = PipelineSpec::Registered(id);
+        self
+    }
+
+    /// Widens the replay window `ticks` below `t0` *beyond* the
+    /// lineage-derived margins. Lineage margins make windowed operators
+    /// byte-identical automatically; warmup is the escape hatch for user
+    /// `transform` closures carrying state the lineage system cannot see.
+    pub fn warmup(mut self, ticks: Tick) -> Self {
+        self.warmup = ticks.max(0);
+        self
+    }
+
+    /// The requested `[t0, t1)` bounds.
+    pub fn bounds(&self) -> (Tick, Tick) {
+        self.range
+    }
+
+    /// True when no range was set (whole history).
+    pub fn is_full_range(&self) -> bool {
+        self.range == (Tick::MIN, Tick::MAX)
+    }
+
+    /// The cohort, in result order.
+    pub fn patient_list(&self) -> &[u64] {
+        &self.patients
+    }
+
+    /// The warmup widening in ticks.
+    pub fn warmup_ticks(&self) -> Tick {
+        self.warmup
+    }
+
+    /// The pipeline this query replays.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Decomposes the query for a front end to execute:
+    /// `(range, patients, warmup, spec)`.
+    pub fn into_parts(self) -> ((Tick, Tick), Vec<u64>, Tick, PipelineSpec) {
+        (self.range, self.patients, self.warmup, self.spec)
+    }
+
+    /// Validates the range shape alone (no store consulted).
+    ///
+    /// # Errors
+    /// [`HistoryError::InvalidRange`] when `t1 <= t0`.
+    pub fn validate_range(t0: Tick, t1: Tick) -> Result<(), HistoryError> {
+        if t1 <= t0 {
+            return Err(HistoryError::InvalidRange { t0, t1 });
+        }
+        Ok(())
+    }
+
+    /// Validates the range against a store's retention floor.
+    ///
+    /// # Errors
+    /// [`HistoryError::InvalidRange`] for an inverted range,
+    /// [`HistoryError::BelowRetention`] when the range ends at or below
+    /// the earliest retained tick, [`HistoryError::Store`] on I/O.
+    pub fn validate_against(store: &SharedStore, t0: Tick, t1: Tick) -> Result<(), HistoryError> {
+        Self::validate_range(t0, t1)?;
+        if t1 != Tick::MAX {
+            if let Some(earliest) = store.earliest_tick()? {
+                if t1 <= earliest {
+                    return Err(HistoryError::BelowRetention { t1, earliest });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the query directly against a store, sequentially per
+    /// patient, overlaying whatever live tail `live` supplies for each.
+    /// This is the reference engine: ingest front ends fan the same
+    /// per-patient work ([`run_patient_on`]) across their worker pools
+    /// and must match this output byte for byte.
+    ///
+    /// Only [`PipelineSpec::Compiled`] and [`PipelineSpec::Factory`] can
+    /// be resolved here; `Live`/`Registered` belong to a front end.
+    ///
+    /// # Errors
+    /// Any [`HistoryError`]; the first failing patient aborts the cohort.
+    pub fn run_with(
+        self,
+        store: &SharedStore,
+        round_ticks: Tick,
+        live: impl Fn(u64) -> Option<LiveOverlay>,
+    ) -> Result<CohortReport, HistoryError> {
+        let (range, patients, warmup, spec) = self.into_parts();
+        if patients.is_empty() {
+            return Err(HistoryError::NoPatients);
+        }
+        Self::validate_against(store, range.0, range.1)?;
+        let compiled = match spec {
+            PipelineSpec::Compiled(q) => q,
+            PipelineSpec::Factory(f) => f().map_err(|e| HistoryError::Pipeline(e.to_string()))?,
+            PipelineSpec::Live | PipelineSpec::Registered(_) => {
+                return Err(HistoryError::Pipeline(
+                    "Live/Registered pipelines resolve at an ingest front end; hand a \
+                     compiled pipeline or factory to a store-level query"
+                        .into(),
+                ))
+            }
+        };
+        let shapes = compiled.source_shapes();
+        let empty: Vec<SignalData> = shapes
+            .iter()
+            .map(|&s| SignalData::dense(s, Vec::new()))
+            .collect();
+        let mut exec = compiled
+            .executor_with(empty, ExecOptions::default().with_round_ticks(round_ticks))
+            .map_err(|e| HistoryError::Pipeline(e.to_string()))?;
+        let mut outputs = Vec::with_capacity(patients.len());
+        for &p in &patients {
+            let overlay = live(p);
+            let out = run_patient_on(
+                &mut exec,
+                store,
+                p,
+                &shapes,
+                range,
+                warmup,
+                overlay.as_ref(),
+            )?;
+            outputs.push((p, out));
+        }
+        Ok(CohortReport::new(range, outputs))
+    }
+}
+
+/// Replays one patient's history on a prepared executor (built from the
+/// query's pipeline with empty sources, or recycled from the previous
+/// patient). This is the per-patient unit of work ingest front ends fan
+/// out across workers; [`HistoryQuery::run_with`] is the sequential
+/// composition of it.
+///
+/// The read window is `[t0 - back - warmup, t1 + fwd)` where `back`/`fwd`
+/// are the executor's lineage margins; segment files outside it are
+/// skipped by the range index, inputs are clipped to it (so round
+/// activity inside the window matches the full run exactly), and the
+/// collected output is clipped to `[t0, t1)`.
+///
+/// # Errors
+/// [`HistoryError::UnknownPatient`] when there is neither stored history
+/// nor a live overlay; `Store`/`Execution` for read and replay failures.
+pub fn run_patient_on(
+    exec: &mut Executor,
+    store: &SharedStore,
+    patient: u64,
+    shapes: &[StreamShape],
+    range: (Tick, Tick),
+    warmup: Tick,
+    live: Option<&LiveOverlay>,
+) -> Result<OutputCollector, HistoryError> {
+    let (t0, t1) = range;
+    let full = (t0, t1) == (Tick::MIN, Tick::MAX);
+    let (q_lo, q_hi) = if full {
+        (Tick::MIN, Tick::MAX)
+    } else {
+        let back = exec.history_margins().into_iter().max().unwrap_or(0).max(0);
+        let fwd = exec.future_margins().into_iter().max().unwrap_or(0).max(0);
+        (
+            t0.saturating_sub(back).saturating_sub(warmup),
+            t1.saturating_add(fwd),
+        )
+    };
+    let records = store
+        .records_for_range(patient, q_lo, q_hi)
+        .map_err(|e| HistoryError::Store(e.to_string()))?;
+    // A pipeline with a different source layout than the live one runs
+    // over the durable tiers only — its shapes cannot absorb the live
+    // suffix.
+    let overlay = live.filter(|o| o.shapes.len() == shapes.len());
+    if records.is_empty() && overlay.is_none() {
+        return Err(HistoryError::UnknownPatient(patient));
+    }
+    let reader = HistoryReader::from_records(records);
+    let mut datasets = reader
+        .stitch(patient, shapes, overlay.map(|o| &o.snapshot))
+        .map_err(HistoryError::Execution)?;
+    if !full {
+        // Clip every source to the same margin-widened window: presence
+        // inside it is then identical to the full-history run's, so
+        // round-skipping decisions (which clear kernel state) agree too.
+        datasets = datasets
+            .into_iter()
+            .map(|d| d.clipped(q_lo, q_hi))
+            .collect();
+    }
+    exec.recycle(datasets)
+        .map_err(|e| HistoryError::Execution(e.to_string()))?;
+    let out = catch_unwind(AssertUnwindSafe(|| exec.run_collect()))
+        .map_err(|p| HistoryError::Execution(panic_text(&p)))?
+        .map_err(|e| HistoryError::Execution(e.to_string()))?;
+    Ok(if full { out } else { out.clipped(t0, t1) })
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("history pipeline panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("history pipeline panicked: {s}")
+    } else {
+        "history pipeline panicked".into()
+    }
+}
+
+/// Per-patient results of one cohort scan, in the order the query named
+/// the patients.
+#[derive(Debug, Clone)]
+pub struct CohortReport {
+    range: (Tick, Tick),
+    outputs: Vec<(u64, OutputCollector)>,
+}
+
+impl CohortReport {
+    /// Assembles a report (front ends build these from fanned-out runs).
+    pub fn new(range: (Tick, Tick), outputs: Vec<(u64, OutputCollector)>) -> Self {
+        Self { range, outputs }
+    }
+
+    /// The `[t0, t1)` bounds the cohort ran over.
+    pub fn bounds(&self) -> (Tick, Tick) {
+        self.range
+    }
+
+    /// Number of patients in the report.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when the report holds no patients.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The per-patient outputs, in query order.
+    pub fn outputs(&self) -> &[(u64, OutputCollector)] {
+        &self.outputs
+    }
+
+    /// One patient's output, if present.
+    pub fn output_for(&self, patient: u64) -> Option<&OutputCollector> {
+        self.outputs
+            .iter()
+            .find(|(p, _)| *p == patient)
+            .map(|(_, o)| o)
+    }
+
+    /// Consumes the report into its outputs.
+    pub fn into_outputs(self) -> Vec<(u64, OutputCollector)> {
+        self.outputs
+    }
+
+    /// Consumes a single-patient report into its one output.
+    ///
+    /// # Errors
+    /// [`HistoryError::NoPatients`] when the report is empty.
+    pub fn into_single(self) -> Result<OutputCollector, HistoryError> {
+        self.outputs
+            .into_iter()
+            .next()
+            .map(|(_, o)| o)
+            .ok_or(HistoryError::NoPatients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_range_is_a_named_error() {
+        assert_eq!(
+            HistoryQuery::validate_range(50, 50),
+            Err(HistoryError::InvalidRange { t0: 50, t1: 50 })
+        );
+        let msg = HistoryError::InvalidRange { t0: 50, t1: 10 }.to_string();
+        assert_eq!(
+            msg,
+            "invalid history range [50, 10): t1 must be greater than t0"
+        );
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let q = HistoryQuery::new()
+            .range(10, 90)
+            .patient(1)
+            .patients([2, 3])
+            .warmup(40)
+            .pipeline_id(7);
+        assert_eq!(q.bounds(), (10, 90));
+        assert_eq!(q.patient_list(), &[1, 2, 3]);
+        assert_eq!(q.warmup_ticks(), 40);
+        assert!(matches!(q.spec(), PipelineSpec::Registered(7)));
+        assert!(!q.is_full_range());
+        assert!(HistoryQuery::new().is_full_range());
+    }
+}

@@ -73,6 +73,23 @@ impl SegmentRecord {
             .max()
             .unwrap_or(self.shape.offset())
     }
+
+    /// Smallest presence start tick, or the grid offset when empty.
+    /// Together with [`end_tick`](Self::end_tick) this is the span's
+    /// coverage interval — what the store's file-name range index and
+    /// time-range pruning are built from.
+    pub fn start_tick(&self) -> Tick {
+        self.ranges
+            .iter()
+            .map(|&(s, _)| s)
+            .min()
+            .unwrap_or(self.shape.offset())
+    }
+
+    /// True when the span's coverage overlaps `[t0, t1)`.
+    pub fn overlaps(&self, t0: Tick, t1: Tick) -> bool {
+        self.start_tick() < t1 && self.end_tick() > t0
+    }
 }
 
 /// CRC-32/IEEE (reflected, poly `0xEDB88320`) — the same checksum zlib and

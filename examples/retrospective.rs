@@ -7,10 +7,16 @@
 //! sample the compactor retires from memory is spilled to an
 //! append-only segment file instead of dropped. Halfway through the
 //! feed — long after the earliest rounds left memory — a
-//! `query_history` stitches segments + write buffer + live suffix back
-//! into executor-ready inputs and re-runs the same pipeline. The
-//! assertions pin both answers (mid-stream and final) to the cold runs,
-//! so this example doubles as CI's tiered-storage smoke.
+//! [`HistoryQueryApi::history_one`] call stitches segments + write
+//! buffer + live suffix back into executor-ready inputs and re-runs the
+//! same pipeline. A range-bounded [`HistoryQuery`] then replays only a
+//! narrow `[t0, t1)` window: the file-name tick-range index lets the
+//! store skip every non-overlapping segment unopened (the
+//! `segments_skipped` counter is asserted and printed, so CI's archived
+//! log carries the pruning proof), and the answer equals the cold run
+//! clipped to the same window. The assertions pin every answer
+//! (mid-stream, ranged, and final) to the cold runs, so this example
+//! doubles as CI's tiered-storage smoke.
 //!
 //! Set `LS_STORE_DIR=/some/dir` to keep the segment files (CI uploads
 //! them as an artifact); by default a temp directory is used and
@@ -21,6 +27,7 @@
 use std::sync::Arc;
 
 use lifestream::cluster::sharded::{IngestConfig, LiveIngest, PipelineFactory};
+use lifestream::cluster::HistoryQuery;
 use lifestream::core::exec::{ExecOptions, OutputCollector};
 use lifestream::core::prelude::*;
 use lifestream::core::source::SignalData;
@@ -110,7 +117,7 @@ fn main() {
     // Retrospective query over data older than the compaction horizon,
     // while the live session stays admitted and keeps ingesting after.
     // ---------------------------------------------------------------
-    let retro = ingest.query_history(PATIENT).expect("history query");
+    let retro = ingest.history_one(PATIENT).expect("history query");
     let reference = cold(MID);
     assert_eq!(retro.len(), reference.len(), "mid-stream event count");
     assert_eq!(
@@ -124,6 +131,37 @@ fn main() {
         retro.checksum()
     );
 
+    // ---------------------------------------------------------------
+    // HistoryQuery quickstart: the same fluent builder every front end
+    // accepts. A narrow [t0, t1) replays only the overlapping segments
+    // (the rest are skipped by the file-name range index, unopened) and
+    // equals the cold run clipped to the window.
+    // ---------------------------------------------------------------
+    let (t0, t1) = (MID * PERIOD * 2 / 5, MID * PERIOD * 3 / 5);
+    let skipped_before = store.stats().segments_skipped;
+    let ranged = ingest
+        .history(HistoryQuery::new().patient(PATIENT).range(t0, t1))
+        .expect("range query")
+        .into_single()
+        .expect("single patient");
+    let clipped = reference.clipped(t0, t1);
+    assert_eq!(ranged.len(), clipped.len(), "range event count");
+    assert_eq!(
+        ranged.checksum(),
+        clipped.checksum(),
+        "range query diverged from the clipped cold run"
+    );
+    let segments_skipped = store.stats().segments_skipped - skipped_before;
+    assert!(
+        segments_skipped > 0,
+        "narrow range pruned no segments — the range index is dead"
+    );
+    println!(
+        "range query [{t0}, {t1}): {} events, {segments_skipped} segments skipped \
+         unopened — byte-identical to the clipped cold run",
+        ranged.len()
+    );
+
     for k in MID..SAMPLES {
         ingest.push(PATIENT, 0, k * PERIOD, wave(k));
         if k % (ROUND / PERIOD) == 0 {
@@ -131,7 +169,7 @@ fn main() {
         }
     }
     let live_out = ingest.finish(PATIENT).expect("finish");
-    let final_query = ingest.query_history(PATIENT).expect("post-finish query");
+    let final_query = ingest.history_one(PATIENT).expect("post-finish query");
     let full = cold(SAMPLES);
     assert_eq!(live_out.checksum(), full.checksum(), "live output diverged");
     assert_eq!(
